@@ -1,0 +1,21 @@
+//! Baselines from the paper's related-work section, implemented so the
+//! paper's qualitative claims become measurable.
+//!
+//! * [`bichler`] — Bichler et al.: attach directed equations to states and
+//!   run them under run-to-completion on the event thread. The paper's
+//!   verdict: "Because UML is a foundational discrete language, so this
+//!   method doesn't work efficiently." Experiment E2 measures the event
+//!   latency/jitter cost.
+//! * [`kuhl`] — Kühl et al.: translate Simulink block diagrams into UML
+//!   objects. The paper's verdict: "lots of objects and classes may be
+//!   generated, and some information may be lost." Experiment E3 counts
+//!   objects, per-step messages and lost type annotations.
+//! * [`metrics`] — shared latency/jitter statistics.
+
+pub mod bichler;
+pub mod kuhl;
+pub mod metrics;
+
+pub use bichler::{ArchitectureBenchmark, EquationStateCapsule};
+pub use kuhl::{translate_diagram, KuhlReport};
+pub use metrics::LatencyReport;

@@ -1,0 +1,151 @@
+//! Latency and jitter statistics shared by the E-experiments.
+
+use std::fmt;
+use std::time::Duration;
+
+/// Summary statistics over a set of latency samples.
+///
+/// # Examples
+///
+/// ```
+/// use urt_baselines::metrics::LatencyReport;
+/// use std::time::Duration;
+///
+/// let report = LatencyReport::from_durations(&[
+///     Duration::from_micros(10),
+///     Duration::from_micros(20),
+///     Duration::from_micros(30),
+/// ]);
+/// assert_eq!(report.count(), 3);
+/// assert!((report.mean_us() - 20.0).abs() < 1e-9);
+/// ```
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct LatencyReport {
+    sorted_us: Vec<f64>,
+    mean_us: f64,
+    std_us: f64,
+}
+
+impl LatencyReport {
+    /// Builds a report from raw microsecond samples.
+    pub fn from_samples_us(samples: &[f64]) -> Self {
+        if samples.is_empty() {
+            return Self::default();
+        }
+        let mut sorted = samples.to_vec();
+        sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let mean = sorted.iter().sum::<f64>() / sorted.len() as f64;
+        let var = sorted.iter().map(|v| (v - mean).powi(2)).sum::<f64>() / sorted.len() as f64;
+        LatencyReport { sorted_us: sorted, mean_us: mean, std_us: var.sqrt() }
+    }
+
+    /// Builds a report from measured durations.
+    pub fn from_durations(samples: &[Duration]) -> Self {
+        let us: Vec<f64> = samples.iter().map(|d| d.as_secs_f64() * 1e6).collect();
+        Self::from_samples_us(&us)
+    }
+
+    /// Number of samples.
+    pub fn count(&self) -> usize {
+        self.sorted_us.len()
+    }
+
+    /// Mean latency in microseconds.
+    pub fn mean_us(&self) -> f64 {
+        self.mean_us
+    }
+
+    /// Jitter: standard deviation in microseconds.
+    pub fn jitter_us(&self) -> f64 {
+        self.std_us
+    }
+
+    /// Percentile in microseconds (`p` in `[0, 100]`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is outside `[0, 100]`.
+    pub fn percentile_us(&self, p: f64) -> f64 {
+        assert!((0.0..=100.0).contains(&p), "percentile must be in [0, 100]");
+        if self.sorted_us.is_empty() {
+            return 0.0;
+        }
+        let rank = (p / 100.0 * (self.sorted_us.len() - 1) as f64).round() as usize;
+        self.sorted_us[rank]
+    }
+
+    /// Median latency in microseconds.
+    pub fn p50_us(&self) -> f64 {
+        self.percentile_us(50.0)
+    }
+
+    /// 99th-percentile latency in microseconds.
+    pub fn p99_us(&self) -> f64 {
+        self.percentile_us(99.0)
+    }
+
+    /// Maximum latency in microseconds.
+    pub fn max_us(&self) -> f64 {
+        self.sorted_us.last().copied().unwrap_or(0.0)
+    }
+}
+
+impl fmt::Display for LatencyReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "n={} mean={:.1}us p50={:.1}us p99={:.1}us max={:.1}us jitter={:.1}us",
+            self.count(),
+            self.mean_us(),
+            self.p50_us(),
+            self.p99_us(),
+            self.max_us(),
+            self.jitter_us()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn statistics_from_known_samples() {
+        let r = LatencyReport::from_samples_us(&[1.0, 2.0, 3.0, 4.0, 100.0]);
+        assert_eq!(r.count(), 5);
+        assert_eq!(r.p50_us(), 3.0);
+        assert_eq!(r.max_us(), 100.0);
+        assert!((r.mean_us() - 22.0).abs() < 1e-9);
+        assert!(r.jitter_us() > 30.0);
+        assert_eq!(r.percentile_us(0.0), 1.0);
+        assert_eq!(r.percentile_us(100.0), 100.0);
+    }
+
+    #[test]
+    fn empty_report_is_zeroed() {
+        let r = LatencyReport::from_samples_us(&[]);
+        assert_eq!(r.count(), 0);
+        assert_eq!(r.p99_us(), 0.0);
+        assert_eq!(r.max_us(), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "percentile")]
+    fn percentile_bounds_checked() {
+        LatencyReport::from_samples_us(&[1.0]).percentile_us(101.0);
+    }
+
+    #[test]
+    fn display_mentions_key_stats() {
+        let r = LatencyReport::from_samples_us(&[5.0]);
+        let s = r.to_string();
+        assert!(s.contains("p99"));
+        assert!(s.contains("jitter"));
+    }
+
+    #[test]
+    fn unsorted_input_is_sorted() {
+        let r = LatencyReport::from_samples_us(&[9.0, 1.0, 5.0]);
+        assert_eq!(r.p50_us(), 5.0);
+    }
+}

@@ -1,0 +1,32 @@
+//! E1 bench: per-step cost of each solver strategy on the Van der Pol
+//! benchmark problem (the cost axis of the accuracy/cost table).
+
+use std::time::Duration;
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use urt_ode::solver::SolverKind;
+use urt_ode::system::library::VanDerPol;
+
+fn bench(c: &mut Criterion) {
+    let sys = VanDerPol { mu: 2.0 };
+    let mut g = c.benchmark_group("e1_solvers");
+    g.sample_size(30);
+    g.warm_up_time(Duration::from_millis(300));
+    g.measurement_time(Duration::from_secs(1));
+    for kind in SolverKind::ALL {
+        g.bench_with_input(BenchmarkId::new("step", kind), &kind, |b, &kind| {
+            let mut solver = kind.create();
+            let mut x = [2.0, 0.0];
+            let mut t = 0.0;
+            b.iter(|| {
+                let out = solver.step(&sys, t, black_box(&mut x), 1e-3).expect("step");
+                if out.accepted {
+                    t += out.h_taken;
+                }
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,28 @@
+//! E2 bench: one macro step of each architecture under a fixed continuous
+//! load (complements `report_e2`'s latency percentiles).
+
+use std::time::Duration;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use urt_baselines::bichler::ArchitectureBenchmark;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("e2_architecture");
+    g.sample_size(10);
+    g.warm_up_time(Duration::from_millis(300));
+    g.measurement_time(Duration::from_secs(1));
+    for n_systems in [4usize, 32] {
+        let bench = ArchitectureBenchmark { n_systems, substeps: 16, n_steps: 20 };
+        g.bench_with_input(
+            BenchmarkId::new("rtc_integrated", n_systems),
+            &bench,
+            |b, bench| b.iter(|| bench.run_rtc_integrated()),
+        );
+        g.bench_with_input(BenchmarkId::new("unified", n_systems), &bench, |b, bench| {
+            b.iter(|| bench.run_unified())
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,43 @@
+//! E5 bench: cost of the two time services — the tick-quantised UML-RT
+//! timer heap versus the continuous Time clock.
+
+use std::time::Duration;
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use urt_core::time::SimClock;
+use urt_umlrt::capsule::TimerId;
+use urt_umlrt::timing::TimerService;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("e5_time");
+    g.sample_size(30);
+    g.warm_up_time(Duration::from_millis(300));
+    g.measurement_time(Duration::from_secs(1));
+    g.bench_function("timer_service_schedule_and_fire", |b| {
+        b.iter_batched(
+            || {
+                let mut svc = TimerService::new();
+                svc.set_tick(0.001);
+                for i in 0..64u64 {
+                    svc.schedule(0, TimerId(i), 0.0, 0.001 * i as f64, None, "t");
+                }
+                svc
+            },
+            |mut svc| black_box(svc.pop_due(1.0)),
+            criterion::BatchSize::SmallInput,
+        )
+    });
+    g.bench_function("sim_clock_tick", |b| {
+        let mut clock = SimClock::new();
+        b.iter(|| {
+            clock.tick(black_box(1e-3));
+            black_box(clock.seconds())
+        })
+    });
+    g.bench_function("drift_closed_form", |b| {
+        b.iter(|| black_box(SimClock::drift_against_ticks(0.015, 0.010, 1000)))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

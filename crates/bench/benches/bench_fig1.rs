@@ -1,0 +1,38 @@
+//! Figure 1 bench: what does the Strategy indirection cost? Monomorphic
+//! RK4 stepping versus the same solver behind `Box<dyn Solver>` (the
+//! pattern the paper's architecture relies on).
+
+use std::time::Duration;
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use urt_ode::solver::{Rk4, Solver, SolverKind};
+use urt_ode::system::library::VanDerPol;
+
+fn bench(c: &mut Criterion) {
+    let sys = VanDerPol { mu: 1.5 };
+    let mut g = c.benchmark_group("fig1_strategy");
+    g.sample_size(30);
+    g.warm_up_time(Duration::from_millis(300));
+    g.measurement_time(Duration::from_secs(1));
+    g.bench_function("monomorphic_rk4", |b| {
+        let mut solver = Rk4::new();
+        let mut x = [2.0, 0.0];
+        let mut t = 0.0;
+        b.iter(|| {
+            solver.step(&sys, t, black_box(&mut x), 1e-3).expect("step");
+            t += 1e-3;
+        })
+    });
+    g.bench_function("dyn_strategy_rk4", |b| {
+        let mut solver: Box<dyn Solver + Send> = SolverKind::Rk4.create();
+        let mut x = [2.0, 0.0];
+        let mut t = 0.0;
+        b.iter(|| {
+            solver.step(&sys, t, black_box(&mut x), 1e-3).expect("step");
+            t += 1e-3;
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

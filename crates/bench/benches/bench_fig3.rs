@@ -1,0 +1,74 @@
+//! Figure 3 bench: hybrid model step throughput — a capsule supervising
+//! streamers through the engine, the paper's end-to-end structure.
+
+use std::time::Duration;
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use urt_core::engine::{EngineConfig, HybridEngine};
+use urt_core::threading::ThreadPolicy;
+use urt_dataflow::flowtype::FlowType;
+use urt_dataflow::graph::StreamerNetwork;
+use urt_dataflow::streamer::OdeStreamer;
+use urt_ode::solver::SolverKind;
+use urt_ode::system::InputSystem;
+use urt_umlrt::capsule::{CapsuleContext, SmCapsule};
+use urt_umlrt::controller::Controller;
+use urt_umlrt::statemachine::StateMachineBuilder;
+
+struct Lag;
+
+impl InputSystem for Lag {
+    fn dim(&self) -> usize {
+        1
+    }
+    fn input_dim(&self) -> usize {
+        0
+    }
+    fn derivatives(&self, _t: f64, x: &[f64], _u: &[f64], dx: &mut [f64]) {
+        dx[0] = 1.0 - x[0];
+    }
+}
+
+fn engine() -> HybridEngine {
+    let mut net = StreamerNetwork::new("plant");
+    net.add_streamer(
+        OdeStreamer::new("lag", Lag, SolverKind::Rk4.create(), &[0.0], 1e-4),
+        &[],
+        &[("y", FlowType::scalar())],
+    )
+    .expect("add");
+    let sm = StateMachineBuilder::new("sup")
+        .state("s")
+        .initial("s", |_d: &mut (), _ctx: &mut CapsuleContext| {})
+        .build()
+        .expect("sm");
+    let mut controller = Controller::new("ev");
+    controller.add_capsule(Box::new(SmCapsule::new(sm, ())));
+    let mut e = HybridEngine::new(
+        controller,
+        EngineConfig { step: 1e-3, policy: ThreadPolicy::CurrentThread },
+    );
+    e.add_group(net).expect("group");
+    e
+}
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig3_hybrid");
+    g.sample_size(20);
+    g.warm_up_time(Duration::from_millis(300));
+    g.measurement_time(Duration::from_secs(1));
+    g.bench_function("engine_macro_step", |b| {
+        let mut e = engine();
+        b.iter(|| black_box(&mut e).step_once().expect("step"))
+    });
+    g.bench_function("engine_run_10ms", |b| {
+        b.iter_batched(
+            engine,
+            |mut e| e.run_until(0.01).expect("run"),
+            criterion::BatchSize::SmallInput,
+        )
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,26 @@
+//! Table 1 bench: stereotype registry rendering and lookups (the cost of
+//! the modeling-surface metadata is negligible — this pins that claim).
+
+use std::time::Duration;
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use urt_core::stereotype::{render_table1, Stereotype};
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("table1");
+    g.sample_size(20);
+    g.warm_up_time(Duration::from_millis(300));
+    g.measurement_time(Duration::from_secs(1));
+    g.bench_function("render", |b| b.iter(|| black_box(render_table1())));
+    g.bench_function("lookup_all", |b| {
+        b.iter(|| {
+            for s in Stereotype::ALL {
+                black_box(s.base_construct());
+                black_box(s.implemented_in());
+            }
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

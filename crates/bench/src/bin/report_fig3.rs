@@ -1,0 +1,47 @@
+//! Regenerates **Figure 3** of the paper: the structure of the extension —
+//! a top capsule containing a sub-capsule and two streamers — plus the
+//! containment rule ("streamers don't contain any capsule") enforced both
+//! positively and negatively.
+//!
+//! Run with: `cargo run -p urt-bench --bin report_fig3`
+
+use urt_core::model::ModelBuilder;
+use urt_core::CoreError;
+use urt_dataflow::flowtype::FlowType;
+
+fn main() {
+    // The exact Figure 3 shape.
+    let mut b = ModelBuilder::new("fig3");
+    let top = b.capsule("top_capsule");
+    let sub = b.capsule("sub_capsule");
+    let s1 = b.streamer("streamer1", "rk4");
+    let s2 = b.streamer("streamer2", "rk4");
+    b.contain_capsule(sub, top);
+    b.contain_streamer_in_capsule(s1, top);
+    b.contain_streamer_in_capsule(s2, top);
+    b.streamer_out(s1, "y", FlowType::scalar());
+    b.streamer_in(s2, "u", FlowType::scalar());
+    b.flow_between_streamers(s1, "y", s2, "u");
+    let model = b.build();
+    model.validate().expect("figure 3 structure is well-formed");
+
+    println!("Figure 3. Structure of extensions");
+    println!();
+    print!("{}", model.render_structure());
+    println!();
+    println!("rule check: capsules may contain streamers .......... ok");
+
+    // The forbidden inverse.
+    let mut b = ModelBuilder::new("inverse");
+    let host = b.streamer("host_streamer", "rk4");
+    let trapped = b.capsule("trapped_capsule");
+    b.contain_capsule_in_streamer(trapped, host);
+    match b.build().validate() {
+        Err(CoreError::Validation { rule, detail }) => {
+            println!("rule check: streamers must not contain capsules .... rejected");
+            println!("  rule   : {rule}");
+            println!("  detail : {detail}");
+        }
+        other => panic!("expected fig3-containment violation, got {other:?}"),
+    }
+}

@@ -1,0 +1,27 @@
+//! Regenerates **Table 1** of the paper: "New stereotypes comparing with
+//! UML-RT", plus where each stereotype is implemented in this repository.
+//!
+//! Run with: `cargo run -p urt-bench --bin report_table1`
+
+use urt_core::stereotype::{render_table1, Stereotype};
+
+fn main() {
+    println!("Table 1. New stereotypes comparing with UML-RT");
+    println!();
+    print!("{}", render_table1());
+    println!();
+    println!("Implementation index:");
+    for s in Stereotype::ALL {
+        println!(
+            "  {:<22} <= {:<14} -> {}",
+            s.extension_name(),
+            s.base_construct(),
+            s.implemented_in()
+        );
+    }
+    println!();
+    println!("Semantics (paraphrasing paper section 2):");
+    for s in Stereotype::ALL {
+        println!("  {:<22} {}", s.extension_name(), s.semantics());
+    }
+}

@@ -1,0 +1,237 @@
+//! Discrete blocks: sampled behaviours that *can* live inside capsule
+//! actions (difference equations fit run-to-completion semantics).
+
+use crate::block::Block;
+use urt_ode::difference::{DifferenceSystem, DiscreteIntegrator, UnitDelay as CoreDelay};
+
+/// One-step delay `y[k] = u[k-1]`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct UnitDelayBlock {
+    inner: CoreDelay,
+}
+
+impl UnitDelayBlock {
+    /// Creates a delay emitting `initial` on the first step.
+    pub fn new(initial: f64) -> Self {
+        UnitDelayBlock { inner: CoreDelay::new(initial) }
+    }
+}
+
+impl Block for UnitDelayBlock {
+    fn name(&self) -> &str {
+        "unit-delay"
+    }
+
+    fn inputs(&self) -> usize {
+        1
+    }
+
+    fn outputs(&self) -> usize {
+        1
+    }
+
+    fn direct_feedthrough(&self) -> bool {
+        false
+    }
+
+    fn reset(&mut self) {
+        self.inner.reset();
+    }
+
+    fn step(&mut self, _t: f64, _h: f64, u: &[f64], y: &mut [f64]) {
+        y[0] = self.inner.step(u)[0];
+    }
+}
+
+/// Zero-order hold: samples the input every `period`, holds in between.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ZeroOrderHold {
+    period: f64,
+    next_sample: f64,
+    held: f64,
+}
+
+impl ZeroOrderHold {
+    /// Creates a ZOH with the given sample period.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `period <= 0`.
+    pub fn new(period: f64) -> Self {
+        assert!(period > 0.0, "sample period must be positive");
+        ZeroOrderHold { period, next_sample: 0.0, held: 0.0 }
+    }
+}
+
+impl Block for ZeroOrderHold {
+    fn name(&self) -> &str {
+        "zoh"
+    }
+
+    fn inputs(&self) -> usize {
+        1
+    }
+
+    fn outputs(&self) -> usize {
+        1
+    }
+
+    fn reset(&mut self) {
+        self.next_sample = 0.0;
+        self.held = 0.0;
+    }
+
+    fn step(&mut self, t: f64, _h: f64, u: &[f64], y: &mut [f64]) {
+        if t + 1e-12 >= self.next_sample {
+            self.held = u[0];
+            self.next_sample = t + self.period;
+        }
+        y[0] = self.held;
+    }
+}
+
+/// Discrete (velocity-form-free) PID executing at the block rate.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DiscretePid {
+    kp: f64,
+    ki: f64,
+    kd: f64,
+    integ: DiscreteIntegrator,
+    prev_error: Option<f64>,
+    period: f64,
+    limits: Option<(f64, f64)>,
+}
+
+impl DiscretePid {
+    /// Creates a discrete PID with the given sample `period`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `period <= 0`.
+    pub fn new(kp: f64, ki: f64, kd: f64, period: f64) -> Self {
+        DiscretePid {
+            kp,
+            ki,
+            kd,
+            integ: DiscreteIntegrator::new(period, 0.0),
+            prev_error: None,
+            period,
+            limits: None,
+        }
+    }
+
+    /// Adds output clamping (builder style).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lo > hi`.
+    pub fn with_limits(mut self, lo: f64, hi: f64) -> Self {
+        assert!(lo <= hi, "pid limits must be ordered");
+        self.limits = Some((lo, hi));
+        self
+    }
+}
+
+impl Block for DiscretePid {
+    fn name(&self) -> &str {
+        "discrete-pid"
+    }
+
+    fn inputs(&self) -> usize {
+        1
+    }
+
+    fn outputs(&self) -> usize {
+        1
+    }
+
+    fn reset(&mut self) {
+        self.integ.reset();
+        self.prev_error = None;
+    }
+
+    fn step(&mut self, _t: f64, _h: f64, u: &[f64], y: &mut [f64]) {
+        let e = u[0];
+        self.integ.step(&[e]);
+        let i_term = self.integ.value();
+        let d_term = match self.prev_error {
+            Some(p) => (e - p) / self.period,
+            None => 0.0,
+        };
+        self.prev_error = Some(e);
+        let mut out = self.kp * e + self.ki * i_term + self.kd * d_term;
+        if let Some((lo, hi)) = self.limits {
+            out = out.clamp(lo, hi);
+        }
+        y[0] = out;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unit_delay_shifts() {
+        let mut d = UnitDelayBlock::new(-1.0);
+        let mut y = [0.0];
+        d.step(0.0, 0.1, &[7.0], &mut y);
+        assert_eq!(y[0], -1.0);
+        d.step(0.1, 0.1, &[8.0], &mut y);
+        assert_eq!(y[0], 7.0);
+        d.reset();
+        d.step(0.2, 0.1, &[9.0], &mut y);
+        assert_eq!(y[0], -1.0);
+        assert!(!d.direct_feedthrough());
+    }
+
+    #[test]
+    fn zoh_holds_between_samples() {
+        let mut z = ZeroOrderHold::new(0.1);
+        let mut y = [0.0];
+        z.step(0.0, 0.01, &[5.0], &mut y);
+        assert_eq!(y[0], 5.0, "samples at t=0");
+        z.step(0.05, 0.01, &[9.0], &mut y);
+        assert_eq!(y[0], 5.0, "held");
+        z.step(0.1, 0.01, &[9.0], &mut y);
+        assert_eq!(y[0], 9.0, "resampled");
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zoh_validates_period() {
+        let _ = ZeroOrderHold::new(0.0);
+    }
+
+    #[test]
+    fn discrete_pid_proportional() {
+        let mut pid = DiscretePid::new(2.0, 0.0, 0.0, 0.1);
+        let mut y = [0.0];
+        pid.step(0.0, 0.1, &[1.5], &mut y);
+        assert_eq!(y[0], 3.0);
+    }
+
+    #[test]
+    fn discrete_pid_integral_accumulates() {
+        let mut pid = DiscretePid::new(0.0, 1.0, 0.0, 0.5);
+        let mut y = [0.0];
+        pid.step(0.0, 0.5, &[1.0], &mut y);
+        pid.step(0.5, 0.5, &[1.0], &mut y);
+        // After two samples of e=1 at T=0.5 the integral is 1.0.
+        assert!((y[0] - 1.0).abs() < 1e-12, "got {}", y[0]);
+        pid.reset();
+        pid.step(0.0, 0.5, &[1.0], &mut y);
+        assert!((y[0] - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn discrete_pid_derivative_and_limits() {
+        let mut pid = DiscretePid::new(0.0, 0.0, 1.0, 0.5).with_limits(-1.0, 1.0);
+        let mut y = [0.0];
+        pid.step(0.0, 0.5, &[0.0], &mut y);
+        assert_eq!(y[0], 0.0);
+        pid.step(0.5, 0.5, &[2.0], &mut y);
+        // Raw derivative is 4.0, clamped to 1.0.
+        assert_eq!(y[0], 1.0);
+    }
+}

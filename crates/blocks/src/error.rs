@@ -1,0 +1,82 @@
+//! Block-diagram errors.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors from building or validating a block diagram.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum BlockError {
+    /// A block id was out of range.
+    UnknownBlock {
+        /// The offending index.
+        index: usize,
+    },
+    /// A port index exceeded a block's input/output count.
+    BadPort {
+        /// Block name.
+        block: String,
+        /// The offending port index.
+        port: usize,
+        /// Whether the port was an input.
+        input: bool,
+    },
+    /// An input port already has a driver.
+    MultipleWriters {
+        /// Block name.
+        block: String,
+        /// Input index.
+        port: usize,
+    },
+    /// An input port has no driver and is not marked as a diagram input.
+    UnconnectedInput {
+        /// Block name.
+        block: String,
+        /// Input index.
+        port: usize,
+    },
+    /// Direct-feedthrough blocks form a cycle.
+    AlgebraicLoop {
+        /// Blocks on the cycle.
+        blocks: Vec<String>,
+    },
+}
+
+impl fmt::Display for BlockError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BlockError::UnknownBlock { index } => write!(f, "unknown block index {index}"),
+            BlockError::BadPort { block, port, input } => {
+                let kind = if *input { "input" } else { "output" };
+                write!(f, "block `{block}` has no {kind} port {port}")
+            }
+            BlockError::MultipleWriters { block, port } => {
+                write!(f, "input {port} of block `{block}` has multiple writers")
+            }
+            BlockError::UnconnectedInput { block, port } => {
+                write!(f, "input {port} of block `{block}` is unconnected")
+            }
+            BlockError::AlgebraicLoop { blocks } => {
+                write!(f, "algebraic loop through {}", blocks.join(" -> "))
+            }
+        }
+    }
+}
+
+impl Error for BlockError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        assert!(BlockError::UnknownBlock { index: 1 }.to_string().contains("unknown"));
+        assert!(BlockError::BadPort { block: "b".into(), port: 2, input: true }
+            .to_string()
+            .contains("input port 2"));
+        assert!(BlockError::AlgebraicLoop { blocks: vec!["a".into()] }
+            .to_string()
+            .contains("loop"));
+    }
+}

@@ -1,0 +1,46 @@
+//! A Simulink-like block library and block-diagram compiler.
+//!
+//! The paper motivates its extension by the status quo: "modeling these
+//! kinds of systems needs use several tools together, such as UML and
+//! Simulink". This crate is the Simulink-shaped substrate — a library of
+//! causal signal blocks and a diagram builder — used three ways:
+//!
+//! 1. examples model their plants with it,
+//! 2. [`diagram::BlockDiagram::into_streamer`] compiles a diagram into a
+//!    single streamer behaviour for the unified model (the paper's way),
+//! 3. the Kühl baseline (`urt-baselines`) translates each block into its
+//!    own capsule object (the related-work way the paper criticises).
+//!
+//! # Examples
+//!
+//! ```
+//! use urt_blocks::diagram::BlockDiagram;
+//! use urt_blocks::math::Gain;
+//! use urt_blocks::sources::Constant;
+//!
+//! # fn main() -> Result<(), urt_blocks::BlockError> {
+//! let mut d = BlockDiagram::new("twice");
+//! let c = d.add_block(Constant::new(21.0));
+//! let g = d.add_block(Gain::new(2.0));
+//! d.connect(c, 0, g, 0)?;
+//! d.mark_output(g, 0)?;
+//! d.validate()?;
+//! d.step(0.0, 0.01, &[]);
+//! assert_eq!(d.outputs()[0], 42.0);
+//! # Ok(())
+//! # }
+//! ```
+
+pub mod block;
+pub mod continuous;
+pub mod diagram;
+pub mod discrete;
+pub mod error;
+pub mod math;
+pub mod nonlinear;
+pub mod sinks;
+pub mod sources;
+
+pub use block::Block;
+pub use diagram::{BlockDiagram, BlockId};
+pub use error::BlockError;

@@ -1,0 +1,421 @@
+//! Nonlinear and signal-conditioning blocks: lookup tables, rate
+//! limiters, hysteresis relays, quantisers, transport delays, mux/demux.
+
+use crate::block::Block;
+use std::collections::VecDeque;
+
+/// 1-D lookup table with linear interpolation and clamped ends.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Lookup1d {
+    breakpoints: Vec<f64>,
+    values: Vec<f64>,
+}
+
+impl Lookup1d {
+    /// Creates a table from sorted breakpoints and matching values.
+    ///
+    /// # Panics
+    ///
+    /// Panics if fewer than two points are given, lengths differ, or the
+    /// breakpoints are not strictly increasing.
+    pub fn new(breakpoints: &[f64], values: &[f64]) -> Self {
+        assert!(breakpoints.len() >= 2, "need at least two breakpoints");
+        assert_eq!(breakpoints.len(), values.len(), "breakpoint/value length mismatch");
+        assert!(
+            breakpoints.windows(2).all(|w| w[0] < w[1]),
+            "breakpoints must be strictly increasing"
+        );
+        Lookup1d { breakpoints: breakpoints.to_vec(), values: values.to_vec() }
+    }
+
+    /// Interpolated lookup (exposed for direct use in solvers).
+    pub fn eval(&self, x: f64) -> f64 {
+        if x <= self.breakpoints[0] {
+            return self.values[0];
+        }
+        if x >= *self.breakpoints.last().unwrap() {
+            return *self.values.last().unwrap();
+        }
+        let idx = self
+            .breakpoints
+            .partition_point(|&b| b < x)
+            .max(1);
+        let (x0, x1) = (self.breakpoints[idx - 1], self.breakpoints[idx]);
+        let (y0, y1) = (self.values[idx - 1], self.values[idx]);
+        y0 + (y1 - y0) * (x - x0) / (x1 - x0)
+    }
+}
+
+impl Block for Lookup1d {
+    fn name(&self) -> &str {
+        "lookup1d"
+    }
+
+    fn inputs(&self) -> usize {
+        1
+    }
+
+    fn outputs(&self) -> usize {
+        1
+    }
+
+    fn step(&mut self, _t: f64, _h: f64, u: &[f64], y: &mut [f64]) {
+        y[0] = self.eval(u[0]);
+    }
+}
+
+/// Limits the slew rate of a signal to `rate` units per second.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RateLimiter {
+    rate: f64,
+    state: Option<f64>,
+}
+
+impl RateLimiter {
+    /// Creates a symmetric rate limiter.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rate <= 0`.
+    pub fn new(rate: f64) -> Self {
+        assert!(rate > 0.0, "rate must be positive");
+        RateLimiter { rate, state: None }
+    }
+}
+
+impl Block for RateLimiter {
+    fn name(&self) -> &str {
+        "rate-limiter"
+    }
+
+    fn inputs(&self) -> usize {
+        1
+    }
+
+    fn outputs(&self) -> usize {
+        1
+    }
+
+    fn reset(&mut self) {
+        self.state = None;
+    }
+
+    fn step(&mut self, _t: f64, h: f64, u: &[f64], y: &mut [f64]) {
+        let out = match self.state {
+            None => u[0],
+            Some(prev) => {
+                let max_delta = self.rate * h;
+                prev + (u[0] - prev).clamp(-max_delta, max_delta)
+            }
+        };
+        self.state = Some(out);
+        y[0] = out;
+    }
+}
+
+/// Hysteresis relay: output switches to `on_value` above `upper`, back to
+/// `off_value` below `lower` (a Schmitt trigger).
+#[derive(Debug, Clone, PartialEq)]
+pub struct HysteresisRelay {
+    lower: f64,
+    upper: f64,
+    off_value: f64,
+    on_value: f64,
+    on: bool,
+}
+
+impl HysteresisRelay {
+    /// Creates a relay that starts off.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lower >= upper`.
+    pub fn new(lower: f64, upper: f64, off_value: f64, on_value: f64) -> Self {
+        assert!(lower < upper, "hysteresis band must be non-empty");
+        HysteresisRelay { lower, upper, off_value, on_value, on: false }
+    }
+}
+
+impl Block for HysteresisRelay {
+    fn name(&self) -> &str {
+        "hysteresis-relay"
+    }
+
+    fn inputs(&self) -> usize {
+        1
+    }
+
+    fn outputs(&self) -> usize {
+        1
+    }
+
+    fn reset(&mut self) {
+        self.on = false;
+    }
+
+    fn step(&mut self, _t: f64, _h: f64, u: &[f64], y: &mut [f64]) {
+        if u[0] >= self.upper {
+            self.on = true;
+        } else if u[0] <= self.lower {
+            self.on = false;
+        }
+        y[0] = if self.on { self.on_value } else { self.off_value };
+    }
+}
+
+/// Rounds the input to the nearest multiple of `interval`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Quantizer {
+    interval: f64,
+}
+
+impl Quantizer {
+    /// Creates a quantiser.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `interval <= 0`.
+    pub fn new(interval: f64) -> Self {
+        assert!(interval > 0.0, "quantisation interval must be positive");
+        Quantizer { interval }
+    }
+}
+
+impl Block for Quantizer {
+    fn name(&self) -> &str {
+        "quantizer"
+    }
+
+    fn inputs(&self) -> usize {
+        1
+    }
+
+    fn outputs(&self) -> usize {
+        1
+    }
+
+    fn step(&mut self, _t: f64, _h: f64, u: &[f64], y: &mut [f64]) {
+        y[0] = (u[0] / self.interval).round() * self.interval;
+    }
+}
+
+/// Transport delay: outputs the input from `delay` seconds ago
+/// (sample-based ring buffer, zero before history fills).
+#[derive(Debug, Clone, PartialEq)]
+pub struct TransportDelay {
+    delay: f64,
+    buffer: VecDeque<(f64, f64)>,
+}
+
+impl TransportDelay {
+    /// Creates a transport delay of `delay` seconds.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `delay < 0`.
+    pub fn new(delay: f64) -> Self {
+        assert!(delay >= 0.0, "delay must be non-negative");
+        TransportDelay { delay, buffer: VecDeque::new() }
+    }
+}
+
+impl Block for TransportDelay {
+    fn name(&self) -> &str {
+        "transport-delay"
+    }
+
+    fn inputs(&self) -> usize {
+        1
+    }
+
+    fn outputs(&self) -> usize {
+        1
+    }
+
+    fn direct_feedthrough(&self) -> bool {
+        // Only instantaneous when the delay is zero.
+        self.delay == 0.0
+    }
+
+    fn reset(&mut self) {
+        self.buffer.clear();
+    }
+
+    fn step(&mut self, t: f64, _h: f64, u: &[f64], y: &mut [f64]) {
+        self.buffer.push_back((t, u[0]));
+        // Tolerance keeps representation error in `t - delay` from
+        // selecting a one-sample-late value.
+        let target = t - self.delay + 1e-9 * t.abs().max(1.0);
+        // Drop history older than needed, keeping one sample before target.
+        while self.buffer.len() > 1 && self.buffer[1].0 <= target {
+            self.buffer.pop_front();
+        }
+        y[0] = if self.delay == 0.0 {
+            u[0]
+        } else if self.buffer[0].0 > target {
+            0.0
+        } else {
+            self.buffer[0].1
+        };
+    }
+}
+
+/// Merges `n` scalar lanes into one vector output of width `n`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Mux {
+    arity: usize,
+}
+
+impl Mux {
+    /// Creates an `n`-lane mux.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`.
+    pub fn new(n: usize) -> Self {
+        assert!(n > 0, "mux needs at least one lane");
+        Mux { arity: n }
+    }
+}
+
+impl Block for Mux {
+    fn name(&self) -> &str {
+        "mux"
+    }
+
+    fn inputs(&self) -> usize {
+        self.arity
+    }
+
+    fn outputs(&self) -> usize {
+        self.arity
+    }
+
+    fn step(&mut self, _t: f64, _h: f64, u: &[f64], y: &mut [f64]) {
+        y.copy_from_slice(u);
+    }
+}
+
+/// Splits a vector input of width `n` into `n` scalar lanes.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Demux {
+    arity: usize,
+}
+
+impl Demux {
+    /// Creates an `n`-lane demux.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`.
+    pub fn new(n: usize) -> Self {
+        assert!(n > 0, "demux needs at least one lane");
+        Demux { arity: n }
+    }
+}
+
+impl Block for Demux {
+    fn name(&self) -> &str {
+        "demux"
+    }
+
+    fn inputs(&self) -> usize {
+        self.arity
+    }
+
+    fn outputs(&self) -> usize {
+        self.arity
+    }
+
+    fn step(&mut self, _t: f64, _h: f64, u: &[f64], y: &mut [f64]) {
+        y.copy_from_slice(u);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run(b: &mut impl Block, t: f64, h: f64, u: &[f64]) -> f64 {
+        let mut y = vec![0.0; b.outputs()];
+        b.step(t, h, u, &mut y);
+        y[0]
+    }
+
+    #[test]
+    fn lookup_interpolates_and_clamps() {
+        let mut l = Lookup1d::new(&[0.0, 1.0, 2.0], &[0.0, 10.0, 0.0]);
+        assert_eq!(run(&mut l, 0.0, 0.1, &[0.5]), 5.0);
+        assert_eq!(run(&mut l, 0.0, 0.1, &[1.5]), 5.0);
+        assert_eq!(run(&mut l, 0.0, 0.1, &[-9.0]), 0.0);
+        assert_eq!(run(&mut l, 0.0, 0.1, &[9.0]), 0.0);
+        assert_eq!(l.eval(1.0), 10.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "strictly increasing")]
+    fn lookup_validates_breakpoints() {
+        let _ = Lookup1d::new(&[0.0, 0.0], &[1.0, 2.0]);
+    }
+
+    #[test]
+    fn rate_limiter_slews() {
+        let mut r = RateLimiter::new(1.0);
+        assert_eq!(run(&mut r, 0.0, 0.1, &[5.0]), 5.0, "first sample passes through");
+        assert_eq!(run(&mut r, 0.1, 0.1, &[10.0]), 5.1, "limited to rate*h");
+        assert_eq!(run(&mut r, 0.2, 0.1, &[0.0]), 5.0, "limited downwards too");
+        r.reset();
+        assert_eq!(run(&mut r, 0.3, 0.1, &[-3.0]), -3.0);
+    }
+
+    #[test]
+    fn hysteresis_relay_switches_with_band() {
+        let mut h = HysteresisRelay::new(1.0, 2.0, 0.0, 10.0);
+        assert_eq!(run(&mut h, 0.0, 0.1, &[1.5]), 0.0, "inside band, stays off");
+        assert_eq!(run(&mut h, 0.0, 0.1, &[2.5]), 10.0, "above upper, on");
+        assert_eq!(run(&mut h, 0.0, 0.1, &[1.5]), 10.0, "inside band, stays on");
+        assert_eq!(run(&mut h, 0.0, 0.1, &[0.5]), 0.0, "below lower, off");
+    }
+
+    #[test]
+    fn quantizer_rounds() {
+        let mut q = Quantizer::new(0.5);
+        assert_eq!(run(&mut q, 0.0, 0.1, &[1.3]), 1.5);
+        assert_eq!(run(&mut q, 0.0, 0.1, &[-0.2]), -0.0);
+    }
+
+    #[test]
+    fn transport_delay_shifts_in_time() {
+        let mut d = TransportDelay::new(0.2);
+        assert!(!d.direct_feedthrough());
+        let mut out = Vec::new();
+        for k in 0..6 {
+            let t = k as f64 * 0.1;
+            out.push(run(&mut d, t, 0.1, &[t]));
+        }
+        // Before history fills: zero; after: t - 0.2.
+        assert_eq!(out[0], 0.0);
+        assert_eq!(out[1], 0.0);
+        assert!((out[4] - 0.2).abs() < 1e-9, "{out:?}");
+        assert!((out[5] - 0.3).abs() < 1e-9);
+    }
+
+    #[test]
+    fn zero_transport_delay_is_identity() {
+        let mut d = TransportDelay::new(0.0);
+        assert!(d.direct_feedthrough());
+        assert_eq!(run(&mut d, 0.0, 0.1, &[7.0]), 7.0);
+    }
+
+    #[test]
+    fn mux_demux_roundtrip() {
+        let mut m = Mux::new(3);
+        let mut y = [0.0; 3];
+        m.step(0.0, 0.1, &[1.0, 2.0, 3.0], &mut y);
+        assert_eq!(y, [1.0, 2.0, 3.0]);
+        let mut d = Demux::new(3);
+        let mut z = [0.0; 3];
+        d.step(0.0, 0.1, &y, &mut z);
+        assert_eq!(z, [1.0, 2.0, 3.0]);
+    }
+}

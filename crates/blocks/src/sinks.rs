@@ -1,0 +1,134 @@
+//! Sink blocks: signal recording.
+
+use crate::block::Block;
+
+/// Records every sample it sees: the test/bench oscilloscope.
+///
+/// # Examples
+///
+/// ```
+/// use urt_blocks::block::Block;
+/// use urt_blocks::sinks::Scope;
+///
+/// let mut scope = Scope::new(1);
+/// let mut y = [];
+/// scope.step(0.0, 0.01, &[1.5], &mut y);
+/// assert_eq!(scope.samples().len(), 1);
+/// assert_eq!(scope.samples()[0], (0.0, vec![1.5]));
+/// ```
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Scope {
+    arity: usize,
+    samples: Vec<(f64, Vec<f64>)>,
+}
+
+impl Scope {
+    /// Creates a scope recording `arity` lanes.
+    pub fn new(arity: usize) -> Self {
+        Scope { arity, samples: Vec::new() }
+    }
+
+    /// All recorded `(t, values)` samples.
+    pub fn samples(&self) -> &[(f64, Vec<f64>)] {
+        &self.samples
+    }
+
+    /// The recorded series of one lane.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lane >= arity`.
+    pub fn lane(&self, lane: usize) -> Vec<(f64, f64)> {
+        assert!(lane < self.arity, "lane out of range");
+        self.samples.iter().map(|(t, v)| (*t, v[lane])).collect()
+    }
+
+    /// Last recorded values, if any.
+    pub fn last(&self) -> Option<&(f64, Vec<f64>)> {
+        self.samples.last()
+    }
+}
+
+impl Block for Scope {
+    fn name(&self) -> &str {
+        "scope"
+    }
+
+    fn inputs(&self) -> usize {
+        self.arity
+    }
+
+    fn outputs(&self) -> usize {
+        0
+    }
+
+    fn reset(&mut self) {
+        self.samples.clear();
+    }
+
+    fn step(&mut self, t: f64, _h: f64, u: &[f64], _y: &mut [f64]) {
+        self.samples.push((t, u.to_vec()));
+    }
+}
+
+/// Swallows its input (explicitly unused signals).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct Terminator;
+
+impl Terminator {
+    /// Creates the block.
+    pub fn new() -> Self {
+        Terminator
+    }
+}
+
+impl Block for Terminator {
+    fn name(&self) -> &str {
+        "terminator"
+    }
+
+    fn inputs(&self) -> usize {
+        1
+    }
+
+    fn outputs(&self) -> usize {
+        0
+    }
+
+    fn step(&mut self, _t: f64, _h: f64, _u: &[f64], _y: &mut [f64]) {}
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scope_records_in_order() {
+        let mut s = Scope::new(2);
+        let mut y = [];
+        s.step(0.0, 0.1, &[1.0, 2.0], &mut y);
+        s.step(0.1, 0.1, &[3.0, 4.0], &mut y);
+        assert_eq!(s.samples().len(), 2);
+        assert_eq!(s.lane(1), vec![(0.0, 2.0), (0.1, 4.0)]);
+        assert_eq!(s.last().unwrap().1, vec![3.0, 4.0]);
+        s.reset();
+        assert!(s.samples().is_empty());
+        assert!(s.last().is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "lane out of range")]
+    fn scope_lane_bounds() {
+        let s = Scope::new(1);
+        let _ = s.lane(1);
+    }
+
+    #[test]
+    fn terminator_ignores() {
+        let mut t = Terminator::new();
+        let mut y = [];
+        t.step(0.0, 0.1, &[1.0], &mut y);
+        assert_eq!(t.inputs(), 1);
+        assert_eq!(t.outputs(), 0);
+    }
+}

@@ -1,0 +1,74 @@
+//! Streamer skeleton generation: a struct with continuous state, a solver
+//! tag and the equation hook the solver computes.
+
+use crate::camel_case;
+
+/// Generates a self-contained streamer struct skeleton bound to a named
+/// solver strategy.
+///
+/// # Examples
+///
+/// ```
+/// let code = urt_codegen::streamer_gen::generate_streamer("plant", "rk4");
+/// assert!(code.contains("struct PlantStreamer"));
+/// assert!(code.contains("\"rk4\""));
+/// ```
+pub fn generate_streamer(name: &str, solver: &str) -> String {
+    let ty = camel_case(name);
+    format!(
+        r#"/// Time-continuous streamer `{name}`; behaviour computed by the
+/// `{solver}` solver strategy on a dedicated thread.
+#[derive(Debug)]
+pub struct {ty}Streamer {{
+    /// Continuous state vector.
+    pub x: Vec<f64>,
+    /// Solver strategy name (swappable, paper Figure 1).
+    pub solver: &'static str,
+}}
+
+impl {ty}Streamer {{
+    /// Creates the streamer with an empty state.
+    pub fn new() -> Self {{
+        {ty}Streamer {{ x: Vec::new(), solver: "{solver}" }}
+    }}
+
+    /// The equations: writes dx/dt for the current state and inputs.
+    pub fn derivatives(&self, _t: f64, _u: &[f64], dx: &mut [f64]) {{
+        // TODO: model equations.
+        dx.fill(0.0);
+    }}
+
+    /// One solver macro step of size `h` with frozen inputs `u`
+    /// (forward Euler placeholder; the runtime uses `{solver}`).
+    pub fn advance(&mut self, t: f64, h: f64, u: &[f64]) {{
+        let mut dx = vec![0.0; self.x.len()];
+        self.derivatives(t, u, &mut dx);
+        for (xi, di) in self.x.iter_mut().zip(dx) {{
+            *xi += h * di;
+        }}
+    }}
+}}
+
+impl Default for {ty}Streamer {{
+    fn default() -> Self {{
+        Self::new()
+    }}
+}}
+"#
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn skeleton_has_equation_hook_and_solver_tag() {
+        let code = generate_streamer("low pass", "dopri45");
+        assert!(code.contains("LowPassStreamer"));
+        assert!(code.contains("fn derivatives"));
+        assert!(code.contains("fn advance"));
+        assert!(code.contains("\"dopri45\""));
+        assert_eq!(code.matches('{').count(), code.matches('}').count());
+    }
+}

@@ -1,0 +1,680 @@
+//! The hybrid co-simulation engine: event-driven capsules and
+//! time-continuous streamers on separate threads, bridged by channels.
+//!
+//! "During implementation, capsules and streamers are assigned to
+//! different threads. Communication between capsules and streamers is
+//! realized by communication mechanism of threads." Here the capsule side
+//! is a [`Controller`]; each streamer *group* is a [`StreamerNetwork`]
+//! which, under [`ThreadPolicy::DedicatedThreads`], runs on its own solver
+//! thread synchronised once per macro step. SPort links carry signal
+//! messages across the boundary in both directions over crossbeam
+//! channels.
+
+use crate::error::CoreError;
+use crate::recorder::Recorder;
+use crate::threading::ThreadPolicy;
+use crate::time::SimClock;
+use crossbeam::channel::{unbounded, Receiver, Sender};
+use std::fmt;
+use urt_dataflow::graph::{NodeId, StreamerNetwork};
+use urt_umlrt::controller::Controller;
+use urt_umlrt::message::Message;
+
+/// Engine configuration.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EngineConfig {
+    /// Macro step in seconds: the synchronisation period between the
+    /// capsule thread and the solver threads.
+    pub step: f64,
+    /// Thread assignment policy.
+    pub policy: ThreadPolicy,
+}
+
+impl Default for EngineConfig {
+    fn default() -> Self {
+        EngineConfig { step: 1e-3, policy: ThreadPolicy::CurrentThread }
+    }
+}
+
+/// An SPort bridge between a capsule port and a streamer node.
+#[derive(Debug)]
+struct SportLink {
+    group: usize,
+    node: NodeId,
+    sport: String,
+    capsule: usize,
+    capsule_port: String,
+    /// Drains messages the capsule sent out of its port.
+    from_capsule: Receiver<Message>,
+}
+
+/// A signal-series probe on a streamer output DPort.
+#[derive(Debug, Clone)]
+struct Probe {
+    group: usize,
+    node: NodeId,
+    port: String,
+    series: String,
+}
+
+/// The unified execution engine (see module docs).
+///
+/// Typical lifecycle: construct, [`HybridEngine::add_group`] /
+/// [`HybridEngine::link_sport`] / [`HybridEngine::add_probe`], then
+/// [`HybridEngine::run_until`] repeatedly.
+pub struct HybridEngine {
+    controller: Controller,
+    config: EngineConfig,
+    clock: SimClock,
+    groups: Vec<StreamerNetwork>,
+    links: Vec<SportLink>,
+    probes: Vec<Probe>,
+    recorder: Option<Recorder>,
+    started: bool,
+}
+
+impl fmt::Debug for HybridEngine {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("HybridEngine")
+            .field("time", &self.clock.seconds())
+            .field("groups", &self.groups.len())
+            .field("links", &self.links.len())
+            .field("policy", &self.config.policy)
+            .finish_non_exhaustive()
+    }
+}
+
+impl HybridEngine {
+    /// Creates an engine around a capsule controller.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `config.step` is not positive and finite.
+    pub fn new(controller: Controller, config: EngineConfig) -> Self {
+        assert!(
+            config.step.is_finite() && config.step > 0.0,
+            "macro step must be positive"
+        );
+        HybridEngine {
+            controller,
+            config,
+            clock: SimClock::new(),
+            groups: Vec::new(),
+            links: Vec::new(),
+            probes: Vec::new(),
+            recorder: None,
+            started: false,
+        }
+    }
+
+    /// Adds a streamer group (one candidate solver thread). Returns the
+    /// group index.
+    ///
+    /// # Errors
+    ///
+    /// Propagates network validation errors.
+    pub fn add_group(&mut self, mut network: StreamerNetwork) -> Result<usize, CoreError> {
+        network.validate()?;
+        self.groups.push(network);
+        Ok(self.groups.len() - 1)
+    }
+
+    /// Bridges a capsule SPort to a streamer SPort: messages the capsule
+    /// sends on `capsule_port` are delivered to the streamer's signal
+    /// handler, and signals the streamer emits on `sport` are injected
+    /// into the capsule on the same port.
+    ///
+    /// # Errors
+    ///
+    /// * [`CoreError::Engine`] for a bad group index.
+    /// * Runtime errors from the controller for bad capsule indices.
+    pub fn link_sport(
+        &mut self,
+        group: usize,
+        node: NodeId,
+        sport: &str,
+        capsule: usize,
+        capsule_port: &str,
+    ) -> Result<(), CoreError> {
+        if group >= self.groups.len() {
+            return Err(CoreError::Engine { detail: format!("no streamer group {group}") });
+        }
+        // When the node declares its SPorts, the link must name one.
+        let declared = self.groups[group].sports(node)?;
+        if !declared.is_empty() && !declared.iter().any(|s| s.name() == sport) {
+            return Err(CoreError::Engine {
+                detail: format!(
+                    "node `{}` declares no SPort `{sport}`",
+                    self.groups[group].node_name(node).unwrap_or("?")
+                ),
+            });
+        }
+        let (tx, rx): (Sender<Message>, Receiver<Message>) = unbounded();
+        self.controller.connect_external(capsule, capsule_port, tx)?;
+        self.links.push(SportLink {
+            group,
+            node,
+            sport: sport.to_owned(),
+            capsule,
+            capsule_port: capsule_port.to_owned(),
+            from_capsule: rx,
+        });
+        Ok(())
+    }
+
+    /// Records the first lane of `(group, node, port)` into the recorder
+    /// series `series` after every macro step.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::Engine`] for a bad group index.
+    pub fn add_probe(
+        &mut self,
+        group: usize,
+        node: NodeId,
+        port: &str,
+        series: &str,
+    ) -> Result<(), CoreError> {
+        if group >= self.groups.len() {
+            return Err(CoreError::Engine { detail: format!("no streamer group {group}") });
+        }
+        self.probes.push(Probe {
+            group,
+            node,
+            port: port.to_owned(),
+            series: series.to_owned(),
+        });
+        Ok(())
+    }
+
+    /// Attaches a recorder for probes.
+    pub fn set_recorder(&mut self, recorder: Recorder) {
+        self.recorder = Some(recorder);
+    }
+
+    /// Current simulation time in seconds.
+    pub fn time(&self) -> f64 {
+        self.clock.seconds()
+    }
+
+    /// Number of macro steps taken.
+    pub fn step_count(&self) -> u64 {
+        self.clock.step_count()
+    }
+
+    /// The capsule controller (for injecting environment events and
+    /// asserting on capsule state).
+    pub fn controller(&self) -> &Controller {
+        &self.controller
+    }
+
+    /// Mutable access to the capsule controller.
+    pub fn controller_mut(&mut self) -> &mut Controller {
+        &mut self.controller
+    }
+
+    /// Read access to a streamer group.
+    pub fn network(&self, group: usize) -> Option<&StreamerNetwork> {
+        self.groups.get(group)
+    }
+
+    /// Mutable access to a streamer group.
+    pub fn network_mut(&mut self, group: usize) -> Option<&mut StreamerNetwork> {
+        self.groups.get_mut(group)
+    }
+
+    fn start_if_needed(&mut self) -> Result<(), CoreError> {
+        if self.started {
+            return Ok(());
+        }
+        let t0 = self.clock.seconds();
+        for g in &mut self.groups {
+            g.initialize(t0)?;
+        }
+        if !self.controller.is_started() {
+            self.controller.start()?;
+        }
+        self.started = true;
+        Ok(())
+    }
+
+    /// Runs until simulation time `t_end`, in macro steps of
+    /// `config.step`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates solver, runtime and thread failures.
+    pub fn run_until(&mut self, t_end: f64) -> Result<(), CoreError> {
+        self.start_if_needed()?;
+        match self.config.policy {
+            ThreadPolicy::CurrentThread => self.run_local(t_end),
+            ThreadPolicy::DedicatedThreads => self.run_threaded(t_end),
+        }
+    }
+
+    /// One macro step on the calling thread (exposed for fine-grained
+    /// drivers and benchmarks).
+    ///
+    /// # Errors
+    ///
+    /// Propagates solver and runtime failures.
+    pub fn step_once(&mut self) -> Result<(), CoreError> {
+        self.start_if_needed()?;
+        let h = self.config.step;
+        self.deliver_capsule_signals_local()?;
+        let t_next = self.clock.seconds() + h;
+        for g in &mut self.groups {
+            g.step(h)?;
+        }
+        self.clock.tick(h);
+        self.collect_streamer_signals_local()?;
+        self.record_probes();
+        self.controller.run_until(t_next)?;
+        Ok(())
+    }
+
+    fn run_local(&mut self, t_end: f64) -> Result<(), CoreError> {
+        while self.clock.seconds() + 1e-12 < t_end {
+            self.step_once()?;
+        }
+        Ok(())
+    }
+
+    fn deliver_capsule_signals_local(&mut self) -> Result<(), CoreError> {
+        for li in 0..self.links.len() {
+            loop {
+                let msg = match self.links[li].from_capsule.try_recv() {
+                    Ok(m) => m,
+                    Err(_) => break,
+                };
+                let (group, node) = (self.links[li].group, self.links[li].node);
+                self.groups[group].send_signal(node, &msg)?;
+            }
+        }
+        Ok(())
+    }
+
+    fn collect_streamer_signals_local(&mut self) -> Result<(), CoreError> {
+        for gi in 0..self.groups.len() {
+            for (node, sport, msg) in self.groups[gi].drain_signals() {
+                self.route_streamer_signal(gi, node, &sport, msg)?;
+            }
+        }
+        Ok(())
+    }
+
+    fn route_streamer_signal(
+        &mut self,
+        group: usize,
+        node: NodeId,
+        sport: &str,
+        msg: Message,
+    ) -> Result<(), CoreError> {
+        let link = self
+            .links
+            .iter()
+            .find(|l| l.group == group && l.node == node && l.sport == sport);
+        if let Some(link) = link {
+            self.controller
+                .inject(link.capsule, &link.capsule_port, msg)?;
+        }
+        Ok(())
+    }
+
+    fn record_probes(&mut self) {
+        let Some(rec) = &self.recorder else { return };
+        let t = self.clock.seconds();
+        for p in &self.probes {
+            if let Ok(lanes) = self.groups[p.group].output(p.node, &p.port) {
+                if let Some(&v) = lanes.first() {
+                    rec.push(&p.series, t, v);
+                }
+            }
+        }
+    }
+
+    /// Threaded execution: one worker per group, lock-stepped per macro
+    /// step via channels (the paper's deployment).
+    fn run_threaded(&mut self, t_end: f64) -> Result<(), CoreError> {
+        let h = self.config.step;
+        let n_groups = self.groups.len();
+        if n_groups == 0 {
+            // Pure event-driven run.
+            while self.clock.seconds() + 1e-12 < t_end {
+                let t_next = self.clock.seconds() + h;
+                self.clock.tick(h);
+                self.controller.run_until(t_next)?;
+            }
+            return Ok(());
+        }
+
+        enum Cmd {
+            Step { h: f64 },
+            Signal { node: NodeId, msg: Message },
+        }
+        struct Done {
+            signals: Vec<(NodeId, String, Message)>,
+            probes: Vec<(usize, f64)>,
+            result: Result<(), urt_dataflow::FlowError>,
+        }
+
+        let networks: Vec<StreamerNetwork> = std::mem::take(&mut self.groups);
+        let probes = self.probes.clone();
+
+        let mut cmd_txs: Vec<Sender<Cmd>> = Vec::with_capacity(n_groups);
+        let mut done_rxs: Vec<Receiver<Done>> = Vec::with_capacity(n_groups);
+        let mut back_rxs: Vec<Receiver<StreamerNetwork>> = Vec::with_capacity(n_groups);
+
+        let result = std::thread::scope(|scope| -> Result<(), CoreError> {
+            for (gi, mut net) in networks.into_iter().enumerate() {
+                let (cmd_tx, cmd_rx) = unbounded::<Cmd>();
+                let (done_tx, done_rx) = unbounded::<Done>();
+                let (back_tx, back_rx) = unbounded::<StreamerNetwork>();
+                cmd_txs.push(cmd_tx);
+                done_rxs.push(done_rx);
+                back_rxs.push(back_rx);
+                let my_probes: Vec<(usize, Probe)> = probes
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, p)| p.group == gi)
+                    .map(|(i, p)| (i, p.clone()))
+                    .collect();
+                scope.spawn(move || {
+                    while let Ok(cmd) = cmd_rx.recv() {
+                        match cmd {
+                            Cmd::Signal { node, msg } => {
+                                let _ = net.send_signal(node, &msg);
+                            }
+                            Cmd::Step { h } => {
+                                let result = net.step(h);
+                                let signals = net.drain_signals();
+                                let probes = my_probes
+                                    .iter()
+                                    .filter_map(|(i, p)| {
+                                        net.output(p.node, &p.port)
+                                            .ok()
+                                            .and_then(|l| l.first().copied())
+                                            .map(|v| (*i, v))
+                                    })
+                                    .collect();
+                                if done_tx.send(Done { signals, probes, result }).is_err() {
+                                    break;
+                                }
+                            }
+                        }
+                    }
+                    let _ = back_tx.send(net);
+                });
+            }
+
+            while self.clock.seconds() + 1e-12 < t_end {
+                // 1. Capsule -> streamer signals.
+                for link in &self.links {
+                    while let Ok(msg) = link.from_capsule.try_recv() {
+                        cmd_txs[link.group]
+                            .send(Cmd::Signal { node: link.node, msg })
+                            .map_err(|_| CoreError::ThreadLost { group: link.group })?;
+                    }
+                }
+                // 2. Parallel macro step.
+                for tx in &cmd_txs {
+                    tx.send(Cmd::Step { h })
+                        .map_err(|_| CoreError::Engine { detail: "worker gone".into() })?;
+                }
+                let t_next = self.clock.seconds() + h;
+                self.clock.tick(h);
+                // 3. Barrier: gather results, signals, probes.
+                let mut all_signals: Vec<(usize, NodeId, String, Message)> = Vec::new();
+                for (gi, rx) in done_rxs.iter().enumerate() {
+                    let done = rx.recv().map_err(|_| CoreError::ThreadLost { group: gi })?;
+                    done.result.map_err(CoreError::Flow)?;
+                    for (node, sport, msg) in done.signals {
+                        all_signals.push((gi, node, sport, msg));
+                    }
+                    if let Some(rec) = &self.recorder {
+                        for (pi, v) in done.probes {
+                            rec.push(&probes[pi].series, t_next, v);
+                        }
+                    }
+                }
+                // 4. Streamer -> capsule signals.
+                for (gi, node, sport, msg) in all_signals {
+                    let link = self
+                        .links
+                        .iter()
+                        .find(|l| l.group == gi && l.node == node && l.sport == sport);
+                    if let Some(link) = link {
+                        self.controller.inject(link.capsule, &link.capsule_port, msg)?;
+                    }
+                }
+                // 5. Event-driven world catches up.
+                self.controller.run_until(t_next)?;
+            }
+            drop(cmd_txs);
+            Ok(())
+        });
+
+        // Recover the networks regardless of success.
+        for rx in back_rxs {
+            if let Ok(net) = rx.recv() {
+                self.groups.push(net);
+            }
+        }
+        result
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::threading::ThreadPolicy;
+    use urt_dataflow::flowtype::FlowType;
+    use urt_dataflow::streamer::FnStreamer;
+    use urt_umlrt::capsule::{CapsuleContext, SmCapsule};
+    use urt_umlrt::statemachine::StateMachineBuilder;
+    use urt_umlrt::value::Value;
+
+    fn empty_controller() -> Controller {
+        let mut c = Controller::new("events");
+        let sm = StateMachineBuilder::new("idle")
+            .state("s")
+            .initial("s", |_d: &mut (), _ctx: &mut CapsuleContext| {})
+            .build()
+            .unwrap();
+        c.add_capsule(Box::new(SmCapsule::new(sm, ())));
+        c
+    }
+
+    fn sine_net(name: &str) -> (StreamerNetwork, NodeId) {
+        let mut net = StreamerNetwork::new(name);
+        let n = net
+            .add_streamer(
+                FnStreamer::new("sine", 0, 1, |t: f64, _h, _u: &[f64], y: &mut [f64]| {
+                    y[0] = t.sin()
+                }),
+                &[],
+                &[("y", FlowType::scalar())],
+            )
+            .unwrap();
+        (net, n)
+    }
+
+    #[test]
+    fn local_engine_advances_time() {
+        let (net, _) = sine_net("p");
+        let mut e = HybridEngine::new(
+            empty_controller(),
+            EngineConfig { step: 0.01, policy: ThreadPolicy::CurrentThread },
+        );
+        e.add_group(net).unwrap();
+        e.run_until(0.1).unwrap();
+        assert!((e.time() - 0.1).abs() < 1e-9);
+        assert_eq!(e.step_count(), 10);
+    }
+
+    #[test]
+    fn probes_record_series() {
+        let (net, n) = sine_net("p");
+        let mut e = HybridEngine::new(
+            empty_controller(),
+            EngineConfig { step: 0.01, policy: ThreadPolicy::CurrentThread },
+        );
+        let g = e.add_group(net).unwrap();
+        let rec = Recorder::new();
+        e.set_recorder(rec.clone());
+        e.add_probe(g, n, "y", "sine").unwrap();
+        e.run_until(1.0).unwrap();
+        let series = rec.series("sine");
+        assert_eq!(series.len(), 100);
+        // The sine source emits sin(t_start_of_step).
+        let (t_last, v_last) = *series.last().unwrap();
+        assert!((v_last - (t_last - 0.01).sin()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn threaded_engine_matches_local() {
+        let run = |policy| {
+            let (net, n) = sine_net("p");
+            let mut e = HybridEngine::new(
+                empty_controller(),
+                EngineConfig { step: 0.01, policy },
+            );
+            let g = e.add_group(net).unwrap();
+            let rec = Recorder::new();
+            e.set_recorder(rec.clone());
+            e.add_probe(g, n, "y", "s").unwrap();
+            e.run_until(0.5).unwrap();
+            rec.series("s")
+        };
+        let local = run(ThreadPolicy::CurrentThread);
+        let threaded = run(ThreadPolicy::DedicatedThreads);
+        assert_eq!(local.len(), threaded.len());
+        for ((t1, v1), (t2, v2)) in local.iter().zip(&threaded) {
+            assert!((t1 - t2).abs() < 1e-12);
+            assert!((v1 - v2).abs() < 1e-12, "lockstep equivalence");
+        }
+    }
+
+    #[test]
+    fn sport_round_trip_capsule_to_streamer_and_back() {
+        use urt_dataflow::streamer::StreamerBehavior;
+        use urt_ode::SolveError;
+
+        // A streamer that echoes every received signal value +1 as an
+        // emitted `echo` signal.
+        struct Echo {
+            pending: Vec<f64>,
+            emitted: Vec<(String, Message)>,
+        }
+        impl StreamerBehavior for Echo {
+            fn name(&self) -> &str {
+                "echo"
+            }
+            fn input_width(&self) -> usize {
+                0
+            }
+            fn output_width(&self) -> usize {
+                0
+            }
+            fn advance(&mut self, t: f64, _h: f64, _u: &[f64], _y: &mut [f64]) -> Result<(), SolveError> {
+                for v in self.pending.drain(..) {
+                    self.emitted.push((
+                        "ctl".to_owned(),
+                        Message::new("echo", Value::Real(v + 1.0)).with_sent_at(t),
+                    ));
+                }
+                Ok(())
+            }
+            fn on_signal(&mut self, msg: &Message) {
+                if let Some(v) = msg.value().as_real() {
+                    self.pending.push(v);
+                }
+            }
+            fn take_emitted(&mut self) -> Vec<(String, Message)> {
+                std::mem::take(&mut self.emitted)
+            }
+        }
+
+        for policy in [ThreadPolicy::CurrentThread, ThreadPolicy::DedicatedThreads] {
+            let mut net = StreamerNetwork::new("p");
+            let node = net
+                .add_streamer(Echo { pending: Vec::new(), emitted: Vec::new() }, &[], &[])
+                .unwrap();
+
+            // Capsule: on start send `ping(41)`, count echo replies.
+            let sm = StateMachineBuilder::new("driver")
+                .state("s")
+                .initial("s", |_d: &mut Vec<f64>, ctx: &mut CapsuleContext| {
+                    ctx.send("plant", "ping", Value::Real(41.0));
+                })
+                .internal("s", ("plant", "echo"), |d, m, _| {
+                    d.push(m.value().as_real().unwrap_or(f64::NAN));
+                })
+                .build()
+                .unwrap();
+            let mut controller = Controller::new("events");
+            let cap = controller.add_capsule(Box::new(SmCapsule::new(sm, Vec::new())));
+
+            let mut e = HybridEngine::new(controller, EngineConfig { step: 0.01, policy });
+            let g = e.add_group(net).unwrap();
+            e.link_sport(g, node, "ctl", cap, "plant").unwrap();
+            e.run_until(0.05).unwrap();
+            // The reply arrived back in the capsule: verify by state data
+            // via the controller debug path (delivered count >= 1).
+            assert!(
+                e.controller().delivered_count() >= 1,
+                "{policy}: echo reply delivered"
+            );
+        }
+    }
+
+    #[test]
+    fn declared_sports_are_checked_at_link_time() {
+        use urt_dataflow::port::SPortSpec;
+        use urt_umlrt::protocol::Protocol;
+
+        let (mut net, n) = sine_net("p");
+        net.add_sport(n, SPortSpec::new("ctl", Protocol::new("Ctl"))).unwrap();
+        let mut e = HybridEngine::new(empty_controller(), EngineConfig::default());
+        let g = e.add_group(net).unwrap();
+        // Wrong sport name: rejected because the node declares its sports.
+        assert!(matches!(
+            e.link_sport(g, n, "ghost", 0, "plant"),
+            Err(CoreError::Engine { .. })
+        ));
+        // Declared name: accepted.
+        e.link_sport(g, n, "ctl", 0, "plant").unwrap();
+    }
+
+    #[test]
+    fn engine_errors_on_bad_indices() {
+        let mut e = HybridEngine::new(empty_controller(), EngineConfig::default());
+        assert!(matches!(
+            e.add_probe(0, NodeId::from_index(0), "y", "s"),
+            Err(CoreError::Engine { .. })
+        ));
+        assert!(matches!(
+            e.link_sport(3, NodeId::from_index(0), "s", 0, "p"),
+            Err(CoreError::Engine { .. })
+        ));
+    }
+
+    #[test]
+    #[should_panic(expected = "macro step must be positive")]
+    fn config_validates_step() {
+        let _ = HybridEngine::new(
+            empty_controller(),
+            EngineConfig { step: 0.0, policy: ThreadPolicy::CurrentThread },
+        );
+    }
+
+    #[test]
+    fn threaded_engine_with_no_groups_is_pure_event_run() {
+        let mut e = HybridEngine::new(
+            empty_controller(),
+            EngineConfig { step: 0.01, policy: ThreadPolicy::DedicatedThreads },
+        );
+        e.run_until(0.05).unwrap();
+        assert!((e.time() - 0.05).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,93 @@
+//! Unified error type for the core crate.
+
+use std::error::Error;
+use std::fmt;
+use urt_dataflow::FlowError;
+use urt_umlrt::RtError;
+
+/// Errors raised by the unified model and the hybrid engine.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum CoreError {
+    /// The event-driven runtime failed.
+    Rt(RtError),
+    /// The dataflow extension failed.
+    Flow(FlowError),
+    /// A model well-formedness rule from the paper was violated.
+    Validation {
+        /// Which rule (short identifier, e.g. "fig3-containment").
+        rule: &'static str,
+        /// Human-readable description of the violation.
+        detail: String,
+    },
+    /// An engine lifecycle or configuration problem.
+    Engine {
+        /// What went wrong.
+        detail: String,
+    },
+    /// A solver thread disappeared (panicked or disconnected).
+    ThreadLost {
+        /// Index of the streamer group whose thread died.
+        group: usize,
+    },
+}
+
+impl fmt::Display for CoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CoreError::Rt(e) => write!(f, "runtime error: {e}"),
+            CoreError::Flow(e) => write!(f, "dataflow error: {e}"),
+            CoreError::Validation { rule, detail } => {
+                write!(f, "model rule `{rule}` violated: {detail}")
+            }
+            CoreError::Engine { detail } => write!(f, "engine error: {detail}"),
+            CoreError::ThreadLost { group } => {
+                write!(f, "solver thread for group {group} was lost")
+            }
+        }
+    }
+}
+
+impl Error for CoreError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            CoreError::Rt(e) => Some(e),
+            CoreError::Flow(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<RtError> for CoreError {
+    fn from(e: RtError) -> Self {
+        CoreError::Rt(e)
+    }
+}
+
+impl From<FlowError> for CoreError {
+    fn from(e: FlowError) -> Self {
+        CoreError::Flow(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conversions_and_sources() {
+        let e: CoreError = RtError::MissingInitial.into();
+        assert!(e.source().is_some());
+        let e: CoreError = FlowError::UnknownNode { index: 1 }.into();
+        assert!(e.to_string().contains("dataflow"));
+        let e = CoreError::Validation { rule: "fig3-containment", detail: "x".into() };
+        assert!(e.to_string().contains("fig3-containment"));
+        assert!(e.source().is_none());
+    }
+
+    #[test]
+    fn send_sync() {
+        fn assert_err<E: Error + Send + Sync + 'static>() {}
+        assert_err::<CoreError>();
+    }
+}

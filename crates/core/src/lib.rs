@@ -1,0 +1,81 @@
+//! The unified model of complex real-time control systems — the DATE 2005
+//! paper's contribution, reproduced end to end.
+//!
+//! Complex real-time control systems are hybrids of a time-discrete,
+//! event-driven part (UML-RT capsules) and a time-continuous part
+//! (differential equations). The paper unifies both on one UML-RT platform
+//! by adding eight stereotypes and assigning capsules and streamers to
+//! different threads. This crate is that platform:
+//!
+//! * [`stereotype`] — the Table 1 stereotype registry.
+//! * [`model`] — the declarative unified model (capsules + streamers +
+//!   containment + connections) with the paper's well-formedness rules
+//!   from Figures 2 and 3.
+//! * [`time`] — the continuous `Time` stereotype: a predictable hybrid
+//!   simulation clock, versus UML-RT's tick-quantised timers.
+//! * [`strategy`] — the Figure 1 State/Strategy catalogue: named solver
+//!   strategies attachable to streamers at run time.
+//! * [`threading`] — thread-assignment policies ("assigned to one or
+//!   several threads").
+//! * [`engine`] — the hybrid co-simulation engine: a capsule controller
+//!   plus streamer groups on dedicated solver threads, bridged by channel
+//!   communication ("communication mechanism of threads").
+//! * [`recorder`] — thread-safe signal recording for experiments.
+//!
+//! # Examples
+//!
+//! A thermostat capsule supervising a thermal plant streamer:
+//!
+//! ```
+//! use urt_core::engine::{EngineConfig, HybridEngine};
+//! use urt_core::threading::ThreadPolicy;
+//! use urt_dataflow::flowtype::FlowType;
+//! use urt_dataflow::graph::StreamerNetwork;
+//! use urt_dataflow::streamer::FnStreamer;
+//! use urt_umlrt::capsule::{CapsuleContext, SmCapsule};
+//! use urt_umlrt::controller::Controller;
+//! use urt_umlrt::statemachine::StateMachineBuilder;
+//!
+//! # fn main() -> Result<(), urt_core::CoreError> {
+//! let mut net = StreamerNetwork::new("plant");
+//! let p = net.add_streamer(
+//!     FnStreamer::new("osc", 0, 1, |t, _h, _u, y| y[0] = t.sin()),
+//!     &[],
+//!     &[("y", FlowType::scalar())],
+//! )?;
+//! let sm = StateMachineBuilder::new("supervisor")
+//!     .state("watching")
+//!     .initial("watching", |_d: &mut (), _ctx: &mut CapsuleContext| {})
+//!     .build()?;
+//! let mut controller = Controller::new("events");
+//! controller.add_capsule(Box::new(SmCapsule::new(sm, ())));
+//! let mut engine = HybridEngine::new(
+//!     controller,
+//!     EngineConfig { step: 0.001, policy: ThreadPolicy::CurrentThread },
+//! );
+//! engine.add_group(net)?;
+//! engine.run_until(0.1)?;
+//! assert!((engine.time() - 0.1).abs() < 1e-9);
+//! # let _ = p;
+//! # Ok(())
+//! # }
+//! ```
+
+pub mod engine;
+pub mod error;
+pub mod model;
+pub mod pacer;
+pub mod recorder;
+pub mod scenario;
+pub mod stereotype;
+pub mod strategy;
+pub mod threading;
+pub mod time;
+
+pub use engine::{EngineConfig, HybridEngine};
+pub use error::CoreError;
+pub use model::{ModelBuilder, UnifiedModel};
+pub use recorder::Recorder;
+pub use stereotype::Stereotype;
+pub use threading::ThreadPolicy;
+pub use time::HybridTime;

@@ -1,0 +1,751 @@
+//! The declarative unified model: capsules + streamers + containment +
+//! connections, with the paper's well-formedness rules.
+//!
+//! The rules come straight from §2 and Figures 2–3:
+//!
+//! * **fig3-containment** — capsules can contain streamers, but "streamers
+//!   don't contain any capsule".
+//! * **containment-acyclic** — the ownership tree has no cycles.
+//! * **fig3-dport-relay** — capsules may carry DPorts, "but in capsules,
+//!   DPorts are only used as relay ports. No data will be processed by
+//!   capsules": every capsule DPort must both receive and forward a flow.
+//! * **flow-subset** — "the output DPort's flow type must be a subset of
+//!   the input DPort's flow type".
+//! * **sport-protocol** — SPort links connect ports with the same
+//!   protocol.
+//! * **unique-names** — element names are unique per kind.
+//!
+//! The model is *declarative*: it describes structure for validation, code
+//! generation and reporting. The executable counterpart is assembled with
+//! [`crate::engine::HybridEngine`].
+
+use crate::error::CoreError;
+use std::fmt;
+use urt_dataflow::flowtype::FlowType;
+
+/// Reference to a capsule declaration in a [`UnifiedModel`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct CapsuleRef(usize);
+
+/// Reference to a streamer declaration in a [`UnifiedModel`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct StreamerRef(usize);
+
+/// Who owns (contains) an element.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum Owner {
+    /// Top level.
+    #[default]
+    System,
+    /// Contained in a capsule.
+    Capsule(CapsuleRef),
+    /// Contained in a streamer.
+    Streamer(StreamerRef),
+}
+
+/// An endpoint of a flow: a named DPort on a capsule or a streamer.
+#[derive(Debug, Clone, PartialEq)]
+pub enum FlowEnd {
+    /// `(capsule, dport name)` — necessarily a relay DPort.
+    Capsule(CapsuleRef, String),
+    /// `(streamer, dport name)`.
+    Streamer(StreamerRef, String),
+}
+
+#[derive(Debug, Clone, PartialEq)]
+struct CapsuleDecl {
+    name: String,
+    owner: Owner,
+    /// Relay-only data ports: `(name, flow type)`.
+    dports: Vec<(String, FlowType)>,
+    /// Signal ports: `(name, protocol name)`.
+    sports: Vec<(String, String)>,
+}
+
+#[derive(Debug, Clone, PartialEq)]
+struct StreamerDecl {
+    name: String,
+    owner: Owner,
+    in_dports: Vec<(String, FlowType)>,
+    out_dports: Vec<(String, FlowType)>,
+    sports: Vec<(String, String)>,
+    solver: String,
+}
+
+#[derive(Debug, Clone, PartialEq)]
+struct FlowDecl {
+    from: FlowEnd,
+    to: FlowEnd,
+}
+
+#[derive(Debug, Clone, PartialEq)]
+struct SportLink {
+    capsule: CapsuleRef,
+    capsule_port: String,
+    streamer: StreamerRef,
+    sport: String,
+}
+
+/// Summary statistics of a model (used by reports and the Kühl baseline
+/// comparison).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ModelStats {
+    /// Number of capsule declarations.
+    pub capsules: usize,
+    /// Number of streamer declarations.
+    pub streamers: usize,
+    /// Number of flows.
+    pub flows: usize,
+    /// Number of SPort links.
+    pub sport_links: usize,
+    /// Total DPorts (capsule relays + streamer in/out).
+    pub dports: usize,
+    /// Total SPorts.
+    pub sports: usize,
+}
+
+/// A validated-or-validatable unified model.
+///
+/// Build with [`ModelBuilder`]; check with [`UnifiedModel::validate`].
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct UnifiedModel {
+    name: String,
+    capsules: Vec<CapsuleDecl>,
+    streamers: Vec<StreamerDecl>,
+    flows: Vec<FlowDecl>,
+    sport_links: Vec<SportLink>,
+}
+
+impl UnifiedModel {
+    /// Model name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Summary statistics.
+    pub fn stats(&self) -> ModelStats {
+        ModelStats {
+            capsules: self.capsules.len(),
+            streamers: self.streamers.len(),
+            flows: self.flows.len(),
+            sport_links: self.sport_links.len(),
+            dports: self.capsules.iter().map(|c| c.dports.len()).sum::<usize>()
+                + self
+                    .streamers
+                    .iter()
+                    .map(|s| s.in_dports.len() + s.out_dports.len())
+                    .sum::<usize>(),
+            sports: self.capsules.iter().map(|c| c.sports.len()).sum::<usize>()
+                + self.streamers.iter().map(|s| s.sports.len()).sum::<usize>(),
+        }
+    }
+
+    /// Capsule name by reference.
+    pub fn capsule_name(&self, c: CapsuleRef) -> Option<&str> {
+        self.capsules.get(c.0).map(|d| d.name.as_str())
+    }
+
+    /// Streamer name by reference.
+    pub fn streamer_name(&self, s: StreamerRef) -> Option<&str> {
+        self.streamers.get(s.0).map(|d| d.name.as_str())
+    }
+
+    /// Iterates `(ref, name, solver)` over streamers (for codegen).
+    pub fn iter_streamers(&self) -> impl Iterator<Item = (StreamerRef, &str, &str)> {
+        self.streamers
+            .iter()
+            .enumerate()
+            .map(|(i, d)| (StreamerRef(i), d.name.as_str(), d.solver.as_str()))
+    }
+
+    /// Iterates `(ref, name)` over capsules (for codegen).
+    pub fn iter_capsules(&self) -> impl Iterator<Item = (CapsuleRef, &str)> {
+        self.capsules
+            .iter()
+            .enumerate()
+            .map(|(i, d)| (CapsuleRef(i), d.name.as_str()))
+    }
+
+    fn flow_end_type(&self, end: &FlowEnd, incoming: bool) -> Result<&FlowType, CoreError> {
+        match end {
+            FlowEnd::Capsule(c, port) => self
+                .capsules
+                .get(c.0)
+                .and_then(|d| d.dports.iter().find(|(n, _)| n == port))
+                .map(|(_, t)| t)
+                .ok_or_else(|| CoreError::Validation {
+                    rule: "flow-endpoint",
+                    detail: format!("capsule DPort `{port}` not declared"),
+                }),
+            FlowEnd::Streamer(s, port) => {
+                let d = self.streamers.get(s.0).ok_or(CoreError::Validation {
+                    rule: "flow-endpoint",
+                    detail: format!("streamer #{} not declared", s.0),
+                })?;
+                let ports = if incoming { &d.in_dports } else { &d.out_dports };
+                ports
+                    .iter()
+                    .find(|(n, _)| n == port)
+                    .map(|(_, t)| t)
+                    .ok_or_else(|| CoreError::Validation {
+                        rule: "flow-endpoint",
+                        detail: format!(
+                            "streamer `{}` has no {} DPort `{port}`",
+                            d.name,
+                            if incoming { "input" } else { "output" }
+                        ),
+                    })
+            }
+        }
+    }
+
+    /// Checks every well-formedness rule; returns the first violation.
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::Validation`] with the rule identifier (see the module
+    /// docs for the rule list).
+    pub fn validate(&self) -> Result<(), CoreError> {
+        self.check_unique_names()?;
+        self.check_containment()?;
+        self.check_flows()?;
+        self.check_capsule_dports_relay()?;
+        self.check_sport_links()?;
+        Ok(())
+    }
+
+    fn check_unique_names(&self) -> Result<(), CoreError> {
+        let mut seen = std::collections::HashSet::new();
+        for d in &self.capsules {
+            if !seen.insert(&d.name) {
+                return Err(CoreError::Validation {
+                    rule: "unique-names",
+                    detail: format!("capsule `{}` declared twice", d.name),
+                });
+            }
+        }
+        let mut seen = std::collections::HashSet::new();
+        for d in &self.streamers {
+            if !seen.insert(&d.name) {
+                return Err(CoreError::Validation {
+                    rule: "unique-names",
+                    detail: format!("streamer `{}` declared twice", d.name),
+                });
+            }
+        }
+        Ok(())
+    }
+
+    fn check_containment(&self) -> Result<(), CoreError> {
+        // fig3-containment: capsules must never sit inside streamers.
+        for d in &self.capsules {
+            if let Owner::Streamer(s) = d.owner {
+                return Err(CoreError::Validation {
+                    rule: "fig3-containment",
+                    detail: format!(
+                        "capsule `{}` is contained in streamer `{}`; streamers don't contain any capsule",
+                        d.name,
+                        self.streamer_name(s).unwrap_or("?")
+                    ),
+                });
+            }
+        }
+        // containment-acyclic over the combined ownership graph.
+        // Node encoding: capsule i -> i, streamer j -> capsules.len() + j.
+        let n = self.capsules.len() + self.streamers.len();
+        let owner_of = |idx: usize| -> Option<usize> {
+            let owner = if idx < self.capsules.len() {
+                self.capsules[idx].owner
+            } else {
+                self.streamers[idx - self.capsules.len()].owner
+            };
+            match owner {
+                Owner::System => None,
+                Owner::Capsule(c) => Some(c.0),
+                Owner::Streamer(s) => Some(self.capsules.len() + s.0),
+            }
+        };
+        for start in 0..n {
+            let mut slow = start;
+            let mut steps = 0;
+            let mut cur = Some(start);
+            while let Some(i) = cur {
+                cur = owner_of(i);
+                steps += 1;
+                if steps > n {
+                    let name = if slow < self.capsules.len() {
+                        &self.capsules[slow].name
+                    } else {
+                        &self.streamers[slow - self.capsules.len()].name
+                    };
+                    let _ = &mut slow;
+                    return Err(CoreError::Validation {
+                        rule: "containment-acyclic",
+                        detail: format!("ownership cycle involving `{name}`"),
+                    });
+                }
+            }
+        }
+        Ok(())
+    }
+
+    fn check_flows(&self) -> Result<(), CoreError> {
+        for flow in &self.flows {
+            let src = self.flow_end_type(&flow.from, false)?;
+            let dst = self.flow_end_type(&flow.to, true)?;
+            if !src.is_subset_of(dst) {
+                return Err(CoreError::Validation {
+                    rule: "flow-subset",
+                    detail: format!("flow type {src} is not a subset of {dst}"),
+                });
+            }
+        }
+        Ok(())
+    }
+
+    fn check_capsule_dports_relay(&self) -> Result<(), CoreError> {
+        for (ci, d) in self.capsules.iter().enumerate() {
+            for (port, _) in &d.dports {
+                let as_dest = self.flows.iter().any(|f| {
+                    matches!(&f.to, FlowEnd::Capsule(c, p) if c.0 == ci && p == port)
+                });
+                let as_src = self.flows.iter().any(|f| {
+                    matches!(&f.from, FlowEnd::Capsule(c, p) if c.0 == ci && p == port)
+                });
+                if !(as_dest && as_src) {
+                    return Err(CoreError::Validation {
+                        rule: "fig3-dport-relay",
+                        detail: format!(
+                            "capsule `{}` DPort `{port}` must relay (needs both an incoming and an outgoing flow); no data is processed by capsules",
+                            d.name
+                        ),
+                    });
+                }
+            }
+        }
+        Ok(())
+    }
+
+    fn check_sport_links(&self) -> Result<(), CoreError> {
+        for link in &self.sport_links {
+            let cap = self.capsules.get(link.capsule.0).ok_or(CoreError::Validation {
+                rule: "sport-protocol",
+                detail: "sport link references an unknown capsule".into(),
+            })?;
+            let st = self.streamers.get(link.streamer.0).ok_or(CoreError::Validation {
+                rule: "sport-protocol",
+                detail: "sport link references an unknown streamer".into(),
+            })?;
+            let cp = cap.sports.iter().find(|(n, _)| n == &link.capsule_port);
+            let sp = st.sports.iter().find(|(n, _)| n == &link.sport);
+            match (cp, sp) {
+                (Some((_, proto_c)), Some((_, proto_s))) if proto_c == proto_s => {}
+                (Some((_, proto_c)), Some((_, proto_s))) => {
+                    return Err(CoreError::Validation {
+                        rule: "sport-protocol",
+                        detail: format!(
+                            "sport link protocols differ: `{proto_c}` vs `{proto_s}`"
+                        ),
+                    });
+                }
+                _ => {
+                    return Err(CoreError::Validation {
+                        rule: "sport-protocol",
+                        detail: format!(
+                            "sport link `{}`.`{}` <-> `{}`.`{}` references undeclared ports",
+                            cap.name, link.capsule_port, st.name, link.sport
+                        ),
+                    });
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Renders the containment tree (the shape of Figures 2 and 3).
+    pub fn render_structure(&self) -> String {
+        let mut out = format!("model {}\n", self.name);
+        let owner_matches = |owner: Owner, target: Owner| owner == target;
+        fn walk(
+            model: &UnifiedModel,
+            out: &mut String,
+            owner: Owner,
+            depth: usize,
+            owner_matches: &dyn Fn(Owner, Owner) -> bool,
+        ) {
+            for (i, c) in model.capsules.iter().enumerate() {
+                if owner_matches(c.owner, owner) {
+                    out.push_str(&format!(
+                        "{}capsule {} (dports: {}, sports: {})\n",
+                        "  ".repeat(depth),
+                        c.name,
+                        c.dports.len(),
+                        c.sports.len()
+                    ));
+                    walk(model, out, Owner::Capsule(CapsuleRef(i)), depth + 1, owner_matches);
+                }
+            }
+            for (i, s) in model.streamers.iter().enumerate() {
+                if owner_matches(s.owner, owner) {
+                    out.push_str(&format!(
+                        "{}streamer {} [solver: {}] (in: {}, out: {}, sports: {})\n",
+                        "  ".repeat(depth),
+                        s.name,
+                        s.solver,
+                        s.in_dports.len(),
+                        s.out_dports.len(),
+                        s.sports.len()
+                    ));
+                    walk(model, out, Owner::Streamer(StreamerRef(i)), depth + 1, owner_matches);
+                }
+            }
+        }
+        walk(self, &mut out, Owner::System, 1, &owner_matches);
+        out.push_str(&format!(
+            "flows: {}, sport links: {}\n",
+            self.flows.len(),
+            self.sport_links.len()
+        ));
+        out
+    }
+}
+
+impl fmt::Display for UnifiedModel {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.render_structure())
+    }
+}
+
+/// Builder for [`UnifiedModel`].
+///
+/// # Examples
+///
+/// The paper's Figure 3 structure — a top capsule containing a sub-capsule
+/// and two streamers:
+///
+/// ```
+/// use urt_core::model::ModelBuilder;
+/// use urt_dataflow::flowtype::FlowType;
+///
+/// let mut b = ModelBuilder::new("fig3");
+/// let top = b.capsule("top");
+/// let sub = b.capsule("sub");
+/// let s1 = b.streamer("streamer1", "rk4");
+/// let s2 = b.streamer("streamer2", "rk4");
+/// b.contain_capsule(sub, top);
+/// b.contain_streamer_in_capsule(s1, top);
+/// b.contain_streamer_in_capsule(s2, top);
+/// b.streamer_out(s1, "y", FlowType::scalar());
+/// b.streamer_in(s2, "u", FlowType::scalar());
+/// b.flow_between_streamers(s1, "y", s2, "u");
+/// let model = b.build();
+/// assert!(model.validate().is_ok());
+/// ```
+#[derive(Debug, Default)]
+pub struct ModelBuilder {
+    model: UnifiedModel,
+}
+
+impl ModelBuilder {
+    /// Starts a model called `name`.
+    pub fn new(name: impl Into<String>) -> Self {
+        ModelBuilder {
+            model: UnifiedModel { name: name.into(), ..UnifiedModel::default() },
+        }
+    }
+
+    /// Declares a top-level capsule.
+    pub fn capsule(&mut self, name: impl Into<String>) -> CapsuleRef {
+        self.model.capsules.push(CapsuleDecl {
+            name: name.into(),
+            owner: Owner::System,
+            dports: Vec::new(),
+            sports: Vec::new(),
+        });
+        CapsuleRef(self.model.capsules.len() - 1)
+    }
+
+    /// Declares a top-level streamer with a named solver strategy.
+    pub fn streamer(&mut self, name: impl Into<String>, solver: impl Into<String>) -> StreamerRef {
+        self.model.streamers.push(StreamerDecl {
+            name: name.into(),
+            owner: Owner::System,
+            in_dports: Vec::new(),
+            out_dports: Vec::new(),
+            sports: Vec::new(),
+            solver: solver.into(),
+        });
+        StreamerRef(self.model.streamers.len() - 1)
+    }
+
+    /// Nests a capsule inside another capsule.
+    pub fn contain_capsule(&mut self, child: CapsuleRef, parent: CapsuleRef) {
+        self.model.capsules[child.0].owner = Owner::Capsule(parent);
+    }
+
+    /// Nests a streamer inside a capsule (allowed, Figure 3).
+    pub fn contain_streamer_in_capsule(&mut self, child: StreamerRef, parent: CapsuleRef) {
+        self.model.streamers[child.0].owner = Owner::Capsule(parent);
+    }
+
+    /// Nests a streamer inside another streamer (allowed, Figure 2).
+    pub fn contain_streamer(&mut self, child: StreamerRef, parent: StreamerRef) {
+        self.model.streamers[child.0].owner = Owner::Streamer(parent);
+    }
+
+    /// Nests a capsule inside a streamer — **forbidden** by the paper;
+    /// representable so that validation can reject it.
+    pub fn contain_capsule_in_streamer(&mut self, child: CapsuleRef, parent: StreamerRef) {
+        self.model.capsules[child.0].owner = Owner::Streamer(parent);
+    }
+
+    /// Declares a relay DPort on a capsule.
+    pub fn capsule_dport(&mut self, c: CapsuleRef, name: impl Into<String>, ty: FlowType) {
+        self.model.capsules[c.0].dports.push((name.into(), ty));
+    }
+
+    /// Declares an SPort on a capsule with a protocol name.
+    pub fn capsule_sport(&mut self, c: CapsuleRef, name: impl Into<String>, protocol: impl Into<String>) {
+        self.model.capsules[c.0].sports.push((name.into(), protocol.into()));
+    }
+
+    /// Declares an input DPort on a streamer.
+    pub fn streamer_in(&mut self, s: StreamerRef, name: impl Into<String>, ty: FlowType) {
+        self.model.streamers[s.0].in_dports.push((name.into(), ty));
+    }
+
+    /// Declares an output DPort on a streamer.
+    pub fn streamer_out(&mut self, s: StreamerRef, name: impl Into<String>, ty: FlowType) {
+        self.model.streamers[s.0].out_dports.push((name.into(), ty));
+    }
+
+    /// Declares an SPort on a streamer with a protocol name.
+    pub fn streamer_sport(&mut self, s: StreamerRef, name: impl Into<String>, protocol: impl Into<String>) {
+        self.model.streamers[s.0].sports.push((name.into(), protocol.into()));
+    }
+
+    /// Adds a flow between two streamer DPorts.
+    pub fn flow_between_streamers(
+        &mut self,
+        from: StreamerRef,
+        from_port: impl Into<String>,
+        to: StreamerRef,
+        to_port: impl Into<String>,
+    ) {
+        self.model.flows.push(FlowDecl {
+            from: FlowEnd::Streamer(from, from_port.into()),
+            to: FlowEnd::Streamer(to, to_port.into()),
+        });
+    }
+
+    /// Adds a flow with arbitrary endpoints (including capsule relay
+    /// DPorts).
+    pub fn flow(&mut self, from: FlowEnd, to: FlowEnd) {
+        self.model.flows.push(FlowDecl { from, to });
+    }
+
+    /// Links a capsule SPort to a streamer SPort.
+    pub fn sport_link(
+        &mut self,
+        capsule: CapsuleRef,
+        capsule_port: impl Into<String>,
+        streamer: StreamerRef,
+        sport: impl Into<String>,
+    ) {
+        self.model.sport_links.push(SportLink {
+            capsule,
+            capsule_port: capsule_port.into(),
+            streamer,
+            sport: sport.into(),
+        });
+    }
+
+    /// Finalises the (unvalidated) model.
+    pub fn build(self) -> UnifiedModel {
+        self.model
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use urt_dataflow::flowtype::Unit;
+
+    fn fig2_model() -> UnifiedModel {
+        // Top streamer containing sub-streamers with a relayed flow, as in
+        // the paper's Figure 2.
+        let mut b = ModelBuilder::new("fig2");
+        let top = b.streamer("top", "rk4");
+        let sub1 = b.streamer("sub1", "rk4");
+        let sub2 = b.streamer("sub2", "euler");
+        let sub3 = b.streamer("sub3", "euler");
+        b.contain_streamer(sub1, top);
+        b.contain_streamer(sub2, top);
+        b.contain_streamer(sub3, top);
+        b.streamer_out(sub1, "y", FlowType::scalar());
+        b.streamer_in(sub2, "u", FlowType::scalar());
+        b.streamer_in(sub3, "u", FlowType::scalar());
+        b.flow_between_streamers(sub1, "y", sub2, "u");
+        b.flow_between_streamers(sub1, "y", sub3, "u");
+        b.streamer_sport(top, "ctl", "StreamCtl");
+        b.build()
+    }
+
+    #[test]
+    fn fig2_structure_validates() {
+        let m = fig2_model();
+        m.validate().unwrap();
+        let stats = m.stats();
+        assert_eq!(stats.streamers, 4);
+        assert_eq!(stats.flows, 2);
+        assert_eq!(stats.sports, 1);
+        let s = m.render_structure();
+        assert!(s.contains("streamer top"));
+        assert!(s.contains("  streamer sub1") || s.contains("streamer sub1"));
+    }
+
+    #[test]
+    fn fig3_containment_rule_rejects_capsule_in_streamer() {
+        let mut b = ModelBuilder::new("bad");
+        let s = b.streamer("s", "rk4");
+        let c = b.capsule("c");
+        b.contain_capsule_in_streamer(c, s);
+        let err = b.build().validate().unwrap_err();
+        match err {
+            CoreError::Validation { rule, detail } => {
+                assert_eq!(rule, "fig3-containment");
+                assert!(detail.contains("streamers don't contain any capsule"));
+            }
+            other => panic!("unexpected {other}"),
+        }
+    }
+
+    #[test]
+    fn capsules_may_contain_streamers() {
+        let mut b = ModelBuilder::new("ok");
+        let c = b.capsule("c");
+        let s = b.streamer("s", "rk4");
+        b.contain_streamer_in_capsule(s, c);
+        assert!(b.build().validate().is_ok());
+    }
+
+    #[test]
+    fn containment_cycle_detected() {
+        let mut b = ModelBuilder::new("cycle");
+        let a = b.streamer("a", "rk4");
+        let c = b.streamer("c", "rk4");
+        b.contain_streamer(a, c);
+        b.contain_streamer(c, a);
+        let err = b.build().validate().unwrap_err();
+        assert!(matches!(err, CoreError::Validation { rule: "containment-acyclic", .. }));
+    }
+
+    #[test]
+    fn flow_subset_rule_enforced() {
+        let mut b = ModelBuilder::new("m");
+        let s1 = b.streamer("s1", "rk4");
+        let s2 = b.streamer("s2", "rk4");
+        b.streamer_out(s1, "y", FlowType::with_unit(Unit::Meter));
+        b.streamer_in(s2, "u", FlowType::with_unit(Unit::Kelvin));
+        b.flow_between_streamers(s1, "y", s2, "u");
+        let err = b.build().validate().unwrap_err();
+        assert!(matches!(err, CoreError::Validation { rule: "flow-subset", .. }));
+    }
+
+    #[test]
+    fn flow_endpoint_must_exist() {
+        let mut b = ModelBuilder::new("m");
+        let s1 = b.streamer("s1", "rk4");
+        let s2 = b.streamer("s2", "rk4");
+        b.flow_between_streamers(s1, "ghost", s2, "u");
+        let err = b.build().validate().unwrap_err();
+        assert!(matches!(err, CoreError::Validation { rule: "flow-endpoint", .. }));
+    }
+
+    #[test]
+    fn capsule_dport_must_relay() {
+        // DPort with only an incoming flow: not relaying.
+        let mut b = ModelBuilder::new("m");
+        let c = b.capsule("c");
+        let s = b.streamer("s", "rk4");
+        b.capsule_dport(c, "d", FlowType::scalar());
+        b.streamer_out(s, "y", FlowType::scalar());
+        b.flow(FlowEnd::Streamer(s, "y".into()), FlowEnd::Capsule(c, "d".into()));
+        let err = b.build().validate().unwrap_err();
+        assert!(matches!(err, CoreError::Validation { rule: "fig3-dport-relay", .. }));
+    }
+
+    #[test]
+    fn capsule_dport_relaying_validates() {
+        let mut b = ModelBuilder::new("m");
+        let c = b.capsule("c");
+        let producer = b.streamer("producer", "rk4");
+        let inner = b.streamer("inner", "rk4");
+        b.contain_streamer_in_capsule(inner, c);
+        b.capsule_dport(c, "d", FlowType::scalar());
+        b.streamer_out(producer, "y", FlowType::scalar());
+        b.streamer_in(inner, "u", FlowType::scalar());
+        b.flow(FlowEnd::Streamer(producer, "y".into()), FlowEnd::Capsule(c, "d".into()));
+        b.flow(FlowEnd::Capsule(c, "d".into()), FlowEnd::Streamer(inner, "u".into()));
+        b.build().validate().unwrap();
+    }
+
+    #[test]
+    fn sport_link_protocols_must_match() {
+        let mut b = ModelBuilder::new("m");
+        let c = b.capsule("c");
+        let s = b.streamer("s", "rk4");
+        b.capsule_sport(c, "ctl", "ProtoA");
+        b.streamer_sport(s, "ctl", "ProtoB");
+        b.sport_link(c, "ctl", s, "ctl");
+        let err = b.build().validate().unwrap_err();
+        assert!(matches!(err, CoreError::Validation { rule: "sport-protocol", .. }));
+
+        let mut b = ModelBuilder::new("m2");
+        let c = b.capsule("c");
+        let s = b.streamer("s", "rk4");
+        b.capsule_sport(c, "ctl", "Proto");
+        b.streamer_sport(s, "ctl", "Proto");
+        b.sport_link(c, "ctl", s, "ctl");
+        b.build().validate().unwrap();
+    }
+
+    #[test]
+    fn sport_link_undeclared_port_rejected() {
+        let mut b = ModelBuilder::new("m");
+        let c = b.capsule("c");
+        let s = b.streamer("s", "rk4");
+        b.sport_link(c, "ghost", s, "ghost");
+        let err = b.build().validate().unwrap_err();
+        assert!(matches!(err, CoreError::Validation { rule: "sport-protocol", .. }));
+    }
+
+    #[test]
+    fn duplicate_names_rejected() {
+        let mut b = ModelBuilder::new("m");
+        b.capsule("x");
+        b.capsule("x");
+        let err = b.build().validate().unwrap_err();
+        assert!(matches!(err, CoreError::Validation { rule: "unique-names", .. }));
+
+        let mut b = ModelBuilder::new("m");
+        b.streamer("y", "rk4");
+        b.streamer("y", "rk4");
+        assert!(matches!(
+            b.build().validate().unwrap_err(),
+            CoreError::Validation { rule: "unique-names", .. }
+        ));
+    }
+
+    #[test]
+    fn iteration_and_names() {
+        let m = fig2_model();
+        let streamers: Vec<_> = m.iter_streamers().collect();
+        assert_eq!(streamers.len(), 4);
+        assert_eq!(streamers[0].1, "top");
+        assert_eq!(streamers[0].2, "rk4");
+        assert_eq!(m.iter_capsules().count(), 0);
+        assert_eq!(m.streamer_name(StreamerRef(0)), Some("top"));
+        assert_eq!(m.capsule_name(CapsuleRef(0)), None);
+    }
+}

@@ -1,0 +1,105 @@
+//! Real-time pacing: running the unified model against the wall clock.
+//!
+//! Simulation normally runs as fast as possible; deploying the model as a
+//! real controller (the paper's end goal) means each macro step must wait
+//! for wall-clock time to catch up. [`RealTimePacer`] provides that
+//! coupling, plus lag diagnostics when the solver cannot keep up.
+
+use std::time::{Duration, Instant};
+
+/// Couples simulation time to the wall clock at a configurable rate.
+///
+/// # Examples
+///
+/// ```
+/// use urt_core::pacer::RealTimePacer;
+///
+/// // Run 10x faster than real time (0.1 wall seconds per sim second).
+/// let mut pacer = RealTimePacer::new(10.0);
+/// pacer.pace(0.001); // returns almost immediately at this rate
+/// assert!(pacer.lag_seconds() <= 0.001);
+/// ```
+#[derive(Debug, Clone)]
+pub struct RealTimePacer {
+    start: Instant,
+    rate: f64,
+    worst_lag: f64,
+}
+
+impl RealTimePacer {
+    /// Creates a pacer; `rate` is simulated seconds per wall second
+    /// (1.0 = real time, 2.0 = twice as fast).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rate` is not positive and finite.
+    pub fn new(rate: f64) -> Self {
+        assert!(rate.is_finite() && rate > 0.0, "rate must be positive");
+        RealTimePacer { start: Instant::now(), rate, worst_lag: 0.0 }
+    }
+
+    /// Restarts the wall-clock origin (call right before the run loop).
+    pub fn restart(&mut self) {
+        self.start = Instant::now();
+        self.worst_lag = 0.0;
+    }
+
+    /// Blocks until the wall clock reaches simulation time `sim_time`.
+    /// Returns the lag (seconds the simulation was *behind* the wall
+    /// clock when it arrived; zero when it had to wait).
+    pub fn pace(&mut self, sim_time: f64) -> f64 {
+        let target = Duration::from_secs_f64((sim_time / self.rate).max(0.0));
+        let elapsed = self.start.elapsed();
+        if elapsed < target {
+            std::thread::sleep(target - elapsed);
+            0.0
+        } else {
+            let lag = (elapsed - target).as_secs_f64() * self.rate;
+            self.worst_lag = self.worst_lag.max(lag);
+            lag
+        }
+    }
+
+    /// Worst lag observed so far, in simulated seconds.
+    pub fn lag_seconds(&self) -> f64 {
+        self.worst_lag
+    }
+
+    /// The configured rate.
+    pub fn rate(&self) -> f64 {
+        self.rate
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pacer_waits_for_wall_clock() {
+        // 100x real time: 0.005 sim seconds = 50 us wall.
+        let mut p = RealTimePacer::new(100.0);
+        let start = Instant::now();
+        p.pace(0.005);
+        assert!(start.elapsed() >= Duration::from_micros(45), "waited for the wall clock");
+        assert_eq!(p.lag_seconds(), 0.0);
+    }
+
+    #[test]
+    fn pacer_reports_lag_when_behind() {
+        let mut p = RealTimePacer::new(1e6);
+        std::thread::sleep(Duration::from_millis(2));
+        // Asking for sim time 0: we are already late by ~2000 sim seconds.
+        let lag = p.pace(0.0);
+        assert!(lag > 0.0);
+        assert!(p.lag_seconds() >= lag * 0.99);
+        p.restart();
+        assert_eq!(p.lag_seconds(), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "rate must be positive")]
+    fn pacer_validates_rate() {
+        let _ = RealTimePacer::new(0.0);
+    }
+}

@@ -1,0 +1,129 @@
+//! Thread-safe signal recording shared by the engine, examples and
+//! benchmarks.
+
+use parking_lot::Mutex;
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+/// A cheaply clonable recorder of named time series.
+///
+/// # Examples
+///
+/// ```
+/// use urt_core::recorder::Recorder;
+///
+/// let rec = Recorder::new();
+/// rec.push("y", 0.0, 1.0);
+/// rec.push("y", 0.1, 2.0);
+/// assert_eq!(rec.series("y").len(), 2);
+/// assert_eq!(rec.last("y"), Some((0.1, 2.0)));
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct Recorder {
+    series: Arc<Mutex<BTreeMap<String, Vec<(f64, f64)>>>>,
+}
+
+impl Recorder {
+    /// Creates an empty recorder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends a `(t, value)` sample to the named series.
+    pub fn push(&self, name: &str, t: f64, value: f64) {
+        self.series
+            .lock()
+            .entry(name.to_owned())
+            .or_default()
+            .push((t, value));
+    }
+
+    /// Copies out one series (empty if unknown).
+    pub fn series(&self, name: &str) -> Vec<(f64, f64)> {
+        self.series.lock().get(name).cloned().unwrap_or_default()
+    }
+
+    /// The last sample of a series.
+    pub fn last(&self, name: &str) -> Option<(f64, f64)> {
+        self.series.lock().get(name).and_then(|v| v.last().copied())
+    }
+
+    /// Names of all recorded series, sorted.
+    pub fn names(&self) -> Vec<String> {
+        self.series.lock().keys().cloned().collect()
+    }
+
+    /// Total number of samples across all series.
+    pub fn len(&self) -> usize {
+        self.series.lock().values().map(Vec::len).sum()
+    }
+
+    /// Whether nothing was recorded.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Removes all series.
+    pub fn clear(&self) {
+        self.series.lock().clear();
+    }
+
+    /// Root-mean-square error between a series and a reference function
+    /// evaluated at the recorded times.
+    pub fn rms_error(&self, name: &str, reference: impl Fn(f64) -> f64) -> f64 {
+        let data = self.series(name);
+        if data.is_empty() {
+            return 0.0;
+        }
+        let sum: f64 = data.iter().map(|(t, v)| (v - reference(*t)).powi(2)).sum();
+        (sum / data.len() as f64).sqrt()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn push_and_query() {
+        let r = Recorder::new();
+        assert!(r.is_empty());
+        r.push("a", 0.0, 1.0);
+        r.push("b", 0.0, 2.0);
+        r.push("a", 1.0, 3.0);
+        assert_eq!(r.len(), 3);
+        assert_eq!(r.names(), vec!["a".to_owned(), "b".to_owned()]);
+        assert_eq!(r.series("a"), vec![(0.0, 1.0), (1.0, 3.0)]);
+        assert_eq!(r.series("missing"), vec![]);
+        assert_eq!(r.last("missing"), None);
+        r.clear();
+        assert!(r.is_empty());
+    }
+
+    #[test]
+    fn clones_share_storage() {
+        let r = Recorder::new();
+        let r2 = r.clone();
+        r2.push("x", 0.0, 1.0);
+        assert_eq!(r.len(), 1);
+    }
+
+    #[test]
+    fn rms_error_against_reference() {
+        let r = Recorder::new();
+        for k in 0..100 {
+            let t = k as f64 * 0.01;
+            r.push("sin", t, t.sin());
+        }
+        assert!(r.rms_error("sin", |t| t.sin()) < 1e-12);
+        let off = r.rms_error("sin", |t| t.sin() + 1.0);
+        assert!((off - 1.0).abs() < 1e-12);
+        assert_eq!(r.rms_error("missing", |_| 0.0), 0.0);
+    }
+
+    #[test]
+    fn recorder_is_send_sync() {
+        fn assert_ss<T: Send + Sync>() {}
+        assert_ss::<Recorder>();
+    }
+}

@@ -1,0 +1,152 @@
+//! The Figure 1 pattern: *State* for capsules, *Strategy* for solvers.
+//!
+//! The paper's class diagram separates state logic (capsule state
+//! machines) from algorithms (concrete solver strategies attached to
+//! streamers): "This method separating algorithms from states, making the
+//! architecture of software very sound, is a good design pattern." The
+//! [`StrategyCatalog`] is the runtime face of that diagram — named
+//! strategy factories, swappable per streamer without touching equations.
+
+use std::collections::BTreeMap;
+use std::fmt;
+use urt_ode::solver::{Solver, SolverKind};
+
+/// Factory for a solver strategy instance.
+pub type StrategyFactory = Box<dyn Fn() -> Box<dyn Solver + Send> + Send + Sync>;
+
+/// A catalogue of named solver strategies (Figure 1's `Strategy` with its
+/// `ConcreteStrategyA/B/C...` subclasses).
+///
+/// # Examples
+///
+/// ```
+/// use urt_core::strategy::StrategyCatalog;
+///
+/// let catalog = StrategyCatalog::with_defaults();
+/// let solver = catalog.create("rk4").expect("rk4 is a default strategy");
+/// assert_eq!(solver.name(), "rk4");
+/// assert!(catalog.names().len() >= 5);
+/// ```
+pub struct StrategyCatalog {
+    factories: BTreeMap<String, StrategyFactory>,
+}
+
+impl fmt::Debug for StrategyCatalog {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("StrategyCatalog")
+            .field("strategies", &self.names())
+            .finish()
+    }
+}
+
+impl Default for StrategyCatalog {
+    fn default() -> Self {
+        Self::with_defaults()
+    }
+}
+
+impl StrategyCatalog {
+    /// An empty catalogue.
+    pub fn new() -> Self {
+        StrategyCatalog { factories: BTreeMap::new() }
+    }
+
+    /// A catalogue pre-populated with every [`SolverKind`].
+    pub fn with_defaults() -> Self {
+        let mut cat = StrategyCatalog::new();
+        for kind in SolverKind::ALL {
+            cat.register(kind.to_string(), move || kind.create());
+        }
+        cat
+    }
+
+    /// Registers (or replaces) a named strategy.
+    pub fn register<F>(&mut self, name: impl Into<String>, factory: F)
+    where
+        F: Fn() -> Box<dyn Solver + Send> + Send + Sync + 'static,
+    {
+        self.factories.insert(name.into(), Box::new(factory));
+    }
+
+    /// Instantiates a strategy by name.
+    pub fn create(&self, name: &str) -> Option<Box<dyn Solver + Send>> {
+        self.factories.get(name).map(|f| f())
+    }
+
+    /// Registered strategy names, sorted.
+    pub fn names(&self) -> Vec<&str> {
+        self.factories.keys().map(String::as_str).collect()
+    }
+
+    /// Number of registered strategies.
+    pub fn len(&self) -> usize {
+        self.factories.len()
+    }
+
+    /// Whether the catalogue is empty.
+    pub fn is_empty(&self) -> bool {
+        self.factories.is_empty()
+    }
+}
+
+/// Renders the realised Figure 1 relations: which concrete strategies
+/// implement the `Strategy` interface and where `State` lives.
+pub fn render_fig1(catalog: &StrategyCatalog) -> String {
+    let mut out = String::new();
+    out.push_str("State            <- urt_umlrt::statemachine::StateMachine (capsule behaviour)\n");
+    out.push_str("Strategy         <- urt_ode::solver::Solver (streamer behaviour)\n");
+    for name in catalog.names() {
+        out.push_str(&format!("ConcreteStrategy <- {name}\n"));
+    }
+    out.push_str("Capsule 1..* State      (urt_umlrt::capsule::SmCapsule)\n");
+    out.push_str("Streamer 1..* Strategy  (urt_dataflow::streamer::OdeStreamer)\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use urt_ode::solver::ForwardEuler;
+
+    #[test]
+    fn defaults_cover_all_solver_kinds() {
+        let cat = StrategyCatalog::with_defaults();
+        assert_eq!(cat.len(), SolverKind::ALL.len());
+        for kind in SolverKind::ALL {
+            let s = cat.create(&kind.to_string()).expect("registered");
+            assert_eq!(s.name(), kind.to_string());
+        }
+        assert!(cat.create("nonexistent").is_none());
+        assert!(!cat.is_empty());
+    }
+
+    #[test]
+    fn custom_strategy_registration() {
+        let mut cat = StrategyCatalog::new();
+        assert!(cat.is_empty());
+        cat.register("my-euler", || Box::new(ForwardEuler::new()));
+        let s = cat.create("my-euler").unwrap();
+        assert_eq!(s.name(), "euler");
+        assert_eq!(cat.names(), vec!["my-euler"]);
+    }
+
+    #[test]
+    fn replacing_a_strategy() {
+        let mut cat = StrategyCatalog::with_defaults();
+        let before = cat.len();
+        cat.register("rk4", || Box::new(ForwardEuler::new()));
+        assert_eq!(cat.len(), before, "replacement does not grow the catalogue");
+        assert_eq!(cat.create("rk4").unwrap().name(), "euler");
+    }
+
+    #[test]
+    fn fig1_rendering_mentions_pattern_roles() {
+        let cat = StrategyCatalog::with_defaults();
+        let s = render_fig1(&cat);
+        assert!(s.contains("State"));
+        assert!(s.contains("Strategy"));
+        assert!(s.contains("ConcreteStrategy"));
+        assert!(s.contains("rk4"));
+        assert!(s.contains("Streamer"));
+    }
+}

@@ -1,0 +1,115 @@
+//! Thread assignment: "we can use any number of streamers, which are
+//! assigned to one or several threads during implementation".
+
+use std::fmt;
+
+/// How the engine executes streamer groups relative to the capsule thread.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum ThreadPolicy {
+    /// Everything interleaved on the calling thread (still semantically
+    /// separated; useful for tests and deterministic runs).
+    #[default]
+    CurrentThread,
+    /// Each streamer group runs on its own dedicated solver thread,
+    /// synchronised with the capsule thread once per macro step — the
+    /// paper's intended deployment.
+    DedicatedThreads,
+}
+
+impl fmt::Display for ThreadPolicy {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            ThreadPolicy::CurrentThread => "current-thread",
+            ThreadPolicy::DedicatedThreads => "dedicated-threads",
+        })
+    }
+}
+
+/// How streamers are partitioned into groups (each group = one candidate
+/// thread).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum GroupingPolicy {
+    /// All streamers share one group.
+    Single,
+    /// One group per streamer.
+    PerStreamer,
+    /// Round-robin into `k` groups.
+    Grouped(usize),
+}
+
+impl GroupingPolicy {
+    /// Assigns `n` streamers to groups; returns one group index per
+    /// streamer.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `Grouped(0)` is used.
+    pub fn assign(self, n: usize) -> Vec<usize> {
+        match self {
+            GroupingPolicy::Single => vec![0; n],
+            GroupingPolicy::PerStreamer => (0..n).collect(),
+            GroupingPolicy::Grouped(k) => {
+                assert!(k > 0, "group count must be positive");
+                (0..n).map(|i| i % k).collect()
+            }
+        }
+    }
+
+    /// Number of groups produced for `n` streamers.
+    pub fn group_count(self, n: usize) -> usize {
+        match self {
+            GroupingPolicy::Single => usize::from(n > 0),
+            GroupingPolicy::PerStreamer => n,
+            GroupingPolicy::Grouped(k) => k.min(n).max(usize::from(n > 0)),
+        }
+    }
+}
+
+impl fmt::Display for GroupingPolicy {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GroupingPolicy::Single => f.write_str("single"),
+            GroupingPolicy::PerStreamer => f.write_str("per-streamer"),
+            GroupingPolicy::Grouped(k) => write!(f, "grouped({k})"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_puts_all_in_group_zero() {
+        assert_eq!(GroupingPolicy::Single.assign(3), vec![0, 0, 0]);
+        assert_eq!(GroupingPolicy::Single.group_count(3), 1);
+        assert_eq!(GroupingPolicy::Single.group_count(0), 0);
+    }
+
+    #[test]
+    fn per_streamer_is_identity() {
+        assert_eq!(GroupingPolicy::PerStreamer.assign(3), vec![0, 1, 2]);
+        assert_eq!(GroupingPolicy::PerStreamer.group_count(3), 3);
+    }
+
+    #[test]
+    fn grouped_round_robins() {
+        assert_eq!(GroupingPolicy::Grouped(2).assign(5), vec![0, 1, 0, 1, 0]);
+        assert_eq!(GroupingPolicy::Grouped(2).group_count(5), 2);
+        assert_eq!(GroupingPolicy::Grouped(8).group_count(3), 3, "capped by streamer count");
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn grouped_zero_rejected() {
+        let _ = GroupingPolicy::Grouped(0).assign(1);
+    }
+
+    #[test]
+    fn displays() {
+        assert_eq!(ThreadPolicy::CurrentThread.to_string(), "current-thread");
+        assert_eq!(ThreadPolicy::DedicatedThreads.to_string(), "dedicated-threads");
+        assert_eq!(GroupingPolicy::Grouped(4).to_string(), "grouped(4)");
+        assert_eq!(GroupingPolicy::PerStreamer.to_string(), "per-streamer");
+    }
+}

@@ -1,0 +1,240 @@
+//! The `Time` stereotype: a continuous, predictable simulation clock.
+//!
+//! "Timing in UML-RT is unpredictable. In this paper, we introduce a Time
+//! stereotype, which is a continuous variable, can be used as simulation
+//! clock." Hybrid systems additionally need *superdense* time — at a
+//! discrete event the clock stands still while several event iterations
+//! run — so [`HybridTime`] pairs the real-valued instant with an epoch
+//! counter.
+
+use std::cmp::Ordering;
+use std::fmt;
+
+/// A superdense time point: `(seconds, epoch)`.
+///
+/// Two hybrid times at the same real instant are ordered by epoch, which
+/// counts discrete event iterations at that instant.
+///
+/// # Examples
+///
+/// ```
+/// use urt_core::time::HybridTime;
+///
+/// let a = HybridTime::new(1.0);
+/// let b = a.next_epoch();
+/// assert!(b > a);
+/// assert_eq!(b.seconds(), 1.0);
+/// assert_eq!(b.epoch(), 1);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct HybridTime {
+    seconds: f64,
+    epoch: u64,
+}
+
+impl HybridTime {
+    /// A time point at `seconds`, epoch 0.
+    pub fn new(seconds: f64) -> Self {
+        HybridTime { seconds, epoch: 0 }
+    }
+
+    /// The real-valued instant in seconds.
+    pub fn seconds(&self) -> f64 {
+        self.seconds
+    }
+
+    /// The event-iteration counter at this instant.
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// Advances by `dt` seconds, resetting the epoch.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dt` is negative or not finite.
+    pub fn advance(&self, dt: f64) -> HybridTime {
+        assert!(dt.is_finite() && dt >= 0.0, "dt must be finite and non-negative");
+        HybridTime { seconds: self.seconds + dt, epoch: 0 }
+    }
+
+    /// The next event iteration at the same instant.
+    pub fn next_epoch(&self) -> HybridTime {
+        HybridTime { seconds: self.seconds, epoch: self.epoch + 1 }
+    }
+}
+
+impl PartialOrd for HybridTime {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        match self.seconds.partial_cmp(&other.seconds)? {
+            Ordering::Equal => Some(self.epoch.cmp(&other.epoch)),
+            ord => Some(ord),
+        }
+    }
+}
+
+impl fmt::Display for HybridTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.epoch == 0 {
+            write!(f, "{}s", self.seconds)
+        } else {
+            write!(f, "{}s+{}", self.seconds, self.epoch)
+        }
+    }
+}
+
+/// The continuous simulation clock driving the hybrid engine.
+///
+/// Unlike the UML-RT timer service (which quantises to ticks), this clock
+/// accumulates exactly the solver macro steps — the paper's fix for
+/// "unpredictable" timing. [`SimClock::drift_against_ticks`] quantifies the
+/// difference for experiment E5.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SimClock {
+    now: HybridTime,
+    step_count: u64,
+}
+
+impl SimClock {
+    /// A clock at t = 0.
+    pub fn new() -> Self {
+        SimClock { now: HybridTime::new(0.0), step_count: 0 }
+    }
+
+    /// A clock starting at `t0` seconds.
+    pub fn starting_at(t0: f64) -> Self {
+        SimClock { now: HybridTime::new(t0), step_count: 0 }
+    }
+
+    /// The current hybrid time.
+    pub fn now(&self) -> HybridTime {
+        self.now
+    }
+
+    /// Current time in seconds.
+    pub fn seconds(&self) -> f64 {
+        self.now.seconds()
+    }
+
+    /// Number of macro steps taken.
+    pub fn step_count(&self) -> u64 {
+        self.step_count
+    }
+
+    /// Advances by one macro step of `h` seconds.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `h` is not positive and finite.
+    pub fn tick(&mut self, h: f64) {
+        assert!(h.is_finite() && h > 0.0, "macro step must be positive");
+        self.now = self.now.advance(h);
+        self.step_count += 1;
+    }
+
+    /// Begins a discrete event iteration at the current instant.
+    pub fn event_iteration(&mut self) {
+        self.now = self.now.next_epoch();
+    }
+
+    /// How far a tick-quantised timer scheduled every `period` seconds on
+    /// a `tick` resolution drifts from this continuous clock after
+    /// `n` firings (E5's measurement): returns the absolute drift in
+    /// seconds.
+    pub fn drift_against_ticks(period: f64, tick: f64, n: u64) -> f64 {
+        // Continuous clock: n * period. Quantised timer: each period is
+        // rounded up to the next tick boundary, then periods accumulate.
+        let quantise = |t: f64| {
+            if tick <= 0.0 {
+                t
+            } else {
+                // Guard against representation error pushing an exact
+                // multiple over the next boundary.
+                ((t / tick) - 1e-9).ceil() * tick
+            }
+        };
+        let mut quantised = 0.0;
+        for _ in 0..n {
+            quantised = quantise(quantised + period);
+        }
+        (quantised - n as f64 * period).abs()
+    }
+}
+
+impl Default for SimClock {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hybrid_time_ordering() {
+        let a = HybridTime::new(1.0);
+        let b = HybridTime::new(2.0);
+        assert!(a < b);
+        let a1 = a.next_epoch();
+        assert!(a < a1);
+        assert!(a1 < b, "epoch never outranks real time");
+        assert_eq!(a1.next_epoch().epoch(), 2);
+    }
+
+    #[test]
+    fn advance_resets_epoch() {
+        let t = HybridTime::new(0.0).next_epoch().next_epoch();
+        assert_eq!(t.epoch(), 2);
+        let t2 = t.advance(0.5);
+        assert_eq!(t2.epoch(), 0);
+        assert_eq!(t2.seconds(), 0.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn advance_rejects_negative() {
+        let _ = HybridTime::new(0.0).advance(-1.0);
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(HybridTime::new(1.5).to_string(), "1.5s");
+        assert_eq!(HybridTime::new(1.5).next_epoch().to_string(), "1.5s+1");
+    }
+
+    #[test]
+    fn clock_accumulates_exactly() {
+        let mut c = SimClock::new();
+        for _ in 0..1000 {
+            c.tick(0.001);
+        }
+        assert!((c.seconds() - 1.0).abs() < 1e-12);
+        assert_eq!(c.step_count(), 1000);
+    }
+
+    #[test]
+    fn clock_event_iterations() {
+        let mut c = SimClock::starting_at(2.0);
+        c.event_iteration();
+        c.event_iteration();
+        assert_eq!(c.now().epoch(), 2);
+        assert_eq!(c.seconds(), 2.0);
+        c.tick(0.1);
+        assert_eq!(c.now().epoch(), 0);
+    }
+
+    #[test]
+    fn quantised_timer_drift_grows_with_n() {
+        // 15 ms period on a 10 ms tick: each firing rounds up to a 20 ms
+        // boundary, drifting 5 ms per firing.
+        let d10 = SimClock::drift_against_ticks(0.015, 0.010, 10);
+        let d100 = SimClock::drift_against_ticks(0.015, 0.010, 100);
+        assert!(d10 > 0.0);
+        assert!(d100 > d10 * 5.0, "drift accumulates: {d10} vs {d100}");
+        // Exact-divisor periods never drift (up to representation noise).
+        assert!(SimClock::drift_against_ticks(0.020, 0.010, 100) < 1e-9);
+        // The continuous Time clock (tick = 0) never drifts.
+        assert!(SimClock::drift_against_ticks(0.015, 0.0, 100) < 1e-9);
+    }
+}

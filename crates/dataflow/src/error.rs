@@ -1,0 +1,143 @@
+//! Errors raised while building, validating or executing streamer networks.
+
+use std::error::Error;
+use std::fmt;
+use urt_ode::SolveError;
+
+/// Errors from the dataflow extension.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum FlowError {
+    /// A node or port name did not resolve.
+    UnknownPort {
+        /// Node name.
+        node: String,
+        /// Port name.
+        port: String,
+    },
+    /// A node id was out of range.
+    UnknownNode {
+        /// The offending index.
+        index: usize,
+    },
+    /// Flow direction violated: flows go from an output DPort to an input
+    /// DPort.
+    WrongDirection {
+        /// Human-readable description.
+        detail: String,
+    },
+    /// The paper's connection rule failed: the output port's flow type is
+    /// not a subset of the input port's flow type.
+    TypeMismatch {
+        /// Source port description.
+        from: String,
+        /// Destination port description.
+        to: String,
+    },
+    /// An input DPort has more than one incoming flow.
+    MultipleWriters {
+        /// Node name.
+        node: String,
+        /// Port name.
+        port: String,
+    },
+    /// An input DPort has no incoming flow at execution time.
+    UnconnectedInput {
+        /// Node name.
+        node: String,
+        /// Port name.
+        port: String,
+    },
+    /// Direct-feedthrough streamers form a cycle.
+    AlgebraicLoop {
+        /// Names of nodes on the cycle.
+        nodes: Vec<String>,
+    },
+    /// A behaviour's declared width disagrees with its DPorts.
+    WidthMismatch {
+        /// Node name.
+        node: String,
+        /// Expected lane count (from ports).
+        expected: usize,
+        /// Width the behaviour declares.
+        found: usize,
+    },
+    /// Streamer hierarchy violated (cycle in parent links).
+    BadHierarchy {
+        /// Description of the violation.
+        detail: String,
+    },
+    /// A duplicate name was used where uniqueness is required.
+    DuplicateName {
+        /// The duplicated name.
+        name: String,
+    },
+    /// The underlying solver failed.
+    Solve(SolveError),
+}
+
+impl fmt::Display for FlowError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FlowError::UnknownPort { node, port } => {
+                write!(f, "unknown port `{port}` on streamer `{node}`")
+            }
+            FlowError::UnknownNode { index } => write!(f, "unknown node index {index}"),
+            FlowError::WrongDirection { detail } => write!(f, "wrong flow direction: {detail}"),
+            FlowError::TypeMismatch { from, to } => {
+                write!(f, "flow type of `{from}` is not a subset of `{to}`")
+            }
+            FlowError::MultipleWriters { node, port } => {
+                write!(f, "input DPort `{port}` on `{node}` has multiple writers")
+            }
+            FlowError::UnconnectedInput { node, port } => {
+                write!(f, "input DPort `{port}` on `{node}` is unconnected")
+            }
+            FlowError::AlgebraicLoop { nodes } => {
+                write!(f, "algebraic loop through {}", nodes.join(" -> "))
+            }
+            FlowError::WidthMismatch { node, expected, found } => {
+                write!(f, "streamer `{node}` declares width {found}, ports require {expected}")
+            }
+            FlowError::BadHierarchy { detail } => write!(f, "bad hierarchy: {detail}"),
+            FlowError::DuplicateName { name } => write!(f, "duplicate name `{name}`"),
+            FlowError::Solve(e) => write!(f, "solver failure: {e}"),
+        }
+    }
+}
+
+impl Error for FlowError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            FlowError::Solve(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<SolveError> for FlowError {
+    fn from(e: SolveError) -> Self {
+        FlowError::Solve(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_source() {
+        let e = FlowError::TypeMismatch { from: "a.x".into(), to: "b.y".into() };
+        assert!(e.to_string().contains("subset"));
+        let e = FlowError::from(SolveError::InvalidStep { step: 0.0 });
+        assert!(e.source().is_some());
+        let e = FlowError::AlgebraicLoop { nodes: vec!["a".into(), "b".into()] };
+        assert_eq!(e.to_string(), "algebraic loop through a -> b");
+    }
+
+    #[test]
+    fn send_sync() {
+        fn assert_err<E: Error + Send + Sync + 'static>() {}
+        assert_err::<FlowError>();
+    }
+}

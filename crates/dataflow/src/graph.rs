@@ -1,0 +1,933 @@
+//! Streamer networks: flows, relays, hierarchy, validation and lock-step
+//! execution (the realisation of the paper's Figure 2 abstract syntax).
+
+use crate::error::FlowError;
+use crate::flowtype::FlowType;
+use crate::port::{DPortSpec, Direction, SPortSpec};
+use crate::streamer::StreamerBehavior;
+use std::collections::VecDeque;
+use std::fmt;
+use urt_umlrt::message::Message;
+
+/// Identifier of a node (streamer or relay) within a network.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct NodeId(usize);
+
+impl NodeId {
+    /// The raw index.
+    pub fn index(self) -> usize {
+        self.0
+    }
+
+    /// Reconstructs an id from a raw index (e.g. deserialised configs).
+    /// Validity is only checked when the id is used against a network.
+    pub fn from_index(index: usize) -> Self {
+        NodeId(index)
+    }
+}
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+enum NodeKind {
+    Streamer(Box<dyn StreamerBehavior>),
+    /// "Relay is used as a relay point which generates two similar flows
+    /// from a flow" — one input copied to every output port.
+    Relay,
+}
+
+struct Node {
+    name: String,
+    kind: NodeKind,
+    in_ports: Vec<DPortSpec>,
+    out_ports: Vec<DPortSpec>,
+    sports: Vec<SPortSpec>,
+    parent: Option<usize>,
+    in_buf: Vec<f64>,
+    out_buf: Vec<f64>,
+}
+
+impl Node {
+    fn in_port_offset(&self, port_idx: usize) -> usize {
+        self.in_ports[..port_idx].iter().map(DPortSpec::width).sum()
+    }
+
+    fn out_port_offset(&self, port_idx: usize) -> usize {
+        self.out_ports[..port_idx].iter().map(DPortSpec::width).sum()
+    }
+
+    fn direct_feedthrough(&self) -> bool {
+        match &self.kind {
+            NodeKind::Streamer(b) => b.direct_feedthrough(),
+            NodeKind::Relay => true,
+        }
+    }
+}
+
+/// A dataflow connection: `(node, output port index)` to
+/// `(node, input port index)`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct Flow {
+    from_node: usize,
+    from_port: usize,
+    to_node: usize,
+    to_port: usize,
+}
+
+/// A network of streamers and relays connected by typed flows.
+///
+/// See the crate-level example. The network validates the paper's
+/// connection rules and executes all nodes in lock step:
+///
+/// 1. flows go from output DPorts to input DPorts;
+/// 2. the output flow type must be a *subset* of the input flow type;
+/// 3. each input DPort has exactly one writer;
+/// 4. direct-feedthrough cycles are rejected as algebraic loops.
+pub struct StreamerNetwork {
+    name: String,
+    nodes: Vec<Node>,
+    flows: Vec<Flow>,
+    order: Vec<usize>,
+    time: f64,
+    initialized: bool,
+    pending_signals: Vec<(NodeId, String, Message)>,
+    /// Boundary inputs exported to a parent context: `(node, port index)`.
+    ext_inputs: Vec<(usize, usize)>,
+    /// Boundary outputs exported to a parent context: `(node, port index)`.
+    ext_outputs: Vec<(usize, usize)>,
+    ext_in_buf: Vec<f64>,
+}
+
+impl fmt::Debug for StreamerNetwork {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("StreamerNetwork")
+            .field("name", &self.name)
+            .field("nodes", &self.nodes.len())
+            .field("flows", &self.flows.len())
+            .field("time", &self.time)
+            .finish_non_exhaustive()
+    }
+}
+
+impl StreamerNetwork {
+    /// Creates an empty network.
+    pub fn new(name: impl Into<String>) -> Self {
+        StreamerNetwork {
+            name: name.into(),
+            nodes: Vec::new(),
+            flows: Vec::new(),
+            order: Vec::new(),
+            time: 0.0,
+            initialized: false,
+            pending_signals: Vec::new(),
+            ext_inputs: Vec::new(),
+            ext_outputs: Vec::new(),
+            ext_in_buf: Vec::new(),
+        }
+    }
+
+    /// Network name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Number of nodes (streamers + relays).
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Number of flows.
+    pub fn flow_count(&self) -> usize {
+        self.flows.len()
+    }
+
+    /// Current simulation time.
+    pub fn time(&self) -> f64 {
+        self.time
+    }
+
+    /// Adds a streamer with the given input and output DPorts.
+    ///
+    /// # Errors
+    ///
+    /// * [`FlowError::DuplicateName`] if the behaviour name is taken.
+    /// * [`FlowError::WidthMismatch`] if the DPort lanes do not match the
+    ///   behaviour's declared widths.
+    pub fn add_streamer(
+        &mut self,
+        behavior: impl StreamerBehavior + 'static,
+        in_ports: &[(&str, FlowType)],
+        out_ports: &[(&str, FlowType)],
+    ) -> Result<NodeId, FlowError> {
+        self.add_streamer_boxed(Box::new(behavior), in_ports, out_ports)
+    }
+
+    /// Type-erased variant of [`StreamerNetwork::add_streamer`].
+    ///
+    /// # Errors
+    ///
+    /// Same as [`StreamerNetwork::add_streamer`].
+    pub fn add_streamer_boxed(
+        &mut self,
+        behavior: Box<dyn StreamerBehavior>,
+        in_ports: &[(&str, FlowType)],
+        out_ports: &[(&str, FlowType)],
+    ) -> Result<NodeId, FlowError> {
+        let name = behavior.name().to_owned();
+        if self.nodes.iter().any(|n| n.name == name) {
+            return Err(FlowError::DuplicateName { name });
+        }
+        let ins: Vec<DPortSpec> = in_ports
+            .iter()
+            .map(|(n, t)| DPortSpec::new(*n, Direction::In, t.clone()))
+            .collect();
+        let outs: Vec<DPortSpec> = out_ports
+            .iter()
+            .map(|(n, t)| DPortSpec::new(*n, Direction::Out, t.clone()))
+            .collect();
+        let in_width: usize = ins.iter().map(DPortSpec::width).sum();
+        let out_width: usize = outs.iter().map(DPortSpec::width).sum();
+        if in_width != behavior.input_width() {
+            return Err(FlowError::WidthMismatch {
+                node: name,
+                expected: in_width,
+                found: behavior.input_width(),
+            });
+        }
+        if out_width != behavior.output_width() {
+            return Err(FlowError::WidthMismatch {
+                node: name,
+                expected: out_width,
+                found: behavior.output_width(),
+            });
+        }
+        self.nodes.push(Node {
+            name,
+            kind: NodeKind::Streamer(behavior),
+            in_ports: ins,
+            out_ports: outs,
+            sports: Vec::new(),
+            parent: None,
+            in_buf: vec![0.0; in_width],
+            out_buf: vec![0.0; out_width],
+        });
+        self.initialized = false;
+        Ok(NodeId(self.nodes.len() - 1))
+    }
+
+    /// Adds a relay point that duplicates one flow into `fanout` similar
+    /// flows (paper: "generates two similar flows from a flow").
+    ///
+    /// The relay has one input DPort `in` and outputs `out0..out{n-1}`, all
+    /// carrying `flow_type`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FlowError::DuplicateName`] if the name is taken.
+    pub fn add_relay(
+        &mut self,
+        name: impl Into<String>,
+        flow_type: FlowType,
+        fanout: usize,
+    ) -> Result<NodeId, FlowError> {
+        let name = name.into();
+        if self.nodes.iter().any(|n| n.name == name) {
+            return Err(FlowError::DuplicateName { name });
+        }
+        let width = flow_type.width();
+        let ins = vec![DPortSpec::new("in", Direction::In, flow_type.clone())];
+        let outs: Vec<DPortSpec> = (0..fanout)
+            .map(|i| DPortSpec::new(format!("out{i}"), Direction::Out, flow_type.clone()))
+            .collect();
+        self.nodes.push(Node {
+            name,
+            kind: NodeKind::Relay,
+            in_ports: ins,
+            out_ports: outs,
+            sports: Vec::new(),
+            parent: None,
+            in_buf: vec![0.0; width],
+            out_buf: vec![0.0; width * fanout],
+        });
+        self.initialized = false;
+        Ok(NodeId(self.nodes.len() - 1))
+    }
+
+    /// Declares an SPort on a node.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FlowError::UnknownNode`] for a bad id.
+    pub fn add_sport(&mut self, node: NodeId, sport: SPortSpec) -> Result<(), FlowError> {
+        let n = self
+            .nodes
+            .get_mut(node.0)
+            .ok_or(FlowError::UnknownNode { index: node.0 })?;
+        n.sports.push(sport);
+        Ok(())
+    }
+
+    /// Declares `child` a sub-streamer of `parent` (paper Figure 2).
+    ///
+    /// # Errors
+    ///
+    /// * [`FlowError::UnknownNode`] for bad ids.
+    /// * [`FlowError::BadHierarchy`] on self-parenting or cycles.
+    pub fn set_parent(&mut self, child: NodeId, parent: NodeId) -> Result<(), FlowError> {
+        if child.0 >= self.nodes.len() {
+            return Err(FlowError::UnknownNode { index: child.0 });
+        }
+        if parent.0 >= self.nodes.len() {
+            return Err(FlowError::UnknownNode { index: parent.0 });
+        }
+        if child == parent {
+            return Err(FlowError::BadHierarchy { detail: "self-parenting".into() });
+        }
+        // Walk up from `parent`; hitting `child` would close a cycle.
+        let mut cur = Some(parent.0);
+        while let Some(i) = cur {
+            if i == child.0 {
+                return Err(FlowError::BadHierarchy {
+                    detail: format!("cycle through `{}`", self.nodes[child.0].name),
+                });
+            }
+            cur = self.nodes[i].parent;
+        }
+        self.nodes[child.0].parent = Some(parent.0);
+        Ok(())
+    }
+
+    /// Children of a node in the sub-streamer hierarchy.
+    pub fn children(&self, parent: NodeId) -> Vec<NodeId> {
+        self.nodes
+            .iter()
+            .enumerate()
+            .filter(|(_, n)| n.parent == Some(parent.0))
+            .map(|(i, _)| NodeId(i))
+            .collect()
+    }
+
+    /// Node name lookup.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FlowError::UnknownNode`] for a bad id.
+    pub fn node_name(&self, node: NodeId) -> Result<&str, FlowError> {
+        self.nodes
+            .get(node.0)
+            .map(|n| n.name.as_str())
+            .ok_or(FlowError::UnknownNode { index: node.0 })
+    }
+
+    fn find_port(
+        &self,
+        node: NodeId,
+        port: &str,
+        direction: Direction,
+    ) -> Result<usize, FlowError> {
+        let n = self
+            .nodes
+            .get(node.0)
+            .ok_or(FlowError::UnknownNode { index: node.0 })?;
+        let ports = match direction {
+            Direction::In => &n.in_ports,
+            Direction::Out => &n.out_ports,
+        };
+        ports
+            .iter()
+            .position(|p| p.name() == port)
+            .ok_or_else(|| FlowError::UnknownPort {
+                node: n.name.clone(),
+                port: port.to_owned(),
+            })
+    }
+
+    /// Connects an output DPort to an input DPort, enforcing the paper's
+    /// subset rule and single-writer discipline.
+    ///
+    /// # Errors
+    ///
+    /// * [`FlowError::UnknownNode`] / [`FlowError::UnknownPort`].
+    /// * [`FlowError::TypeMismatch`] if the output flow type is not a
+    ///   subset of the input flow type.
+    /// * [`FlowError::MultipleWriters`] if the input is already driven.
+    pub fn flow(&mut self, from: (NodeId, &str), to: (NodeId, &str)) -> Result<(), FlowError> {
+        let from_port = self.find_port(from.0, from.1, Direction::Out)?;
+        let to_port = self.find_port(to.0, to.1, Direction::In)?;
+        let src = &self.nodes[from.0 .0].out_ports[from_port];
+        let dst = &self.nodes[to.0 .0].in_ports[to_port];
+        if !src.flow_type().is_subset_of(dst.flow_type()) {
+            return Err(FlowError::TypeMismatch {
+                from: format!("{}.{}", self.nodes[from.0 .0].name, from.1),
+                to: format!("{}.{}", self.nodes[to.0 .0].name, to.1),
+            });
+        }
+        if self
+            .flows
+            .iter()
+            .any(|f| f.to_node == to.0 .0 && f.to_port == to_port)
+        {
+            return Err(FlowError::MultipleWriters {
+                node: self.nodes[to.0 .0].name.clone(),
+                port: to.1.to_owned(),
+            });
+        }
+        self.flows.push(Flow {
+            from_node: from.0 .0,
+            from_port,
+            to_node: to.0 .0,
+            to_port,
+        });
+        self.initialized = false;
+        Ok(())
+    }
+
+    /// Exports a node's input DPort to the parent context: the port is
+    /// driven from outside via [`StreamerNetwork::set_external_inputs`],
+    /// making this network usable as a composite sub-streamer (Figure 2).
+    /// Returns the lane offset inside the external input vector.
+    ///
+    /// # Errors
+    ///
+    /// * Unknown node/port errors.
+    /// * [`FlowError::MultipleWriters`] if the port is already driven.
+    pub fn export_input(&mut self, node: NodeId, port: &str) -> Result<usize, FlowError> {
+        let pi = self.find_port(node, port, Direction::In)?;
+        if self
+            .flows
+            .iter()
+            .any(|f| f.to_node == node.0 && f.to_port == pi)
+            || self.ext_inputs.contains(&(node.0, pi))
+        {
+            return Err(FlowError::MultipleWriters {
+                node: self.nodes[node.0].name.clone(),
+                port: port.to_owned(),
+            });
+        }
+        let offset = self.ext_in_buf.len();
+        let width = self.nodes[node.0].in_ports[pi].width();
+        self.ext_inputs.push((node.0, pi));
+        self.ext_in_buf.extend(std::iter::repeat(0.0).take(width));
+        self.initialized = false;
+        Ok(offset)
+    }
+
+    /// Exports a node's output DPort to the parent context (read back with
+    /// [`StreamerNetwork::external_outputs`]). Returns the lane offset.
+    ///
+    /// # Errors
+    ///
+    /// Unknown node/port errors.
+    pub fn export_output(&mut self, node: NodeId, port: &str) -> Result<usize, FlowError> {
+        let pi = self.find_port(node, port, Direction::Out)?;
+        let offset: usize = self
+            .ext_outputs
+            .iter()
+            .map(|&(n, p)| self.nodes[n].out_ports[p].width())
+            .sum();
+        self.ext_outputs.push((node.0, pi));
+        Ok(offset)
+    }
+
+    /// Total lane width of exported inputs.
+    pub fn external_input_width(&self) -> usize {
+        self.ext_in_buf.len()
+    }
+
+    /// Total lane width of exported outputs.
+    pub fn external_output_width(&self) -> usize {
+        self.ext_outputs
+            .iter()
+            .map(|&(n, p)| self.nodes[n].out_ports[p].width())
+            .sum()
+    }
+
+    /// Latches the external input lanes for the next step.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `u.len()` differs from the exported input width.
+    pub fn set_external_inputs(&mut self, u: &[f64]) {
+        assert_eq!(u.len(), self.ext_in_buf.len(), "external input width mismatch");
+        self.ext_in_buf.copy_from_slice(u);
+    }
+
+    /// Reads the exported output lanes after a step.
+    pub fn external_outputs(&self) -> Vec<f64> {
+        let mut out = Vec::with_capacity(self.external_output_width());
+        for &(n, p) in &self.ext_outputs {
+            let node = &self.nodes[n];
+            let off = node.out_port_offset(p);
+            let w = node.out_ports[p].width();
+            out.extend_from_slice(&node.out_buf[off..off + w]);
+        }
+        out
+    }
+
+    /// Whether a same-step path leads from an exported input to an
+    /// exported output through direct-feedthrough nodes only (used when
+    /// this network is packaged as a composite sub-streamer).
+    pub fn has_external_feedthrough(&self) -> bool {
+        let n = self.nodes.len();
+        let mut tainted = vec![false; n];
+        let mut queue: VecDeque<usize> = VecDeque::new();
+        for &(i, _) in &self.ext_inputs {
+            if self.nodes[i].direct_feedthrough() && !tainted[i] {
+                tainted[i] = true;
+                queue.push_back(i);
+            }
+        }
+        while let Some(u) = queue.pop_front() {
+            for f in &self.flows {
+                if f.from_node == u
+                    && self.nodes[f.to_node].direct_feedthrough()
+                    && !tainted[f.to_node]
+                {
+                    tainted[f.to_node] = true;
+                    queue.push_back(f.to_node);
+                }
+            }
+        }
+        self.ext_outputs.iter().any(|&(i, _)| tainted[i])
+    }
+
+    /// Validates the whole network: every input driven (by a flow or an
+    /// export), no algebraic loops. Computes the execution order as a side
+    /// effect.
+    ///
+    /// # Errors
+    ///
+    /// * [`FlowError::UnconnectedInput`] for an undriven input DPort.
+    /// * [`FlowError::AlgebraicLoop`] for a direct-feedthrough cycle.
+    pub fn validate(&mut self) -> Result<(), FlowError> {
+        for (i, node) in self.nodes.iter().enumerate() {
+            for (pi, port) in node.in_ports.iter().enumerate() {
+                let driven = self
+                    .flows
+                    .iter()
+                    .any(|f| f.to_node == i && f.to_port == pi)
+                    || self.ext_inputs.contains(&(i, pi));
+                if !driven {
+                    return Err(FlowError::UnconnectedInput {
+                        node: node.name.clone(),
+                        port: port.name().to_owned(),
+                    });
+                }
+            }
+        }
+        self.order = self.compute_order()?;
+        Ok(())
+    }
+
+    /// Kahn's algorithm over *feedthrough-relevant* edges: an edge
+    /// constrains order only if the downstream node has direct
+    /// feedthrough; integrator-like nodes may consume last-step values.
+    fn compute_order(&self) -> Result<Vec<usize>, FlowError> {
+        let n = self.nodes.len();
+        let mut indeg = vec![0usize; n];
+        let mut adj: Vec<Vec<usize>> = vec![Vec::new(); n];
+        for f in &self.flows {
+            if self.nodes[f.to_node].direct_feedthrough() && f.from_node != f.to_node {
+                adj[f.from_node].push(f.to_node);
+                indeg[f.to_node] += 1;
+            }
+        }
+        let mut queue: VecDeque<usize> = (0..n).filter(|&i| indeg[i] == 0).collect();
+        let mut order = Vec::with_capacity(n);
+        while let Some(u) = queue.pop_front() {
+            order.push(u);
+            for &v in &adj[u] {
+                indeg[v] -= 1;
+                if indeg[v] == 0 {
+                    queue.push_back(v);
+                }
+            }
+        }
+        if order.len() != n {
+            let cycle: Vec<String> = (0..n)
+                .filter(|&i| indeg[i] > 0)
+                .map(|i| self.nodes[i].name.clone())
+                .collect();
+            return Err(FlowError::AlgebraicLoop { nodes: cycle });
+        }
+        Ok(order)
+    }
+
+    /// Initialises all behaviours at `t0`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates validation and solver-initialisation failures.
+    pub fn initialize(&mut self, t0: f64) -> Result<(), FlowError> {
+        if self.order.len() != self.nodes.len() {
+            self.validate()?;
+        }
+        self.time = t0;
+        for node in &mut self.nodes {
+            if let NodeKind::Streamer(b) = &mut node.kind {
+                b.initialize(t0)?;
+            }
+        }
+        self.initialized = true;
+        Ok(())
+    }
+
+    /// Advances every node by `h` seconds in dependency order, moving data
+    /// along flows, and collects emitted SPort signals.
+    ///
+    /// # Errors
+    ///
+    /// * [`FlowError::Solve`] on solver failure.
+    /// * Validation errors if the topology changed since `initialize`.
+    pub fn step(&mut self, h: f64) -> Result<(), FlowError> {
+        if !self.initialized {
+            self.initialize(self.time)?;
+        }
+        // Latch exported boundary inputs into their nodes.
+        let mut cursor = 0;
+        for &(n, p) in &self.ext_inputs {
+            let node = &mut self.nodes[n];
+            let off = node.in_port_offset(p);
+            let w = node.in_ports[p].width();
+            node.in_buf[off..off + w].copy_from_slice(&self.ext_in_buf[cursor..cursor + w]);
+            cursor += w;
+        }
+        let order = std::mem::take(&mut self.order);
+        for &i in &order {
+            // Gather inputs from upstream out-buffers.
+            for f in &self.flows {
+                if f.to_node != i {
+                    continue;
+                }
+                let src = &self.nodes[f.from_node];
+                let off_src = src.out_port_offset(f.from_port);
+                let w = src.out_ports[f.from_port].width();
+                let seg: Vec<f64> = src.out_buf[off_src..off_src + w].to_vec();
+                let dst = &mut self.nodes[f.to_node];
+                let off_dst = dst.in_port_offset(f.to_port);
+                dst.in_buf[off_dst..off_dst + w].copy_from_slice(&seg);
+            }
+            let t = self.time;
+            let node = &mut self.nodes[i];
+            match &mut node.kind {
+                NodeKind::Streamer(b) => {
+                    // Split borrows of in/out buffers.
+                    let in_buf = std::mem::take(&mut node.in_buf);
+                    let result = b.advance(t, h, &in_buf, &mut node.out_buf);
+                    node.in_buf = in_buf;
+                    if let Err(e) = result {
+                        self.order = order;
+                        return Err(e.into());
+                    }
+                    for (sport, msg) in b.take_emitted() {
+                        self.pending_signals.push((NodeId(i), sport, msg));
+                    }
+                }
+                NodeKind::Relay => {
+                    let w = node.in_buf.len();
+                    for k in 0..node.out_ports.len() {
+                        let (src, dst) = (0..w, k * w..(k + 1) * w);
+                        let vals: Vec<f64> = node.in_buf[src].to_vec();
+                        node.out_buf[dst].copy_from_slice(&vals);
+                    }
+                }
+            }
+        }
+        self.order = order;
+        self.time += h;
+        Ok(())
+    }
+
+    /// Reads the current lanes of an output DPort.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FlowError::UnknownNode`] / [`FlowError::UnknownPort`].
+    pub fn output(&self, node: NodeId, port: &str) -> Result<&[f64], FlowError> {
+        let pi = self.find_port(node, port, Direction::Out)?;
+        let n = &self.nodes[node.0];
+        let off = n.out_port_offset(pi);
+        let w = n.out_ports[pi].width();
+        Ok(&n.out_buf[off..off + w])
+    }
+
+    /// Delivers a signal message to a node's behaviour (as if it arrived on
+    /// one of its SPorts).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FlowError::UnknownNode`] for a bad id.
+    pub fn send_signal(&mut self, node: NodeId, msg: &Message) -> Result<(), FlowError> {
+        let n = self
+            .nodes
+            .get_mut(node.0)
+            .ok_or(FlowError::UnknownNode { index: node.0 })?;
+        if let NodeKind::Streamer(b) = &mut n.kind {
+            b.on_signal(msg);
+        }
+        Ok(())
+    }
+
+    /// Drains signals emitted by behaviours since the last drain, as
+    /// `(node, sport, message)` triples.
+    pub fn drain_signals(&mut self) -> Vec<(NodeId, String, Message)> {
+        std::mem::take(&mut self.pending_signals)
+    }
+
+    /// Iterates over `(id, name)` of all nodes.
+    pub fn iter_nodes(&self) -> impl Iterator<Item = (NodeId, &str)> {
+        self.nodes
+            .iter()
+            .enumerate()
+            .map(|(i, n)| (NodeId(i), n.name.as_str()))
+    }
+
+    /// SPorts declared on a node.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FlowError::UnknownNode`] for a bad id.
+    pub fn sports(&self, node: NodeId) -> Result<&[SPortSpec], FlowError> {
+        self.nodes
+            .get(node.0)
+            .map(|n| n.sports.as_slice())
+            .ok_or(FlowError::UnknownNode { index: node.0 })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::flowtype::Unit;
+    use crate::streamer::FnStreamer;
+    use urt_umlrt::protocol::Protocol;
+
+    fn source(name: &str) -> FnStreamer<impl FnMut(f64, f64, &[f64], &mut [f64]) + Send> {
+        FnStreamer::new(name, 0, 1, |t: f64, _h, _u: &[f64], y: &mut [f64]| y[0] = t)
+    }
+
+    fn gain(name: &str, k: f64) -> FnStreamer<impl FnMut(f64, f64, &[f64], &mut [f64]) + Send> {
+        FnStreamer::new(name, 1, 1, move |_t, _h, u: &[f64], y: &mut [f64]| y[0] = k * u[0])
+    }
+
+    #[test]
+    fn build_and_step_chain() {
+        let mut net = StreamerNetwork::new("chain");
+        let s = net.add_streamer(source("src"), &[], &[("o", FlowType::scalar())]).unwrap();
+        let g = net
+            .add_streamer(gain("g", 3.0), &[("i", FlowType::scalar())], &[("o", FlowType::scalar())])
+            .unwrap();
+        net.flow((s, "o"), (g, "i")).unwrap();
+        net.validate().unwrap();
+        net.initialize(0.0).unwrap();
+        net.step(1.0).unwrap();
+        net.step(1.0).unwrap();
+        // Second step: src emitted t=1.0 (start-of-step time), gain saw it.
+        assert_eq!(net.output(g, "o").unwrap()[0], 3.0);
+        assert_eq!(net.time(), 2.0);
+        assert_eq!(net.node_count(), 2);
+        assert_eq!(net.flow_count(), 1);
+    }
+
+    #[test]
+    fn subset_rule_enforced_on_flow() {
+        let mut net = StreamerNetwork::new("t");
+        let a = net
+            .add_streamer(
+                FnStreamer::new("a", 0, 1, |_t, _h, _u: &[f64], y: &mut [f64]| y[0] = 1.0),
+                &[],
+                &[("o", FlowType::with_unit(Unit::Meter))],
+            )
+            .unwrap();
+        let b = net
+            .add_streamer(gain("b", 1.0), &[("i", FlowType::with_unit(Unit::Kelvin))], &[("o", FlowType::scalar())])
+            .unwrap();
+        let err = net.flow((a, "o"), (b, "i")).unwrap_err();
+        assert!(matches!(err, FlowError::TypeMismatch { .. }));
+        // Any on the input side accepts.
+        let c = net
+            .add_streamer(gain("c", 1.0), &[("i", FlowType::with_unit(Unit::Any))], &[("o", FlowType::scalar())])
+            .unwrap();
+        assert!(net.flow((a, "o"), (c, "i")).is_ok());
+    }
+
+    #[test]
+    fn single_writer_enforced() {
+        let mut net = StreamerNetwork::new("t");
+        let a = net.add_streamer(source("a"), &[], &[("o", FlowType::scalar())]).unwrap();
+        let b = net.add_streamer(source("b"), &[], &[("o", FlowType::scalar())]).unwrap();
+        let g = net
+            .add_streamer(gain("g", 1.0), &[("i", FlowType::scalar())], &[("o", FlowType::scalar())])
+            .unwrap();
+        net.flow((a, "o"), (g, "i")).unwrap();
+        let err = net.flow((b, "o"), (g, "i")).unwrap_err();
+        assert!(matches!(err, FlowError::MultipleWriters { .. }));
+    }
+
+    #[test]
+    fn unconnected_input_rejected() {
+        let mut net = StreamerNetwork::new("t");
+        net.add_streamer(gain("g", 1.0), &[("i", FlowType::scalar())], &[("o", FlowType::scalar())])
+            .unwrap();
+        assert!(matches!(net.validate(), Err(FlowError::UnconnectedInput { .. })));
+    }
+
+    #[test]
+    fn width_mismatch_rejected() {
+        let mut net = StreamerNetwork::new("t");
+        let err = net
+            .add_streamer(gain("g", 1.0), &[("i", FlowType::vector(2))], &[("o", FlowType::scalar())])
+            .unwrap_err();
+        assert!(matches!(err, FlowError::WidthMismatch { expected: 2, found: 1, .. }));
+    }
+
+    #[test]
+    fn duplicate_names_rejected() {
+        let mut net = StreamerNetwork::new("t");
+        net.add_streamer(source("x"), &[], &[("o", FlowType::scalar())]).unwrap();
+        let err = net.add_streamer(source("x"), &[], &[("o", FlowType::scalar())]).unwrap_err();
+        assert!(matches!(err, FlowError::DuplicateName { .. }));
+        net.add_relay("r", FlowType::scalar(), 2).unwrap();
+        assert!(matches!(
+            net.add_relay("r", FlowType::scalar(), 2),
+            Err(FlowError::DuplicateName { .. })
+        ));
+    }
+
+    #[test]
+    fn relay_duplicates_flow() {
+        let mut net = StreamerNetwork::new("t");
+        let s = net.add_streamer(source("s"), &[], &[("o", FlowType::scalar())]).unwrap();
+        let r = net.add_relay("r", FlowType::scalar(), 2).unwrap();
+        let g1 = net
+            .add_streamer(gain("g1", 2.0), &[("i", FlowType::scalar())], &[("o", FlowType::scalar())])
+            .unwrap();
+        let g2 = net
+            .add_streamer(gain("g2", 5.0), &[("i", FlowType::scalar())], &[("o", FlowType::scalar())])
+            .unwrap();
+        net.flow((s, "o"), (r, "in")).unwrap();
+        net.flow((r, "out0"), (g1, "i")).unwrap();
+        net.flow((r, "out1"), (g2, "i")).unwrap();
+        net.initialize(0.0).unwrap();
+        net.step(1.0).unwrap();
+        net.step(1.0).unwrap();
+        let v1 = net.output(g1, "o").unwrap()[0];
+        let v2 = net.output(g2, "o").unwrap()[0];
+        assert_eq!(v1, 2.0);
+        assert_eq!(v2, 5.0);
+    }
+
+    #[test]
+    fn algebraic_loop_detected() {
+        let mut net = StreamerNetwork::new("t");
+        let a = net
+            .add_streamer(gain("a", 1.0), &[("i", FlowType::scalar())], &[("o", FlowType::scalar())])
+            .unwrap();
+        let b = net
+            .add_streamer(gain("b", 1.0), &[("i", FlowType::scalar())], &[("o", FlowType::scalar())])
+            .unwrap();
+        net.flow((a, "o"), (b, "i")).unwrap();
+        net.flow((b, "o"), (a, "i")).unwrap();
+        let err = net.validate().unwrap_err();
+        match err {
+            FlowError::AlgebraicLoop { nodes } => {
+                assert_eq!(nodes.len(), 2);
+            }
+            other => panic!("expected algebraic loop, got {other}"),
+        }
+    }
+
+    #[test]
+    fn non_feedthrough_breaks_loop() {
+        // a -> lag -> a is fine because the lag is not direct feedthrough.
+        struct Lag {
+            state: f64,
+        }
+        impl StreamerBehavior for Lag {
+            fn name(&self) -> &str {
+                "lag"
+            }
+            fn input_width(&self) -> usize {
+                1
+            }
+            fn output_width(&self) -> usize {
+                1
+            }
+            fn direct_feedthrough(&self) -> bool {
+                false
+            }
+            fn advance(
+                &mut self,
+                _t: f64,
+                h: f64,
+                u: &[f64],
+                y: &mut [f64],
+            ) -> Result<(), urt_ode::SolveError> {
+                y[0] = self.state;
+                self.state += h * (u[0] - self.state);
+                Ok(())
+            }
+        }
+        let mut net = StreamerNetwork::new("t");
+        let a = net
+            .add_streamer(gain("a", 0.5), &[("i", FlowType::scalar())], &[("o", FlowType::scalar())])
+            .unwrap();
+        let l = net
+            .add_streamer(Lag { state: 1.0 }, &[("i", FlowType::scalar())], &[("o", FlowType::scalar())])
+            .unwrap();
+        net.flow((a, "o"), (l, "i")).unwrap();
+        net.flow((l, "o"), (a, "i")).unwrap();
+        net.validate().unwrap();
+        net.initialize(0.0).unwrap();
+        for _ in 0..10 {
+            net.step(0.1).unwrap();
+        }
+        assert!(net.output(l, "o").unwrap()[0].is_finite());
+    }
+
+    #[test]
+    fn hierarchy_rules() {
+        let mut net = StreamerNetwork::new("t");
+        let top = net.add_streamer(source("top"), &[], &[("o", FlowType::scalar())]).unwrap();
+        let sub = net.add_streamer(source("sub"), &[], &[("o", FlowType::scalar())]).unwrap();
+        let subsub = net.add_streamer(source("subsub"), &[], &[("o", FlowType::scalar())]).unwrap();
+        net.set_parent(sub, top).unwrap();
+        net.set_parent(subsub, sub).unwrap();
+        assert_eq!(net.children(top), vec![sub]);
+        assert_eq!(net.children(sub), vec![subsub]);
+        assert!(matches!(
+            net.set_parent(top, top),
+            Err(FlowError::BadHierarchy { .. })
+        ));
+        assert!(matches!(
+            net.set_parent(top, subsub),
+            Err(FlowError::BadHierarchy { .. })
+        ));
+    }
+
+    #[test]
+    fn sports_and_signals() {
+        let mut net = StreamerNetwork::new("t");
+        let s = net.add_streamer(source("s"), &[], &[("o", FlowType::scalar())]).unwrap();
+        net.add_sport(s, SPortSpec::new("ctl", Protocol::new("Ctl"))).unwrap();
+        assert_eq!(net.sports(s).unwrap().len(), 1);
+        // Signals to FnStreamer are accepted and ignored.
+        net.send_signal(s, &Message::new("x", urt_umlrt::value::Value::Empty)).unwrap();
+        assert!(net.drain_signals().is_empty());
+    }
+
+    #[test]
+    fn unknown_ids_error() {
+        let mut net = StreamerNetwork::new("t");
+        let bogus = NodeId(5);
+        assert!(matches!(net.node_name(bogus), Err(FlowError::UnknownNode { .. })));
+        assert!(net.output(bogus, "o").is_err());
+        assert!(net
+            .send_signal(bogus, &Message::new("x", urt_umlrt::value::Value::Empty))
+            .is_err());
+        assert!(net.add_sport(bogus, SPortSpec::new("p", Protocol::new("P"))).is_err());
+    }
+}

@@ -1,0 +1,59 @@
+//! The paper's time-continuous dataflow extension: streamers, DPorts,
+//! SPorts, flows, relays and flow types.
+//!
+//! A **streamer** is the continuous counterpart of a capsule: it has ports
+//! and may contain sub-streamers, but its behaviour "is implemented by a
+//! solver through computing equations" instead of a state machine. This
+//! crate provides:
+//!
+//! * [`flowtype`] — the *flow type* stereotype, with the paper's connection
+//!   rule: an output DPort's flow type must be a **subset** of the input
+//!   DPort's flow type.
+//! * [`port`] — typed data ports (DPorts) and protocol-typed signal ports
+//!   (SPorts).
+//! * [`streamer`] — the streamer behaviour trait plus [`OdeStreamer`], the
+//!   standard solver-backed streamer with zero-crossing signal emission.
+//! * [`graph`] — streamer networks: flows, relay nodes, hierarchy,
+//!   validation (type subset rule, single-writer, algebraic-loop
+//!   detection) and lock-step execution.
+//!
+//! # Examples
+//!
+//! A two-streamer network: a source feeding a gain.
+//!
+//! ```
+//! use urt_dataflow::flowtype::FlowType;
+//! use urt_dataflow::graph::StreamerNetwork;
+//! use urt_dataflow::streamer::FnStreamer;
+//!
+//! # fn main() -> Result<(), urt_dataflow::FlowError> {
+//! let mut net = StreamerNetwork::new("demo");
+//! let src = net.add_streamer(
+//!     FnStreamer::new("source", 0, 1, |t, _h, _u, y| y[0] = t.sin()),
+//!     &[],
+//!     &[("wave", FlowType::scalar())],
+//! )?;
+//! let sink = net.add_streamer(
+//!     FnStreamer::new("sink", 1, 1, |_t, _h, u, y| y[0] = 2.0 * u[0]),
+//!     &[("in", FlowType::scalar())],
+//!     &[("out", FlowType::scalar())],
+//! )?;
+//! net.flow((src, "wave"), (sink, "in"))?;
+//! net.validate()?;
+//! net.initialize(0.0)?;
+//! net.step(0.001)?;
+//! # Ok(())
+//! # }
+//! ```
+
+pub mod error;
+pub mod flowtype;
+pub mod graph;
+pub mod port;
+pub mod streamer;
+
+pub use error::FlowError;
+pub use flowtype::{FlowType, Unit};
+pub use graph::{NodeId, StreamerNetwork};
+pub use port::{DPortSpec, Direction, SPortSpec};
+pub use streamer::{CompositeStreamer, FnStreamer, OdeStreamer, StreamerBehavior};

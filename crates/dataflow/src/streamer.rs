@@ -1,0 +1,675 @@
+//! Streamer behaviours: the solver-driven counterpart of capsule state
+//! machines.
+//!
+//! "In a streamer, there is a solver responsible for receiving signal from
+//! SPorts and data from DPorts and operating system services, modifying
+//! parameters, computing equations, and sending out the results."
+
+use crate::error::FlowError;
+use crate::graph::StreamerNetwork;
+use urt_ode::events::{locate_first_crossing, ZeroCrossing};
+use urt_ode::solver::{Rk4, Solver, SolverDriver};
+use urt_ode::system::{FrozenInput, InputSystem};
+use urt_ode::SolveError;
+use urt_umlrt::message::Message;
+use urt_umlrt::value::Value;
+use std::fmt;
+
+/// The behaviour a streamer node executes each macro step.
+///
+/// Inputs `u` are the concatenated lanes of the streamer's input DPorts,
+/// frozen for the step; outputs `y` are the concatenated lanes of its
+/// output DPorts. Signals arriving on SPorts are delivered through
+/// [`StreamerBehavior::on_signal`]; signals the behaviour wants to emit
+/// (e.g. threshold crossings) are collected by
+/// [`StreamerBehavior::take_emitted`].
+pub trait StreamerBehavior: Send {
+    /// Behaviour name (diagnostics).
+    fn name(&self) -> &str;
+
+    /// Total input lane count.
+    fn input_width(&self) -> usize;
+
+    /// Total output lane count.
+    fn output_width(&self) -> usize;
+
+    /// Whether outputs depend *directly* on the current step's inputs
+    /// (true for algebraic blocks, false for integrator-like behaviours).
+    /// Governs algebraic-loop detection.
+    fn direct_feedthrough(&self) -> bool {
+        true
+    }
+
+    /// Called once before the first step.
+    ///
+    /// # Errors
+    ///
+    /// Implementations may reject inconsistent configuration.
+    fn initialize(&mut self, _t0: f64) -> Result<(), SolveError> {
+        Ok(())
+    }
+
+    /// Advances the behaviour from `t` to `t + h` and writes outputs.
+    ///
+    /// # Errors
+    ///
+    /// Solver failures propagate as [`SolveError`].
+    fn advance(&mut self, t: f64, h: f64, u: &[f64], y: &mut [f64]) -> Result<(), SolveError>;
+
+    /// Handles a signal message arriving on one of the streamer's SPorts
+    /// (parameter changes, mode switches, resets).
+    fn on_signal(&mut self, _msg: &Message) {}
+
+    /// Drains signal messages the behaviour wants to emit through its
+    /// SPorts, as `(sport, message)` pairs.
+    fn take_emitted(&mut self) -> Vec<(String, Message)> {
+        Vec::new()
+    }
+}
+
+/// A stateless (or self-contained) behaviour defined by a closure
+/// `f(t, h, u, y)`.
+///
+/// # Examples
+///
+/// ```
+/// use urt_dataflow::streamer::{FnStreamer, StreamerBehavior};
+///
+/// let mut gain = FnStreamer::new("gain2", 1, 1, |_t, _h, u, y| y[0] = 2.0 * u[0]);
+/// let mut y = [0.0];
+/// gain.advance(0.0, 0.01, &[21.0], &mut y)?;
+/// assert_eq!(y[0], 42.0);
+/// # Ok::<(), urt_ode::SolveError>(())
+/// ```
+pub struct FnStreamer<F> {
+    name: String,
+    input_width: usize,
+    output_width: usize,
+    f: F,
+}
+
+impl<F> fmt::Debug for FnStreamer<F> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("FnStreamer")
+            .field("name", &self.name)
+            .field("input_width", &self.input_width)
+            .field("output_width", &self.output_width)
+            .finish_non_exhaustive()
+    }
+}
+
+impl<F: FnMut(f64, f64, &[f64], &mut [f64]) + Send> FnStreamer<F> {
+    /// Wraps a closure as a streamer behaviour.
+    pub fn new(name: impl Into<String>, input_width: usize, output_width: usize, f: F) -> Self {
+        FnStreamer { name: name.into(), input_width, output_width, f }
+    }
+}
+
+impl<F: FnMut(f64, f64, &[f64], &mut [f64]) + Send> StreamerBehavior for FnStreamer<F> {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn input_width(&self) -> usize {
+        self.input_width
+    }
+
+    fn output_width(&self) -> usize {
+        self.output_width
+    }
+
+    fn advance(&mut self, t: f64, h: f64, u: &[f64], y: &mut [f64]) -> Result<(), SolveError> {
+        (self.f)(t, h, u, y);
+        Ok(())
+    }
+}
+
+/// Signal handler invoked when a message reaches an [`OdeStreamer`] SPort:
+/// receives the message, the system (for parameter changes) and the state
+/// (for resets).
+pub type SignalHandler<S> = Box<dyn FnMut(&Message, &mut S, &mut [f64]) + Send>;
+
+/// The standard solver-backed streamer: continuous state advanced by an
+/// integration strategy, with zero-crossing guards that emit signals.
+///
+/// This is the paper's architecture verbatim — the *solver* (a swappable
+/// [`Solver`] strategy, Figure 1) computes the *equations* (an
+/// [`InputSystem`]), reading DPort data and SPort signals.
+pub struct OdeStreamer<S: InputSystem + Send> {
+    name: String,
+    system: S,
+    solver: Box<dyn Solver + Send>,
+    driver: Option<SolverDriver>,
+    x0: Vec<f64>,
+    guards: Vec<ZeroCrossing>,
+    guard_values: Vec<f64>,
+    handler: Option<SignalHandler<S>>,
+    emitted: Vec<(String, Message)>,
+    /// SPort through which guard crossings are announced.
+    event_sport: String,
+    substep: f64,
+}
+
+impl<S: InputSystem + Send> fmt::Debug for OdeStreamer<S> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("OdeStreamer")
+            .field("name", &self.name)
+            .field("dim", &self.system.dim())
+            .field("solver", &self.solver.name())
+            .finish_non_exhaustive()
+    }
+}
+
+impl<S: InputSystem + Send> OdeStreamer<S> {
+    /// Creates a streamer for `system`, integrated by `solver`, starting at
+    /// state `x0`, with internal sub-steps of at most `substep` seconds.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x0` does not match the system dimension or `substep` is
+    /// not positive.
+    pub fn new(
+        name: impl Into<String>,
+        system: S,
+        solver: Box<dyn Solver + Send>,
+        x0: &[f64],
+        substep: f64,
+    ) -> Self {
+        assert_eq!(x0.len(), system.dim(), "initial state dimension mismatch");
+        assert!(substep > 0.0, "substep must be positive");
+        OdeStreamer {
+            name: name.into(),
+            system,
+            solver,
+            driver: None,
+            x0: x0.to_vec(),
+            guards: Vec::new(),
+            guard_values: Vec::new(),
+            handler: None,
+            emitted: Vec::new(),
+            event_sport: "events".to_owned(),
+            substep,
+        }
+    }
+
+    /// Adds a zero-crossing guard; crossings are emitted as signals named
+    /// after the guard label on the `events` SPort (builder style).
+    pub fn with_guard(mut self, guard: ZeroCrossing) -> Self {
+        self.guards.push(guard);
+        self
+    }
+
+    /// Sets the SPort name used for guard-crossing signals (builder style).
+    pub fn with_event_sport(mut self, sport: impl Into<String>) -> Self {
+        self.event_sport = sport.into();
+        self
+    }
+
+    /// Installs the SPort signal handler (builder style).
+    pub fn with_signal_handler<F>(mut self, handler: F) -> Self
+    where
+        F: FnMut(&Message, &mut S, &mut [f64]) + Send + 'static,
+    {
+        self.handler = Some(Box::new(handler));
+        self
+    }
+
+    /// Current continuous state (initial state before `initialize`).
+    pub fn state(&self) -> &[f64] {
+        self.driver
+            .as_ref()
+            .map_or(&self.x0, |d| d.state().as_slice())
+    }
+
+    /// Name of the installed solver strategy.
+    pub fn solver_name(&self) -> &str {
+        self.solver.name()
+    }
+
+    /// Replaces the solver strategy at run time (paper Figure 1: strategies
+    /// are swappable without touching the equations).
+    pub fn set_solver(&mut self, solver: Box<dyn Solver + Send>) {
+        self.solver = solver;
+    }
+}
+
+impl<S: InputSystem + Send> StreamerBehavior for OdeStreamer<S> {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn input_width(&self) -> usize {
+        self.system.input_dim()
+    }
+
+    fn output_width(&self) -> usize {
+        self.system.output_dim()
+    }
+
+    fn direct_feedthrough(&self) -> bool {
+        // Outputs come from the state via the output map; inputs only act
+        // through derivatives, one step delayed.
+        false
+    }
+
+    fn initialize(&mut self, t0: f64) -> Result<(), SolveError> {
+        self.driver = Some(SolverDriver::new(t0, &self.x0, self.substep)?);
+        self.guard_values = self
+            .guards
+            .iter()
+            .map(|g| g.eval(t0, &self.x0))
+            .collect();
+        Ok(())
+    }
+
+    fn advance(&mut self, t: f64, h: f64, u: &[f64], y: &mut [f64]) -> Result<(), SolveError> {
+        let driver = self.driver.as_mut().ok_or(SolveError::InvalidStep { step: h })?;
+        let frozen = FrozenInput::new(&self.system, u);
+        let x_before: Vec<f64> = driver.state().as_slice().to_vec();
+        let t_end = t + h;
+        let resolution = 4.0 * f64::EPSILON * t_end.abs().max(1.0);
+        while driver.time() < t_end - resolution {
+            driver.advance(&frozen, self.solver.as_mut(), t_end)?;
+        }
+        // Zero-crossing check over the macro step.
+        let x_after = driver.state().as_slice().to_vec();
+        for (i, guard) in self.guards.iter().enumerate() {
+            let before = self.guard_values[i];
+            let after = guard.eval(t_end, &x_after);
+            if guard.direction().matches(before, after) {
+                // Localise with a scratch RK4 over the frozen system.
+                let mut scratch = Rk4::new();
+                let hit = locate_first_crossing(
+                    &frozen,
+                    &mut scratch,
+                    std::slice::from_ref(guard),
+                    t,
+                    &x_before,
+                    t_end,
+                    1e-9,
+                )?;
+                let event_time = hit.map_or(t_end, |e| e.time);
+                self.emitted.push((
+                    self.event_sport.clone(),
+                    Message::new(guard.label(), Value::Real(event_time)).with_sent_at(event_time),
+                ));
+            }
+            self.guard_values[i] = after;
+        }
+        self.system.output(t_end, &x_after, u, y);
+        Ok(())
+    }
+
+    fn on_signal(&mut self, msg: &Message) {
+        if let (Some(handler), Some(driver)) = (self.handler.as_mut(), self.driver.as_mut()) {
+            handler(msg, &mut self.system, driver.state_mut().as_mut_slice());
+        }
+    }
+
+    fn take_emitted(&mut self) -> Vec<(String, Message)> {
+        std::mem::take(&mut self.emitted)
+    }
+}
+
+/// A whole [`StreamerNetwork`] packaged as one streamer behaviour — the
+/// executable form of the paper's sub-streamer containment (Figure 2: "they
+/// can contain any number of sub-streamers").
+///
+/// Boundary DPorts come from the network's
+/// [`export_input`](StreamerNetwork::export_input) /
+/// [`export_output`](StreamerNetwork::export_output) declarations. SPort
+/// signals delivered to the composite are broadcast to every inner
+/// streamer (each behaviour filters by signal name); signals emitted by
+/// inner streamers bubble up unchanged.
+///
+/// # Examples
+///
+/// ```
+/// use urt_dataflow::flowtype::FlowType;
+/// use urt_dataflow::graph::StreamerNetwork;
+/// use urt_dataflow::streamer::{CompositeStreamer, FnStreamer, StreamerBehavior};
+///
+/// # fn main() -> Result<(), urt_dataflow::FlowError> {
+/// let mut inner = StreamerNetwork::new("inner");
+/// let gain = inner.add_streamer(
+///     FnStreamer::new("gain", 1, 1, |_t, _h, u, y| y[0] = 3.0 * u[0]),
+///     &[("u", FlowType::scalar())],
+///     &[("y", FlowType::scalar())],
+/// )?;
+/// inner.export_input(gain, "u")?;
+/// inner.export_output(gain, "y")?;
+/// let mut composite = CompositeStreamer::new("triple", inner)?;
+/// composite.initialize(0.0)?;
+/// let mut y = [0.0];
+/// composite.advance(0.0, 0.01, &[2.0], &mut y)?;
+/// assert_eq!(y[0], 6.0);
+/// # Ok(())
+/// # }
+/// ```
+pub struct CompositeStreamer {
+    name: String,
+    network: StreamerNetwork,
+    feedthrough: bool,
+    emitted: Vec<(String, Message)>,
+}
+
+impl fmt::Debug for CompositeStreamer {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("CompositeStreamer")
+            .field("name", &self.name)
+            .field("network", &self.network)
+            .finish_non_exhaustive()
+    }
+}
+
+impl CompositeStreamer {
+    /// Packages `network` (with its exported boundary ports) as one
+    /// streamer.
+    ///
+    /// # Errors
+    ///
+    /// Propagates network validation errors.
+    pub fn new(name: impl Into<String>, mut network: StreamerNetwork) -> Result<Self, FlowError> {
+        network.validate()?;
+        let feedthrough = network.has_external_feedthrough();
+        Ok(CompositeStreamer {
+            name: name.into(),
+            network,
+            feedthrough,
+            emitted: Vec::new(),
+        })
+    }
+
+    /// Read access to the inner network.
+    pub fn network(&self) -> &StreamerNetwork {
+        &self.network
+    }
+}
+
+impl StreamerBehavior for CompositeStreamer {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn input_width(&self) -> usize {
+        self.network.external_input_width()
+    }
+
+    fn output_width(&self) -> usize {
+        self.network.external_output_width()
+    }
+
+    fn direct_feedthrough(&self) -> bool {
+        self.feedthrough
+    }
+
+    fn initialize(&mut self, t0: f64) -> Result<(), SolveError> {
+        self.network
+            .initialize(t0)
+            .map_err(|_| SolveError::InvalidStep { step: t0 })
+    }
+
+    fn advance(&mut self, _t: f64, h: f64, u: &[f64], y: &mut [f64]) -> Result<(), SolveError> {
+        self.network.set_external_inputs(u);
+        self.network.step(h).map_err(|e| match e {
+            FlowError::Solve(s) => s,
+            _ => SolveError::InvalidStep { step: h },
+        })?;
+        y.copy_from_slice(&self.network.external_outputs());
+        for (_node, sport, msg) in self.network.drain_signals() {
+            self.emitted.push((sport, msg));
+        }
+        Ok(())
+    }
+
+    fn on_signal(&mut self, msg: &Message) {
+        let ids: Vec<_> = self.network.iter_nodes().map(|(id, _)| id).collect();
+        for id in ids {
+            let _ = self.network.send_signal(id, msg);
+        }
+    }
+
+    fn take_emitted(&mut self) -> Vec<(String, Message)> {
+        std::mem::take(&mut self.emitted)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use urt_ode::events::EventDirection;
+    use urt_ode::solver::SolverKind;
+    use urt_ode::system::FnInputSystem;
+
+    fn first_order_plant() -> FnInputSystem<impl Fn(f64, &[f64], &[f64], &mut [f64])> {
+        // x' = u - x : first-order lag.
+        FnInputSystem::new(1, 1, |_t, x: &[f64], u: &[f64], dx: &mut [f64]| {
+            dx[0] = u[0] - x[0];
+        })
+    }
+
+    #[test]
+    fn fn_streamer_runs_closure() {
+        let mut s = FnStreamer::new("sum", 2, 1, |_t, _h, u: &[f64], y: &mut [f64]| {
+            y[0] = u[0] + u[1];
+        });
+        assert_eq!(s.name(), "sum");
+        assert_eq!(s.input_width(), 2);
+        assert_eq!(s.output_width(), 1);
+        assert!(s.direct_feedthrough());
+        let mut y = [0.0];
+        s.advance(0.0, 0.1, &[1.0, 2.0], &mut y).unwrap();
+        assert_eq!(y[0], 3.0);
+    }
+
+    #[test]
+    fn ode_streamer_tracks_step_input() {
+        let mut s = OdeStreamer::new(
+            "lag",
+            first_order_plant(),
+            SolverKind::Rk4.create(),
+            &[0.0],
+            0.001,
+        );
+        assert!(!s.direct_feedthrough());
+        s.initialize(0.0).unwrap();
+        let mut y = [0.0];
+        let mut t = 0.0;
+        for _ in 0..5000 {
+            s.advance(t, 0.001, &[1.0], &mut y).unwrap();
+            t += 0.001;
+        }
+        // After 5 time constants the lag has settled to ~1.
+        assert!((y[0] - 1.0).abs() < 0.01, "settled at {}", y[0]);
+    }
+
+    #[test]
+    fn ode_streamer_requires_initialize() {
+        let mut s = OdeStreamer::new(
+            "lag",
+            first_order_plant(),
+            SolverKind::ForwardEuler.create(),
+            &[0.0],
+            0.01,
+        );
+        let mut y = [0.0];
+        assert!(s.advance(0.0, 0.1, &[0.0], &mut y).is_err());
+    }
+
+    #[test]
+    #[should_panic(expected = "initial state dimension mismatch")]
+    fn ode_streamer_checks_x0() {
+        let _ = OdeStreamer::new(
+            "bad",
+            first_order_plant(),
+            SolverKind::Rk4.create(),
+            &[0.0, 0.0],
+            0.01,
+        );
+    }
+
+    #[test]
+    fn guard_crossing_emits_signal() {
+        let mut s = OdeStreamer::new(
+            "lag",
+            first_order_plant(),
+            SolverKind::Rk4.create(),
+            &[0.0],
+            0.001,
+        )
+        .with_guard(ZeroCrossing::new(
+            "half_reached",
+            EventDirection::Rising,
+            |_t, x| x[0] - 0.5,
+        ))
+        .with_event_sport("alarm");
+        s.initialize(0.0).unwrap();
+        let mut y = [0.0];
+        let mut t = 0.0;
+        let mut events = Vec::new();
+        for _ in 0..2000 {
+            s.advance(t, 0.001, &[1.0], &mut y).unwrap();
+            t += 0.001;
+            events.extend(s.take_emitted());
+        }
+        assert_eq!(events.len(), 1, "exactly one crossing");
+        let (sport, msg) = &events[0];
+        assert_eq!(sport, "alarm");
+        assert_eq!(msg.signal(), "half_reached");
+        // x(t) = 1 - e^-t crosses 0.5 at ln 2 ≈ 0.6931.
+        let t_event = msg.value().as_real().unwrap();
+        assert!((t_event - std::f64::consts::LN_2).abs() < 2e-3, "event at {t_event}");
+    }
+
+    #[test]
+    fn signal_handler_mutates_system_and_state() {
+        // System with a mutable gain parameter.
+        struct Plant {
+            gain: f64,
+        }
+        impl InputSystem for Plant {
+            fn dim(&self) -> usize {
+                1
+            }
+            fn input_dim(&self) -> usize {
+                1
+            }
+            fn derivatives(&self, _t: f64, x: &[f64], u: &[f64], dx: &mut [f64]) {
+                dx[0] = self.gain * (u[0] - x[0]);
+            }
+        }
+        let mut s = OdeStreamer::new("p", Plant { gain: 1.0 }, SolverKind::Rk4.create(), &[0.0], 0.001)
+            .with_signal_handler(|msg, plant: &mut Plant, state: &mut [f64]| {
+                match msg.signal() {
+                    "set_gain" => plant.gain = msg.value().as_real().unwrap_or(plant.gain),
+                    "reset" => state.fill(0.0),
+                    _ => {}
+                }
+            });
+        s.initialize(0.0).unwrap();
+        s.on_signal(&Message::new("set_gain", Value::Real(10.0)));
+        let mut y = [0.0];
+        let mut t = 0.0;
+        for _ in 0..1000 {
+            s.advance(t, 0.001, &[1.0], &mut y).unwrap();
+            t += 0.001;
+        }
+        // gain=10 settles 10x faster: well above the gain=1 response.
+        assert!(y[0] > 0.9, "fast settle, got {}", y[0]);
+        s.on_signal(&Message::new("reset", Value::Empty));
+        assert_eq!(s.state()[0], 0.0);
+    }
+
+    #[test]
+    fn composite_streamer_nests_inside_a_parent_network() {
+        use crate::flowtype::FlowType;
+
+        // Inner network: lag behind an exported boundary.
+        let mut inner = StreamerNetwork::new("inner");
+        let lag = inner
+            .add_streamer(
+                OdeStreamer::new(
+                    "lag",
+                    first_order_plant(),
+                    SolverKind::Rk4.create(),
+                    &[0.0],
+                    1e-3,
+                ),
+                &[("u", FlowType::scalar())],
+                &[("y", FlowType::scalar())],
+            )
+            .unwrap();
+        inner.export_input(lag, "u").unwrap();
+        inner.export_output(lag, "y").unwrap();
+        let composite = CompositeStreamer::new("subsystem", inner).unwrap();
+        assert!(!composite.direct_feedthrough(), "lag is not feedthrough");
+        assert_eq!(composite.input_width(), 1);
+        assert_eq!(composite.output_width(), 1);
+
+        // Parent network: source -> composite.
+        let mut outer = StreamerNetwork::new("outer");
+        let src = outer
+            .add_streamer(
+                FnStreamer::new("one", 0, 1, |_t, _h, _u: &[f64], y: &mut [f64]| y[0] = 1.0),
+                &[],
+                &[("y", FlowType::scalar())],
+            )
+            .unwrap();
+        let sub = outer
+            .add_streamer(
+                composite,
+                &[("u", FlowType::scalar())],
+                &[("y", FlowType::scalar())],
+            )
+            .unwrap();
+        outer.flow((src, "y"), (sub, "u")).unwrap();
+        outer.initialize(0.0).unwrap();
+        for _ in 0..5000 {
+            outer.step(1e-3).unwrap();
+        }
+        let y = outer.output(sub, "y").unwrap()[0];
+        assert!((y - 1.0).abs() < 0.02, "nested lag settled at {y}");
+    }
+
+    #[test]
+    fn export_rules_are_enforced() {
+        use crate::flowtype::FlowType;
+        let mut net = StreamerNetwork::new("n");
+        let g = net
+            .add_streamer(
+                FnStreamer::new("g", 1, 1, |_t, _h, u: &[f64], y: &mut [f64]| y[0] = u[0]),
+                &[("u", FlowType::scalar())],
+                &[("y", FlowType::scalar())],
+            )
+            .unwrap();
+        net.export_input(g, "u").unwrap();
+        // Double export = double driver.
+        assert!(matches!(
+            net.export_input(g, "u"),
+            Err(FlowError::MultipleWriters { .. })
+        ));
+        assert!(net.export_input(g, "ghost").is_err());
+        assert!(net.export_output(g, "ghost").is_err());
+        net.export_output(g, "y").unwrap();
+        // Feedthrough path: gain from exported input to exported output.
+        assert!(net.has_external_feedthrough());
+    }
+
+    #[test]
+    fn solver_strategy_is_swappable() {
+        let mut s = OdeStreamer::new(
+            "p",
+            first_order_plant(),
+            SolverKind::ForwardEuler.create(),
+            &[0.0],
+            0.01,
+        );
+        assert_eq!(s.solver_name(), "euler");
+        s.set_solver(SolverKind::Dopri45.create());
+        assert_eq!(s.solver_name(), "dopri45");
+        s.initialize(0.0).unwrap();
+        let mut y = [0.0];
+        s.advance(0.0, 0.1, &[1.0], &mut y).unwrap();
+        assert!(y[0] > 0.0);
+    }
+}

@@ -1,0 +1,311 @@
+//! Time-discrete systems described by difference equations.
+//!
+//! The paper notes that difference equations *can* already live inside
+//! UML-RT capsule actions ("transition, entry, exit state") because one
+//! update per event fits run-to-completion semantics. This module provides
+//! the update machinery both for capsule actions and for discrete blocks.
+
+use crate::linalg::Matrix;
+
+/// A discrete-time system `x[k+1] = f(k, x[k], u[k])`, `y[k] = g(...)`.
+///
+/// Unlike continuous systems these are stepped exactly once per sample
+/// period, which is why they can run inside a capsule's run-to-completion
+/// action while differential equations cannot.
+///
+/// # Examples
+///
+/// ```
+/// use urt_ode::difference::{DifferenceSystem, UnitDelay};
+///
+/// let mut d = UnitDelay::new(0.0);
+/// assert_eq!(d.step(&[5.0]), vec![0.0]);
+/// assert_eq!(d.step(&[7.0]), vec![5.0]);
+/// ```
+pub trait DifferenceSystem {
+    /// Input dimension.
+    fn input_dim(&self) -> usize;
+
+    /// Output dimension.
+    fn output_dim(&self) -> usize;
+
+    /// Consumes one input sample and produces one output sample.
+    fn step(&mut self, u: &[f64]) -> Vec<f64>;
+
+    /// Resets internal state to its initial value.
+    fn reset(&mut self);
+}
+
+/// `y[k] = u[k-1]`, the fundamental discrete delay.
+#[derive(Debug, Clone, PartialEq)]
+pub struct UnitDelay {
+    initial: f64,
+    state: f64,
+}
+
+impl UnitDelay {
+    /// Creates a delay that outputs `initial` at `k = 0`.
+    pub fn new(initial: f64) -> Self {
+        UnitDelay { initial, state: initial }
+    }
+}
+
+impl DifferenceSystem for UnitDelay {
+    fn input_dim(&self) -> usize {
+        1
+    }
+
+    fn output_dim(&self) -> usize {
+        1
+    }
+
+    fn step(&mut self, u: &[f64]) -> Vec<f64> {
+        let out = self.state;
+        self.state = u[0];
+        vec![out]
+    }
+
+    fn reset(&mut self) {
+        self.state = self.initial;
+    }
+}
+
+/// Forward-Euler discrete integrator: `x[k+1] = x[k] + T u[k]`, `y = x`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DiscreteIntegrator {
+    period: f64,
+    initial: f64,
+    state: f64,
+}
+
+impl DiscreteIntegrator {
+    /// Creates an integrator with sample period `period` starting at
+    /// `initial`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `period <= 0`.
+    pub fn new(period: f64, initial: f64) -> Self {
+        assert!(period > 0.0, "sample period must be positive");
+        DiscreteIntegrator { period, initial, state: initial }
+    }
+
+    /// Current accumulated value.
+    pub fn value(&self) -> f64 {
+        self.state
+    }
+}
+
+impl DifferenceSystem for DiscreteIntegrator {
+    fn input_dim(&self) -> usize {
+        1
+    }
+
+    fn output_dim(&self) -> usize {
+        1
+    }
+
+    fn step(&mut self, u: &[f64]) -> Vec<f64> {
+        let out = self.state;
+        self.state += self.period * u[0];
+        vec![out]
+    }
+
+    fn reset(&mut self) {
+        self.state = self.initial;
+    }
+}
+
+/// A linear time-invariant discrete state-space system
+/// `x[k+1] = A x + B u`, `y = C x + D u`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LinearDiscrete {
+    a: Matrix,
+    b: Matrix,
+    c: Matrix,
+    d: Matrix,
+    x0: Vec<f64>,
+    x: Vec<f64>,
+}
+
+impl LinearDiscrete {
+    /// Builds the system; `x0` is the initial state.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the matrix shapes are inconsistent.
+    pub fn new(a: Matrix, b: Matrix, c: Matrix, d: Matrix, x0: Vec<f64>) -> Self {
+        let n = a.rows();
+        assert!(a.is_square(), "A must be square");
+        assert_eq!(b.rows(), n, "B row count must match A");
+        assert_eq!(c.cols(), n, "C column count must match A");
+        assert_eq!(d.rows(), c.rows(), "D rows must match C rows");
+        assert_eq!(d.cols(), b.cols(), "D cols must match B cols");
+        assert_eq!(x0.len(), n, "x0 must match state dimension");
+        LinearDiscrete { a, b, c, d, x: x0.clone(), x0 }
+    }
+
+    /// Current internal state.
+    pub fn state(&self) -> &[f64] {
+        &self.x
+    }
+}
+
+impl DifferenceSystem for LinearDiscrete {
+    fn input_dim(&self) -> usize {
+        self.b.cols()
+    }
+
+    fn output_dim(&self) -> usize {
+        self.c.rows()
+    }
+
+    fn step(&mut self, u: &[f64]) -> Vec<f64> {
+        let mut y = self.c.matvec(&self.x);
+        for (yi, di) in y.iter_mut().zip(self.d.matvec(u)) {
+            *yi += di;
+        }
+        let mut x_next = self.a.matvec(&self.x);
+        for (xi, bi) in x_next.iter_mut().zip(self.b.matvec(u)) {
+            *xi += bi;
+        }
+        self.x = x_next;
+        y
+    }
+
+    fn reset(&mut self) {
+        self.x = self.x0.clone();
+    }
+}
+
+/// A discrete transfer function `Y(z)/U(z) = (b0 + b1 z^-1 + ...) /
+/// (1 + a1 z^-1 + ...)` in direct form II transposed.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TransferFunctionZ {
+    b: Vec<f64>,
+    a: Vec<f64>,
+    w: Vec<f64>,
+}
+
+impl TransferFunctionZ {
+    /// Creates a transfer function from numerator `b` and denominator `a`
+    /// coefficients (`a[0]` is normalised to 1).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `a` is empty or `a[0] == 0`.
+    pub fn new(b: &[f64], a: &[f64]) -> Self {
+        assert!(!a.is_empty() && a[0] != 0.0, "denominator must have a nonzero leading term");
+        let a0 = a[0];
+        let b: Vec<f64> = b.iter().map(|v| v / a0).collect();
+        let a: Vec<f64> = a.iter().map(|v| v / a0).collect();
+        let order = a.len().max(b.len()) - 1;
+        TransferFunctionZ { b, a, w: vec![0.0; order] }
+    }
+}
+
+impl DifferenceSystem for TransferFunctionZ {
+    fn input_dim(&self) -> usize {
+        1
+    }
+
+    fn output_dim(&self) -> usize {
+        1
+    }
+
+    fn step(&mut self, u: &[f64]) -> Vec<f64> {
+        let u = u[0];
+        let b0 = self.b.first().copied().unwrap_or(0.0);
+        let y = b0 * u + self.w.first().copied().unwrap_or(0.0);
+        let n = self.w.len();
+        for i in 0..n {
+            let bi = self.b.get(i + 1).copied().unwrap_or(0.0);
+            let ai = self.a.get(i + 1).copied().unwrap_or(0.0);
+            let w_next = self.w.get(i + 1).copied().unwrap_or(0.0);
+            self.w[i] = bi * u - ai * y + w_next;
+        }
+        vec![y]
+    }
+
+    fn reset(&mut self) {
+        self.w.fill(0.0);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unit_delay_delays_by_one() {
+        let mut d = UnitDelay::new(-1.0);
+        assert_eq!(d.step(&[1.0])[0], -1.0);
+        assert_eq!(d.step(&[2.0])[0], 1.0);
+        assert_eq!(d.step(&[3.0])[0], 2.0);
+        d.reset();
+        assert_eq!(d.step(&[9.0])[0], -1.0);
+    }
+
+    #[test]
+    fn discrete_integrator_accumulates() {
+        let mut i = DiscreteIntegrator::new(0.5, 0.0);
+        i.step(&[2.0]);
+        i.step(&[2.0]);
+        assert_eq!(i.value(), 2.0);
+        i.reset();
+        assert_eq!(i.value(), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "sample period must be positive")]
+    fn discrete_integrator_rejects_bad_period() {
+        let _ = DiscreteIntegrator::new(0.0, 0.0);
+    }
+
+    #[test]
+    fn linear_discrete_matches_delay() {
+        // x[k+1] = u, y = x: a one-sample delay.
+        let sys = LinearDiscrete::new(
+            Matrix::zeros(1, 1),
+            Matrix::identity(1),
+            Matrix::identity(1),
+            Matrix::zeros(1, 1),
+            vec![0.0],
+        );
+        let mut sys = sys;
+        assert_eq!(sys.step(&[5.0])[0], 0.0);
+        assert_eq!(sys.step(&[0.0])[0], 5.0);
+    }
+
+    #[test]
+    fn transfer_function_pure_gain() {
+        let mut tf = TransferFunctionZ::new(&[3.0], &[1.0]);
+        assert_eq!(tf.step(&[2.0])[0], 6.0);
+    }
+
+    #[test]
+    fn transfer_function_first_order_lowpass_converges() {
+        // y[k] = 0.5 y[k-1] + 0.5 u[k] -> DC gain 1.
+        let mut tf = TransferFunctionZ::new(&[0.5], &[1.0, -0.5]);
+        let mut y = 0.0;
+        for _ in 0..200 {
+            y = tf.step(&[1.0])[0];
+        }
+        assert!((y - 1.0).abs() < 1e-9, "settled at {y}");
+    }
+
+    #[test]
+    fn transfer_function_normalises_denominator() {
+        let mut a = TransferFunctionZ::new(&[1.0], &[2.0]);
+        assert_eq!(a.step(&[4.0])[0], 2.0);
+    }
+
+    #[test]
+    fn transfer_function_reset_clears_state() {
+        let mut tf = TransferFunctionZ::new(&[0.5], &[1.0, -0.5]);
+        tf.step(&[1.0]);
+        tf.reset();
+        let y = tf.step(&[0.0])[0];
+        assert_eq!(y, 0.0);
+    }
+}

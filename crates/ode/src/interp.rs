@@ -1,0 +1,142 @@
+//! Dense output: interpolation between accepted solver steps.
+//!
+//! Streamer output DPorts publish at a fixed cadence that rarely matches
+//! the solver's internal steps; cubic Hermite interpolation reconstructs
+//! intermediate values without extra derivative evaluations.
+
+/// Cubic Hermite interpolation on `[t0, t1]` given endpoint values and
+/// derivatives.
+///
+/// # Examples
+///
+/// ```
+/// use urt_ode::interp::hermite;
+///
+/// // Interpolating x(t) = t^2 on [0, 1] from exact endpoint data.
+/// let mid = hermite(0.0, 0.0, 0.0, 1.0, 1.0, 2.0, 0.5);
+/// assert!((mid - 0.25).abs() < 1e-12);
+/// ```
+pub fn hermite(t0: f64, x0: f64, dx0: f64, t1: f64, x1: f64, dx1: f64, t: f64) -> f64 {
+    let h = t1 - t0;
+    if h == 0.0 {
+        return x0;
+    }
+    let s = (t - t0) / h;
+    let s2 = s * s;
+    let s3 = s2 * s;
+    let h00 = 2.0 * s3 - 3.0 * s2 + 1.0;
+    let h10 = s3 - 2.0 * s2 + s;
+    let h01 = -2.0 * s3 + 3.0 * s2;
+    let h11 = s3 - s2;
+    h00 * x0 + h10 * h * dx0 + h01 * x1 + h11 * h * dx1
+}
+
+/// Vector-valued cubic Hermite interpolation.
+///
+/// # Panics
+///
+/// Panics if the slices have differing lengths.
+pub fn hermite_vec(
+    t0: f64,
+    x0: &[f64],
+    dx0: &[f64],
+    t1: f64,
+    x1: &[f64],
+    dx1: &[f64],
+    t: f64,
+    out: &mut [f64],
+) {
+    assert!(
+        x0.len() == dx0.len() && x0.len() == x1.len() && x0.len() == dx1.len()
+            && x0.len() == out.len(),
+        "hermite_vec length mismatch"
+    );
+    for i in 0..x0.len() {
+        out[i] = hermite(t0, x0[i], dx0[i], t1, x1[i], dx1[i], t);
+    }
+}
+
+/// Piecewise-linear resampling of `(times, values)` onto a uniform grid of
+/// `n` points spanning the same range.
+///
+/// # Panics
+///
+/// Panics if `times` is empty, lengths differ, or `n < 2`.
+pub fn resample_uniform(times: &[f64], values: &[f64], n: usize) -> Vec<(f64, f64)> {
+    assert!(!times.is_empty(), "cannot resample empty data");
+    assert_eq!(times.len(), values.len(), "times/values length mismatch");
+    assert!(n >= 2, "need at least two output samples");
+    let t0 = times[0];
+    let t1 = *times.last().unwrap();
+    let mut out = Vec::with_capacity(n);
+    let mut idx = 0;
+    for k in 0..n {
+        let t = t0 + (t1 - t0) * k as f64 / (n - 1) as f64;
+        while idx + 1 < times.len() && times[idx + 1] < t {
+            idx += 1;
+        }
+        let v = if idx + 1 >= times.len() || times[idx + 1] == times[idx] {
+            values[idx]
+        } else {
+            let alpha = (t - times[idx]) / (times[idx + 1] - times[idx]);
+            values[idx] * (1.0 - alpha) + values[idx + 1] * alpha
+        };
+        out.push((t, v));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hermite_endpoints_exact() {
+        let (t0, x0, d0) = (1.0, 2.0, -1.0);
+        let (t1, x1, d1) = (3.0, 5.0, 0.5);
+        assert!((hermite(t0, x0, d0, t1, x1, d1, t0) - x0).abs() < 1e-12);
+        assert!((hermite(t0, x0, d0, t1, x1, d1, t1) - x1).abs() < 1e-12);
+    }
+
+    #[test]
+    fn hermite_reproduces_cubics_exactly() {
+        // x(t) = t^3 - t on [0, 2].
+        let f = |t: f64| t * t * t - t;
+        let df = |t: f64| 3.0 * t * t - 1.0;
+        for k in 0..=10 {
+            let t = 2.0 * k as f64 / 10.0;
+            let v = hermite(0.0, f(0.0), df(0.0), 2.0, f(2.0), df(2.0), t);
+            assert!((v - f(t)).abs() < 1e-10, "at t={t}: {v} vs {}", f(t));
+        }
+    }
+
+    #[test]
+    fn hermite_degenerate_interval() {
+        assert_eq!(hermite(1.0, 7.0, 0.0, 1.0, 9.0, 0.0, 1.0), 7.0);
+    }
+
+    #[test]
+    fn hermite_vec_componentwise() {
+        let mut out = [0.0; 2];
+        hermite_vec(0.0, &[0.0, 1.0], &[1.0, 0.0], 1.0, &[1.0, 1.0], &[1.0, 0.0], 0.5, &mut out);
+        assert!((out[0] - 0.5).abs() < 1e-12);
+        assert!((out[1] - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn resample_linear_data() {
+        let times = [0.0, 1.0, 2.0];
+        let values = [0.0, 10.0, 20.0];
+        let out = resample_uniform(&times, &values, 5);
+        assert_eq!(out.len(), 5);
+        assert!((out[2].1 - 10.0).abs() < 1e-12);
+        assert_eq!(out[0], (0.0, 0.0));
+        assert!((out[4].1 - 20.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least two")]
+    fn resample_needs_two_points() {
+        let _ = resample_uniform(&[0.0], &[1.0], 1);
+    }
+}

@@ -1,0 +1,277 @@
+//! Prioritised signal messages and the run-to-completion message queue.
+
+use crate::value::Value;
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+use std::fmt;
+
+/// UML-RT message priority bands, highest first.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub enum Priority {
+    /// Lowest band, housekeeping work.
+    Background,
+    /// Below-normal band.
+    Low,
+    /// Default band.
+    #[default]
+    General,
+    /// Above-normal band (control-critical events).
+    High,
+    /// Highest band (faults, panics).
+    Panic,
+}
+
+impl Priority {
+    /// All priorities from lowest to highest.
+    pub const ALL: [Priority; 5] = [
+        Priority::Background,
+        Priority::Low,
+        Priority::General,
+        Priority::High,
+        Priority::Panic,
+    ];
+}
+
+impl fmt::Display for Priority {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let name = match self {
+            Priority::Background => "background",
+            Priority::Low => "low",
+            Priority::General => "general",
+            Priority::High => "high",
+            Priority::Panic => "panic",
+        };
+        f.write_str(name)
+    }
+}
+
+/// An asynchronous signal message.
+///
+/// # Examples
+///
+/// ```
+/// use urt_umlrt::message::{Message, Priority};
+/// use urt_umlrt::value::Value;
+///
+/// let m = Message::new("setpoint", Value::Real(22.5)).with_priority(Priority::High);
+/// assert_eq!(m.signal(), "setpoint");
+/// assert_eq!(m.priority(), Priority::High);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Message {
+    signal: String,
+    value: Value,
+    priority: Priority,
+    /// Destination port on the receiving capsule; filled in by routing.
+    port: String,
+    /// Virtual time the message was sent, seconds.
+    sent_at: f64,
+}
+
+impl Message {
+    /// Creates a message with [`Priority::General`].
+    pub fn new(signal: impl Into<String>, value: Value) -> Self {
+        Message {
+            signal: signal.into(),
+            value,
+            priority: Priority::General,
+            port: String::new(),
+            sent_at: 0.0,
+        }
+    }
+
+    /// Sets the priority (builder style).
+    pub fn with_priority(mut self, priority: Priority) -> Self {
+        self.priority = priority;
+        self
+    }
+
+    /// Sets the destination port name (builder style; used by routing).
+    pub fn with_port(mut self, port: impl Into<String>) -> Self {
+        self.port = port.into();
+        self
+    }
+
+    /// Sets the send timestamp (builder style; used by the controller).
+    pub fn with_sent_at(mut self, t: f64) -> Self {
+        self.sent_at = t;
+        self
+    }
+
+    /// The signal name.
+    pub fn signal(&self) -> &str {
+        &self.signal
+    }
+
+    /// The payload.
+    pub fn value(&self) -> &Value {
+        &self.value
+    }
+
+    /// The priority band.
+    pub fn priority(&self) -> Priority {
+        self.priority
+    }
+
+    /// The port this message arrived on (empty until routed).
+    pub fn port(&self) -> &str {
+        &self.port
+    }
+
+    /// Virtual send time in seconds.
+    pub fn sent_at(&self) -> f64 {
+        self.sent_at
+    }
+}
+
+impl fmt::Display for Message {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}({}) on `{}`", self.signal, self.value, self.port)
+    }
+}
+
+/// A message queued for a particular capsule.
+#[derive(Debug, Clone)]
+pub struct QueuedMessage {
+    /// Index of the destination capsule within its controller.
+    pub capsule: usize,
+    /// The message itself.
+    pub message: Message,
+    seq: u64,
+}
+
+impl PartialEq for QueuedMessage {
+    fn eq(&self, other: &Self) -> bool {
+        self.seq == other.seq
+    }
+}
+
+impl Eq for QueuedMessage {}
+
+impl Ord for QueuedMessage {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Higher priority first; FIFO within a band (smaller seq first).
+        self.message
+            .priority
+            .cmp(&other.message.priority)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+impl PartialOrd for QueuedMessage {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// The controller's run-to-completion queue: strict priority bands with
+/// FIFO order inside each band.
+///
+/// # Examples
+///
+/// ```
+/// use urt_umlrt::message::{Message, MessageQueue, Priority};
+/// use urt_umlrt::value::Value;
+///
+/// let mut q = MessageQueue::new();
+/// q.push(0, Message::new("low", Value::Empty));
+/// q.push(0, Message::new("hot", Value::Empty).with_priority(Priority::Panic));
+/// assert_eq!(q.pop().unwrap().message.signal(), "hot");
+/// assert_eq!(q.pop().unwrap().message.signal(), "low");
+/// assert!(q.pop().is_none());
+/// ```
+#[derive(Debug, Default)]
+pub struct MessageQueue {
+    heap: BinaryHeap<QueuedMessage>,
+    next_seq: u64,
+}
+
+impl MessageQueue {
+    /// Creates an empty queue.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Enqueues `message` for capsule index `capsule`.
+    pub fn push(&mut self, capsule: usize, message: Message) {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.heap.push(QueuedMessage { capsule, message, seq });
+    }
+
+    /// Dequeues the highest-priority, oldest message.
+    pub fn pop(&mut self) -> Option<QueuedMessage> {
+        self.heap.pop()
+    }
+
+    /// Number of pending messages.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// Whether no messages are pending.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn priority_ordering() {
+        assert!(Priority::Panic > Priority::High);
+        assert!(Priority::High > Priority::General);
+        assert!(Priority::General > Priority::Low);
+        assert!(Priority::Low > Priority::Background);
+        assert_eq!(Priority::default(), Priority::General);
+        assert_eq!(Priority::Panic.to_string(), "panic");
+    }
+
+    #[test]
+    fn message_builders() {
+        let m = Message::new("s", Value::Int(1))
+            .with_priority(Priority::Low)
+            .with_port("p")
+            .with_sent_at(2.0);
+        assert_eq!(m.signal(), "s");
+        assert_eq!(m.value(), &Value::Int(1));
+        assert_eq!(m.priority(), Priority::Low);
+        assert_eq!(m.port(), "p");
+        assert_eq!(m.sent_at(), 2.0);
+        assert_eq!(m.to_string(), "s(1) on `p`");
+    }
+
+    #[test]
+    fn queue_is_fifo_within_band() {
+        let mut q = MessageQueue::new();
+        q.push(0, Message::new("a", Value::Empty));
+        q.push(1, Message::new("b", Value::Empty));
+        q.push(2, Message::new("c", Value::Empty));
+        assert_eq!(q.pop().unwrap().message.signal(), "a");
+        assert_eq!(q.pop().unwrap().message.signal(), "b");
+        assert_eq!(q.pop().unwrap().message.signal(), "c");
+    }
+
+    #[test]
+    fn queue_priority_preempts_fifo() {
+        let mut q = MessageQueue::new();
+        q.push(0, Message::new("first-low", Value::Empty).with_priority(Priority::Low));
+        q.push(0, Message::new("then-high", Value::Empty).with_priority(Priority::High));
+        q.push(0, Message::new("then-general", Value::Empty));
+        assert_eq!(q.pop().unwrap().message.signal(), "then-high");
+        assert_eq!(q.pop().unwrap().message.signal(), "then-general");
+        assert_eq!(q.pop().unwrap().message.signal(), "first-low");
+    }
+
+    #[test]
+    fn queue_len_and_empty() {
+        let mut q = MessageQueue::new();
+        assert!(q.is_empty());
+        q.push(0, Message::new("a", Value::Empty));
+        assert_eq!(q.len(), 1);
+        q.pop();
+        assert!(q.is_empty());
+    }
+}

@@ -1,0 +1,121 @@
+//! Port declarations: end ports, relay ports, and the data-relay ports the
+//! paper's extension adds to capsules.
+//!
+//! In UML-RT a *end port* terminates at a state machine, while a *relay
+//! port* forwards messages across a containment boundary without processing
+//! them. The paper extends capsules with DPorts "only used as relay ports —
+//! no data will be processed by capsules"; [`PortKind::DataRelay`] encodes
+//! exactly that restriction.
+
+use crate::protocol::Protocol;
+use std::fmt;
+
+/// The role a declared port plays.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum PortKind {
+    /// Terminates at the capsule's state machine.
+    #[default]
+    End,
+    /// Forwards signal messages across a containment boundary.
+    Relay,
+    /// A capsule-side DPort: forwards *dataflow* across the boundary; the
+    /// capsule itself never processes the data (paper §2).
+    DataRelay,
+}
+
+impl fmt::Display for PortKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            PortKind::End => "end",
+            PortKind::Relay => "relay",
+            PortKind::DataRelay => "data-relay",
+        };
+        f.write_str(s)
+    }
+}
+
+/// A declared port on a capsule.
+///
+/// Declaration is optional in this runtime — undeclared ports behave as
+/// untyped end ports — but declared ports get protocol compatibility checks
+/// at wiring time and relay semantics at delivery time.
+///
+/// # Examples
+///
+/// ```
+/// use urt_umlrt::port::{PortDecl, PortKind};
+/// use urt_umlrt::protocol::{PayloadKind, Protocol};
+///
+/// let protocol = Protocol::new("Ctl").with_in("go", PayloadKind::Empty);
+/// let port = PortDecl::new("ctl").with_protocol(protocol).with_kind(PortKind::End);
+/// assert_eq!(port.name(), "ctl");
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct PortDecl {
+    name: String,
+    kind: PortKind,
+    protocol: Option<Protocol>,
+}
+
+impl PortDecl {
+    /// Declares an untyped end port.
+    pub fn new(name: impl Into<String>) -> Self {
+        PortDecl { name: name.into(), kind: PortKind::End, protocol: None }
+    }
+
+    /// Sets the port kind (builder style).
+    pub fn with_kind(mut self, kind: PortKind) -> Self {
+        self.kind = kind;
+        self
+    }
+
+    /// Types the port with a protocol (builder style).
+    pub fn with_protocol(mut self, protocol: Protocol) -> Self {
+        self.protocol = Some(protocol);
+        self
+    }
+
+    /// The port name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The port kind.
+    pub fn kind(&self) -> PortKind {
+        self.kind
+    }
+
+    /// The protocol, if the port is typed.
+    pub fn protocol(&self) -> Option<&Protocol> {
+        self.protocol.as_ref()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::protocol::PayloadKind;
+
+    #[test]
+    fn builder_roundtrip() {
+        let p = PortDecl::new("x")
+            .with_kind(PortKind::Relay)
+            .with_protocol(Protocol::new("P").with_in("s", PayloadKind::Empty));
+        assert_eq!(p.name(), "x");
+        assert_eq!(p.kind(), PortKind::Relay);
+        assert_eq!(p.protocol().unwrap().name(), "P");
+    }
+
+    #[test]
+    fn default_kind_is_end() {
+        assert_eq!(PortDecl::new("p").kind(), PortKind::End);
+        assert!(PortDecl::new("p").protocol().is_none());
+    }
+
+    #[test]
+    fn kind_display() {
+        assert_eq!(PortKind::End.to_string(), "end");
+        assert_eq!(PortKind::Relay.to_string(), "relay");
+        assert_eq!(PortKind::DataRelay.to_string(), "data-relay");
+    }
+}

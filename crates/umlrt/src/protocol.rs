@@ -1,0 +1,230 @@
+//! Protocols: named, directed signal sets that type ports.
+//!
+//! A UML-RT protocol declares the signals a port may receive (`in`) and
+//! send (`out`). The *conjugated* form of a protocol swaps the two sets, so
+//! a client port and a server port of the same protocol plug together.
+
+use crate::value::Value;
+use std::fmt;
+
+/// Payload type a signal expects, checked loosely at send time.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+#[non_exhaustive]
+pub enum PayloadKind {
+    /// No payload.
+    #[default]
+    Empty,
+    /// [`Value::Bool`].
+    Bool,
+    /// [`Value::Int`].
+    Int,
+    /// [`Value::Real`].
+    Real,
+    /// [`Value::Vector`].
+    Vector,
+    /// [`Value::Text`].
+    Text,
+    /// Any payload accepted.
+    Any,
+}
+
+impl PayloadKind {
+    /// Whether `value` conforms to this payload kind.
+    pub fn accepts(self, value: &Value) -> bool {
+        matches!(
+            (self, value),
+            (PayloadKind::Any, _)
+                | (PayloadKind::Empty, Value::Empty)
+                | (PayloadKind::Bool, Value::Bool(_))
+                | (PayloadKind::Int, Value::Int(_))
+                | (PayloadKind::Real, Value::Real(_))
+                | (PayloadKind::Vector, Value::Vector(_))
+                | (PayloadKind::Text, Value::Text(_))
+        )
+    }
+}
+
+/// A named signal with an expected payload kind.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct SignalSpec {
+    name: String,
+    payload: PayloadKind,
+}
+
+impl SignalSpec {
+    /// Creates a signal spec.
+    pub fn new(name: impl Into<String>, payload: PayloadKind) -> Self {
+        SignalSpec { name: name.into(), payload }
+    }
+
+    /// The signal name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The expected payload kind.
+    pub fn payload(&self) -> PayloadKind {
+        self.payload
+    }
+}
+
+/// A protocol: the set of incoming and outgoing signals a port supports.
+///
+/// # Examples
+///
+/// ```
+/// use urt_umlrt::protocol::{PayloadKind, Protocol};
+///
+/// let p = Protocol::new("ControlCmd")
+///     .with_in("setpoint", PayloadKind::Real)
+///     .with_out("ack", PayloadKind::Empty);
+/// let q = p.conjugated();
+/// assert!(q.out_signal("setpoint").is_some());
+/// assert!(Protocol::compatible(&p, &q));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Protocol {
+    name: String,
+    conjugated: bool,
+    in_signals: Vec<SignalSpec>,
+    out_signals: Vec<SignalSpec>,
+}
+
+impl Protocol {
+    /// Creates an empty protocol.
+    pub fn new(name: impl Into<String>) -> Self {
+        Protocol {
+            name: name.into(),
+            conjugated: false,
+            in_signals: Vec::new(),
+            out_signals: Vec::new(),
+        }
+    }
+
+    /// Adds an incoming signal (builder style).
+    pub fn with_in(mut self, name: impl Into<String>, payload: PayloadKind) -> Self {
+        self.in_signals.push(SignalSpec::new(name, payload));
+        self
+    }
+
+    /// Adds an outgoing signal (builder style).
+    pub fn with_out(mut self, name: impl Into<String>, payload: PayloadKind) -> Self {
+        self.out_signals.push(SignalSpec::new(name, payload));
+        self
+    }
+
+    /// Protocol name (without conjugation marker).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Whether this is the conjugated form.
+    pub fn is_conjugated(&self) -> bool {
+        self.conjugated
+    }
+
+    /// The conjugated protocol: in/out swapped.
+    pub fn conjugated(&self) -> Protocol {
+        Protocol {
+            name: self.name.clone(),
+            conjugated: !self.conjugated,
+            in_signals: self.out_signals.clone(),
+            out_signals: self.in_signals.clone(),
+        }
+    }
+
+    /// Signals this protocol can receive.
+    pub fn in_signals(&self) -> &[SignalSpec] {
+        &self.in_signals
+    }
+
+    /// Signals this protocol can send.
+    pub fn out_signals(&self) -> &[SignalSpec] {
+        &self.out_signals
+    }
+
+    /// Looks up an incoming signal by name.
+    pub fn in_signal(&self, name: &str) -> Option<&SignalSpec> {
+        self.in_signals.iter().find(|s| s.name() == name)
+    }
+
+    /// Looks up an outgoing signal by name.
+    pub fn out_signal(&self, name: &str) -> Option<&SignalSpec> {
+        self.out_signals.iter().find(|s| s.name() == name)
+    }
+
+    /// Whether two port protocols can be wired together: every signal one
+    /// side sends must be receivable by the other, in both directions.
+    pub fn compatible(a: &Protocol, b: &Protocol) -> bool {
+        let covers = |outs: &[SignalSpec], ins: &[SignalSpec]| {
+            outs.iter().all(|o| {
+                ins.iter()
+                    .any(|i| i.name() == o.name() && (i.payload() == o.payload() || i.payload() == PayloadKind::Any))
+            })
+        };
+        covers(&a.out_signals, &b.in_signals) && covers(&b.out_signals, &a.in_signals)
+    }
+}
+
+impl fmt::Display for Protocol {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}{}", self.name, if self.conjugated { "~" } else { "" })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn proto() -> Protocol {
+        Protocol::new("P")
+            .with_in("a", PayloadKind::Real)
+            .with_out("b", PayloadKind::Empty)
+    }
+
+    #[test]
+    fn payload_kinds_accept_values() {
+        assert!(PayloadKind::Real.accepts(&Value::Real(1.0)));
+        assert!(!PayloadKind::Real.accepts(&Value::Int(1)));
+        assert!(PayloadKind::Any.accepts(&Value::Text("x".into())));
+        assert!(PayloadKind::Empty.accepts(&Value::Empty));
+        assert!(PayloadKind::Vector.accepts(&Value::Vector(vec![])));
+        assert!(!PayloadKind::Bool.accepts(&Value::Empty));
+    }
+
+    #[test]
+    fn conjugation_swaps_directions() {
+        let p = proto();
+        let q = p.conjugated();
+        assert!(q.is_conjugated());
+        assert_eq!(q.in_signal("b").unwrap().name(), "b");
+        assert_eq!(q.out_signal("a").unwrap().name(), "a");
+        assert_eq!(q.conjugated(), p, "double conjugation is identity");
+        assert_eq!(q.to_string(), "P~");
+        assert_eq!(p.to_string(), "P");
+    }
+
+    #[test]
+    fn compatibility_base_vs_conjugate() {
+        let p = proto();
+        let q = p.conjugated();
+        assert!(Protocol::compatible(&p, &q));
+        assert!(!Protocol::compatible(&p, &p), "base-to-base cannot receive its own sends");
+    }
+
+    #[test]
+    fn compatibility_with_any_payload() {
+        let sender = Protocol::new("S").with_out("x", PayloadKind::Real);
+        let receiver = Protocol::new("S").with_in("x", PayloadKind::Any);
+        assert!(Protocol::compatible(&sender, &receiver));
+        let strict = Protocol::new("S").with_in("x", PayloadKind::Int);
+        assert!(!Protocol::compatible(&sender, &strict));
+    }
+
+    #[test]
+    fn lookup_missing_signal() {
+        let p = proto();
+        assert!(p.in_signal("nope").is_none());
+        assert!(p.out_signal("a").is_none());
+    }
+}

@@ -1,0 +1,200 @@
+//! Structured execution traces shared by tests, examples and experiments.
+
+use parking_lot::Mutex;
+use std::fmt;
+use std::sync::Arc;
+
+/// One traced runtime event.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum TraceKind {
+    /// A message left a capsule through a port.
+    Sent {
+        /// Sending capsule name.
+        from: String,
+        /// Port the message left through.
+        port: String,
+        /// Signal name.
+        signal: String,
+    },
+    /// A message was delivered to a capsule.
+    Delivered {
+        /// Receiving capsule name.
+        to: String,
+        /// Port the message arrived on.
+        port: String,
+        /// Signal name.
+        signal: String,
+        /// Whether some transition handled it.
+        handled: bool,
+    },
+    /// A message was dropped (unconnected port).
+    Dropped {
+        /// Sending capsule name.
+        from: String,
+        /// The unconnected port.
+        port: String,
+        /// Signal name.
+        signal: String,
+    },
+    /// A timer was armed.
+    TimerSet {
+        /// Owning capsule name.
+        capsule: String,
+        /// Quantised absolute due time.
+        due: f64,
+    },
+    /// A timer fired.
+    TimerFired {
+        /// Owning capsule name.
+        capsule: String,
+        /// Signal delivered.
+        signal: String,
+    },
+}
+
+/// A timestamped trace event.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TraceEvent {
+    /// Virtual time in seconds.
+    pub time: f64,
+    /// What happened.
+    pub kind: TraceKind,
+}
+
+impl fmt::Display for TraceEvent {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[{:>10.6}] ", self.time)?;
+        match &self.kind {
+            TraceKind::Sent { from, port, signal } => {
+                write!(f, "{from} sent {signal} via {port}")
+            }
+            TraceKind::Delivered { to, port, signal, handled } => {
+                let mark = if *handled { "" } else { " (unhandled)" };
+                write!(f, "{to} received {signal} on {port}{mark}")
+            }
+            TraceKind::Dropped { from, port, signal } => {
+                write!(f, "{from} dropped {signal}: port {port} unconnected")
+            }
+            TraceKind::TimerSet { capsule, due } => {
+                write!(f, "{capsule} armed timer due {due:.6}")
+            }
+            TraceKind::TimerFired { capsule, signal } => {
+                write!(f, "{capsule} timer fired: {signal}")
+            }
+        }
+    }
+}
+
+/// A cheaply clonable, thread-safe trace collector.
+///
+/// # Examples
+///
+/// ```
+/// use urt_umlrt::trace::{TraceEvent, TraceKind, Tracer};
+///
+/// let tracer = Tracer::new();
+/// tracer.record(TraceEvent {
+///     time: 0.0,
+///     kind: TraceKind::TimerFired { capsule: "c".into(), signal: "tick".into() },
+/// });
+/// assert_eq!(tracer.len(), 1);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct Tracer {
+    events: Arc<Mutex<Vec<TraceEvent>>>,
+}
+
+impl Tracer {
+    /// Creates an empty tracer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends an event.
+    pub fn record(&self, event: TraceEvent) {
+        self.events.lock().push(event);
+    }
+
+    /// Number of recorded events.
+    pub fn len(&self) -> usize {
+        self.events.lock().len()
+    }
+
+    /// Whether nothing was recorded.
+    pub fn is_empty(&self) -> bool {
+        self.events.lock().is_empty()
+    }
+
+    /// Copies out all events recorded so far.
+    pub fn snapshot(&self) -> Vec<TraceEvent> {
+        self.events.lock().clone()
+    }
+
+    /// Removes all recorded events.
+    pub fn clear(&self) {
+        self.events.lock().clear();
+    }
+
+    /// Counts events matching a predicate.
+    pub fn count_matching(&self, pred: impl Fn(&TraceEvent) -> bool) -> usize {
+        self.events.lock().iter().filter(|e| pred(e)).count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tracer_records_and_snapshots() {
+        let t = Tracer::new();
+        assert!(t.is_empty());
+        t.record(TraceEvent {
+            time: 1.0,
+            kind: TraceKind::Sent { from: "a".into(), port: "p".into(), signal: "s".into() },
+        });
+        let clone = t.clone();
+        clone.record(TraceEvent {
+            time: 2.0,
+            kind: TraceKind::Dropped { from: "a".into(), port: "q".into(), signal: "s".into() },
+        });
+        // Clones share storage.
+        assert_eq!(t.len(), 2);
+        let snap = t.snapshot();
+        assert_eq!(snap[0].time, 1.0);
+        assert_eq!(
+            t.count_matching(|e| matches!(e.kind, TraceKind::Dropped { .. })),
+            1
+        );
+        t.clear();
+        assert!(t.is_empty());
+    }
+
+    #[test]
+    fn display_forms() {
+        let e = TraceEvent {
+            time: 0.5,
+            kind: TraceKind::Delivered {
+                to: "c".into(),
+                port: "p".into(),
+                signal: "s".into(),
+                handled: false,
+            },
+        };
+        let s = e.to_string();
+        assert!(s.contains("received"));
+        assert!(s.contains("unhandled"));
+        let e = TraceEvent {
+            time: 0.5,
+            kind: TraceKind::TimerSet { capsule: "c".into(), due: 1.25 },
+        };
+        assert!(e.to_string().contains("armed"));
+    }
+
+    #[test]
+    fn tracer_is_send_sync() {
+        fn assert_ss<T: Send + Sync>() {}
+        assert_ss::<Tracer>();
+    }
+}

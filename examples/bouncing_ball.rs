@@ -1,0 +1,146 @@
+//! Bouncing ball: the canonical hybrid-systems benchmark, run two ways.
+//!
+//! 1. Directly on the numerical layer with [`simulate_hybrid`] (guard +
+//!    reset map), showing the solver substrate on its own.
+//! 2. As a unified model: ball streamer with a bounce guard emitting
+//!    SPort signals, a referee capsule counting bounces and stopping the
+//!    game after five.
+//!
+//! Run with: `cargo run --example bouncing_ball`
+
+use unified_rt::core::engine::{EngineConfig, HybridEngine};
+use unified_rt::core::threading::ThreadPolicy;
+use unified_rt::dataflow::flowtype::{FlowType, Unit};
+use unified_rt::dataflow::graph::StreamerNetwork;
+use unified_rt::dataflow::streamer::OdeStreamer;
+use unified_rt::ode::events::{EventDirection, ZeroCrossing};
+use unified_rt::ode::hybrid::{simulate_hybrid, EventOutcome};
+use unified_rt::ode::solver::{Rk4, SolverKind};
+use unified_rt::ode::system::{FnSystem, InputSystem};
+use unified_rt::umlrt::capsule::{CapsuleContext, SmCapsule};
+use unified_rt::umlrt::controller::Controller;
+use unified_rt::umlrt::statemachine::StateMachineBuilder;
+use unified_rt::umlrt::value::Value;
+
+struct Ball {
+    gravity: f64,
+    restitution: f64,
+}
+
+impl InputSystem for Ball {
+    fn dim(&self) -> usize {
+        2
+    }
+    fn input_dim(&self) -> usize {
+        0
+    }
+    fn derivatives(&self, _t: f64, x: &[f64], _u: &[f64], dx: &mut [f64]) {
+        dx[0] = x[1];
+        dx[1] = -self.gravity;
+    }
+    fn output(&self, _t: f64, x: &[f64], _u: &[f64], y: &mut [f64]) {
+        y[0] = x[0];
+    }
+    fn output_dim(&self) -> usize {
+        1
+    }
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // --- Part 1: the numerical layer alone.
+    let ball = FnSystem::new(2, |_t, x, dx: &mut [f64]| {
+        dx[0] = x[1];
+        dx[1] = -9.81;
+    });
+    let guards = vec![ZeroCrossing::new("bounce", EventDirection::Falling, |_t, x| x[0])];
+    let result = simulate_hybrid(
+        &ball,
+        &mut Rk4::new(),
+        guards,
+        |_label, _t, x| {
+            x[0] = 0.0;
+            x[1] = -0.8 * x[1];
+            EventOutcome::Continue
+        },
+        0.0,
+        &[1.0, 0.0],
+        4.0,
+        1e-3,
+        100,
+    )?;
+    println!("bouncing ball (numerical layer):");
+    for (i, e) in result.events.iter().take(5).enumerate() {
+        println!(
+            "  bounce {} at t={:.4} s, impact speed {:.3} m/s",
+            i + 1,
+            e.time,
+            e.state_before[1].abs()
+        );
+    }
+    let expected_first = (2.0f64 / 9.81).sqrt();
+    assert!((result.events[0].time - expected_first).abs() < 1e-3);
+
+    // --- Part 2: the unified model (streamer + referee capsule).
+    // The bounce is implemented *inside* the streamer's signal handler:
+    // the guard emits `bounce`, the referee echoes back `kick` which the
+    // handler turns into the restitution reset.
+    let streamer = OdeStreamer::new(
+        "ball",
+        Ball { gravity: 9.81, restitution: 0.8 },
+        SolverKind::Rk4.create(),
+        &[1.0, 0.0],
+        1e-4,
+    )
+    .with_guard(ZeroCrossing::new("bounce", EventDirection::Falling, |_t, x| x[0]))
+    .with_event_sport("game")
+    .with_signal_handler(|msg, ball: &mut Ball, state| {
+        if msg.signal() == "kick" {
+            state[0] = 0.0;
+            state[1] = -ball.restitution * state[1];
+        }
+    });
+    let mut net = StreamerNetwork::new("pitch");
+    let node = net.add_streamer(
+        streamer,
+        &[],
+        &[("height", FlowType::with_unit(Unit::Meter))],
+    )?;
+
+    let machine = StateMachineBuilder::new("referee")
+        .state("playing")
+        .state("done")
+        .initial("playing", |_d: &mut u32, _ctx: &mut CapsuleContext| {})
+        .on_guarded(
+            "playing",
+            ("ball", "bounce"),
+            "done",
+            |count, _m| *count >= 4,
+            |count, _m, ctx| {
+                *count += 1;
+                ctx.send("ball", "kick", Value::Empty);
+            },
+        )
+        .internal("playing", ("ball", "bounce"), |count, _m, ctx| {
+            *count += 1;
+            ctx.send("ball", "kick", Value::Empty);
+        })
+        .build()?;
+    let mut controller = Controller::new("events");
+    let referee = controller.add_capsule(Box::new(SmCapsule::new(machine, 0u32)));
+
+    let mut engine = HybridEngine::new(
+        controller,
+        EngineConfig { step: 0.002, policy: ThreadPolicy::CurrentThread },
+    );
+    let group = engine.add_group(net)?;
+    engine.link_sport(group, node, "game", referee, "ball")?;
+    engine.run_until(4.0)?;
+
+    let state = engine.controller().capsule_state(referee)?;
+    println!("bouncing ball (unified model):");
+    println!("  referee state after 4 s : {state}");
+    println!("  events delivered        : {}", engine.controller().delivered_count());
+    assert_eq!(state, "done", "five bounces end the game");
+    println!("ok: both layers agree the ball bounces");
+    Ok(())
+}

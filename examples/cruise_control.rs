@@ -1,0 +1,206 @@
+//! Automotive cruise control: driver events against a continuous vehicle.
+//!
+//! The vehicle is a nonlinear plant streamer (`m v' = F − c v² − r`), the
+//! speed controller is a PI block diagram compiled into a single streamer
+//! (the paper's Simulink-unification path), and the driver is a capsule
+//! issuing setpoint changes and a cancel on timers.
+//!
+//! Run with: `cargo run --example cruise_control`
+
+use unified_rt::blocks::continuous::Integrator;
+use unified_rt::blocks::diagram::BlockDiagram;
+use unified_rt::blocks::math::{Gain, Saturation, Sum};
+use unified_rt::core::engine::{EngineConfig, HybridEngine};
+use unified_rt::core::recorder::Recorder;
+use unified_rt::core::threading::ThreadPolicy;
+use unified_rt::dataflow::flowtype::{FlowType, Unit};
+use unified_rt::dataflow::graph::StreamerNetwork;
+use unified_rt::dataflow::streamer::{OdeStreamer, StreamerBehavior};
+use unified_rt::ode::solver::SolverKind;
+use unified_rt::ode::system::InputSystem;
+use unified_rt::umlrt::capsule::{CapsuleContext, SmCapsule};
+use unified_rt::umlrt::controller::Controller;
+use unified_rt::umlrt::message::Message;
+use unified_rt::umlrt::statemachine::StateMachineBuilder;
+use unified_rt::umlrt::timing::TIMER_PORT;
+use unified_rt::umlrt::value::Value;
+
+/// Longitudinal vehicle dynamics with quadratic drag and rolling
+/// resistance; force input from the controller.
+struct Vehicle {
+    mass: f64,
+    drag: f64,
+    rolling: f64,
+    /// Setpoint managed via SPort signals; exposed to the controller loop.
+    setpoint: f64,
+    engaged: bool,
+}
+
+impl InputSystem for Vehicle {
+    fn dim(&self) -> usize {
+        1
+    }
+
+    fn input_dim(&self) -> usize {
+        1
+    }
+
+    fn derivatives(&self, _t: f64, x: &[f64], u: &[f64], dx: &mut [f64]) {
+        let force = if self.engaged { u[0] } else { 0.0 };
+        dx[0] = (force - self.drag * x[0] * x[0] - self.rolling) / self.mass;
+    }
+
+    fn output(&self, _t: f64, x: &[f64], _u: &[f64], y: &mut [f64]) {
+        // Publish speed and the current error (setpoint - v).
+        y[0] = x[0];
+        y[1] = if self.engaged { self.setpoint - x[0] } else { 0.0 };
+    }
+
+    fn output_dim(&self) -> usize {
+        2
+    }
+}
+
+/// Builds the PI force controller as a compiled block diagram.
+fn pi_controller() -> impl StreamerBehavior {
+    let mut d = BlockDiagram::new("pi");
+    let kp = d.add_block(Gain::new(800.0));
+    let ki_int = d.add_block(Integrator::new(0.0).with_limits(-50.0, 50.0));
+    let ki = d.add_block(Gain::new(40.0));
+    let sum = d.add_block(Sum::new(&[1.0, 1.0]));
+    let sat = d.add_block(Saturation::new(-2000.0, 4000.0));
+    d.mark_input(kp, 0).expect("kp input");
+    d.mark_input(ki_int, 0).expect("integrator input");
+    d.connect(ki_int, 0, ki, 0).expect("wire");
+    d.connect(kp, 0, sum, 0).expect("wire");
+    d.connect(ki, 0, sum, 1).expect("wire");
+    d.connect(sum, 0, sat, 0).expect("wire");
+    d.mark_output(sat, 0).expect("output");
+    d.into_streamer("pi-force").expect("valid diagram")
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let vehicle = OdeStreamer::new(
+        "vehicle",
+        Vehicle { mass: 1200.0, drag: 0.6, rolling: 120.0, setpoint: 0.0, engaged: false },
+        SolverKind::Rk4.create(),
+        &[20.0],
+        1e-3,
+    )
+    .with_signal_handler(|msg: &Message, v: &mut Vehicle, _state| match msg.signal() {
+        "set" => {
+            if let Some(sp) = msg.value().as_real() {
+                v.setpoint = sp;
+                v.engaged = true;
+            }
+        }
+        "cancel" => v.engaged = false,
+        _ => {}
+    });
+
+    let mut net = StreamerNetwork::new("cruise");
+    let vehicle_node = net.add_streamer(
+        vehicle,
+        &[("force", FlowType::with_unit(Unit::Newton))],
+        &[(
+            "out",
+            FlowType::Vector { len: 2, unit: Unit::MeterPerSecond },
+        )],
+    )?;
+    // Relay duplicates the vehicle output: one copy to the controller, one
+    // copy to the trip monitor lane.
+    let relay = net.add_relay("split", FlowType::Vector { len: 2, unit: Unit::MeterPerSecond }, 2)?;
+    // Adapter picks the error lane for the PI controller (twice: kp and ki).
+    let pick_error = net.add_streamer(
+        unified_rt::dataflow::streamer::FnStreamer::new(
+            "pick-error",
+            2,
+            2,
+            |_t, _h, u: &[f64], y: &mut [f64]| {
+                y[0] = u[1];
+                y[1] = u[1];
+            },
+        ),
+        &[("in", FlowType::Vector { len: 2, unit: Unit::MeterPerSecond })],
+        &[("err2", FlowType::vector(2))],
+    )?;
+    let pi = net.add_streamer(
+        pi_controller(),
+        &[("err", FlowType::vector(2))],
+        &[("force", FlowType::with_unit(Unit::Newton))],
+    )?;
+    let monitor = net.add_streamer(
+        unified_rt::dataflow::streamer::FnStreamer::new(
+            "monitor",
+            2,
+            1,
+            |_t, _h, u: &[f64], y: &mut [f64]| y[0] = u[0],
+        ),
+        &[("in", FlowType::Vector { len: 2, unit: Unit::MeterPerSecond })],
+        &[("speed", FlowType::with_unit(Unit::MeterPerSecond))],
+    )?;
+    net.flow((vehicle_node, "out"), (relay, "in"))?;
+    net.flow((relay, "out0"), (pick_error, "in"))?;
+    net.flow((relay, "out1"), (monitor, "in"))?;
+    net.flow((pick_error, "err2"), (pi, "err"))?;
+    // The force flow closes the loop (newton-to-newton, subset rule holds).
+    net.flow((pi, "force"), (vehicle_node, "force"))?;
+
+    // Driver capsule: engage 25 m/s at t=5, resume-to 30 at t=20, cancel
+    // at t=40.
+    let machine = StateMachineBuilder::new("driver")
+        .state("idle")
+        .state("cruising")
+        .state("done")
+        .initial("idle", |_d: &mut (), ctx: &mut CapsuleContext| {
+            ctx.inform_in(5.0, "engage");
+        })
+        .on("idle", (TIMER_PORT, "engage"), "cruising", |_d, _m, ctx| {
+            ctx.send("car", "set", Value::Real(25.0));
+            ctx.inform_in(15.0, "faster");
+        })
+        .internal("cruising", (TIMER_PORT, "faster"), |_d, _m, ctx| {
+            ctx.send("car", "set", Value::Real(30.0));
+            ctx.inform_in(20.0, "cancel");
+        })
+        .on("cruising", (TIMER_PORT, "cancel"), "done", |_d, _m, ctx| {
+            ctx.send("car", "cancel", Value::Empty);
+        })
+        .build()?;
+    let mut controller = Controller::new("events");
+    let driver = controller.add_capsule(Box::new(SmCapsule::new(machine, ())));
+
+    let mut engine = HybridEngine::new(
+        controller,
+        EngineConfig { step: 0.01, policy: ThreadPolicy::CurrentThread },
+    );
+    let group = engine.add_group(net)?;
+    engine.link_sport(group, vehicle_node, "ctl", driver, "car")?;
+    let recorder = Recorder::new();
+    engine.set_recorder(recorder.clone());
+    engine.add_probe(group, monitor, "speed", "speed")?;
+
+    engine.run_until(55.0)?;
+
+    let speed = recorder.series("speed");
+    let at = |t: f64| {
+        speed
+            .iter()
+            .min_by(|a, b| (a.0 - t).abs().partial_cmp(&(b.0 - t).abs()).unwrap())
+            .map(|(_, v)| *v)
+            .unwrap_or(f64::NAN)
+    };
+    println!("cruise control");
+    println!("  t=4s  (manual)  : {:.2} m/s", at(4.0));
+    println!("  t=18s (set 25)  : {:.2} m/s", at(18.0));
+    println!("  t=38s (set 30)  : {:.2} m/s", at(38.0));
+    println!("  t=54s (cancel)  : {:.2} m/s", at(54.0));
+    println!("  driver state    : {}", engine.controller().capsule_state(driver)?);
+
+    assert!((at(18.0) - 25.0).abs() < 1.0, "tracks first setpoint");
+    assert!((at(38.0) - 30.0).abs() < 1.0, "tracks second setpoint");
+    assert!(at(54.0) < at(38.0), "coasts down after cancel");
+    assert_eq!(engine.controller().capsule_state(driver)?, "done");
+    println!("ok: setpoints tracked, cancel coasts");
+    Ok(())
+}

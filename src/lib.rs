@@ -1,0 +1,68 @@
+//! # unified-rt
+//!
+//! A from-scratch reproduction of *Unified Modeling of Complex Real-Time
+//! Control Systems* (He Hai, Zhong Yi-fang, Cai Chi-lan — DATE 2005): a
+//! UML-RT service-library runtime extended with **time-continuous
+//! streamers**, so hybrid control systems are modeled, simulated, and
+//! code-generated on one platform.
+//!
+//! This facade crate re-exports the workspace:
+//!
+//! * [`umlrt`] — event-driven UML-RT runtime (capsules, protocols,
+//!   hierarchical state machines, run-to-completion controllers, timers).
+//! * [`ode`] — numerical solvers (the *solver/strategy* stereotype).
+//! * [`dataflow`] — the extension mechanics: streamers, DPorts, SPorts,
+//!   flows, relays, flow types.
+//! * [`blocks`] — a Simulink-like block library and diagram compiler.
+//! * [`core`] — the unified model, Table-1 stereotypes, `Time` clock,
+//!   thread assignment and the hybrid co-simulation engine.
+//! * [`codegen`] — model-to-Rust code generation.
+//! * [`baselines`] — the Bichler and Kühl related-work baselines.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use unified_rt::core::engine::{EngineConfig, HybridEngine};
+//! use unified_rt::core::threading::ThreadPolicy;
+//! use unified_rt::dataflow::flowtype::FlowType;
+//! use unified_rt::dataflow::graph::StreamerNetwork;
+//! use unified_rt::dataflow::streamer::FnStreamer;
+//! use unified_rt::umlrt::capsule::{CapsuleContext, SmCapsule};
+//! use unified_rt::umlrt::controller::Controller;
+//! use unified_rt::umlrt::statemachine::StateMachineBuilder;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! // Continuous part: a streamer network.
+//! let mut net = StreamerNetwork::new("plant");
+//! net.add_streamer(
+//!     FnStreamer::new("wave", 0, 1, |t, _h, _u, y| y[0] = t.cos()),
+//!     &[],
+//!     &[("y", FlowType::scalar())],
+//! )?;
+//!
+//! // Event-driven part: a capsule controller.
+//! let sm = StateMachineBuilder::new("monitor")
+//!     .state("on")
+//!     .initial("on", |_d: &mut (), _ctx: &mut CapsuleContext| {})
+//!     .build()?;
+//! let mut controller = Controller::new("events");
+//! controller.add_capsule(Box::new(SmCapsule::new(sm, ())));
+//!
+//! // Unified execution.
+//! let mut engine = HybridEngine::new(
+//!     controller,
+//!     EngineConfig { step: 1e-3, policy: ThreadPolicy::CurrentThread },
+//! );
+//! engine.add_group(net)?;
+//! engine.run_until(0.25)?;
+//! # Ok(())
+//! # }
+//! ```
+
+pub use urt_baselines as baselines;
+pub use urt_blocks as blocks;
+pub use urt_codegen as codegen;
+pub use urt_core as core;
+pub use urt_dataflow as dataflow;
+pub use urt_ode as ode;
+pub use urt_umlrt as umlrt;

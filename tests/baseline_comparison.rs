@@ -1,0 +1,122 @@
+//! Integration: the paper's comparisons against related work hold in this
+//! implementation (E2/E3 in miniature).
+
+use unified_rt::baselines::bichler::ArchitectureBenchmark;
+use unified_rt::baselines::kuhl::{annotation_loss, measure_messages_per_step, translate_diagram};
+use unified_rt::blocks::diagram::BlockDiagram;
+use unified_rt::blocks::math::Gain;
+use unified_rt::blocks::sources::Constant;
+use unified_rt::dataflow::flowtype::{FlowType, Unit};
+use unified_rt::dataflow::graph::StreamerNetwork;
+
+fn chain(n: usize) -> BlockDiagram {
+    let mut d = BlockDiagram::new("chain");
+    let mut prev = d.add_block(Constant::new(1.0));
+    for _ in 0..n {
+        let g = d.add_block(Gain::new(1.01));
+        d.connect(prev, 0, g, 0).expect("wire");
+        prev = g;
+    }
+    d
+}
+
+#[test]
+fn kuhl_objects_grow_linearly_native_streamers_stay_constant() {
+    // Paper: "lots of objects and classes may be generated".
+    let mut kuhl_objects = Vec::new();
+    let mut native_objects = Vec::new();
+    for n in [4usize, 16, 64] {
+        let (_, report) = translate_diagram(chain(n), 0.01).expect("translate");
+        kuhl_objects.push(report.capsule_count);
+
+        // Native: the whole diagram is ONE streamer in the unified model.
+        let streamer = chain(n).into_streamer("plant").expect("compile");
+        let mut net = StreamerNetwork::new("native");
+        net.add_streamer(streamer, &[], &[]).expect("add");
+        native_objects.push(net.node_count());
+    }
+    assert!(kuhl_objects[2] > kuhl_objects[0] * 8, "linear object growth {kuhl_objects:?}");
+    assert_eq!(native_objects, vec![1, 1, 1], "native stays one streamer");
+}
+
+#[test]
+fn kuhl_messages_per_step_grow_with_diagram_size() {
+    let (mut small, _) = translate_diagram(chain(4), 0.01).expect("translate");
+    let (mut large, _) = translate_diagram(chain(32), 0.01).expect("translate");
+    let m_small = measure_messages_per_step(&mut small, 0.01, 10).expect("measure");
+    let m_large = measure_messages_per_step(&mut large, 0.01, 10).expect("measure");
+    assert!(
+        m_large > 4.0 * m_small,
+        "messages/step should scale with wires: {m_small} -> {m_large}"
+    );
+}
+
+#[test]
+fn kuhl_translation_loses_typed_flow_information() {
+    // Paper: "some information may be lost". The unified model keeps unit
+    // and record-field annotations on flows; the translation to untyped
+    // UML signals drops them all.
+    let typed_flows = [
+        FlowType::with_unit(Unit::MeterPerSecond),
+        FlowType::record([
+            ("pos", FlowType::with_unit(Unit::Meter)),
+            ("vel", FlowType::with_unit(Unit::MeterPerSecond)),
+        ]),
+        FlowType::scalar(),
+    ];
+    let lost = annotation_loss(&typed_flows);
+    assert_eq!(lost, 5, "1 unit + 2 fields + 2 units lost, bare scalar free");
+}
+
+#[test]
+fn unified_architecture_beats_rtc_integration_on_event_latency() {
+    // Paper: the Bichler RTC-integrated approach "doesn't work
+    // efficiently"; separating threads fixes it. Miniature E2.
+    // The load is sized so the RTC-integrated median is in the
+    // milliseconds — far above any scheduler noise the parallel test
+    // runner can inject into the unified side's channel handoff.
+    let bench = ArchitectureBenchmark { n_systems: 128, substeps: 128, n_steps: 30 };
+    let rtc = bench.run_rtc_integrated();
+    let unified = bench.run_unified();
+    assert!(
+        unified.p50_us() < rtc.p50_us(),
+        "unified {}us must beat rtc-integrated {}us",
+        unified.p50_us(),
+        rtc.p50_us()
+    );
+}
+
+#[test]
+fn native_streamer_network_computes_same_result_as_translation() {
+    // Semantic sanity: both deployments compute the same chain value.
+    let n = 6;
+    // Native: one streamer compiled from the diagram, with an output mark.
+    let mut d2 = BlockDiagram::new("chain");
+    let mut prev = d2.add_block(Constant::new(1.0));
+    for _ in 0..n {
+        let g = d2.add_block(Gain::new(1.01));
+        d2.connect(prev, 0, g, 0).expect("wire");
+        prev = g;
+    }
+    d2.mark_output(prev, 0).expect("output");
+    let streamer = d2.into_streamer("chain").expect("compile");
+    let mut net = StreamerNetwork::new("native");
+    let id = net
+        .add_streamer(streamer, &[], &[("y", FlowType::scalar())])
+        .expect("add");
+    net.initialize(0.0).expect("init");
+    for _ in 0..n + 2 {
+        net.step(0.01).expect("step");
+    }
+    let native = net.output(id, "y").expect("out")[0];
+    let expect = 1.01f64.powi(n as i32);
+    assert!((native - expect).abs() < 1e-9, "native {native} vs {expect}");
+
+    // Translated: run enough steps for values to propagate through the
+    // capsule chain; verify message traffic flowed without drops.
+    let (mut controller, _) = translate_diagram(chain(n), 0.01).expect("translate");
+    controller.start().expect("start");
+    controller.run_until(0.2).expect("run");
+    assert_eq!(controller.dropped_count(), 0);
+    assert!(controller.delivered_count() > (n as u64) * 10);
+}

@@ -1,0 +1,105 @@
+//! Property tests over the hybrid engine: random topologies and
+//! workloads must execute deterministically and identically under both
+//! thread policies.
+
+use proptest::prelude::*;
+use unified_rt::core::engine::{EngineConfig, HybridEngine};
+use unified_rt::core::recorder::Recorder;
+use unified_rt::core::threading::ThreadPolicy;
+use unified_rt::dataflow::flowtype::FlowType;
+use unified_rt::dataflow::graph::{NodeId, StreamerNetwork};
+use unified_rt::dataflow::streamer::FnStreamer;
+use unified_rt::umlrt::capsule::{CapsuleContext, SmCapsule};
+use unified_rt::umlrt::controller::Controller;
+use unified_rt::umlrt::statemachine::StateMachineBuilder;
+
+/// Builds a random-ish chain: source -> gains with the given factors.
+fn chain(factors: &[f64]) -> (StreamerNetwork, NodeId) {
+    let mut net = StreamerNetwork::new("chain");
+    let mut prev = net
+        .add_streamer(
+            FnStreamer::new("src", 0, 1, |t: f64, _h, _u: &[f64], y: &mut [f64]| {
+                y[0] = (3.0 * t).sin() + 1.0
+            }),
+            &[],
+            &[("y", FlowType::scalar())],
+        )
+        .expect("src");
+    for (i, k) in factors.iter().enumerate() {
+        let k = *k;
+        let node = net
+            .add_streamer(
+                FnStreamer::new(format!("g{i}"), 1, 1, move |_t, _h, u: &[f64], y: &mut [f64]| {
+                    y[0] = k * u[0] + 0.1
+                }),
+                &[("u", FlowType::scalar())],
+                &[("y", FlowType::scalar())],
+            )
+            .expect("gain");
+        net.flow((prev, "y"), (node, "u")).expect("flow");
+        prev = node;
+    }
+    (net, prev)
+}
+
+fn run_chain(factors: &[f64], steps: usize, policy: ThreadPolicy) -> Vec<(f64, f64)> {
+    let (net, last) = chain(factors);
+    let sm = StateMachineBuilder::new("idle")
+        .state("s")
+        .initial("s", |_d: &mut (), _ctx: &mut CapsuleContext| {})
+        .build()
+        .expect("sm");
+    let mut controller = Controller::new("ev");
+    controller.add_capsule(Box::new(SmCapsule::new(sm, ())));
+    let mut engine = HybridEngine::new(controller, EngineConfig { step: 0.01, policy });
+    let g = engine.add_group(net).expect("group");
+    let rec = Recorder::new();
+    engine.set_recorder(rec.clone());
+    engine.add_probe(g, last, "y", "out").expect("probe");
+    engine.run_until(steps as f64 * 0.01).expect("run");
+    rec.series("out")
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Both thread policies produce bit-identical traces for any chain.
+    #[test]
+    fn policies_agree_on_random_chains(
+        factors in proptest::collection::vec(-1.5f64..1.5, 1..6),
+        steps in 5usize..40,
+    ) {
+        let local = run_chain(&factors, steps, ThreadPolicy::CurrentThread);
+        let threaded = run_chain(&factors, steps, ThreadPolicy::DedicatedThreads);
+        prop_assert_eq!(local.len(), threaded.len());
+        for ((t1, v1), (t2, v2)) in local.iter().zip(&threaded) {
+            prop_assert!((t1 - t2).abs() < 1e-12);
+            prop_assert!(
+                (v1 - v2).abs() == 0.0,
+                "bitwise lockstep violated at t={}: {} vs {}", t1, v1, v2
+            );
+        }
+    }
+
+    /// Re-running the same configuration is deterministic.
+    #[test]
+    fn engine_is_deterministic(
+        factors in proptest::collection::vec(-1.0f64..1.0, 1..5),
+    ) {
+        let a = run_chain(&factors, 20, ThreadPolicy::CurrentThread);
+        let b = run_chain(&factors, 20, ThreadPolicy::CurrentThread);
+        prop_assert_eq!(a, b);
+    }
+
+    /// Chains of bounded gains stay bounded (BIBO sanity).
+    #[test]
+    fn bounded_chains_stay_bounded(
+        factors in proptest::collection::vec(-0.9f64..0.9, 1..6),
+    ) {
+        let out = run_chain(&factors, 50, ThreadPolicy::CurrentThread);
+        for (_, v) in out {
+            // |input| <= 2, each stage: |y| <= 0.9 |u| + 0.1 => bounded by 2.
+            prop_assert!(v.abs() <= 2.1, "diverged to {v}");
+        }
+    }
+}

@@ -1,0 +1,173 @@
+//! Property-based tests over core invariants (proptest).
+
+use proptest::prelude::*;
+use unified_rt::dataflow::flowtype::{FlowType, Unit};
+use unified_rt::ode::solver::SolverKind;
+use unified_rt::ode::system::library::decay;
+use unified_rt::ode::StateVec;
+use unified_rt::umlrt::capsule::{CapsuleContext, SmCapsule};
+use unified_rt::umlrt::capsule::Capsule;
+use unified_rt::umlrt::message::{Message, MessageQueue, Priority};
+use unified_rt::umlrt::statemachine::StateMachineBuilder;
+use unified_rt::umlrt::value::Value;
+
+fn arb_unit() -> impl Strategy<Value = Unit> {
+    prop_oneof![
+        Just(Unit::Any),
+        Just(Unit::Dimensionless),
+        Just(Unit::Meter),
+        Just(Unit::Kelvin),
+        Just(Unit::Volt),
+    ]
+}
+
+fn arb_flow_type() -> impl Strategy<Value = FlowType> {
+    let leaf = prop_oneof![
+        arb_unit().prop_map(FlowType::Scalar),
+        (1usize..4, arb_unit()).prop_map(|(len, unit)| FlowType::Vector { len, unit }),
+    ];
+    leaf.prop_recursive(2, 8, 3, |inner| {
+        // Well-formed records only: field names unique by position.
+        proptest::collection::vec(inner, 1..3).prop_map(|types| {
+            FlowType::Record(
+                types
+                    .into_iter()
+                    .enumerate()
+                    .map(|(i, t)| (format!("f{i}"), t))
+                    .collect(),
+            )
+        })
+    })
+}
+
+proptest! {
+    /// Subset compatibility is reflexive: every type connects to itself.
+    #[test]
+    fn flowtype_subset_reflexive(t in arb_flow_type()) {
+        prop_assert!(t.is_subset_of(&t));
+    }
+
+    /// Subset compatibility is transitive.
+    #[test]
+    fn flowtype_subset_transitive(a in arb_flow_type(), b in arb_flow_type(), c in arb_flow_type()) {
+        if a.is_subset_of(&b) && b.is_subset_of(&c) {
+            prop_assert!(a.is_subset_of(&c), "{a} <= {b} <= {c}");
+        }
+    }
+
+    /// Width is invariant under the subset relation for non-record types.
+    #[test]
+    fn flowtype_subset_preserves_width(a in arb_flow_type(), b in arb_flow_type()) {
+        if a.is_subset_of(&b) && !matches!(a, FlowType::Record(_)) {
+            prop_assert_eq!(a.width(), b.width());
+        }
+    }
+
+    /// All solvers agree with the closed-form solution of exponential
+    /// decay to within a tolerance scaled by their order.
+    #[test]
+    fn solvers_converge_on_decay(lambda in 0.1f64..3.0, h_exp in 1u32..4) {
+        let h = 10f64.powi(-(h_exp as i32));
+        let sys = decay(lambda);
+        for kind in [SolverKind::ForwardEuler, SolverKind::Heun, SolverKind::Rk4] {
+            let mut solver = kind.create();
+            let mut x = vec![1.0];
+            let mut t = 0.0;
+            while t < 1.0 - 1e-12 {
+                let step = h.min(1.0 - t);
+                let out = solver.step(&sys, t, &mut x, step).expect("step");
+                t += out.h_taken;
+            }
+            let exact = (-lambda).exp();
+            let tol = match kind {
+                SolverKind::ForwardEuler => 2.0 * lambda * h,
+                SolverKind::Heun => 5.0 * lambda * h * h,
+                _ => 10.0 * (lambda * h).powi(4).max(1e-12),
+            };
+            prop_assert!(
+                (x[0] - exact).abs() <= tol.max(1e-12),
+                "{kind}: err {} tol {tol}", (x[0] - exact).abs()
+            );
+        }
+    }
+
+    /// The RTC message queue is exhaustive and priority-faithful: popping
+    /// yields every pushed message, highest band first, FIFO inside bands.
+    #[test]
+    fn message_queue_is_priority_fifo(prios in proptest::collection::vec(0u8..5, 1..50)) {
+        let mut q = MessageQueue::new();
+        for (i, p) in prios.iter().enumerate() {
+            let prio = Priority::ALL[*p as usize];
+            q.push(0, Message::new(format!("m{i}"), Value::Int(i as i64)).with_priority(prio));
+        }
+        let mut popped = Vec::new();
+        while let Some(m) = q.pop() {
+            popped.push((m.message.priority(), m.message.value().as_int().unwrap()));
+        }
+        prop_assert_eq!(popped.len(), prios.len());
+        // Priorities non-increasing.
+        for w in popped.windows(2) {
+            prop_assert!(w[0].0 >= w[1].0);
+            if w[0].0 == w[1].0 {
+                prop_assert!(w[0].1 < w[1].1, "FIFO within band");
+            }
+        }
+    }
+
+    /// A state machine never panics or corrupts its state under random
+    /// event sequences; the active state is always a declared one.
+    #[test]
+    fn statemachine_total_under_random_events(events in proptest::collection::vec((0u8..3, 0u8..3), 0..60)) {
+        let machine = StateMachineBuilder::new("fuzz")
+            .state("a")
+            .state("b")
+            .state("c")
+            .initial("a", |_d: &mut u32, _ctx: &mut CapsuleContext| {})
+            .on("a", ("p0", "s0"), "b", |d, _, _| *d += 1)
+            .on("b", ("p1", "s1"), "c", |d, _, _| *d += 1)
+            .on("c", ("p2", "s2"), "a", |d, _, _| *d += 1)
+            .on("c", ("p0", "s0"), "c", |d, _, _| *d += 1)
+            .build()
+            .expect("machine");
+        let mut cap = SmCapsule::new(machine, 0u32);
+        let mut ctx = CapsuleContext::detached(0.0);
+        cap.on_start(&mut ctx);
+        for (p, s) in events {
+            let msg = Message::new(format!("s{s}"), Value::Empty).with_port(format!("p{p}"));
+            cap.on_message(&msg, &mut ctx);
+            prop_assert!(["a", "b", "c"].contains(&cap.current_state()));
+        }
+        prop_assert!(*cap.data() as usize <= 60);
+    }
+
+    /// StateVec lerp stays inside the componentwise envelope for
+    /// alpha in [0, 1].
+    #[test]
+    fn statevec_lerp_bounded(
+        a in proptest::collection::vec(-1e6f64..1e6, 1..6),
+        offsets in proptest::collection::vec(-1e6f64..1e6, 1..6),
+        alpha in 0.0f64..1.0,
+    ) {
+        let n = a.len().min(offsets.len());
+        let va = StateVec::from_slice(&a[..n]);
+        let vb: StateVec = a[..n].iter().zip(&offsets[..n]).map(|(x, o)| x + o).collect();
+        let l = va.lerp(&vb, alpha);
+        for i in 0..n {
+            let (lo, hi) = (va[i].min(vb[i]), va[i].max(vb[i]));
+            prop_assert!(l[i] >= lo - 1e-6 && l[i] <= hi + 1e-6);
+        }
+    }
+
+    /// Trajectory sampling interpolates inside the recorded value range.
+    #[test]
+    fn trajectory_sample_bounded(values in proptest::collection::vec(-1e3f64..1e3, 2..20), t in 0.0f64..1.0) {
+        let mut traj = unified_rt::ode::Trajectory::new();
+        for (i, v) in values.iter().enumerate() {
+            traj.push(i as f64, StateVec::from_slice(&[*v]));
+        }
+        let sample = traj.sample(t * (values.len() - 1) as f64);
+        let lo = values.iter().copied().fold(f64::INFINITY, f64::min);
+        let hi = values.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+        prop_assert!(sample[0] >= lo - 1e-9 && sample[0] <= hi + 1e-9);
+    }
+}
