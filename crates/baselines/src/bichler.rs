@@ -142,10 +142,7 @@ impl Capsule for EquationStateCapsule {
     }
 
     fn current_state(&self) -> &str {
-        self.states
-            .get(self.active)
-            .map(|(n, _, _)| n.as_str())
-            .unwrap_or("-")
+        self.states.get(self.active).map(|(n, _, _)| n.as_str()).unwrap_or("-")
     }
 }
 
@@ -219,14 +216,14 @@ impl ArchitectureBenchmark {
     /// Runs the paper's architecture: equations on a dedicated solver
     /// thread, events handled immediately on the event thread.
     pub fn run_unified(&self) -> LatencyReport {
-        use crossbeam::channel::bounded;
+        use std::sync::mpsc::sync_channel;
         let mut load = self.make_load();
         let substeps = self.substeps;
         let n_steps = self.n_steps;
         // Capacity 1 so the tick handoff never blocks the event thread on
         // a rendezvous with the solver thread.
-        let (tick_tx, tick_rx) = bounded::<usize>(1);
-        let (done_tx, done_rx) = bounded::<()>(1);
+        let (tick_tx, tick_rx) = sync_channel::<usize>(1);
+        let (done_tx, done_rx) = sync_channel::<()>(1);
         let mut latencies: Vec<Duration> = Vec::with_capacity(n_steps);
         std::thread::scope(|scope| {
             scope.spawn(move || {
@@ -264,8 +261,11 @@ mod tests {
 
     #[test]
     fn equation_capsule_integrates_on_ticks() {
-        let cap = EquationStateCapsule::new("vdp", 0.01, 8)
-            .with_state("run", Box::new(VanDerPol { mu: 1.0 }), &[2.0, 0.0]);
+        let cap = EquationStateCapsule::new("vdp", 0.01, 8).with_state(
+            "run",
+            Box::new(VanDerPol { mu: 1.0 }),
+            &[2.0, 0.0],
+        );
         let mut c = Controller::new("events");
         let i = c.add_capsule(Box::new(cap));
         c.start().unwrap();
@@ -311,10 +311,10 @@ mod tests {
 
     #[test]
     fn rtc_latency_grows_with_equation_load() {
-        let small = ArchitectureBenchmark { n_systems: 4, substeps: 32, n_steps: 30 }
-            .run_rtc_integrated();
-        let large = ArchitectureBenchmark { n_systems: 64, substeps: 32, n_steps: 30 }
-            .run_rtc_integrated();
+        let small =
+            ArchitectureBenchmark { n_systems: 4, substeps: 32, n_steps: 30 }.run_rtc_integrated();
+        let large =
+            ArchitectureBenchmark { n_systems: 64, substeps: 32, n_steps: 30 }.run_rtc_integrated();
         assert!(
             large.p50_us() > small.p50_us() * 4.0,
             "16x load should raise latency well beyond 4x: {} vs {}",

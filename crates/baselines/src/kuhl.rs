@@ -153,11 +153,7 @@ pub fn translate_diagram(
     let mut controller = Controller::new(format!("kuhl-{}", parts.name));
 
     // Classes: one per distinct block type + the scheduler class.
-    let classes: HashSet<&str> = parts
-        .blocks
-        .iter()
-        .map(|(_, b)| b.name())
-        .collect();
+    let classes: HashSet<&str> = parts.blocks.iter().map(|(_, b)| b.name()).collect();
     let class_count = classes.len() + 1;
 
     // Per-block outgoing routes, giving each wire its own port.

@@ -1,8 +1,9 @@
 //! E4 bench: simulating 100 ms of k Van der Pol streamers under each
 //! thread-assignment policy.
+//!
+//! Runs on the in-tree [`urt_bench::timer`] harness by default; the
+//! criterion variant is behind the `criterion-bench` feature.
 
-use std::time::Duration;
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use urt_core::engine::{EngineConfig, HybridEngine};
 use urt_core::threading::{GroupingPolicy, ThreadPolicy};
 use urt_dataflow::flowtype::FlowType;
@@ -29,6 +30,13 @@ impl InputSystem for Vdp {
     }
 }
 
+const POLICIES: [(&str, GroupingPolicy, ThreadPolicy); 4] = [
+    ("local", GroupingPolicy::Single, ThreadPolicy::CurrentThread),
+    ("single-thread", GroupingPolicy::Single, ThreadPolicy::DedicatedThreads),
+    ("grouped-4", GroupingPolicy::Grouped(4), ThreadPolicy::DedicatedThreads),
+    ("per-streamer", GroupingPolicy::PerStreamer, ThreadPolicy::DedicatedThreads),
+];
+
 fn make_engine(n: usize, grouping: GroupingPolicy, policy: ThreadPolicy) -> HybridEngine {
     let assignment = grouping.assign(n);
     let n_groups = assignment.iter().copied().max().map_or(0, |m| m + 1);
@@ -37,7 +45,13 @@ fn make_engine(n: usize, grouping: GroupingPolicy, policy: ThreadPolicy) -> Hybr
     for (i, &g) in assignment.iter().enumerate() {
         nets[g]
             .add_streamer(
-                OdeStreamer::new(format!("vdp{i}"), Vdp, SolverKind::Rk4.create(), &[2.0, 0.0], 1e-4),
+                OdeStreamer::new(
+                    format!("vdp{i}"),
+                    Vdp,
+                    SolverKind::Rk4.create(),
+                    &[2.0, 0.0],
+                    1e-4,
+                ),
                 &[],
                 &[("y", FlowType::vector(2))],
             )
@@ -57,18 +71,36 @@ fn make_engine(n: usize, grouping: GroupingPolicy, policy: ThreadPolicy) -> Hybr
     e
 }
 
+#[cfg(not(feature = "criterion-bench"))]
+fn main() {
+    use urt_bench::timer::{bench_batched, report_header};
+
+    println!("{}", report_header());
+    for n in [4usize, 16] {
+        for (label, grouping, policy) in POLICIES {
+            let report = bench_batched(
+                &format!("e4_threading/{label}/{n}"),
+                10,
+                || make_engine(n, grouping, policy),
+                |mut e| e.run_until(0.1).expect("run"),
+            );
+            println!("{report}");
+        }
+    }
+}
+
+#[cfg(feature = "criterion-bench")]
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+#[cfg(feature = "criterion-bench")]
 fn bench(c: &mut Criterion) {
+    use std::time::Duration;
     let mut g = c.benchmark_group("e4_threading");
     g.sample_size(10);
     g.warm_up_time(Duration::from_millis(300));
     g.measurement_time(Duration::from_secs(1));
     for n in [4usize, 16] {
-        for (label, grouping, policy) in [
-            ("local", GroupingPolicy::Single, ThreadPolicy::CurrentThread),
-            ("single-thread", GroupingPolicy::Single, ThreadPolicy::DedicatedThreads),
-            ("grouped-4", GroupingPolicy::Grouped(4), ThreadPolicy::DedicatedThreads),
-            ("per-streamer", GroupingPolicy::PerStreamer, ThreadPolicy::DedicatedThreads),
-        ] {
+        for (label, grouping, policy) in POLICIES {
             g.bench_with_input(BenchmarkId::new(label, n), &n, |b, &n| {
                 b.iter_batched(
                     || make_engine(n, grouping, policy),
@@ -81,5 +113,7 @@ fn bench(c: &mut Criterion) {
     g.finish();
 }
 
+#[cfg(feature = "criterion-bench")]
 criterion_group!(benches, bench);
+#[cfg(feature = "criterion-bench")]
 criterion_main!(benches);

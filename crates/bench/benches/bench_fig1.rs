@@ -1,13 +1,46 @@
 //! Figure 1 bench: what does the Strategy indirection cost? Monomorphic
 //! RK4 stepping versus the same solver behind `Box<dyn Solver>` (the
 //! pattern the paper's architecture relies on).
+//!
+//! Runs on the in-tree [`urt_bench::timer`] harness by default; the
+//! criterion variant is behind the `criterion-bench` feature.
 
-use std::time::Duration;
-use criterion::{black_box, criterion_group, criterion_main, Criterion};
 use urt_ode::solver::{Rk4, Solver, SolverKind};
 use urt_ode::system::library::VanDerPol;
 
+#[cfg(not(feature = "criterion-bench"))]
+fn main() {
+    use std::hint::black_box;
+    use urt_bench::timer::{bench, report_header};
+
+    let sys = VanDerPol { mu: 1.5 };
+    println!("{}", report_header());
+
+    let mut solver = Rk4::new();
+    let mut x = [2.0, 0.0];
+    let mut t = 0.0;
+    let report = bench("fig1_strategy/monomorphic_rk4", 10_000, || {
+        solver.step(&sys, t, black_box(&mut x), 1e-3).expect("step");
+        t += 1e-3;
+    });
+    println!("{report}");
+
+    let mut solver: Box<dyn Solver + Send> = SolverKind::Rk4.create();
+    let mut x = [2.0, 0.0];
+    let mut t = 0.0;
+    let report = bench("fig1_strategy/dyn_strategy_rk4", 10_000, || {
+        solver.step(&sys, t, black_box(&mut x), 1e-3).expect("step");
+        t += 1e-3;
+    });
+    println!("{report}");
+}
+
+#[cfg(feature = "criterion-bench")]
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+
+#[cfg(feature = "criterion-bench")]
 fn bench(c: &mut Criterion) {
+    use std::time::Duration;
     let sys = VanDerPol { mu: 1.5 };
     let mut g = c.benchmark_group("fig1_strategy");
     g.sample_size(30);
@@ -34,5 +67,7 @@ fn bench(c: &mut Criterion) {
     g.finish();
 }
 
+#[cfg(feature = "criterion-bench")]
 criterion_group!(benches, bench);
+#[cfg(feature = "criterion-bench")]
 criterion_main!(benches);

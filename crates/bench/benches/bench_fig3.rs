@@ -1,8 +1,9 @@
 //! Figure 3 bench: hybrid model step throughput — a capsule supervising
 //! streamers through the engine, the paper's end-to-end structure.
+//!
+//! Runs on the in-tree [`urt_bench::timer`] harness by default; the
+//! criterion variant is behind the `criterion-bench` feature.
 
-use std::time::Duration;
-use criterion::{black_box, criterion_group, criterion_main, Criterion};
 use urt_core::engine::{EngineConfig, HybridEngine};
 use urt_core::threading::ThreadPolicy;
 use urt_dataflow::flowtype::FlowType;
@@ -51,7 +52,31 @@ fn engine() -> HybridEngine {
     e
 }
 
+#[cfg(not(feature = "criterion-bench"))]
+fn main() {
+    use std::hint::black_box;
+    use urt_bench::timer::{bench, bench_batched, report_header};
+
+    println!("{}", report_header());
+
+    let mut e = engine();
+    let report = bench("fig3_hybrid/engine_macro_step", 5_000, || {
+        black_box(&mut e).step_once().expect("step");
+    });
+    println!("{report}");
+
+    let report = bench_batched("fig3_hybrid/engine_run_10ms", 100, engine, |mut e| {
+        e.run_until(0.01).expect("run");
+    });
+    println!("{report}");
+}
+
+#[cfg(feature = "criterion-bench")]
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+
+#[cfg(feature = "criterion-bench")]
 fn bench(c: &mut Criterion) {
+    use std::time::Duration;
     let mut g = c.benchmark_group("fig3_hybrid");
     g.sample_size(20);
     g.warm_up_time(Duration::from_millis(300));
@@ -70,5 +95,7 @@ fn bench(c: &mut Criterion) {
     g.finish();
 }
 
+#[cfg(feature = "criterion-bench")]
 criterion_group!(benches, bench);
+#[cfg(feature = "criterion-bench")]
 criterion_main!(benches);

@@ -137,7 +137,8 @@ fn main() {
         let sys = FnInputSystem::new(1, 0, |_t, x: &[f64], _u: &[f64], dx: &mut [f64]| {
             dx[0] = 1.0 - x[0];
         });
-        let mut s = OdeStreamer::new("lag", sys, SolverKind::ForwardEuler.create(), &[0.0], substep);
+        let mut s =
+            OdeStreamer::new("lag", sys, SolverKind::ForwardEuler.create(), &[0.0], substep);
         use urt_dataflow::streamer::StreamerBehavior;
         s.initialize(0.0).expect("init");
         let mut y = [0.0];

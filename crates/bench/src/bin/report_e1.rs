@@ -8,10 +8,10 @@
 //! Run with: `cargo run --release -p urt-bench --bin report_e1`
 
 use std::time::Instant;
+use urt_ode::integrate;
 use urt_ode::solver::{Dopri45, SolverKind};
 use urt_ode::system::library::{HarmonicOscillator, VanDerPol};
 use urt_ode::system::OdeSystem;
-use urt_ode::integrate;
 
 fn reference(sys: &dyn OdeSystem, x0: &[f64], t1: f64) -> Vec<f64> {
     let mut tight = Dopri45::with_tolerances(1e-13, 1e-13);
@@ -34,7 +34,9 @@ fn main() {
     println!("|--------------------|----------------|---------|--------------|-----------|");
     for (name, sys, x0) in &problems {
         let exact = reference(sys.as_ref(), x0, t1);
-        for kind in [SolverKind::ForwardEuler, SolverKind::Heun, SolverKind::Rk4, SolverKind::Dopri45] {
+        for kind in
+            [SolverKind::ForwardEuler, SolverKind::Heun, SolverKind::Rk4, SolverKind::Dopri45]
+        {
             for h in [1e-1, 1e-2, 1e-3] {
                 let mut solver = kind.create();
                 let start = Instant::now();

@@ -8,7 +8,9 @@ use urt_baselines::bichler::ArchitectureBenchmark;
 
 fn main() {
     println!("E2. Event latency under continuous load");
-    println!("    (one environment event per macro step; load = Van der Pol systems x RK4 substeps)");
+    println!(
+        "    (one environment event per macro step; load = Van der Pol systems x RK4 substeps)"
+    );
     println!();
     println!("| load (systems) | architecture   | p50 (us) | p99 (us) | max (us) | jitter (us) |");
     println!("|----------------|----------------|----------|----------|----------|-------------|");

@@ -21,12 +21,9 @@ fn main() {
 
         // Native: the same diagram becomes exactly one streamer node
         // (with one output DPort per loop).
-        let native = feedback_diagram(n_loops)
-            .into_streamer("plant")
-            .expect("compile");
-        let outs: Vec<(String, FlowType)> = (0..n_loops)
-            .map(|i| (format!("y{i}"), FlowType::scalar()))
-            .collect();
+        let native = feedback_diagram(n_loops).into_streamer("plant").expect("compile");
+        let outs: Vec<(String, FlowType)> =
+            (0..n_loops).map(|i| (format!("y{i}"), FlowType::scalar())).collect();
         let outs_ref: Vec<(&str, FlowType)> =
             outs.iter().map(|(s, t)| (s.as_str(), t.clone())).collect();
         let mut net = StreamerNetwork::new("native");

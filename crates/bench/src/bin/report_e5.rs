@@ -16,11 +16,8 @@ fn main() {
     println!("|-----------------|-----------|------------|-------------|--------------|");
     let period = 0.0105;
     for tick in [0.001, 0.005, 0.010, 0.0] {
-        let label = if tick == 0.0 {
-            "Time (exact)".to_owned()
-        } else {
-            format!("{:.0} ms", tick * 1e3)
-        };
+        let label =
+            if tick == 0.0 { "Time (exact)".to_owned() } else { format!("{:.0} ms", tick * 1e3) };
         let drifts: Vec<f64> = [10u64, 100, 1000, 10000]
             .iter()
             .map(|&n| SimClock::drift_against_ticks(period, tick, n) * 1e3)
@@ -44,10 +41,7 @@ fn main() {
     } else {
         0.0
     };
-    println!(
-        "timer-service cross-check (10 ms tick): requested {:.1} ms period,",
-        period * 1e3
-    );
+    println!("timer-service cross-check (10 ms tick): requested {:.1} ms period,", period * 1e3);
     println!(
         "realised {:.1} ms over {} firings ({:+.0}% skew)",
         realised_period * 1e3,

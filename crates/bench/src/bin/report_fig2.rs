@@ -40,12 +40,17 @@ fn main() {
     }
     println!("executable form (with explicit relay node):");
     println!("  nodes: {}  flows: {}", net.node_count(), net.flow_count());
-    for (id, label) in [(sub1, "sub1 (source)"), (relay, "relay"), (sub2, "sub2 = 2x"), (sub3, "sub3 = x^2")] {
+    for (id, label) in
+        [(sub1, "sub1 (source)"), (relay, "relay"), (sub2, "sub2 = 2x"), (sub3, "sub3 = x^2")]
+    {
         let name = net.node_name(id).expect("name");
         println!("  {label:<16} -> node `{name}`");
     }
     let d = net.output(sub2, "y").expect("out")[0];
     let q = net.output(sub3, "y").expect("out")[0];
     println!("  after 2 s: sub2 output = {d:.4}, sub3 output = {q:.4}");
-    println!("  relay duplicated one flow into two similar flows: {}", (q - (d / 2.0) * (d / 2.0)).abs() < 1e-9);
+    println!(
+        "  relay duplicated one flow into two similar flows: {}",
+        (q - (d / 2.0) * (d / 2.0)).abs() < 1e-9
+    );
 }

@@ -15,6 +15,8 @@
 //! | E4 (thread assignment) | `report_e4` | `bench_e4_threading` |
 //! | E5 (Time vs timers) | `report_e5` | `bench_e5_time` |
 
+pub mod timer;
+
 use urt_blocks::continuous::Integrator;
 use urt_blocks::diagram::BlockDiagram;
 use urt_blocks::math::{Gain, Sum};
@@ -79,9 +81,12 @@ pub fn chain_network(n: usize) -> StreamerNetwork {
         let id = if let Some(p) = prev {
             let id = net
                 .add_streamer(
-                    FnStreamer::new(format!("gain{i}"), 1, 1, |_t, _h, u: &[f64], y: &mut [f64]| {
-                        y[0] = 0.99 * u[0]
-                    }),
+                    FnStreamer::new(
+                        format!("gain{i}"),
+                        1,
+                        1,
+                        |_t, _h, u: &[f64], y: &mut [f64]| y[0] = 0.99 * u[0],
+                    ),
                     &[("u", FlowType::scalar())],
                     &[("y", FlowType::scalar())],
                 )

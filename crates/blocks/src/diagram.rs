@@ -88,7 +88,11 @@ impl BlockDiagram {
     }
 
     /// Adds a block with an explicit label.
-    pub fn add_block_labeled(&mut self, label: impl Into<String>, block: impl Block + 'static) -> BlockId {
+    pub fn add_block_labeled(
+        &mut self,
+        label: impl Into<String>,
+        block: impl Block + 'static,
+    ) -> BlockId {
         let block: Box<dyn Block> = Box::new(block);
         let (ni, no) = (block.inputs(), block.outputs());
         self.blocks.push(BlockInst {
@@ -150,10 +154,7 @@ impl BlockDiagram {
     }
 
     fn check_port(&self, id: BlockId, port: usize, input: bool) -> Result<(), BlockError> {
-        let b = self
-            .blocks
-            .get(id.0)
-            .ok_or(BlockError::UnknownBlock { index: id.0 })?;
+        let b = self.blocks.get(id.0).ok_or(BlockError::UnknownBlock { index: id.0 })?;
         let count = if input { b.block.inputs() } else { b.block.outputs() };
         if port >= count {
             return Err(BlockError::BadPort { block: b.label.clone(), port, input });
@@ -182,20 +183,13 @@ impl BlockDiagram {
                 port: to_port,
             });
         }
-        self.conns.push(Conn {
-            from_block: from.0,
-            from_port,
-            to_block: to.0,
-            to_port,
-        });
+        self.conns.push(Conn { from_block: from.0, from_port, to_block: to.0, to_port });
         self.validated = false;
         Ok(())
     }
 
     fn input_is_driven(&self, block: usize, port: usize) -> bool {
-        self.conns
-            .iter()
-            .any(|c| c.to_block == block && c.to_port == port)
+        self.conns.iter().any(|c| c.to_block == block && c.to_port == port)
             || self.ext_inputs.contains(&(block, port))
     }
 
@@ -286,10 +280,8 @@ impl BlockDiagram {
             }
         }
         if order.len() != n {
-            let cycle = (0..n)
-                .filter(|&i| indeg[i] > 0)
-                .map(|i| self.blocks[i].label.clone())
-                .collect();
+            let cycle =
+                (0..n).filter(|&i| indeg[i] > 0).map(|i| self.blocks[i].label.clone()).collect();
             return Err(BlockError::AlgebraicLoop { blocks: cycle });
         }
         Ok(order)
@@ -512,27 +504,12 @@ mod tests {
         let mut d = BlockDiagram::new("d");
         let c = d.add_block(Constant::new(1.0));
         let g = d.add_block(Gain::new(1.0));
-        assert!(matches!(
-            d.connect(c, 1, g, 0),
-            Err(BlockError::BadPort { input: false, .. })
-        ));
-        assert!(matches!(
-            d.connect(c, 0, g, 5),
-            Err(BlockError::BadPort { input: true, .. })
-        ));
+        assert!(matches!(d.connect(c, 1, g, 0), Err(BlockError::BadPort { input: false, .. })));
+        assert!(matches!(d.connect(c, 0, g, 5), Err(BlockError::BadPort { input: true, .. })));
         d.connect(c, 0, g, 0).unwrap();
-        assert!(matches!(
-            d.connect(c, 0, g, 0),
-            Err(BlockError::MultipleWriters { .. })
-        ));
-        assert!(matches!(
-            d.mark_input(g, 0),
-            Err(BlockError::MultipleWriters { .. })
-        ));
-        assert!(matches!(
-            d.connect(BlockId(9), 0, g, 0),
-            Err(BlockError::UnknownBlock { .. })
-        ));
+        assert!(matches!(d.connect(c, 0, g, 0), Err(BlockError::MultipleWriters { .. })));
+        assert!(matches!(d.mark_input(g, 0), Err(BlockError::MultipleWriters { .. })));
+        assert!(matches!(d.connect(BlockId(9), 0, g, 0), Err(BlockError::UnknownBlock { .. })));
     }
 
     #[test]

@@ -36,10 +36,7 @@ impl Lookup1d {
         if x >= *self.breakpoints.last().unwrap() {
             return *self.values.last().unwrap();
         }
-        let idx = self
-            .breakpoints
-            .partition_point(|&b| b < x)
-            .max(1);
+        let idx = self.breakpoints.partition_point(|&b| b < x).max(1);
         let (x0, x1) = (self.breakpoints[idx - 1], self.breakpoints[idx]);
         let (y0, y1) = (self.values[idx - 1], self.values[idx]);
         y0 + (y1 - y0) * (x - x0) / (x1 - x0)

@@ -1,8 +1,7 @@
 //! Source blocks: signal generators with no inputs.
 
 use crate::block::Block;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use urt_ode::rng::Pcg32;
 
 /// Emits a constant value.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -212,14 +211,14 @@ impl Block for Pulse {
 #[derive(Debug, Clone)]
 pub struct Noise {
     std_dev: f64,
-    rng: StdRng,
+    rng: Pcg32,
     seed: u64,
 }
 
 impl Noise {
     /// Creates a reproducible noise source.
     pub fn new(std_dev: f64, seed: u64) -> Self {
-        Noise { std_dev, rng: StdRng::seed_from_u64(seed), seed }
+        Noise { std_dev, rng: Pcg32::seed_from_u64(seed), seed }
     }
 }
 
@@ -241,12 +240,12 @@ impl Block for Noise {
     }
 
     fn reset(&mut self) {
-        self.rng = StdRng::seed_from_u64(self.seed);
+        self.rng = Pcg32::seed_from_u64(self.seed);
     }
 
     fn step(&mut self, _t: f64, _h: f64, _u: &[f64], y: &mut [f64]) {
         // Irwin–Hall approximation of a standard normal.
-        let sum: f64 = (0..12).map(|_| self.rng.gen::<f64>()).sum();
+        let sum: f64 = (0..12).map(|_| self.rng.next_f64()).sum();
         y[0] = self.std_dev * (sum - 6.0);
     }
 }

@@ -42,17 +42,13 @@ pub fn generate_main(model: &UnifiedModel) -> String {
         let ident = sanitize_ident(name);
         let module = format!("capsule_{ident}");
         let ty = camel_case(name);
-        out.push_str(&format!(
-            "    let mut {ident} = {module}::{ty}Capsule::new();\n"
-        ));
+        out.push_str(&format!("    let mut {ident} = {module}::{ty}Capsule::new();\n"));
     }
     out.push_str("    let mut t = 0.0;\n    while t < T_END {\n");
     for (_, name) in model.iter_capsules() {
         let ident = sanitize_ident(name);
         let module = format!("capsule_{ident}");
-        out.push_str(&format!(
-            "        {ident}.dispatch({module}::Signal::Timeout);\n"
-        ));
+        out.push_str(&format!("        {ident}.dispatch({module}::Signal::Timeout);\n"));
         for (_, sname, _) in model.iter_streamers() {
             let sident = sanitize_ident(sname);
             out.push_str(&format!(

@@ -7,15 +7,15 @@
 //! is a [`Controller`]; each streamer *group* is a [`StreamerNetwork`]
 //! which, under [`ThreadPolicy::DedicatedThreads`], runs on its own solver
 //! thread synchronised once per macro step. SPort links carry signal
-//! messages across the boundary in both directions over crossbeam
+//! messages across the boundary in both directions over `std::sync::mpsc`
 //! channels.
 
 use crate::error::CoreError;
 use crate::recorder::Recorder;
 use crate::threading::ThreadPolicy;
 use crate::time::SimClock;
-use crossbeam::channel::{unbounded, Receiver, Sender};
 use std::fmt;
+use std::sync::mpsc::{channel, Receiver, Sender};
 use urt_dataflow::graph::{NodeId, StreamerNetwork};
 use urt_umlrt::controller::Controller;
 use urt_umlrt::message::Message;
@@ -91,10 +91,7 @@ impl HybridEngine {
     ///
     /// Panics if `config.step` is not positive and finite.
     pub fn new(controller: Controller, config: EngineConfig) -> Self {
-        assert!(
-            config.step.is_finite() && config.step > 0.0,
-            "macro step must be positive"
-        );
+        assert!(config.step.is_finite() && config.step > 0.0, "macro step must be positive");
         HybridEngine {
             controller,
             config,
@@ -149,7 +146,7 @@ impl HybridEngine {
                 ),
             });
         }
-        let (tx, rx): (Sender<Message>, Receiver<Message>) = unbounded();
+        let (tx, rx): (Sender<Message>, Receiver<Message>) = channel();
         self.controller.connect_external(capsule, capsule_port, tx)?;
         self.links.push(SportLink {
             group,
@@ -178,12 +175,7 @@ impl HybridEngine {
         if group >= self.groups.len() {
             return Err(CoreError::Engine { detail: format!("no streamer group {group}") });
         }
-        self.probes.push(Probe {
-            group,
-            node,
-            port: port.to_owned(),
-            series: series.to_owned(),
-        });
+        self.probes.push(Probe { group, node, port: port.to_owned(), series: series.to_owned() });
         Ok(())
     }
 
@@ -310,13 +302,10 @@ impl HybridEngine {
         sport: &str,
         msg: Message,
     ) -> Result<(), CoreError> {
-        let link = self
-            .links
-            .iter()
-            .find(|l| l.group == group && l.node == node && l.sport == sport);
+        let link =
+            self.links.iter().find(|l| l.group == group && l.node == node && l.sport == sport);
         if let Some(link) = link {
-            self.controller
-                .inject(link.capsule, &link.capsule_port, msg)?;
+            self.controller.inject(link.capsule, &link.capsule_port, msg)?;
         }
         Ok(())
     }
@@ -367,9 +356,9 @@ impl HybridEngine {
 
         let result = std::thread::scope(|scope| -> Result<(), CoreError> {
             for (gi, mut net) in networks.into_iter().enumerate() {
-                let (cmd_tx, cmd_rx) = unbounded::<Cmd>();
-                let (done_tx, done_rx) = unbounded::<Done>();
-                let (back_tx, back_rx) = unbounded::<StreamerNetwork>();
+                let (cmd_tx, cmd_rx) = channel::<Cmd>();
+                let (done_tx, done_rx) = channel::<Done>();
+                let (back_tx, back_rx) = channel::<StreamerNetwork>();
                 cmd_txs.push(cmd_tx);
                 done_rxs.push(done_rx);
                 back_rxs.push(back_rx);
@@ -535,10 +524,7 @@ mod tests {
     fn threaded_engine_matches_local() {
         let run = |policy| {
             let (net, n) = sine_net("p");
-            let mut e = HybridEngine::new(
-                empty_controller(),
-                EngineConfig { step: 0.01, policy },
-            );
+            let mut e = HybridEngine::new(empty_controller(), EngineConfig { step: 0.01, policy });
             let g = e.add_group(net).unwrap();
             let rec = Recorder::new();
             e.set_recorder(rec.clone());
@@ -576,7 +562,13 @@ mod tests {
             fn output_width(&self) -> usize {
                 0
             }
-            fn advance(&mut self, t: f64, _h: f64, _u: &[f64], _y: &mut [f64]) -> Result<(), SolveError> {
+            fn advance(
+                &mut self,
+                t: f64,
+                _h: f64,
+                _u: &[f64],
+                _y: &mut [f64],
+            ) -> Result<(), SolveError> {
                 for v in self.pending.drain(..) {
                     self.emitted.push((
                         "ctl".to_owned(),
@@ -621,10 +613,7 @@ mod tests {
             e.run_until(0.05).unwrap();
             // The reply arrived back in the capsule: verify by state data
             // via the controller debug path (delivered count >= 1).
-            assert!(
-                e.controller().delivered_count() >= 1,
-                "{policy}: echo reply delivered"
-            );
+            assert!(e.controller().delivered_count() >= 1, "{policy}: echo reply delivered");
         }
     }
 
@@ -638,10 +627,7 @@ mod tests {
         let mut e = HybridEngine::new(empty_controller(), EngineConfig::default());
         let g = e.add_group(net).unwrap();
         // Wrong sport name: rejected because the node declares its sports.
-        assert!(matches!(
-            e.link_sport(g, n, "ghost", 0, "plant"),
-            Err(CoreError::Engine { .. })
-        ));
+        assert!(matches!(e.link_sport(g, n, "ghost", 0, "plant"), Err(CoreError::Engine { .. })));
         // Declared name: accepted.
         e.link_sport(g, n, "ctl", 0, "plant").unwrap();
     }

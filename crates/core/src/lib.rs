@@ -66,9 +66,11 @@ pub mod error;
 pub mod model;
 pub mod pacer;
 pub mod recorder;
+pub mod rng;
 pub mod scenario;
 pub mod stereotype;
 pub mod strategy;
+pub mod sync;
 pub mod threading;
 pub mod time;
 

@@ -160,10 +160,7 @@ impl UnifiedModel {
 
     /// Iterates `(ref, name)` over capsules (for codegen).
     pub fn iter_capsules(&self) -> impl Iterator<Item = (CapsuleRef, &str)> {
-        self.capsules
-            .iter()
-            .enumerate()
-            .map(|(i, d)| (CapsuleRef(i), d.name.as_str()))
+        self.capsules.iter().enumerate().map(|(i, d)| (CapsuleRef(i), d.name.as_str()))
     }
 
     fn flow_end_type(&self, end: &FlowEnd, incoming: bool) -> Result<&FlowType, CoreError> {
@@ -183,18 +180,16 @@ impl UnifiedModel {
                     detail: format!("streamer #{} not declared", s.0),
                 })?;
                 let ports = if incoming { &d.in_dports } else { &d.out_dports };
-                ports
-                    .iter()
-                    .find(|(n, _)| n == port)
-                    .map(|(_, t)| t)
-                    .ok_or_else(|| CoreError::Validation {
+                ports.iter().find(|(n, _)| n == port).map(|(_, t)| t).ok_or_else(|| {
+                    CoreError::Validation {
                         rule: "flow-endpoint",
                         detail: format!(
                             "streamer `{}` has no {} DPort `{port}`",
                             d.name,
                             if incoming { "input" } else { "output" }
                         ),
-                    })
+                    }
+                })
             }
         }
     }
@@ -306,12 +301,14 @@ impl UnifiedModel {
     fn check_capsule_dports_relay(&self) -> Result<(), CoreError> {
         for (ci, d) in self.capsules.iter().enumerate() {
             for (port, _) in &d.dports {
-                let as_dest = self.flows.iter().any(|f| {
-                    matches!(&f.to, FlowEnd::Capsule(c, p) if c.0 == ci && p == port)
-                });
-                let as_src = self.flows.iter().any(|f| {
-                    matches!(&f.from, FlowEnd::Capsule(c, p) if c.0 == ci && p == port)
-                });
+                let as_dest = self
+                    .flows
+                    .iter()
+                    .any(|f| matches!(&f.to, FlowEnd::Capsule(c, p) if c.0 == ci && p == port));
+                let as_src = self
+                    .flows
+                    .iter()
+                    .any(|f| matches!(&f.from, FlowEnd::Capsule(c, p) if c.0 == ci && p == port));
                 if !(as_dest && as_src) {
                     return Err(CoreError::Validation {
                         rule: "fig3-dport-relay",
@@ -343,9 +340,7 @@ impl UnifiedModel {
                 (Some((_, proto_c)), Some((_, proto_s))) => {
                     return Err(CoreError::Validation {
                         rule: "sport-protocol",
-                        detail: format!(
-                            "sport link protocols differ: `{proto_c}` vs `{proto_s}`"
-                        ),
+                        detail: format!("sport link protocols differ: `{proto_c}` vs `{proto_s}`"),
                     });
                 }
                 _ => {
@@ -449,9 +444,7 @@ pub struct ModelBuilder {
 impl ModelBuilder {
     /// Starts a model called `name`.
     pub fn new(name: impl Into<String>) -> Self {
-        ModelBuilder {
-            model: UnifiedModel { name: name.into(), ..UnifiedModel::default() },
-        }
+        ModelBuilder { model: UnifiedModel { name: name.into(), ..UnifiedModel::default() } }
     }
 
     /// Declares a top-level capsule.
@@ -505,7 +498,12 @@ impl ModelBuilder {
     }
 
     /// Declares an SPort on a capsule with a protocol name.
-    pub fn capsule_sport(&mut self, c: CapsuleRef, name: impl Into<String>, protocol: impl Into<String>) {
+    pub fn capsule_sport(
+        &mut self,
+        c: CapsuleRef,
+        name: impl Into<String>,
+        protocol: impl Into<String>,
+    ) {
         self.model.capsules[c.0].sports.push((name.into(), protocol.into()));
     }
 
@@ -520,7 +518,12 @@ impl ModelBuilder {
     }
 
     /// Declares an SPort on a streamer with a protocol name.
-    pub fn streamer_sport(&mut self, s: StreamerRef, name: impl Into<String>, protocol: impl Into<String>) {
+    pub fn streamer_sport(
+        &mut self,
+        s: StreamerRef,
+        name: impl Into<String>,
+        protocol: impl Into<String>,
+    ) {
         self.model.streamers[s.0].sports.push((name.into(), protocol.into()));
     }
 

@@ -1,7 +1,7 @@
 //! Thread-safe signal recording shared by the engine, examples and
 //! benchmarks.
 
-use parking_lot::Mutex;
+use crate::sync::Mutex;
 use std::collections::BTreeMap;
 use std::sync::Arc;
 
@@ -31,11 +31,7 @@ impl Recorder {
 
     /// Appends a `(t, value)` sample to the named series.
     pub fn push(&self, name: &str, t: f64, value: f64) {
-        self.series
-            .lock()
-            .entry(name.to_owned())
-            .or_default()
-            .push((t, value));
+        self.series.lock().entry(name.to_owned()).or_default().push((t, value));
     }
 
     /// Copies out one series (empty if unknown).

@@ -1,0 +1,9 @@
+//! Deterministic in-tree pseudo-random numbers.
+//!
+//! The canonical implementation lives in [`urt_ode::rng`] (the bottom of
+//! the continuous dependency stack, so the block library's noise sources
+//! can use it too); this module re-exports it under the engine crate's
+//! namespace. See that module for the generator design (`SplitMix64`
+//! seeding a PCG-XSH-RR 64/32) and the hermetic-build rationale.
+
+pub use urt_ode::rng::{Pcg32, SplitMix64};

@@ -144,9 +144,13 @@ mod tests {
 
     #[test]
     fn stimuli_beyond_t_end_are_skipped() {
-        let scenario = Scenario::new()
-            .at(0.1, 0, "env", "ping", Value::Empty)
-            .at(9.0, 0, "env", "ping", Value::Empty);
+        let scenario = Scenario::new().at(0.1, 0, "env", "ping", Value::Empty).at(
+            9.0,
+            0,
+            "env",
+            "ping",
+            Value::Empty,
+        );
         let mut engine = counting_engine();
         scenario.run(&mut engine, 1.0).unwrap();
         assert_eq!(engine.controller().delivered_count(), 1);

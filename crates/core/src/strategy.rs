@@ -33,9 +33,7 @@ pub struct StrategyCatalog {
 
 impl fmt::Debug for StrategyCatalog {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        f.debug_struct("StrategyCatalog")
-            .field("strategies", &self.names())
-            .finish()
+        f.debug_struct("StrategyCatalog").field("strategies", &self.names()).finish()
     }
 }
 

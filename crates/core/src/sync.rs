@@ -1,0 +1,8 @@
+//! Poison-tolerant synchronisation for the engine layer.
+//!
+//! The canonical implementation lives in [`urt_umlrt::sync`] (the bottom
+//! of the event-driven dependency stack, so the tracer can use it too);
+//! this module re-exports it under the engine crate's namespace. See that
+//! module for the hermetic-build rationale.
+
+pub use urt_umlrt::sync::Mutex;

@@ -142,10 +142,7 @@ impl FlowType {
             fields.into_iter().map(|(n, t)| (n.into(), t)).collect();
         let mut names: Vec<&str> = fields.iter().map(|(n, _)| n.as_str()).collect();
         names.sort_unstable();
-        assert!(
-            names.windows(2).all(|w| w[0] != w[1]),
-            "record field names must be unique"
-        );
+        assert!(names.windows(2).all(|w| w[0] != w[1]), "record field names must be unique");
         FlowType::Record(fields)
     }
 
@@ -176,9 +173,7 @@ impl FlowType {
     /// Looks up a record field by name.
     pub fn field(&self, name: &str) -> Option<&FlowType> {
         match self {
-            FlowType::Record(fields) => {
-                fields.iter().find(|(n, _)| n == name).map(|(_, t)| t)
-            }
+            FlowType::Record(fields) => fields.iter().find(|(n, _)| n == name).map(|(_, t)| t),
             _ => None,
         }
     }
@@ -189,21 +184,26 @@ impl FlowType {
     /// * scalars: units must match (or the input is `Any`);
     /// * vectors: equal length, unit subset;
     /// * records: every output field must exist on the input side with a
-    ///   subset type (width subtyping);
+    ///   subset type (width subtyping); ill-formed records (duplicate
+    ///   field names) are never a subset of anything, including
+    ///   themselves, so malformed types cannot connect;
     /// * a scalar is a subset of a single-field record's field? No —
     ///   structure must match at the top level.
     pub fn is_subset_of(&self, other: &FlowType) -> bool {
         match (self, other) {
             (FlowType::Scalar(a), FlowType::Scalar(b)) => a.is_subset_of(b),
-            (
-                FlowType::Vector { len: la, unit: ua },
-                FlowType::Vector { len: lb, unit: ub },
-            ) => la == lb && ua.is_subset_of(ub),
-            (FlowType::Record(a), FlowType::Record(b)) => a.iter().all(|(name, ta)| {
-                b.iter()
-                    .find(|(nb, _)| nb == name)
-                    .is_some_and(|(_, tb)| ta.is_subset_of(tb))
-            }),
+            (FlowType::Vector { len: la, unit: ua }, FlowType::Vector { len: lb, unit: ub }) => {
+                la == lb && ua.is_subset_of(ub)
+            }
+            (FlowType::Record(a), FlowType::Record(b)) => {
+                self.is_well_formed()
+                    && other.is_well_formed()
+                    && a.iter().all(|(name, ta)| {
+                        b.iter()
+                            .find(|(nb, _)| nb == name)
+                            .is_some_and(|(_, tb)| ta.is_subset_of(tb))
+                    })
+            }
             _ => false,
         }
     }
@@ -249,10 +249,7 @@ mod tests {
     fn widths() {
         assert_eq!(FlowType::scalar().width(), 1);
         assert_eq!(FlowType::vector(3).width(), 3);
-        let r = FlowType::record([
-            ("a", FlowType::scalar()),
-            ("b", FlowType::vector(2)),
-        ]);
+        let r = FlowType::record([("a", FlowType::scalar()), ("b", FlowType::vector(2))]);
         assert_eq!(r.width(), 3);
     }
 
@@ -289,8 +286,7 @@ mod tests {
     fn structural_mismatch_is_never_subset() {
         assert!(!FlowType::scalar().is_subset_of(&FlowType::vector(1)));
         assert!(!FlowType::vector(1).is_subset_of(&FlowType::scalar()));
-        assert!(!FlowType::scalar()
-            .is_subset_of(&FlowType::record([("x", FlowType::scalar())])));
+        assert!(!FlowType::scalar().is_subset_of(&FlowType::record([("x", FlowType::scalar())])));
     }
 
     #[test]
@@ -317,6 +313,21 @@ mod tests {
     #[should_panic(expected = "unique")]
     fn record_rejects_duplicate_fields() {
         let _ = FlowType::record([("x", FlowType::scalar()), ("x", FlowType::vector(2))]);
+    }
+
+    #[test]
+    fn ill_formed_records_never_connect() {
+        // Duplicate field names defeat the name-based field lookup, so the
+        // subset rule rejects them outright rather than answering based on
+        // whichever duplicate is found first (it even breaks reflexivity).
+        let dup = FlowType::Record(vec![
+            ("b".to_owned(), FlowType::vector(1)),
+            ("b".to_owned(), FlowType::scalar()),
+        ]);
+        assert!(!dup.is_subset_of(&dup));
+        let ok = FlowType::record([("b", FlowType::vector(1))]);
+        assert!(!dup.is_subset_of(&ok));
+        assert!(!ok.is_subset_of(&dup));
     }
 
     #[test]

@@ -180,14 +180,10 @@ impl StreamerNetwork {
         if self.nodes.iter().any(|n| n.name == name) {
             return Err(FlowError::DuplicateName { name });
         }
-        let ins: Vec<DPortSpec> = in_ports
-            .iter()
-            .map(|(n, t)| DPortSpec::new(*n, Direction::In, t.clone()))
-            .collect();
-        let outs: Vec<DPortSpec> = out_ports
-            .iter()
-            .map(|(n, t)| DPortSpec::new(*n, Direction::Out, t.clone()))
-            .collect();
+        let ins: Vec<DPortSpec> =
+            in_ports.iter().map(|(n, t)| DPortSpec::new(*n, Direction::In, t.clone())).collect();
+        let outs: Vec<DPortSpec> =
+            out_ports.iter().map(|(n, t)| DPortSpec::new(*n, Direction::Out, t.clone())).collect();
         let in_width: usize = ins.iter().map(DPortSpec::width).sum();
         let out_width: usize = outs.iter().map(DPortSpec::width).sum();
         if in_width != behavior.input_width() {
@@ -262,10 +258,7 @@ impl StreamerNetwork {
     ///
     /// Returns [`FlowError::UnknownNode`] for a bad id.
     pub fn add_sport(&mut self, node: NodeId, sport: SPortSpec) -> Result<(), FlowError> {
-        let n = self
-            .nodes
-            .get_mut(node.0)
-            .ok_or(FlowError::UnknownNode { index: node.0 })?;
+        let n = self.nodes.get_mut(node.0).ok_or(FlowError::UnknownNode { index: node.0 })?;
         n.sports.push(sport);
         Ok(())
     }
@@ -328,10 +321,7 @@ impl StreamerNetwork {
         port: &str,
         direction: Direction,
     ) -> Result<usize, FlowError> {
-        let n = self
-            .nodes
-            .get(node.0)
-            .ok_or(FlowError::UnknownNode { index: node.0 })?;
+        let n = self.nodes.get(node.0).ok_or(FlowError::UnknownNode { index: node.0 })?;
         let ports = match direction {
             Direction::In => &n.in_ports,
             Direction::Out => &n.out_ports,
@@ -339,10 +329,7 @@ impl StreamerNetwork {
         ports
             .iter()
             .position(|p| p.name() == port)
-            .ok_or_else(|| FlowError::UnknownPort {
-                node: n.name.clone(),
-                port: port.to_owned(),
-            })
+            .ok_or_else(|| FlowError::UnknownPort { node: n.name.clone(), port: port.to_owned() })
     }
 
     /// Connects an output DPort to an input DPort, enforcing the paper's
@@ -365,22 +352,13 @@ impl StreamerNetwork {
                 to: format!("{}.{}", self.nodes[to.0 .0].name, to.1),
             });
         }
-        if self
-            .flows
-            .iter()
-            .any(|f| f.to_node == to.0 .0 && f.to_port == to_port)
-        {
+        if self.flows.iter().any(|f| f.to_node == to.0 .0 && f.to_port == to_port) {
             return Err(FlowError::MultipleWriters {
                 node: self.nodes[to.0 .0].name.clone(),
                 port: to.1.to_owned(),
             });
         }
-        self.flows.push(Flow {
-            from_node: from.0 .0,
-            from_port,
-            to_node: to.0 .0,
-            to_port,
-        });
+        self.flows.push(Flow { from_node: from.0 .0, from_port, to_node: to.0 .0, to_port });
         self.initialized = false;
         Ok(())
     }
@@ -396,10 +374,7 @@ impl StreamerNetwork {
     /// * [`FlowError::MultipleWriters`] if the port is already driven.
     pub fn export_input(&mut self, node: NodeId, port: &str) -> Result<usize, FlowError> {
         let pi = self.find_port(node, port, Direction::In)?;
-        if self
-            .flows
-            .iter()
-            .any(|f| f.to_node == node.0 && f.to_port == pi)
+        if self.flows.iter().any(|f| f.to_node == node.0 && f.to_port == pi)
             || self.ext_inputs.contains(&(node.0, pi))
         {
             return Err(FlowError::MultipleWriters {
@@ -423,11 +398,8 @@ impl StreamerNetwork {
     /// Unknown node/port errors.
     pub fn export_output(&mut self, node: NodeId, port: &str) -> Result<usize, FlowError> {
         let pi = self.find_port(node, port, Direction::Out)?;
-        let offset: usize = self
-            .ext_outputs
-            .iter()
-            .map(|&(n, p)| self.nodes[n].out_ports[p].width())
-            .sum();
+        let offset: usize =
+            self.ext_outputs.iter().map(|&(n, p)| self.nodes[n].out_ports[p].width()).sum();
         self.ext_outputs.push((node.0, pi));
         Ok(offset)
     }
@@ -439,10 +411,7 @@ impl StreamerNetwork {
 
     /// Total lane width of exported outputs.
     pub fn external_output_width(&self) -> usize {
-        self.ext_outputs
-            .iter()
-            .map(|&(n, p)| self.nodes[n].out_ports[p].width())
-            .sum()
+        self.ext_outputs.iter().map(|&(n, p)| self.nodes[n].out_ports[p].width()).sum()
     }
 
     /// Latches the external input lanes for the next step.
@@ -505,10 +474,7 @@ impl StreamerNetwork {
     pub fn validate(&mut self) -> Result<(), FlowError> {
         for (i, node) in self.nodes.iter().enumerate() {
             for (pi, port) in node.in_ports.iter().enumerate() {
-                let driven = self
-                    .flows
-                    .iter()
-                    .any(|f| f.to_node == i && f.to_port == pi)
+                let driven = self.flows.iter().any(|f| f.to_node == i && f.to_port == pi)
                     || self.ext_inputs.contains(&(i, pi));
                 if !driven {
                     return Err(FlowError::UnconnectedInput {
@@ -547,10 +513,8 @@ impl StreamerNetwork {
             }
         }
         if order.len() != n {
-            let cycle: Vec<String> = (0..n)
-                .filter(|&i| indeg[i] > 0)
-                .map(|i| self.nodes[i].name.clone())
-                .collect();
+            let cycle: Vec<String> =
+                (0..n).filter(|&i| indeg[i] > 0).map(|i| self.nodes[i].name.clone()).collect();
             return Err(FlowError::AlgebraicLoop { nodes: cycle });
         }
         Ok(order)
@@ -661,10 +625,7 @@ impl StreamerNetwork {
     ///
     /// Returns [`FlowError::UnknownNode`] for a bad id.
     pub fn send_signal(&mut self, node: NodeId, msg: &Message) -> Result<(), FlowError> {
-        let n = self
-            .nodes
-            .get_mut(node.0)
-            .ok_or(FlowError::UnknownNode { index: node.0 })?;
+        let n = self.nodes.get_mut(node.0).ok_or(FlowError::UnknownNode { index: node.0 })?;
         if let NodeKind::Streamer(b) = &mut n.kind {
             b.on_signal(msg);
         }
@@ -679,10 +640,7 @@ impl StreamerNetwork {
 
     /// Iterates over `(id, name)` of all nodes.
     pub fn iter_nodes(&self) -> impl Iterator<Item = (NodeId, &str)> {
-        self.nodes
-            .iter()
-            .enumerate()
-            .map(|(i, n)| (NodeId(i), n.name.as_str()))
+        self.nodes.iter().enumerate().map(|(i, n)| (NodeId(i), n.name.as_str()))
     }
 
     /// SPorts declared on a node.
@@ -718,7 +676,11 @@ mod tests {
         let mut net = StreamerNetwork::new("chain");
         let s = net.add_streamer(source("src"), &[], &[("o", FlowType::scalar())]).unwrap();
         let g = net
-            .add_streamer(gain("g", 3.0), &[("i", FlowType::scalar())], &[("o", FlowType::scalar())])
+            .add_streamer(
+                gain("g", 3.0),
+                &[("i", FlowType::scalar())],
+                &[("o", FlowType::scalar())],
+            )
             .unwrap();
         net.flow((s, "o"), (g, "i")).unwrap();
         net.validate().unwrap();
@@ -743,13 +705,21 @@ mod tests {
             )
             .unwrap();
         let b = net
-            .add_streamer(gain("b", 1.0), &[("i", FlowType::with_unit(Unit::Kelvin))], &[("o", FlowType::scalar())])
+            .add_streamer(
+                gain("b", 1.0),
+                &[("i", FlowType::with_unit(Unit::Kelvin))],
+                &[("o", FlowType::scalar())],
+            )
             .unwrap();
         let err = net.flow((a, "o"), (b, "i")).unwrap_err();
         assert!(matches!(err, FlowError::TypeMismatch { .. }));
         // Any on the input side accepts.
         let c = net
-            .add_streamer(gain("c", 1.0), &[("i", FlowType::with_unit(Unit::Any))], &[("o", FlowType::scalar())])
+            .add_streamer(
+                gain("c", 1.0),
+                &[("i", FlowType::with_unit(Unit::Any))],
+                &[("o", FlowType::scalar())],
+            )
             .unwrap();
         assert!(net.flow((a, "o"), (c, "i")).is_ok());
     }
@@ -760,7 +730,11 @@ mod tests {
         let a = net.add_streamer(source("a"), &[], &[("o", FlowType::scalar())]).unwrap();
         let b = net.add_streamer(source("b"), &[], &[("o", FlowType::scalar())]).unwrap();
         let g = net
-            .add_streamer(gain("g", 1.0), &[("i", FlowType::scalar())], &[("o", FlowType::scalar())])
+            .add_streamer(
+                gain("g", 1.0),
+                &[("i", FlowType::scalar())],
+                &[("o", FlowType::scalar())],
+            )
             .unwrap();
         net.flow((a, "o"), (g, "i")).unwrap();
         let err = net.flow((b, "o"), (g, "i")).unwrap_err();
@@ -770,8 +744,12 @@ mod tests {
     #[test]
     fn unconnected_input_rejected() {
         let mut net = StreamerNetwork::new("t");
-        net.add_streamer(gain("g", 1.0), &[("i", FlowType::scalar())], &[("o", FlowType::scalar())])
-            .unwrap();
+        net.add_streamer(
+            gain("g", 1.0),
+            &[("i", FlowType::scalar())],
+            &[("o", FlowType::scalar())],
+        )
+        .unwrap();
         assert!(matches!(net.validate(), Err(FlowError::UnconnectedInput { .. })));
     }
 
@@ -779,7 +757,11 @@ mod tests {
     fn width_mismatch_rejected() {
         let mut net = StreamerNetwork::new("t");
         let err = net
-            .add_streamer(gain("g", 1.0), &[("i", FlowType::vector(2))], &[("o", FlowType::scalar())])
+            .add_streamer(
+                gain("g", 1.0),
+                &[("i", FlowType::vector(2))],
+                &[("o", FlowType::scalar())],
+            )
             .unwrap_err();
         assert!(matches!(err, FlowError::WidthMismatch { expected: 2, found: 1, .. }));
     }
@@ -803,10 +785,18 @@ mod tests {
         let s = net.add_streamer(source("s"), &[], &[("o", FlowType::scalar())]).unwrap();
         let r = net.add_relay("r", FlowType::scalar(), 2).unwrap();
         let g1 = net
-            .add_streamer(gain("g1", 2.0), &[("i", FlowType::scalar())], &[("o", FlowType::scalar())])
+            .add_streamer(
+                gain("g1", 2.0),
+                &[("i", FlowType::scalar())],
+                &[("o", FlowType::scalar())],
+            )
             .unwrap();
         let g2 = net
-            .add_streamer(gain("g2", 5.0), &[("i", FlowType::scalar())], &[("o", FlowType::scalar())])
+            .add_streamer(
+                gain("g2", 5.0),
+                &[("i", FlowType::scalar())],
+                &[("o", FlowType::scalar())],
+            )
             .unwrap();
         net.flow((s, "o"), (r, "in")).unwrap();
         net.flow((r, "out0"), (g1, "i")).unwrap();
@@ -824,10 +814,18 @@ mod tests {
     fn algebraic_loop_detected() {
         let mut net = StreamerNetwork::new("t");
         let a = net
-            .add_streamer(gain("a", 1.0), &[("i", FlowType::scalar())], &[("o", FlowType::scalar())])
+            .add_streamer(
+                gain("a", 1.0),
+                &[("i", FlowType::scalar())],
+                &[("o", FlowType::scalar())],
+            )
             .unwrap();
         let b = net
-            .add_streamer(gain("b", 1.0), &[("i", FlowType::scalar())], &[("o", FlowType::scalar())])
+            .add_streamer(
+                gain("b", 1.0),
+                &[("i", FlowType::scalar())],
+                &[("o", FlowType::scalar())],
+            )
             .unwrap();
         net.flow((a, "o"), (b, "i")).unwrap();
         net.flow((b, "o"), (a, "i")).unwrap();
@@ -873,10 +871,18 @@ mod tests {
         }
         let mut net = StreamerNetwork::new("t");
         let a = net
-            .add_streamer(gain("a", 0.5), &[("i", FlowType::scalar())], &[("o", FlowType::scalar())])
+            .add_streamer(
+                gain("a", 0.5),
+                &[("i", FlowType::scalar())],
+                &[("o", FlowType::scalar())],
+            )
             .unwrap();
         let l = net
-            .add_streamer(Lag { state: 1.0 }, &[("i", FlowType::scalar())], &[("o", FlowType::scalar())])
+            .add_streamer(
+                Lag { state: 1.0 },
+                &[("i", FlowType::scalar())],
+                &[("o", FlowType::scalar())],
+            )
             .unwrap();
         net.flow((a, "o"), (l, "i")).unwrap();
         net.flow((l, "o"), (a, "i")).unwrap();
@@ -898,14 +904,8 @@ mod tests {
         net.set_parent(subsub, sub).unwrap();
         assert_eq!(net.children(top), vec![sub]);
         assert_eq!(net.children(sub), vec![subsub]);
-        assert!(matches!(
-            net.set_parent(top, top),
-            Err(FlowError::BadHierarchy { .. })
-        ));
-        assert!(matches!(
-            net.set_parent(top, subsub),
-            Err(FlowError::BadHierarchy { .. })
-        ));
+        assert!(matches!(net.set_parent(top, top), Err(FlowError::BadHierarchy { .. })));
+        assert!(matches!(net.set_parent(top, subsub), Err(FlowError::BadHierarchy { .. })));
     }
 
     #[test]

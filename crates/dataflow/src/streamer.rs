@@ -7,13 +7,13 @@
 
 use crate::error::FlowError;
 use crate::graph::StreamerNetwork;
+use std::fmt;
 use urt_ode::events::{locate_first_crossing, ZeroCrossing};
 use urt_ode::solver::{Rk4, Solver, SolverDriver};
 use urt_ode::system::{FrozenInput, InputSystem};
 use urt_ode::SolveError;
 use urt_umlrt::message::Message;
 use urt_umlrt::value::Value;
-use std::fmt;
 
 /// The behaviour a streamer node executes each macro step.
 ///
@@ -216,9 +216,7 @@ impl<S: InputSystem + Send> OdeStreamer<S> {
 
     /// Current continuous state (initial state before `initialize`).
     pub fn state(&self) -> &[f64] {
-        self.driver
-            .as_ref()
-            .map_or(&self.x0, |d| d.state().as_slice())
+        self.driver.as_ref().map_or(&self.x0, |d| d.state().as_slice())
     }
 
     /// Name of the installed solver strategy.
@@ -254,11 +252,7 @@ impl<S: InputSystem + Send> StreamerBehavior for OdeStreamer<S> {
 
     fn initialize(&mut self, t0: f64) -> Result<(), SolveError> {
         self.driver = Some(SolverDriver::new(t0, &self.x0, self.substep)?);
-        self.guard_values = self
-            .guards
-            .iter()
-            .map(|g| g.eval(t0, &self.x0))
-            .collect();
+        self.guard_values = self.guards.iter().map(|g| g.eval(t0, &self.x0)).collect();
         Ok(())
     }
 
@@ -372,12 +366,7 @@ impl CompositeStreamer {
     pub fn new(name: impl Into<String>, mut network: StreamerNetwork) -> Result<Self, FlowError> {
         network.validate()?;
         let feedthrough = network.has_external_feedthrough();
-        Ok(CompositeStreamer {
-            name: name.into(),
-            network,
-            feedthrough,
-            emitted: Vec::new(),
-        })
+        Ok(CompositeStreamer { name: name.into(), network, feedthrough, emitted: Vec::new() })
     }
 
     /// Read access to the inner network.
@@ -404,9 +393,7 @@ impl StreamerBehavior for CompositeStreamer {
     }
 
     fn initialize(&mut self, t0: f64) -> Result<(), SolveError> {
-        self.network
-            .initialize(t0)
-            .map_err(|_| SolveError::InvalidStep { step: t0 })
+        self.network.initialize(t0).map_err(|_| SolveError::InvalidStep { step: t0 })
     }
 
     fn advance(&mut self, _t: f64, h: f64, u: &[f64], y: &mut [f64]) -> Result<(), SolveError> {
@@ -464,13 +451,8 @@ mod tests {
 
     #[test]
     fn ode_streamer_tracks_step_input() {
-        let mut s = OdeStreamer::new(
-            "lag",
-            first_order_plant(),
-            SolverKind::Rk4.create(),
-            &[0.0],
-            0.001,
-        );
+        let mut s =
+            OdeStreamer::new("lag", first_order_plant(), SolverKind::Rk4.create(), &[0.0], 0.001);
         assert!(!s.direct_feedthrough());
         s.initialize(0.0).unwrap();
         let mut y = [0.0];
@@ -510,19 +492,12 @@ mod tests {
 
     #[test]
     fn guard_crossing_emits_signal() {
-        let mut s = OdeStreamer::new(
-            "lag",
-            first_order_plant(),
-            SolverKind::Rk4.create(),
-            &[0.0],
-            0.001,
-        )
-        .with_guard(ZeroCrossing::new(
-            "half_reached",
-            EventDirection::Rising,
-            |_t, x| x[0] - 0.5,
-        ))
-        .with_event_sport("alarm");
+        let mut s =
+            OdeStreamer::new("lag", first_order_plant(), SolverKind::Rk4.create(), &[0.0], 0.001)
+                .with_guard(ZeroCrossing::new("half_reached", EventDirection::Rising, |_t, x| {
+                    x[0] - 0.5
+                }))
+                .with_event_sport("alarm");
         s.initialize(0.0).unwrap();
         let mut y = [0.0];
         let mut t = 0.0;
@@ -558,14 +533,15 @@ mod tests {
                 dx[0] = self.gain * (u[0] - x[0]);
             }
         }
-        let mut s = OdeStreamer::new("p", Plant { gain: 1.0 }, SolverKind::Rk4.create(), &[0.0], 0.001)
-            .with_signal_handler(|msg, plant: &mut Plant, state: &mut [f64]| {
-                match msg.signal() {
-                    "set_gain" => plant.gain = msg.value().as_real().unwrap_or(plant.gain),
-                    "reset" => state.fill(0.0),
-                    _ => {}
-                }
-            });
+        let mut s =
+            OdeStreamer::new("p", Plant { gain: 1.0 }, SolverKind::Rk4.create(), &[0.0], 0.001)
+                .with_signal_handler(|msg, plant: &mut Plant, state: &mut [f64]| {
+                    match msg.signal() {
+                        "set_gain" => plant.gain = msg.value().as_real().unwrap_or(plant.gain),
+                        "reset" => state.fill(0.0),
+                        _ => {}
+                    }
+                });
         s.initialize(0.0).unwrap();
         s.on_signal(&Message::new("set_gain", Value::Real(10.0)));
         let mut y = [0.0];
@@ -616,11 +592,7 @@ mod tests {
             )
             .unwrap();
         let sub = outer
-            .add_streamer(
-                composite,
-                &[("u", FlowType::scalar())],
-                &[("y", FlowType::scalar())],
-            )
+            .add_streamer(composite, &[("u", FlowType::scalar())], &[("y", FlowType::scalar())])
             .unwrap();
         outer.flow((src, "y"), (sub, "u")).unwrap();
         outer.initialize(0.0).unwrap();
@@ -644,10 +616,7 @@ mod tests {
             .unwrap();
         net.export_input(g, "u").unwrap();
         // Double export = double driver.
-        assert!(matches!(
-            net.export_input(g, "u"),
-            Err(FlowError::MultipleWriters { .. })
-        ));
+        assert!(matches!(net.export_input(g, "u"), Err(FlowError::MultipleWriters { .. })));
         assert!(net.export_input(g, "ghost").is_err());
         assert!(net.export_output(g, "ghost").is_err());
         net.export_output(g, "y").unwrap();

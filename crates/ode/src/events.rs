@@ -148,10 +148,8 @@ pub fn locate_first_crossing<S: Solver + ?Sized>(
     // Integrate the full step once to get end values.
     let mut x_end = x0.to_vec();
     step_to(sys, solver, t0, &mut x_end, t1 - t0, max_sub)?;
-    let crossing = guards
-        .iter()
-        .enumerate()
-        .find(|(i, g)| g.direction().matches(g0[*i], g.eval(t1, &x_end)));
+    let crossing =
+        guards.iter().enumerate().find(|(i, g)| g.direction().matches(g0[*i], g.eval(t1, &x_end)));
     let Some((idx, guard)) = crossing else {
         return Ok(None);
     };
@@ -259,17 +257,10 @@ mod tests {
         // cos(t) falls through zero at t = pi/2.
         let sys = HarmonicOscillator { omega: 1.0 };
         let guards = [ZeroCrossing::new("zero", EventDirection::Falling, |_t, x: &[f64]| x[0])];
-        let hit = locate_first_crossing(
-            &sys,
-            &mut Rk4::new(),
-            &guards,
-            0.0,
-            &[1.0, 0.0],
-            2.0,
-            1e-10,
-        )
-        .unwrap()
-        .unwrap();
+        let hit =
+            locate_first_crossing(&sys, &mut Rk4::new(), &guards, 0.0, &[1.0, 0.0], 2.0, 1e-10)
+                .unwrap()
+                .unwrap();
         assert!((hit.time - std::f64::consts::FRAC_PI_2).abs() < 1e-4, "time {}", hit.time);
     }
 
@@ -277,17 +268,10 @@ mod tests {
     fn adaptive_solver_also_locates() {
         let sys = FnSystem::new(1, |_t, _x, dx: &mut [f64]| dx[0] = 1.0);
         let guards = [ZeroCrossing::new("g", EventDirection::Rising, |_t, x: &[f64]| x[0] - 0.25)];
-        let hit = locate_first_crossing(
-            &sys,
-            &mut Dopri45::new(),
-            &guards,
-            0.0,
-            &[0.0],
-            1.0,
-            1e-10,
-        )
-        .unwrap()
-        .unwrap();
+        let hit =
+            locate_first_crossing(&sys, &mut Dopri45::new(), &guards, 0.0, &[0.0], 1.0, 1e-10)
+                .unwrap()
+                .unwrap();
         assert!((hit.time - 0.25).abs() < 1e-6, "time {}", hit.time);
     }
 

@@ -195,7 +195,8 @@ mod tests {
 
     #[test]
     fn bouncing_ball_loses_energy_each_bounce() {
-        let guards = vec![ZeroCrossing::new("bounce", EventDirection::Falling, |_t, x: &[f64]| x[0])];
+        let guards =
+            vec![ZeroCrossing::new("bounce", EventDirection::Falling, |_t, x: &[f64]| x[0])];
         let result = simulate_hybrid(
             &ball(),
             &mut Rk4::new(),
@@ -219,10 +220,7 @@ mod tests {
         // Impact speeds decay by the restitution factor.
         let speeds: Vec<f64> = result.events.iter().map(|e| e.state_before[1].abs()).collect();
         for w in speeds.windows(2) {
-            assert!(
-                w[1] < w[0] * 0.85,
-                "impact speed must decay: {speeds:?}"
-            );
+            assert!(w[1] < w[0] * 0.85, "impact speed must decay: {speeds:?}");
         }
         // Height stays (numerically) non-negative.
         for (_, state) in result.trajectory.iter() {
@@ -232,7 +230,8 @@ mod tests {
 
     #[test]
     fn stop_outcome_halts_simulation() {
-        let guards = vec![ZeroCrossing::new("floor", EventDirection::Falling, |_t, x: &[f64]| x[0])];
+        let guards =
+            vec![ZeroCrossing::new("floor", EventDirection::Falling, |_t, x: &[f64]| x[0])];
         let result = simulate_hybrid(
             &ball(),
             &mut Rk4::new(),
@@ -251,7 +250,8 @@ mod tests {
 
     #[test]
     fn zeno_guard_trips_max_events() {
-        let guards = vec![ZeroCrossing::new("bounce", EventDirection::Falling, |_t, x: &[f64]| x[0])];
+        let guards =
+            vec![ZeroCrossing::new("bounce", EventDirection::Falling, |_t, x: &[f64]| x[0])];
         let err = simulate_hybrid(
             &ball(),
             &mut Rk4::new(),
@@ -274,9 +274,8 @@ mod tests {
     #[test]
     fn no_events_matches_plain_integration() {
         let sys = FnSystem::new(1, |_t, x: &[f64], dx: &mut [f64]| dx[0] = -x[0]);
-        let guards = vec![ZeroCrossing::new("never", EventDirection::Rising, |_t, x: &[f64]| {
-            x[0] - 100.0
-        })];
+        let guards =
+            vec![ZeroCrossing::new("never", EventDirection::Rising, |_t, x: &[f64]| x[0] - 100.0)];
         let result = simulate_hybrid(
             &sys,
             &mut Rk4::new(),
@@ -297,29 +296,35 @@ mod tests {
     #[test]
     fn validates_inputs() {
         let sys = ball();
-        assert!(simulate_hybrid(
-            &sys,
-            &mut Rk4::new(),
-            vec![],
-            |_l, _t, _x| EventOutcome::Continue,
-            0.0,
-            &[1.0],
-            1.0,
-            1e-2,
-            10
-        )
-        .is_err(), "dimension mismatch");
-        assert!(simulate_hybrid(
-            &sys,
-            &mut Rk4::new(),
-            vec![],
-            |_l, _t, _x| EventOutcome::Continue,
-            0.0,
-            &[1.0, 0.0],
-            1.0,
-            0.0,
-            10
-        )
-        .is_err(), "invalid step");
+        assert!(
+            simulate_hybrid(
+                &sys,
+                &mut Rk4::new(),
+                vec![],
+                |_l, _t, _x| EventOutcome::Continue,
+                0.0,
+                &[1.0],
+                1.0,
+                1e-2,
+                10
+            )
+            .is_err(),
+            "dimension mismatch"
+        );
+        assert!(
+            simulate_hybrid(
+                &sys,
+                &mut Rk4::new(),
+                vec![],
+                |_l, _t, _x| EventOutcome::Continue,
+                0.0,
+                &[1.0, 0.0],
+                1.0,
+                0.0,
+                10
+            )
+            .is_err(),
+            "invalid step"
+        );
     }
 }

@@ -47,7 +47,9 @@ pub fn hermite_vec(
     out: &mut [f64],
 ) {
     assert!(
-        x0.len() == dx0.len() && x0.len() == x1.len() && x0.len() == dx1.len()
+        x0.len() == dx0.len()
+            && x0.len() == x1.len()
+            && x0.len() == dx1.len()
             && x0.len() == out.len(),
         "hermite_vec length mismatch"
     );

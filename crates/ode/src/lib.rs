@@ -39,6 +39,7 @@ pub mod events;
 pub mod hybrid;
 pub mod interp;
 pub mod linalg;
+pub mod rng;
 pub mod solver;
 pub mod state;
 pub mod system;
@@ -134,10 +135,7 @@ impl Trajectory {
         if t >= *self.times.last().unwrap() {
             return self.states.last().unwrap().clone();
         }
-        let idx = match self
-            .times
-            .binary_search_by(|probe| probe.partial_cmp(&t).unwrap())
-        {
+        let idx = match self.times.binary_search_by(|probe| probe.partial_cmp(&t).unwrap()) {
             Ok(i) => return self.states[i].clone(),
             Err(i) => i,
         };

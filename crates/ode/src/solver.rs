@@ -362,15 +362,8 @@ const A: [[f64; 6]; 6] = [
     [35.0 / 384.0, 0.0, 500.0 / 1113.0, 125.0 / 192.0, -2187.0 / 6784.0, 11.0 / 84.0],
 ];
 const C: [f64; 6] = [1.0 / 5.0, 3.0 / 10.0, 4.0 / 5.0, 8.0 / 9.0, 1.0, 1.0];
-const B5: [f64; 7] = [
-    35.0 / 384.0,
-    0.0,
-    500.0 / 1113.0,
-    125.0 / 192.0,
-    -2187.0 / 6784.0,
-    11.0 / 84.0,
-    0.0,
-];
+const B5: [f64; 7] =
+    [35.0 / 384.0, 0.0, 500.0 / 1113.0, 125.0 / 192.0, -2187.0 / 6784.0, 11.0 / 84.0, 0.0];
 const B4: [f64; 7] = [
     5179.0 / 57600.0,
     0.0,
@@ -418,7 +411,11 @@ impl Solver for Dopri45 {
                 }
                 self.tmp[i] = x[i] + h * acc;
             }
-            sys.derivatives(t + C[stage] * h, self.tmp.as_slice(), self.k[stage + 1].as_mut_slice());
+            sys.derivatives(
+                t + C[stage] * h,
+                self.tmp.as_slice(),
+                self.k[stage + 1].as_mut_slice(),
+            );
         }
 
         // 5th-order solution and embedded 4th-order error estimate.
@@ -441,22 +438,14 @@ impl Solver for Dopri45 {
 
         let safety = 0.9;
         let exponent = 1.0 / 5.0;
-        let factor = if err_norm == 0.0 {
-            5.0
-        } else {
-            (safety * err_norm.powf(-exponent)).clamp(0.2, 5.0)
-        };
+        let factor =
+            if err_norm == 0.0 { 5.0 } else { (safety * err_norm.powf(-exponent)).clamp(0.2, 5.0) };
         let h_next = h * factor;
 
         if err_norm <= 1.0 {
             x.copy_from_slice(self.x5.as_slice());
             ensure_finite(t + h, x)?;
-            Ok(StepOutcome {
-                accepted: true,
-                h_taken: h,
-                h_next,
-                error_estimate: Some(err_norm),
-            })
+            Ok(StepOutcome { accepted: true, h_taken: h, h_next, error_estimate: Some(err_norm) })
         } else {
             if h_next < self.min_step {
                 return Err(SolveError::StepSizeUnderflow { time: t, step: h_next });
@@ -487,7 +476,12 @@ pub struct BackwardEuler {
 
 impl Default for BackwardEuler {
     fn default() -> Self {
-        BackwardEuler { tol: 1e-12, max_iters: 100, k: StateVec::default(), guess: StateVec::default() }
+        BackwardEuler {
+            tol: 1e-12,
+            max_iters: 100,
+            k: StateVec::default(),
+            guess: StateVec::default(),
+        }
     }
 }
 
@@ -778,14 +772,8 @@ mod tests {
             Err(SolveError::DimensionMismatch { .. })
         ));
         let mut x = vec![1.0];
-        assert!(matches!(
-            s.step(&sys, 0.0, &mut x, 0.0),
-            Err(SolveError::InvalidStep { .. })
-        ));
-        assert!(matches!(
-            s.step(&sys, 0.0, &mut x, f64::NAN),
-            Err(SolveError::InvalidStep { .. })
-        ));
+        assert!(matches!(s.step(&sys, 0.0, &mut x, 0.0), Err(SolveError::InvalidStep { .. })));
+        assert!(matches!(s.step(&sys, 0.0, &mut x, f64::NAN), Err(SolveError::InvalidStep { .. })));
     }
 
     #[test]
@@ -793,10 +781,7 @@ mod tests {
         let sys = FnSystem::new(1, |_t, _x, dx: &mut [f64]| dx[0] = f64::NAN);
         let mut s = ForwardEuler::new();
         let mut x = vec![1.0];
-        assert!(matches!(
-            s.step(&sys, 0.0, &mut x, 0.1),
-            Err(SolveError::NonFiniteState { .. })
-        ));
+        assert!(matches!(s.step(&sys, 0.0, &mut x, 0.1), Err(SolveError::NonFiniteState { .. })));
     }
 
     #[test]

@@ -100,11 +100,7 @@ impl StateVec {
     pub fn lerp(&self, other: &StateVec, alpha: f64) -> StateVec {
         assert_eq!(self.dim(), other.dim(), "lerp dimension mismatch");
         StateVec(
-            self.0
-                .iter()
-                .zip(other.0.iter())
-                .map(|(a, b)| (1.0 - alpha) * a + alpha * b)
-                .collect(),
+            self.0.iter().zip(other.0.iter()).map(|(a, b)| (1.0 - alpha) * a + alpha * b).collect(),
         )
     }
 

@@ -40,10 +40,7 @@ pub trait OdeSystem {
         if x.len() == self.dim() {
             Ok(())
         } else {
-            Err(SolveError::DimensionMismatch {
-                expected: self.dim(),
-                found: x.len(),
-            })
+            Err(SolveError::DimensionMismatch { expected: self.dim(), found: x.len() })
         }
     }
 }
@@ -153,11 +150,7 @@ impl<'a, S: InputSystem + ?Sized> FrozenInput<'a, S> {
     ///
     /// Panics if `input.len() != system.input_dim()`.
     pub fn new(system: &'a S, input: &'a [f64]) -> Self {
-        assert_eq!(
-            input.len(),
-            system.input_dim(),
-            "frozen input dimension mismatch"
-        );
+        assert_eq!(input.len(), system.input_dim(), "frozen input dimension mismatch");
         FrozenInput { system, input }
     }
 }
@@ -266,10 +259,7 @@ mod tests {
         let sys = FnSystem::new(2, |_t, _x, _dx: &mut [f64]| {});
         assert!(sys.check_dim(&[0.0, 0.0]).is_ok());
         let err = sys.check_dim(&[0.0]).unwrap_err();
-        assert_eq!(
-            err,
-            crate::SolveError::DimensionMismatch { expected: 2, found: 1 }
-        );
+        assert_eq!(err, crate::SolveError::DimensionMismatch { expected: 2, found: 1 });
     }
 
     #[test]

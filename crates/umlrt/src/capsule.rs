@@ -92,10 +92,14 @@ impl CapsuleContext {
     }
 
     /// Sends with an explicit priority band.
-    pub fn send_with_priority(&mut self, port: &str, signal: &str, value: Value, priority: Priority) {
-        let msg = Message::new(signal, value)
-            .with_priority(priority)
-            .with_sent_at(self.now);
+    pub fn send_with_priority(
+        &mut self,
+        port: &str,
+        signal: &str,
+        value: Value,
+        priority: Priority,
+    ) {
+        let msg = Message::new(signal, value).with_priority(priority).with_sent_at(self.now);
         self.outbox.push((port.to_owned(), msg));
     }
 
@@ -105,12 +109,7 @@ impl CapsuleContext {
     pub fn inform_in(&mut self, delay: f64, signal: &str) -> TimerId {
         let id = TimerId(self.next_timer_id);
         self.next_timer_id += 1;
-        self.timer_sets.push(TimerRequest {
-            id,
-            delay,
-            period: None,
-            signal: signal.to_owned(),
-        });
+        self.timer_sets.push(TimerRequest { id, delay, period: None, signal: signal.to_owned() });
         id
     }
 
@@ -200,9 +199,7 @@ pub struct SmCapsule<D> {
 
 impl<D> fmt::Debug for SmCapsule<D> {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        f.debug_struct("SmCapsule")
-            .field("machine", &self.machine)
-            .finish_non_exhaustive()
+        f.debug_struct("SmCapsule").field("machine", &self.machine).finish_non_exhaustive()
     }
 }
 

@@ -12,9 +12,9 @@ use crate::port::{PortDecl, PortKind};
 use crate::protocol::Protocol;
 use crate::timing::TimerService;
 use crate::trace::{TraceEvent, TraceKind, Tracer};
-use crossbeam::channel::Sender;
 use std::collections::HashMap;
 use std::fmt;
+use std::sync::mpsc::Sender;
 
 /// Where messages sent from a `(capsule, port)` pair go.
 #[derive(Debug, Clone)]
@@ -107,10 +107,7 @@ impl Controller {
     ///
     /// Returns [`RtError::UnknownCapsule`] for an out-of-range index.
     pub fn capsule_name(&self, index: usize) -> Result<&str, RtError> {
-        self.capsules
-            .get(index)
-            .map(|c| c.name())
-            .ok_or(RtError::UnknownCapsule { index })
+        self.capsules.get(index).map(|c| c.name()).ok_or(RtError::UnknownCapsule { index })
     }
 
     /// Current state of the capsule at `index` (for tests).
@@ -119,10 +116,7 @@ impl Controller {
     ///
     /// Returns [`RtError::UnknownCapsule`] for an out-of-range index.
     pub fn capsule_state(&self, index: usize) -> Result<&str, RtError> {
-        self.capsules
-            .get(index)
-            .map(|c| c.current_state())
-            .ok_or(RtError::UnknownCapsule { index })
+        self.capsules.get(index).map(|c| c.current_state()).ok_or(RtError::UnknownCapsule { index })
     }
 
     /// Declares a typed port on a capsule, enabling protocol checks at
@@ -167,19 +161,13 @@ impl Controller {
         let pb = self.ports.get(&(b.0, b.1.to_owned())).and_then(PortDecl::protocol);
         if let (Some(pa), Some(pb)) = (pa, pb) {
             if !Protocol::compatible(pa, pb) {
-                return Err(RtError::IncompatiblePorts {
-                    detail: format!("{pa} vs {pb}"),
-                });
+                return Err(RtError::IncompatiblePorts { detail: format!("{pa} vs {pb}") });
             }
         }
-        self.routes.insert(
-            (a.0, a.1.to_owned()),
-            Endpoint::Capsule { index: b.0, port: b.1.to_owned() },
-        );
-        self.routes.insert(
-            (b.0, b.1.to_owned()),
-            Endpoint::Capsule { index: a.0, port: a.1.to_owned() },
-        );
+        self.routes
+            .insert((a.0, a.1.to_owned()), Endpoint::Capsule { index: b.0, port: b.1.to_owned() });
+        self.routes
+            .insert((b.0, b.1.to_owned()), Endpoint::Capsule { index: a.0, port: a.1.to_owned() });
         Ok(())
     }
 
@@ -198,8 +186,7 @@ impl Controller {
         if capsule >= self.capsules.len() {
             return Err(RtError::UnknownCapsule { index: capsule });
         }
-        self.routes
-            .insert((capsule, port.to_owned()), Endpoint::External(sender));
+        self.routes.insert((capsule, port.to_owned()), Endpoint::External(sender));
         Ok(())
     }
 
@@ -220,10 +207,7 @@ impl Controller {
                 return Err(RtError::UnknownCapsule { index: idx });
             }
         }
-        self.relays.insert(
-            (capsule, from_port.to_owned()),
-            (target.0, target.1.to_owned()),
-        );
+        self.relays.insert((capsule, from_port.to_owned()), (target.0, target.1.to_owned()));
         Ok(())
     }
 
@@ -411,8 +395,7 @@ impl Controller {
             *c != index
                 && !matches!(endpoint, Endpoint::Capsule { index: dest, .. } if *dest == index)
         });
-        self.relays
-            .retain(|(c, _), (dest, _)| *c != index && *dest != index);
+        self.relays.retain(|(c, _), (dest, _)| *c != index && *dest != index);
         Ok(())
     }
 
@@ -525,7 +508,7 @@ mod tests {
     use crate::statemachine::StateMachineBuilder;
     use crate::timing::TIMER_PORT;
     use crate::value::Value;
-    use crossbeam::channel::unbounded;
+    use std::sync::mpsc::channel;
 
     fn counter_capsule(name: &str) -> Box<dyn Capsule> {
         let m = StateMachineBuilder::new(name)
@@ -566,10 +549,7 @@ mod tests {
             Err(RtError::UnknownCapsule { .. })
         ));
         assert!(matches!(c.capsule_name(3), Err(RtError::UnknownCapsule { index: 3 })));
-        assert!(matches!(
-            c.connect((0, "a"), (1, "b")),
-            Err(RtError::UnknownCapsule { .. })
-        ));
+        assert!(matches!(c.connect((0, "a"), (1, "b")), Err(RtError::UnknownCapsule { .. })));
     }
 
     #[test]
@@ -620,10 +600,7 @@ mod tests {
         c.add_capsule(Box::new(SmCapsule::new(m, ())));
         c.start().unwrap();
         assert_eq!(c.dropped_count(), 1);
-        assert_eq!(
-            tracer.count_matching(|e| matches!(e.kind, TraceKind::Dropped { .. })),
-            1
-        );
+        assert_eq!(tracer.count_matching(|e| matches!(e.kind, TraceKind::Dropped { .. })), 1);
     }
 
     #[test]
@@ -637,7 +614,7 @@ mod tests {
             .unwrap();
         let mut c = Controller::new("c");
         let i = c.add_capsule(Box::new(SmCapsule::new(m, ())));
-        let (tx, rx) = unbounded();
+        let (tx, rx) = channel();
         c.connect_external(i, "ext", tx).unwrap();
         c.start().unwrap();
         let got = rx.try_recv().unwrap();
@@ -673,10 +650,7 @@ mod tests {
         let mut c = Controller::new("c");
         let a = c.add_capsule(counter_capsule("a"));
         c.declare_port(a, PortDecl::new("p")).unwrap();
-        assert!(matches!(
-            c.declare_port(a, PortDecl::new("p")),
-            Err(RtError::BadPort { .. })
-        ));
+        assert!(matches!(c.declare_port(a, PortDecl::new("p")), Err(RtError::BadPort { .. })));
     }
 
     #[test]

@@ -81,10 +81,7 @@ mod tests {
 
     #[test]
     fn display_messages() {
-        assert_eq!(
-            RtError::UnknownState { name: "x".into() }.to_string(),
-            "unknown state `x`"
-        );
+        assert_eq!(RtError::UnknownState { name: "x".into() }.to_string(), "unknown state `x`");
         assert!(RtError::MissingInitial.to_string().contains("initial"));
         assert!(RtError::Unconnected { capsule: "c".into(), port: "p".into() }
             .to_string()

@@ -74,6 +74,7 @@ pub mod message;
 pub mod port;
 pub mod protocol;
 pub mod statemachine;
+pub mod sync;
 pub mod timing;
 pub mod trace;
 pub mod value;

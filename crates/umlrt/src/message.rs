@@ -23,13 +23,8 @@ pub enum Priority {
 
 impl Priority {
     /// All priorities from lowest to highest.
-    pub const ALL: [Priority; 5] = [
-        Priority::Background,
-        Priority::Low,
-        Priority::General,
-        Priority::High,
-        Priority::Panic,
-    ];
+    pub const ALL: [Priority; 5] =
+        [Priority::Background, Priority::Low, Priority::General, Priority::High, Priority::Panic];
 }
 
 impl fmt::Display for Priority {
@@ -151,10 +146,7 @@ impl Eq for QueuedMessage {}
 impl Ord for QueuedMessage {
     fn cmp(&self, other: &Self) -> Ordering {
         // Higher priority first; FIFO within a band (smaller seq first).
-        self.message
-            .priority
-            .cmp(&other.message.priority)
-            .then_with(|| other.seq.cmp(&self.seq))
+        self.message.priority.cmp(&other.message.priority).then_with(|| other.seq.cmp(&self.seq))
     }
 }
 

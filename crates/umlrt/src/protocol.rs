@@ -158,8 +158,10 @@ impl Protocol {
     pub fn compatible(a: &Protocol, b: &Protocol) -> bool {
         let covers = |outs: &[SignalSpec], ins: &[SignalSpec]| {
             outs.iter().all(|o| {
-                ins.iter()
-                    .any(|i| i.name() == o.name() && (i.payload() == o.payload() || i.payload() == PayloadKind::Any))
+                ins.iter().any(|i| {
+                    i.name() == o.name()
+                        && (i.payload() == o.payload() || i.payload() == PayloadKind::Any)
+                })
             })
         };
         covers(&a.out_signals, &b.in_signals) && covers(&b.out_signals, &a.in_signals)
@@ -177,9 +179,7 @@ mod tests {
     use super::*;
 
     fn proto() -> Protocol {
-        Protocol::new("P")
-            .with_in("a", PayloadKind::Real)
-            .with_out("b", PayloadKind::Empty)
+        Protocol::new("P").with_in("a", PayloadKind::Real).with_out("b", PayloadKind::Empty)
     }
 
     #[test]

@@ -207,9 +207,8 @@ impl<D> StateMachine<D> {
                 }
                 // Enter from below the LCA down to the target.
                 let path = self.path_from_root(target);
-                let skip = lca.map_or(0, |l| {
-                    path.iter().position(|&p| p == l).map_or(0, |pos| pos + 1)
-                });
+                let skip =
+                    lca.map_or(0, |l| path.iter().position(|&p| p == l).map_or(0, |pos| pos + 1));
                 for &s in &path[skip..] {
                     if let Some(entry) = self.states[s].entry.as_mut() {
                         entry(data, ctx);
@@ -236,11 +235,8 @@ impl<D> StateMachine<D> {
         let mut cur = state;
         loop {
             let st = &self.states[cur];
-            let next = if st.history {
-                st.last_child.or(st.initial_child)
-            } else {
-                st.initial_child
-            };
+            let next =
+                if st.history { st.last_child.or(st.initial_child) } else { st.initial_child };
             let Some(child) = next else { break };
             if let Some(entry) = self.states[child].entry.as_mut() {
                 entry(data, ctx);
@@ -459,7 +455,14 @@ impl<D> StateMachineBuilder<D> {
     }
 
     /// Adds an external transition with a guard.
-    pub fn on_guarded<T, G, F>(mut self, from: &str, trigger: T, to: &str, guard: G, action: F) -> Self
+    pub fn on_guarded<T, G, F>(
+        mut self,
+        from: &str,
+        trigger: T,
+        to: &str,
+        guard: G,
+        action: F,
+    ) -> Self
     where
         T: Into<Trigger>,
         G: Fn(&D, &Message) -> bool + Send + 'static,

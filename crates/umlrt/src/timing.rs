@@ -131,14 +131,7 @@ impl TimerService {
         let due = self.quantize(now + delay.max(0.0));
         let seq = self.next_seq;
         self.next_seq += 1;
-        self.heap.push(TimerEntry {
-            due,
-            seq,
-            id,
-            capsule,
-            signal: signal.to_owned(),
-            period,
-        });
+        self.heap.push(TimerEntry { due, seq, id, capsule, signal: signal.to_owned(), period });
         due
     }
 
@@ -176,11 +169,7 @@ impl TimerService {
             if let Some(period) = entry.period {
                 let seq = self.next_seq;
                 self.next_seq += 1;
-                self.heap.push(TimerEntry {
-                    due: self.quantize(entry.due + period),
-                    seq,
-                    ..entry
-                });
+                self.heap.push(TimerEntry { due: self.quantize(entry.due + period), seq, ..entry });
             }
         }
         fired

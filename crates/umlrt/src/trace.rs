@@ -1,6 +1,6 @@
 //! Structured execution traces shared by tests, examples and experiments.
 
-use parking_lot::Mutex;
+use crate::sync::Mutex;
 use std::fmt;
 use std::sync::Arc;
 
@@ -163,10 +163,7 @@ mod tests {
         assert_eq!(t.len(), 2);
         let snap = t.snapshot();
         assert_eq!(snap[0].time, 1.0);
-        assert_eq!(
-            t.count_matching(|e| matches!(e.kind, TraceKind::Dropped { .. })),
-            1
-        );
+        assert_eq!(t.count_matching(|e| matches!(e.kind, TraceKind::Dropped { .. })), 1);
         t.clear();
         assert!(t.is_empty());
     }
@@ -185,10 +182,8 @@ mod tests {
         let s = e.to_string();
         assert!(s.contains("received"));
         assert!(s.contains("unhandled"));
-        let e = TraceEvent {
-            time: 0.5,
-            kind: TraceKind::TimerSet { capsule: "c".into(), due: 1.25 },
-        };
+        let e =
+            TraceEvent { time: 0.5, kind: TraceKind::TimerSet { capsule: "c".into(), due: 1.25 } };
         assert!(e.to_string().contains("armed"));
     }
 

@@ -100,11 +100,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         }
     });
     let mut net = StreamerNetwork::new("pitch");
-    let node = net.add_streamer(
-        streamer,
-        &[],
-        &[("height", FlowType::with_unit(Unit::Meter))],
-    )?;
+    let node = net.add_streamer(streamer, &[], &[("height", FlowType::with_unit(Unit::Meter))])?;
 
     let machine = StateMachineBuilder::new("referee")
         .state("playing")

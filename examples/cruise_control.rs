@@ -102,14 +102,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let vehicle_node = net.add_streamer(
         vehicle,
         &[("force", FlowType::with_unit(Unit::Newton))],
-        &[(
-            "out",
-            FlowType::Vector { len: 2, unit: Unit::MeterPerSecond },
-        )],
+        &[("out", FlowType::Vector { len: 2, unit: Unit::MeterPerSecond })],
     )?;
     // Relay duplicates the vehicle output: one copy to the controller, one
     // copy to the trip monitor lane.
-    let relay = net.add_relay("split", FlowType::Vector { len: 2, unit: Unit::MeterPerSecond }, 2)?;
+    let relay =
+        net.add_relay("split", FlowType::Vector { len: 2, unit: Unit::MeterPerSecond }, 2)?;
     // Adapter picks the error lane for the PI controller (twice: kp and ki).
     let pick_error = net.add_streamer(
         unified_rt::dataflow::streamer::FnStreamer::new(

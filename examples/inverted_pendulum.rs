@@ -76,9 +76,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // PD controller as a direct-feedthrough streamer on [theta, omega].
     let kp = 40.0;
     let kd = 12.0;
-    let controller_streamer = FnStreamer::new("pd", 2, 1, move |_t, _h, u: &[f64], y: &mut [f64]| {
-        y[0] = -(kp * u[0] + kd * u[1]);
-    });
+    let controller_streamer =
+        FnStreamer::new("pd", 2, 1, move |_t, _h, u: &[f64], y: &mut [f64]| {
+            y[0] = -(kp * u[0] + kd * u[1]);
+        });
 
     let mut net = StreamerNetwork::new("pendulum-loop");
     let plant_node = net.add_streamer(

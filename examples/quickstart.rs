@@ -53,13 +53,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let band = 0.5;
 
     // --- Continuous part: plant streamer with guards and a signal handler.
-    let plant = ThermalPlant {
-        capacity: 20.0,
-        loss: 1.0,
-        power: 60.0,
-        ambient: 10.0,
-        heater_on: true,
-    };
+    let plant =
+        ThermalPlant { capacity: 20.0, loss: 1.0, power: 60.0, ambient: 10.0, heater_on: true };
     let streamer = OdeStreamer::new("room", plant, SolverKind::Rk4.create(), &[15.0], 1e-3)
         .with_guard(ZeroCrossing::new("too_hot", EventDirection::Rising, move |_t, x| {
             x[0] - (setpoint + band)
@@ -113,7 +108,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let t_min = settled.iter().map(|(_, v)| *v).fold(f64::INFINITY, f64::min);
     let t_max = settled.iter().map(|(_, v)| *v).fold(f64::NEG_INFINITY, f64::max);
     println!("thermostat quickstart");
-    println!("  simulated          : {:.0} s in {} macro steps", engine.time(), engine.step_count());
+    println!(
+        "  simulated          : {:.0} s in {} macro steps",
+        engine.time(),
+        engine.step_count()
+    );
     println!("  final capsule state: {}", engine.controller().capsule_state(thermostat)?);
     println!("  settled band       : [{t_min:.2}, {t_max:.2}] degC (target {setpoint} +/- {band})");
     println!("  samples recorded   : {}", series.len());

@@ -70,12 +70,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         &[1.0, 0.5],
         1e-3,
     )
-    .with_guard(ZeroCrossing::new("tank1_high", EventDirection::Rising, move |_t, x| {
-        x[0] - high
-    }))
-    .with_guard(ZeroCrossing::new("tank1_low", EventDirection::Falling, move |_t, x| {
-        x[0] - low
-    }))
+    .with_guard(ZeroCrossing::new("tank1_high", EventDirection::Rising, move |_t, x| x[0] - high))
+    .with_guard(ZeroCrossing::new("tank1_low", EventDirection::Falling, move |_t, x| x[0] - low))
     .with_event_sport("alarms")
     .with_signal_handler(|msg, tanks: &mut TwoTanks, _state| match msg.signal() {
         "pump_on" => tanks.pump_on = true,
@@ -134,18 +130,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     engine.run_until(120.0)?;
 
     let level = recorder.series("level1");
-    let settled: Vec<f64> = level
-        .iter()
-        .filter(|(t, _)| *t > 30.0)
-        .map(|(_, v)| *v)
-        .collect();
+    let settled: Vec<f64> = level.iter().filter(|(t, _)| *t > 30.0).map(|(_, v)| *v).collect();
     let lo = settled.iter().copied().fold(f64::INFINITY, f64::min);
     let hi = settled.iter().copied().fold(f64::NEG_INFINITY, f64::max);
-    let worst_excess = recorder
-        .series("excess")
-        .iter()
-        .map(|(_, v)| *v)
-        .fold(0.0f64, f64::max);
+    let worst_excess = recorder.series("excess").iter().map(|(_, v)| *v).fold(0.0f64, f64::max);
 
     println!("two-tank level control (relay fan-out, dedicated threads)");
     println!("  level band after settling: [{lo:.3}, {hi:.3}] m (target [0.8, 1.2])");

@@ -1,0 +1,18 @@
+#!/usr/bin/env sh
+# Tier-1 gate for the hermetic workspace. Everything here must pass with
+# no network access: the workspace has zero registry dependencies, so
+# --offline is exact, not best-effort.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+echo "==> cargo build --release --offline"
+cargo build --release --offline
+
+echo "==> cargo test -q --offline"
+cargo test -q --offline
+
+echo "==> cargo fmt --check"
+cargo fmt --check
+
+echo "OK"

@@ -101,9 +101,7 @@ fn native_streamer_network_computes_same_result_as_translation() {
     d2.mark_output(prev, 0).expect("output");
     let streamer = d2.into_streamer("chain").expect("compile");
     let mut net = StreamerNetwork::new("native");
-    let id = net
-        .add_streamer(streamer, &[], &[("y", FlowType::scalar())])
-        .expect("add");
+    let id = net.add_streamer(streamer, &[], &[("y", FlowType::scalar())]).expect("add");
     net.initialize(0.0).expect("init");
     for _ in 0..n + 2 {
         net.step(0.01).expect("step");

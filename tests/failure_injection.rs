@@ -84,7 +84,13 @@ fn behaviour_error_mid_run_is_recoverable_state() {
         fn output_width(&self) -> usize {
             1
         }
-        fn advance(&mut self, _t: f64, _h: f64, _u: &[f64], y: &mut [f64]) -> Result<(), SolveError> {
+        fn advance(
+            &mut self,
+            _t: f64,
+            _h: f64,
+            _u: &[f64],
+            y: &mut [f64],
+        ) -> Result<(), SolveError> {
             self.count += 1;
             if self.count >= 5 {
                 return Err(SolveError::NonFiniteState { time: 0.0 });
@@ -94,8 +100,7 @@ fn behaviour_error_mid_run_is_recoverable_state() {
         }
     }
     let mut net = StreamerNetwork::new("n");
-    net.add_streamer(FailsAtFive { count: 0 }, &[], &[("y", FlowType::scalar())])
-        .expect("add");
+    net.add_streamer(FailsAtFive { count: 0 }, &[], &[("y", FlowType::scalar())]).expect("add");
     net.initialize(0.0).expect("init");
     for _ in 0..4 {
         net.step(0.01).expect("healthy step");
@@ -126,16 +131,9 @@ fn messages_to_dead_external_links_count_as_dropped() {
         .expect("sm");
     let mut c = Controller::new("ev");
     let idx = c.add_capsule(Box::new(SmCapsule::new(sm, ())));
-    let (tx, rx) = crossbeam_channel_pair();
+    let (tx, rx) = std::sync::mpsc::channel::<Message>();
     c.connect_external(idx, "ext", tx).expect("wire");
     drop(rx); // receiver dies before start
     c.start().expect("start");
     assert_eq!(c.dropped_count(), 1, "send into a dead channel is a drop");
-}
-
-fn crossbeam_channel_pair() -> (
-    crossbeam::channel::Sender<Message>,
-    crossbeam::channel::Receiver<Message>,
-) {
-    crossbeam::channel::unbounded()
 }

@@ -50,9 +50,7 @@ fn build_loop(policy: ThreadPolicy) -> (HybridEngine, Recorder, NodeId, usize) {
         _ => {}
     });
     let mut net = StreamerNetwork::new("plant");
-    let node = net
-        .add_streamer(plant, &[], &[("x", FlowType::scalar())])
-        .expect("add streamer");
+    let node = net.add_streamer(plant, &[], &[("x", FlowType::scalar())]).expect("add streamer");
 
     let machine = StateMachineBuilder::new("bang")
         .state("heating")
@@ -95,12 +93,8 @@ fn closed_loop_regulates_current_thread() {
 fn closed_loop_regulates_dedicated_threads() {
     let (mut engine, rec, _, _) = build_loop(ThreadPolicy::DedicatedThreads);
     engine.run_until(30.0).expect("run");
-    let after: Vec<f64> = rec
-        .series("x")
-        .iter()
-        .filter(|(t, _)| *t > 10.0)
-        .map(|(_, v)| *v)
-        .collect();
+    let after: Vec<f64> =
+        rec.series("x").iter().filter(|(t, _)| *t > 10.0).map(|(_, v)| *v).collect();
     let lo = after.iter().copied().fold(f64::INFINITY, f64::min);
     let hi = after.iter().copied().fold(f64::NEG_INFINITY, f64::max);
     assert!(lo > 0.9 && hi < 1.6, "regulated band was [{lo}, {hi}]");

@@ -1,73 +1,117 @@
-//! Property-based tests over core invariants (proptest).
+//! Property-style tests over core invariants, driven by the in-tree
+//! deterministic PRNG instead of proptest: each test draws a fixed
+//! number of random cases from a hard-coded seed, so two consecutive
+//! runs execute bit-identical inputs.
 
-use proptest::prelude::*;
+use unified_rt::core::rng::Pcg32;
 use unified_rt::dataflow::flowtype::{FlowType, Unit};
 use unified_rt::ode::solver::SolverKind;
 use unified_rt::ode::system::library::decay;
 use unified_rt::ode::StateVec;
-use unified_rt::umlrt::capsule::{CapsuleContext, SmCapsule};
 use unified_rt::umlrt::capsule::Capsule;
+use unified_rt::umlrt::capsule::{CapsuleContext, SmCapsule};
 use unified_rt::umlrt::message::{Message, MessageQueue, Priority};
 use unified_rt::umlrt::statemachine::StateMachineBuilder;
 use unified_rt::umlrt::value::Value;
 
-fn arb_unit() -> impl Strategy<Value = Unit> {
-    prop_oneof![
-        Just(Unit::Any),
-        Just(Unit::Dimensionless),
-        Just(Unit::Meter),
-        Just(Unit::Kelvin),
-        Just(Unit::Volt),
-    ]
+const CASES: usize = 64;
+
+fn gen_unit(rng: &mut Pcg32) -> Unit {
+    match rng.gen_range_usize(0, 5) {
+        0 => Unit::Any,
+        1 => Unit::Dimensionless,
+        2 => Unit::Meter,
+        3 => Unit::Kelvin,
+        _ => Unit::Volt,
+    }
 }
 
-fn arb_flow_type() -> impl Strategy<Value = FlowType> {
-    let leaf = prop_oneof![
-        arb_unit().prop_map(FlowType::Scalar),
-        (1usize..4, arb_unit()).prop_map(|(len, unit)| FlowType::Vector { len, unit }),
-    ];
-    leaf.prop_recursive(2, 8, 3, |inner| {
-        // Well-formed records only: field names unique by position.
-        proptest::collection::vec(inner, 1..3).prop_map(|types| {
+/// Well-formed flow types (records use positionally unique field
+/// names), recursing at most `depth` levels of nesting.
+fn gen_flow_type(rng: &mut Pcg32, depth: usize) -> FlowType {
+    let variants = if depth == 0 { 2 } else { 3 };
+    match rng.gen_range_usize(0, variants) {
+        0 => FlowType::Scalar(gen_unit(rng)),
+        1 => FlowType::Vector { len: rng.gen_range_usize(1, 4), unit: gen_unit(rng) },
+        _ => {
+            let n = rng.gen_range_usize(1, 3);
             FlowType::Record(
-                types
-                    .into_iter()
-                    .enumerate()
-                    .map(|(i, t)| (format!("f{i}"), t))
-                    .collect(),
+                (0..n).map(|i| (format!("f{i}"), gen_flow_type(rng, depth - 1))).collect(),
             )
-        })
-    })
+        }
+    }
 }
 
-proptest! {
-    /// Subset compatibility is reflexive: every type connects to itself.
-    #[test]
-    fn flowtype_subset_reflexive(t in arb_flow_type()) {
-        prop_assert!(t.is_subset_of(&t));
+/// Subset compatibility is reflexive: every well-formed type connects
+/// to itself.
+#[test]
+fn flowtype_subset_reflexive() {
+    let mut rng = Pcg32::seed_from_u64(0xF10A);
+    for _ in 0..CASES {
+        let t = gen_flow_type(&mut rng, 2);
+        assert!(t.is_subset_of(&t), "{t} not reflexive");
     }
+}
 
-    /// Subset compatibility is transitive.
-    #[test]
-    fn flowtype_subset_transitive(a in arb_flow_type(), b in arb_flow_type(), c in arb_flow_type()) {
+/// Subset compatibility is transitive.
+#[test]
+fn flowtype_subset_transitive() {
+    let mut rng = Pcg32::seed_from_u64(0xF10B);
+    for _ in 0..CASES {
+        let a = gen_flow_type(&mut rng, 2);
+        let b = gen_flow_type(&mut rng, 2);
+        let c = gen_flow_type(&mut rng, 2);
         if a.is_subset_of(&b) && b.is_subset_of(&c) {
-            prop_assert!(a.is_subset_of(&c), "{a} <= {b} <= {c}");
+            assert!(a.is_subset_of(&c), "{a} <= {b} <= {c}");
         }
     }
+}
 
-    /// Width is invariant under the subset relation for non-record types.
-    #[test]
-    fn flowtype_subset_preserves_width(a in arb_flow_type(), b in arb_flow_type()) {
+/// Width is invariant under the subset relation for non-record types.
+#[test]
+fn flowtype_subset_preserves_width() {
+    let mut rng = Pcg32::seed_from_u64(0xF10C);
+    for _ in 0..CASES {
+        let a = gen_flow_type(&mut rng, 2);
+        let b = gen_flow_type(&mut rng, 2);
         if a.is_subset_of(&b) && !matches!(a, FlowType::Record(_)) {
-            prop_assert_eq!(a.width(), b.width());
+            assert_eq!(a.width(), b.width(), "{a} <= {b}");
         }
     }
+}
 
-    /// All solvers agree with the closed-form solution of exponential
-    /// decay to within a tolerance scaled by their order.
-    #[test]
-    fn solvers_converge_on_decay(lambda in 0.1f64..3.0, h_exp in 1u32..4) {
-        let h = 10f64.powi(-(h_exp as i32));
+/// Regression (shrunk from a former proptest failure, previously stored
+/// in `tests/properties.proptest-regressions`): a record with duplicate
+/// field names broke reflexivity, because the name-based field lookup in
+/// the subset rule always found the first duplicate. The DPort
+/// connection rule now rejects ill-formed records outright — they
+/// connect to nothing, not even themselves.
+#[test]
+fn duplicate_field_records_are_rejected() {
+    let dup = FlowType::Record(vec![
+        ("b".into(), FlowType::Vector { len: 1, unit: Unit::Any }),
+        ("b".into(), FlowType::Scalar(Unit::Any)),
+    ]);
+    assert!(!dup.is_well_formed(), "duplicate field names are ill-formed");
+    assert!(!dup.is_subset_of(&dup), "ill-formed records must not self-connect");
+
+    let ok = FlowType::Record(vec![
+        ("a".into(), FlowType::Vector { len: 1, unit: Unit::Any }),
+        ("b".into(), FlowType::Scalar(Unit::Any)),
+    ]);
+    assert!(ok.is_well_formed());
+    assert!(ok.is_subset_of(&ok), "well-formed records stay reflexive");
+    assert!(!dup.is_subset_of(&ok) && !ok.is_subset_of(&dup));
+}
+
+/// All solvers agree with the closed-form solution of exponential
+/// decay to within a tolerance scaled by their order.
+#[test]
+fn solvers_converge_on_decay() {
+    let mut rng = Pcg32::seed_from_u64(0x50176E);
+    for _ in 0..CASES {
+        let lambda = rng.gen_range_f64(0.1, 3.0);
+        let h = 10f64.powi(-(rng.gen_range_usize(1, 4) as i32));
         let sys = decay(lambda);
         for kind in [SolverKind::ForwardEuler, SolverKind::Heun, SolverKind::Rk4] {
             let mut solver = kind.create();
@@ -84,40 +128,52 @@ proptest! {
                 SolverKind::Heun => 5.0 * lambda * h * h,
                 _ => 10.0 * (lambda * h).powi(4).max(1e-12),
             };
-            prop_assert!(
+            assert!(
                 (x[0] - exact).abs() <= tol.max(1e-12),
-                "{kind}: err {} tol {tol}", (x[0] - exact).abs()
+                "{kind}: err {} tol {tol}",
+                (x[0] - exact).abs()
             );
         }
     }
+}
 
-    /// The RTC message queue is exhaustive and priority-faithful: popping
-    /// yields every pushed message, highest band first, FIFO inside bands.
-    #[test]
-    fn message_queue_is_priority_fifo(prios in proptest::collection::vec(0u8..5, 1..50)) {
+/// The RTC message queue is exhaustive and priority-faithful: popping
+/// yields every pushed message, highest band first, FIFO inside bands.
+#[test]
+fn message_queue_is_priority_fifo() {
+    let mut rng = Pcg32::seed_from_u64(0x0F1F0);
+    for _ in 0..CASES {
+        let n = rng.gen_range_usize(1, 50);
+        let prios: Vec<usize> = (0..n).map(|_| rng.gen_range_usize(0, 5)).collect();
         let mut q = MessageQueue::new();
         for (i, p) in prios.iter().enumerate() {
-            let prio = Priority::ALL[*p as usize];
+            let prio = Priority::ALL[*p];
             q.push(0, Message::new(format!("m{i}"), Value::Int(i as i64)).with_priority(prio));
         }
         let mut popped = Vec::new();
         while let Some(m) = q.pop() {
             popped.push((m.message.priority(), m.message.value().as_int().unwrap()));
         }
-        prop_assert_eq!(popped.len(), prios.len());
+        assert_eq!(popped.len(), prios.len());
         // Priorities non-increasing.
         for w in popped.windows(2) {
-            prop_assert!(w[0].0 >= w[1].0);
+            assert!(w[0].0 >= w[1].0);
             if w[0].0 == w[1].0 {
-                prop_assert!(w[0].1 < w[1].1, "FIFO within band");
+                assert!(w[0].1 < w[1].1, "FIFO within band");
             }
         }
     }
+}
 
-    /// A state machine never panics or corrupts its state under random
-    /// event sequences; the active state is always a declared one.
-    #[test]
-    fn statemachine_total_under_random_events(events in proptest::collection::vec((0u8..3, 0u8..3), 0..60)) {
+/// A state machine never panics or corrupts its state under random
+/// event sequences; the active state is always a declared one.
+#[test]
+fn statemachine_total_under_random_events() {
+    let mut rng = Pcg32::seed_from_u64(0x57A7E);
+    for _ in 0..CASES {
+        let n = rng.gen_range_usize(0, 60);
+        let events: Vec<(usize, usize)> =
+            (0..n).map(|_| (rng.gen_range_usize(0, 3), rng.gen_range_usize(0, 3))).collect();
         let machine = StateMachineBuilder::new("fuzz")
             .state("a")
             .state("b")
@@ -135,32 +191,39 @@ proptest! {
         for (p, s) in events {
             let msg = Message::new(format!("s{s}"), Value::Empty).with_port(format!("p{p}"));
             cap.on_message(&msg, &mut ctx);
-            prop_assert!(["a", "b", "c"].contains(&cap.current_state()));
+            assert!(["a", "b", "c"].contains(&cap.current_state()));
         }
-        prop_assert!(*cap.data() as usize <= 60);
+        assert!(*cap.data() as usize <= 60);
     }
+}
 
-    /// StateVec lerp stays inside the componentwise envelope for
-    /// alpha in [0, 1].
-    #[test]
-    fn statevec_lerp_bounded(
-        a in proptest::collection::vec(-1e6f64..1e6, 1..6),
-        offsets in proptest::collection::vec(-1e6f64..1e6, 1..6),
-        alpha in 0.0f64..1.0,
-    ) {
+/// StateVec lerp stays inside the componentwise envelope for
+/// alpha in [0, 1].
+#[test]
+fn statevec_lerp_bounded() {
+    let mut rng = Pcg32::seed_from_u64(0x1E49);
+    for _ in 0..CASES {
+        let a = rng.gen_vec_f64_var(1, 6, -1e6, 1e6);
+        let offsets = rng.gen_vec_f64_var(1, 6, -1e6, 1e6);
+        let alpha = rng.gen_range_f64(0.0, 1.0);
         let n = a.len().min(offsets.len());
         let va = StateVec::from_slice(&a[..n]);
         let vb: StateVec = a[..n].iter().zip(&offsets[..n]).map(|(x, o)| x + o).collect();
         let l = va.lerp(&vb, alpha);
         for i in 0..n {
             let (lo, hi) = (va[i].min(vb[i]), va[i].max(vb[i]));
-            prop_assert!(l[i] >= lo - 1e-6 && l[i] <= hi + 1e-6);
+            assert!(l[i] >= lo - 1e-6 && l[i] <= hi + 1e-6);
         }
     }
+}
 
-    /// Trajectory sampling interpolates inside the recorded value range.
-    #[test]
-    fn trajectory_sample_bounded(values in proptest::collection::vec(-1e3f64..1e3, 2..20), t in 0.0f64..1.0) {
+/// Trajectory sampling interpolates inside the recorded value range.
+#[test]
+fn trajectory_sample_bounded() {
+    let mut rng = Pcg32::seed_from_u64(0x74A1);
+    for _ in 0..CASES {
+        let values = rng.gen_vec_f64_var(2, 20, -1e3, 1e3);
+        let t = rng.gen_range_f64(0.0, 1.0);
         let mut traj = unified_rt::ode::Trajectory::new();
         for (i, v) in values.iter().enumerate() {
             traj.push(i as f64, StateVec::from_slice(&[*v]));
@@ -168,6 +231,6 @@ proptest! {
         let sample = traj.sample(t * (values.len() - 1) as f64);
         let lo = values.iter().copied().fold(f64::INFINITY, f64::min);
         let hi = values.iter().copied().fold(f64::NEG_INFINITY, f64::max);
-        prop_assert!(sample[0] >= lo - 1e-9 && sample[0] <= hi + 1e-9);
+        assert!(sample[0] >= lo - 1e-9 && sample[0] <= hi + 1e-9);
     }
 }

@@ -37,14 +37,15 @@ impl InputSystem for Servo {
 
 #[test]
 fn scripted_setpoint_profile_is_tracked() {
-    let servo = OdeStreamer::new("servo", Servo { setpoint: 0.0 }, SolverKind::Rk4.create(), &[0.0], 1e-3)
-        .with_signal_handler(|msg, s: &mut Servo, _| {
-            if msg.signal() == "goto" {
-                if let Some(v) = msg.value().as_real() {
-                    s.setpoint = v;
+    let servo =
+        OdeStreamer::new("servo", Servo { setpoint: 0.0 }, SolverKind::Rk4.create(), &[0.0], 1e-3)
+            .with_signal_handler(|msg, s: &mut Servo, _| {
+                if msg.signal() == "goto" {
+                    if let Some(v) = msg.value().as_real() {
+                        s.setpoint = v;
+                    }
                 }
-            }
-        });
+            });
     let mut net = StreamerNetwork::new("plant");
     let node = net.add_streamer(servo, &[], &[("pos", FlowType::scalar())]).unwrap();
 
