@@ -1,0 +1,104 @@
+//! `urt-lint` — command-line front-end for the `urt_analysis` analyzer.
+//!
+//! ```text
+//! urt-lint [--json] [MODEL...]   lint the named built-in models
+//! urt-lint --list                list the built-in model names
+//! ```
+//!
+//! With no model names, the whole clean catalogue is linted. The exit
+//! code is non-zero when any model produces an error-severity
+//! diagnostic.
+
+use std::process::ExitCode;
+use urt_analysis::{analyze, examples, render_json_report, severity_counts};
+
+const USAGE: &str = "usage: urt-lint [--json] [--list] [MODEL...]\n       models: built-in names (see --list), plus `seeded-violations`";
+
+fn main() -> ExitCode {
+    let mut json = false;
+    let mut list = false;
+    let mut names: Vec<String> = Vec::new();
+    for arg in std::env::args().skip(1) {
+        match arg.as_str() {
+            "--json" => json = true,
+            "--list" => list = true,
+            "--help" | "-h" => {
+                println!("{USAGE}");
+                return ExitCode::SUCCESS;
+            }
+            other if other.starts_with('-') => {
+                eprintln!("urt-lint: unknown flag `{other}`\n{USAGE}");
+                return ExitCode::from(2);
+            }
+            other => names.push(other.to_owned()),
+        }
+    }
+
+    if list {
+        for name in examples::NAMES {
+            println!("{name}");
+        }
+        println!("seeded-violations");
+        return ExitCode::SUCCESS;
+    }
+
+    if names.is_empty() {
+        names = examples::NAMES.iter().map(|&s| s.to_owned()).collect();
+    }
+
+    let mut any_errors = false;
+    let mut reports = Vec::new();
+    for name in &names {
+        let Some(model) = examples::by_name(name) else {
+            eprintln!("urt-lint: unknown model `{name}` (try --list)");
+            return ExitCode::from(2);
+        };
+        let diags = analyze(&model);
+        let (errors, warnings, infos) = severity_counts(&diags);
+        any_errors |= errors > 0;
+        if json {
+            reports.push(render_json_report(model.name(), &diags));
+        } else {
+            println!("model `{}`: {} finding(s)", model.name(), diags.len());
+            for d in &diags {
+                println!("  {}", d.render_human().replace('\n', "\n  "));
+            }
+            println!(
+                "  summary: {errors} error(s), {warnings} warning(s), {infos} info(s) — {}",
+                if errors == 0 { "OK" } else { "FAIL" }
+            );
+        }
+    }
+    if json {
+        println!("[{}]", reports.join(","));
+    }
+    if any_errors {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use urt_analysis::{analyze, examples, has_errors};
+
+    #[test]
+    fn seeded_model_drives_nonzero_exit_path() {
+        let model = examples::by_name("seeded-violations").unwrap();
+        assert!(has_errors(&analyze(&model)));
+    }
+
+    #[test]
+    fn catalogue_drives_zero_exit_path() {
+        for (name, model) in examples::all() {
+            assert!(!has_errors(&analyze(&model)), "example `{name}`");
+        }
+    }
+
+    #[test]
+    fn severity_markers_render() {
+        use urt_analysis::Severity;
+        assert_eq!(Severity::Error.to_string(), "error");
+    }
+}

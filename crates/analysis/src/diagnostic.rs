@@ -1,0 +1,175 @@
+//! Structured diagnostics: the analyzer's output type and its renderers.
+//!
+//! Every finding carries a stable `URTxxx` code so tools, tests and logs
+//! can match on the code instead of prose. Codes are partitioned:
+//!
+//! * `URT001`–`URT011` — network-level structural errors, shared with
+//!   [`urt_dataflow::FlowError::code`].
+//! * `URT101`–`URT112` — model well-formedness and engine errors, shared
+//!   with [`urt_core::error::CoreError::code`].
+//! * `URT2xx` — analysis-only lints that never fail `validate()`.
+
+use std::fmt;
+
+/// How serious a finding is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Severity {
+    /// The model is wrong: `validate()`/codegen must reject it.
+    Error,
+    /// Suspicious but executable; worth fixing.
+    Warning,
+    /// Stylistic or informational.
+    Info,
+}
+
+impl fmt::Display for Severity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            Severity::Error => "error",
+            Severity::Warning => "warning",
+            Severity::Info => "info",
+        })
+    }
+}
+
+/// One analyzer finding.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Diagnostic {
+    /// Stable code (`URT105`, `URT203`, …).
+    pub code: &'static str,
+    /// Severity class.
+    pub severity: Severity,
+    /// Model path of the offending element, e.g. `system/plant.dport:u`.
+    pub path: String,
+    /// Human-readable description of the finding.
+    pub message: String,
+    /// Suggested fix, if the analyzer has one.
+    pub suggestion: Option<String>,
+}
+
+impl Diagnostic {
+    /// Creates a diagnostic without a suggestion.
+    pub fn new(
+        code: &'static str,
+        severity: Severity,
+        path: impl Into<String>,
+        message: impl Into<String>,
+    ) -> Self {
+        Diagnostic { code, severity, path: path.into(), message: message.into(), suggestion: None }
+    }
+
+    /// Attaches a suggested fix (builder style).
+    #[must_use]
+    pub fn suggest(mut self, suggestion: impl Into<String>) -> Self {
+        self.suggestion = Some(suggestion.into());
+        self
+    }
+
+    /// `rustc`-style one/two-line rendering.
+    pub fn render_human(&self) -> String {
+        let mut out = format!("{}[{}] {}: {}", self.severity, self.code, self.path, self.message);
+        if let Some(s) = &self.suggestion {
+            out.push_str("\n  help: ");
+            out.push_str(s);
+        }
+        out
+    }
+
+    /// Renders this diagnostic as a JSON object (hand-rolled; the
+    /// workspace is hermetic and carries no serde).
+    pub fn render_json(&self) -> String {
+        let mut out = String::from("{");
+        out.push_str(&format!("\"code\":{}", json_string(self.code)));
+        out.push_str(&format!(",\"severity\":{}", json_string(&self.severity.to_string())));
+        out.push_str(&format!(",\"path\":{}", json_string(&self.path)));
+        out.push_str(&format!(",\"message\":{}", json_string(&self.message)));
+        match &self.suggestion {
+            Some(s) => out.push_str(&format!(",\"suggestion\":{}", json_string(s))),
+            None => out.push_str(",\"suggestion\":null"),
+        }
+        out.push('}');
+        out
+    }
+}
+
+impl fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.render_human())
+    }
+}
+
+/// Escapes `s` as a JSON string literal (quotes included).
+pub fn json_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// Renders a diagnostic list as a JSON report:
+/// `{"model": …, "errors": N, "warnings": N, "diagnostics": […]}`.
+pub fn render_json_report(model: &str, diags: &[Diagnostic]) -> String {
+    let errors = diags.iter().filter(|d| d.severity == Severity::Error).count();
+    let warnings = diags.iter().filter(|d| d.severity == Severity::Warning).count();
+    let body: Vec<String> = diags.iter().map(Diagnostic::render_json).collect();
+    format!(
+        "{{\"model\":{},\"errors\":{errors},\"warnings\":{warnings},\"diagnostics\":[{}]}}",
+        json_string(model),
+        body.join(",")
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn human_rendering_includes_code_and_help() {
+        let d = Diagnostic::new("URT203", Severity::Warning, "m/ctl.sm:orphan", "unreachable")
+            .suggest("add a transition into `orphan` or delete it");
+        let text = d.render_human();
+        assert!(text.starts_with("warning[URT203] m/ctl.sm:orphan: unreachable"));
+        assert!(text.contains("help: add a transition"));
+        assert_eq!(d.to_string(), text);
+    }
+
+    #[test]
+    fn json_escapes_special_characters() {
+        assert_eq!(json_string("a\"b\\c\nd"), "\"a\\\"b\\\\c\\nd\"");
+        assert_eq!(json_string("\u{1}"), "\"\\u0001\"");
+        let d = Diagnostic::new("URT105", Severity::Error, "p", "ty `a\"b`");
+        let json = d.render_json();
+        assert!(json.contains("\"code\":\"URT105\""));
+        assert!(json.contains("\\\"b`\""));
+        assert!(json.contains("\"suggestion\":null"));
+    }
+
+    #[test]
+    fn report_counts_by_severity() {
+        let diags = vec![
+            Diagnostic::new("URT105", Severity::Error, "a", "x"),
+            Diagnostic::new("URT201", Severity::Warning, "b", "y"),
+            Diagnostic::new("URT209", Severity::Info, "c", "z"),
+        ];
+        let json = render_json_report("demo", &diags);
+        assert!(json.starts_with("{\"model\":\"demo\",\"errors\":1,\"warnings\":1,"));
+        assert!(json.contains("\"diagnostics\":[{"));
+    }
+
+    #[test]
+    fn severity_orders_errors_first() {
+        assert!(Severity::Error < Severity::Warning);
+        assert!(Severity::Warning < Severity::Info);
+    }
+}

@@ -1,0 +1,124 @@
+//! Whole-model static analysis for unified real-time models.
+//!
+//! The paper's Table 1 well-formedness rules are enforced fail-fast by
+//! [`urt_core::model::UnifiedModel::validate`]; this crate runs the same
+//! rules — plus graph, state-machine and thread-plan lints — over a model
+//! and returns **all** findings at once as structured [`Diagnostic`]
+//! values, each with a stable `URTxxx` code, a severity, a model path and
+//! a suggestion.
+//!
+//! Passes over a [`UnifiedModel`]:
+//!
+//! 1. **Well-formedness** ([`model_pass`]) — every Table 1 rule collected
+//!    instead of fail-fast: flow-type subset violations with field-level
+//!    explanations, capsule-in-streamer containment,
+//!    capsule-DPorts-are-relay-only, SPort protocol compatibility.
+//! 2. **Graph lints** ([`model_pass`]) — algebraic loops through
+//!    direct-feedthrough streamers (capsule relay chains resolved),
+//!    unconnected inputs, dead outputs, isolated elements.
+//! 3. **State-machine lints** ([`machine_pass`]) — unreachable states,
+//!    transitions on signals no connected protocol can deliver, missing
+//!    initial states.
+//! 4. **Thread-plan deadlock** ([`thread_pass`]) — a wait-for graph over
+//!    the solver threads' data rendezvous; cycles are deadlocks.
+//!
+//! [`analyze_network`] runs the network half over an executable
+//! [`StreamerNetwork`]: undriven inputs, algebraic loops, dead outputs and
+//! degenerate relays.
+//!
+//! # Examples
+//!
+//! ```
+//! use urt_analysis::{analyze, Severity};
+//!
+//! let model = urt_analysis::examples::seeded_violations();
+//! let diags = analyze(&model);
+//! assert!(diags.iter().filter(|d| d.severity == Severity::Error).count() >= 2);
+//! assert!(diags.iter().any(|d| d.code == "URT105"), "flow-subset violation");
+//! assert!(diags.iter().any(|d| d.code == "URT007"), "algebraic loop");
+//! assert!(diags.iter().any(|d| d.code == "URT203"), "unreachable state");
+//! ```
+
+pub mod diagnostic;
+pub mod examples;
+pub mod machine_pass;
+pub mod model_pass;
+pub mod network_pass;
+pub mod thread_pass;
+
+pub use diagnostic::{render_json_report, Diagnostic, Severity};
+
+use urt_core::model::UnifiedModel;
+use urt_dataflow::graph::StreamerNetwork;
+
+/// Runs every analysis pass over a declarative model and returns all
+/// findings, errors first (stable within each severity).
+pub fn analyze(model: &UnifiedModel) -> Vec<Diagnostic> {
+    let mut out = Vec::new();
+    model_pass::run(model, &mut out);
+    machine_pass::run(model, &mut out);
+    thread_pass::run(model, &mut out);
+    out.sort_by_key(|d| d.severity);
+    out
+}
+
+/// Runs the network-level passes over an executable streamer network.
+pub fn analyze_network(net: &StreamerNetwork) -> Vec<Diagnostic> {
+    let mut out = Vec::new();
+    network_pass::run(net, &mut out);
+    out.sort_by_key(|d| d.severity);
+    out
+}
+
+/// Whether any diagnostic is an [`Severity::Error`].
+pub fn has_errors(diags: &[Diagnostic]) -> bool {
+    diags.iter().any(|d| d.severity == Severity::Error)
+}
+
+/// Counts diagnostics of each severity as `(errors, warnings, infos)`.
+pub fn severity_counts(diags: &[Diagnostic]) -> (usize, usize, usize) {
+    let mut counts = (0, 0, 0);
+    for d in diags {
+        match d.severity {
+            Severity::Error => counts.0 += 1,
+            Severity::Warning => counts.1 += 1,
+            Severity::Info => counts.2 += 1,
+        }
+    }
+    counts
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clean_model_has_no_errors() {
+        for (name, model) in examples::all() {
+            let diags = analyze(&model);
+            assert!(!has_errors(&diags), "example `{name}` has errors: {diags:#?}");
+        }
+    }
+
+    #[test]
+    fn seeded_model_collects_multiple_distinct_errors() {
+        let diags = analyze(&examples::seeded_violations());
+        let codes: Vec<&str> = diags.iter().map(|d| d.code).collect();
+        assert!(codes.contains(&"URT105"), "flow-subset, got {codes:?}");
+        assert!(codes.contains(&"URT007"), "algebraic loop, got {codes:?}");
+        assert!(codes.contains(&"URT203"), "unreachable state, got {codes:?}");
+        let (errors, _, _) = severity_counts(&diags);
+        assert!(errors >= 2, "at least two errors, got {diags:#?}");
+        // Errors sort before warnings.
+        let first_warning = diags.iter().position(|d| d.severity != Severity::Error);
+        if let Some(fw) = first_warning {
+            assert!(diags[fw..].iter().all(|d| d.severity != Severity::Error));
+        }
+    }
+
+    #[test]
+    fn analyze_is_pure() {
+        let model = examples::seeded_violations();
+        assert_eq!(analyze(&model), analyze(&model));
+    }
+}

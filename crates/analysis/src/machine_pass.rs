@@ -1,0 +1,258 @@
+//! State-machine lints over the declarative [`SmSpec`] attached to
+//! capsules: missing initial states (`URT205`), unreachable states
+//! (`URT203`) and transitions triggered by signals no connected protocol
+//! can deliver (`URT204`).
+//!
+//! The deliverability lint is deliberately conservative: a trigger is only
+//! flagged when its port names a **declared** capsule SPort whose protocol
+//! is registered on the model and that protocol lacks the signal on the
+//! incoming side. Triggers on undeclared ports — e.g. the runtime's
+//! reserved `timer` port — are skipped, not flagged.
+
+use crate::diagnostic::{Diagnostic, Severity};
+use std::collections::HashSet;
+use urt_core::model::UnifiedModel;
+use urt_umlrt::statemachine::SmSpec;
+
+/// Runs the state-machine pass over every capsule machine in `model`.
+pub fn run(model: &UnifiedModel, out: &mut Vec<Diagnostic>) {
+    for (cref, cname) in model.iter_capsules() {
+        let Some(spec) = model.capsule_machine(cref) else { continue };
+        let base = format!("{}/{cname}.sm", model.name());
+
+        match &spec.initial {
+            None => {
+                out.push(
+                    Diagnostic::new(
+                        "URT205",
+                        Severity::Error,
+                        base.clone(),
+                        format!("state machine `{}` has no initial state", spec.name),
+                    )
+                    .suggest("mark one state as initial"),
+                );
+            }
+            Some(init) if spec.find_state(init).is_none() => {
+                out.push(
+                    Diagnostic::new(
+                        "URT205",
+                        Severity::Error,
+                        base.clone(),
+                        format!(
+                            "initial state `{init}` of machine `{}` is not a declared state",
+                            spec.name
+                        ),
+                    )
+                    .suggest("point the initial marker at a declared state"),
+                );
+            }
+            Some(init) => {
+                for state in unreachable_states(spec, init) {
+                    out.push(
+                        Diagnostic::new(
+                            "URT203",
+                            Severity::Warning,
+                            format!("{base}:{state}"),
+                            format!(
+                                "state `{state}` of machine `{}` is unreachable from `{init}`",
+                                spec.name
+                            ),
+                        )
+                        .suggest("add a transition into the state or delete it"),
+                    );
+                }
+            }
+        }
+
+        undeliverable_triggers(model, cref, cname, spec, &base, out);
+    }
+}
+
+/// States that no transition/initial-entry chain can activate.
+///
+/// Entering a state activates its ancestors and descends composite
+/// states through their `initial_child` chain; a transition fires from
+/// any reachable source state.
+fn unreachable_states(spec: &SmSpec, init: &str) -> Vec<String> {
+    let mut reached: HashSet<&str> = HashSet::new();
+    enter(spec, init, &mut reached);
+    // Worklist to a fixpoint: any transition whose source is active can
+    // fire and activate its target.
+    loop {
+        let mut grew = false;
+        for t in &spec.transitions {
+            if reached.contains(t.source.as_str()) {
+                if let Some(target) = &t.target {
+                    if !reached.contains(target.as_str()) {
+                        enter(spec, target, &mut reached);
+                        grew = true;
+                    }
+                }
+            }
+        }
+        if !grew {
+            break;
+        }
+    }
+    spec.states
+        .iter()
+        .filter(|s| !reached.contains(s.name.as_str()))
+        .map(|s| s.name.clone())
+        .collect()
+}
+
+/// Activates `state`, its ancestors, and its default-child chain.
+fn enter<'a>(spec: &'a SmSpec, state: &str, reached: &mut HashSet<&'a str>) {
+    // Ancestor chain upward.
+    let mut cur = spec.find_state(state);
+    while let Some(s) = cur {
+        if !reached.insert(s.name.as_str()) {
+            break;
+        }
+        cur = s.parent.as_deref().and_then(|p| spec.find_state(p));
+    }
+    // Default-entry chain downward.
+    let mut cur = spec.find_state(state).and_then(|s| s.initial_child.as_deref());
+    while let Some(child) = cur {
+        let Some(s) = spec.find_state(child) else { break };
+        if !reached.insert(s.name.as_str()) {
+            break;
+        }
+        cur = s.initial_child.as_deref();
+    }
+}
+
+/// `URT204`: transitions waiting on signals their port's protocol cannot
+/// deliver to the capsule.
+fn undeliverable_triggers(
+    model: &UnifiedModel,
+    cref: urt_core::model::CapsuleRef,
+    cname: &str,
+    spec: &SmSpec,
+    base: &str,
+    out: &mut Vec<Diagnostic>,
+) {
+    let sports = model.capsule_sports(cref);
+    if model.iter_protocols().next().is_none() {
+        return; // No protocol registry: nothing to check against.
+    }
+    for t in &spec.transitions {
+        let deliverable = if t.port == "*" {
+            // Any declared sport with a registered protocol may deliver.
+            let known: Vec<_> =
+                sports.iter().filter_map(|(_, proto)| model.protocol(proto)).collect();
+            if known.is_empty() {
+                continue;
+            }
+            known.iter().any(|p| p.in_signal(&t.signal).is_some())
+        } else {
+            // Skip undeclared ports (reserved runtime ports like `timer`).
+            let Some((_, proto_name)) = sports.iter().find(|(n, _)| n == &t.port) else {
+                continue;
+            };
+            let Some(proto) = model.protocol(proto_name) else { continue };
+            proto.in_signal(&t.signal).is_some()
+        };
+        if !deliverable {
+            out.push(
+                Diagnostic::new(
+                    "URT204",
+                    Severity::Warning,
+                    format!("{base}:{}", t.source),
+                    format!(
+                        "transition from `{}` waits for signal `{}` on port `{}` of capsule `{cname}`, but no connected protocol delivers it",
+                        t.source, t.signal, t.port
+                    ),
+                )
+                .suggest("add the signal to the port's protocol or fix the trigger"),
+            );
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use urt_core::model::ModelBuilder;
+    use urt_umlrt::protocol::{PayloadKind, Protocol};
+
+    fn run_over(spec: SmSpec) -> Vec<Diagnostic> {
+        let mut b = ModelBuilder::new("m");
+        let c = b.capsule("ctl");
+        b.capsule_machine(c, spec);
+        let mut out = Vec::new();
+        run(&b.build(), &mut out);
+        out
+    }
+
+    #[test]
+    fn missing_initial_is_an_error() {
+        let out = run_over(SmSpec::new("sm").state("a"));
+        let d = out.iter().find(|d| d.code == "URT205").expect("URT205");
+        assert_eq!(d.severity, Severity::Error);
+        assert!(d.message.contains("no initial state"));
+
+        let out = run_over(SmSpec::new("sm").state("a").initial("ghost"));
+        let d = out.iter().find(|d| d.code == "URT205").expect("URT205");
+        assert!(d.message.contains("ghost"));
+    }
+
+    #[test]
+    fn unreachable_states_found_through_hierarchy() {
+        let spec = SmSpec::new("sm")
+            .state("off")
+            .state("on")
+            .substate("warm", "on")
+            .substate("hot", "on")
+            .initial("off")
+            .initial_child("on", "warm")
+            .on("off", ("ctl", "start"), "on")
+            .on("warm", ("ctl", "heat"), "hot");
+        let out = run_over(spec);
+        assert!(out.is_empty(), "all states reachable: {out:#?}");
+
+        let spec = SmSpec::new("sm")
+            .state("idle")
+            .state("orphan")
+            .initial("idle")
+            .internal("idle", ("ctl", "ping"));
+        let out = run_over(spec);
+        let d = out.iter().find(|d| d.code == "URT203").expect("URT203");
+        assert_eq!(d.severity, Severity::Warning);
+        assert_eq!(d.path, "m/ctl.sm:orphan");
+    }
+
+    #[test]
+    fn undeliverable_trigger_flagged_only_for_declared_sports() {
+        let spec = SmSpec::new("sm")
+            .state("idle")
+            .initial("idle")
+            .internal("idle", ("ctl", "ghost_signal"))
+            .internal("idle", ("timer", "tick"));
+        let mut b = ModelBuilder::new("m");
+        let c = b.capsule("ctl_capsule");
+        b.capsule_sport(c, "ctl", "Ctl");
+        b.declare_protocol(Protocol::new("Ctl").with_in("go", PayloadKind::Empty));
+        b.capsule_machine(c, spec);
+        let mut out = Vec::new();
+        run(&b.build(), &mut out);
+        let flagged: Vec<&Diagnostic> = out.iter().filter(|d| d.code == "URT204").collect();
+        assert_eq!(flagged.len(), 1, "only the declared-sport trigger: {out:#?}");
+        assert!(flagged[0].message.contains("ghost_signal"));
+        // The reserved `timer` port is skipped, not flagged.
+        assert!(!out.iter().any(|d| d.message.contains("timer")));
+    }
+
+    #[test]
+    fn deliverable_trigger_is_clean() {
+        let spec = SmSpec::new("sm").state("idle").initial("idle").internal("idle", ("ctl", "go"));
+        let mut b = ModelBuilder::new("m");
+        let c = b.capsule("ctl_capsule");
+        b.capsule_sport(c, "ctl", "Ctl");
+        b.declare_protocol(Protocol::new("Ctl").with_in("go", PayloadKind::Empty));
+        b.capsule_machine(c, spec);
+        let mut out = Vec::new();
+        run(&b.build(), &mut out);
+        assert!(out.is_empty(), "{out:#?}");
+    }
+}

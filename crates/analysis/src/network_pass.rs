@@ -1,0 +1,178 @@
+//! Network-level passes over an executable
+//! [`StreamerNetwork`](urt_dataflow::graph::StreamerNetwork):
+//! the structural errors from [`StreamerNetwork::lint`] (every undriven
+//! input, algebraic loops) plus dead outputs (`URT201`) and degenerate
+//! relays (`URT202`).
+
+use crate::diagnostic::{Diagnostic, Severity};
+use urt_dataflow::error::FlowError;
+use urt_dataflow::graph::StreamerNetwork;
+
+/// Runs the network-level passes, appending findings to `out`.
+pub fn run(net: &StreamerNetwork, out: &mut Vec<Diagnostic>) {
+    // Structural errors, collected (not fail-fast as in `validate`).
+    for e in net.lint() {
+        let path = match &e {
+            FlowError::UnconnectedInput { node, port } => {
+                format!("{}/{node}.dport:{port}", net.name())
+            }
+            FlowError::AlgebraicLoop { nodes } => {
+                format!("{}/{}", net.name(), nodes.join(","))
+            }
+            _ => net.name().to_string(),
+        };
+        let mut d = Diagnostic::new(
+            e.code(),
+            Severity::Error,
+            path,
+            crate::model_pass::strip_code(&e.to_string()),
+        );
+        d = match &e {
+            FlowError::UnconnectedInput { .. } => {
+                d.suggest("drive the input with a flow or export it to the parent context")
+            }
+            FlowError::AlgebraicLoop { .. } => d.suggest(
+                "make one streamer on the cycle non-feedthrough (integrator-like) to break it",
+            ),
+            _ => d,
+        };
+        out.push(d);
+    }
+
+    dead_outputs(net, out);
+    degenerate_relays(net, out);
+}
+
+/// `URT201`: output DPorts with no outgoing flow that are not exported.
+fn dead_outputs(net: &StreamerNetwork, out: &mut Vec<Diagnostic>) {
+    let exported = net.exported_outputs();
+    for (id, name) in net.iter_nodes() {
+        let Ok(ports) = net.out_ports(id) else { continue };
+        for port in ports {
+            let read = net
+                .iter_flows()
+                .any(|((from, from_port), _)| from == id && from_port == port.name());
+            let is_exported = exported.iter().any(|&(n, p)| n == id && p == port.name());
+            if !read && !is_exported {
+                out.push(
+                    Diagnostic::new(
+                        "URT201",
+                        Severity::Warning,
+                        format!("{}/{name}.dport:{}", net.name(), port.name()),
+                        format!("output DPort `{}` of `{name}` is never read", port.name()),
+                    )
+                    .suggest("flow this output somewhere, export it, or remove the port"),
+                );
+            }
+        }
+    }
+}
+
+/// `URT202`: relay nodes fanning out to zero or one destination add
+/// nothing over a direct flow.
+fn degenerate_relays(net: &StreamerNetwork, out: &mut Vec<Diagnostic>) {
+    for (id, name) in net.iter_nodes() {
+        if !net.is_relay(id).unwrap_or(false) {
+            continue;
+        }
+        let fan_out = net.iter_flows().filter(|((from, _), _)| *from == id).count();
+        if fan_out <= 1 {
+            out.push(
+                Diagnostic::new(
+                    "URT202",
+                    Severity::Warning,
+                    format!("{}/{name}", net.name()),
+                    format!(
+                        "relay `{name}` fans out to {fan_out} destination{}; a relay adds value only when distributing to several readers",
+                        if fan_out == 1 { "" } else { "s" }
+                    ),
+                )
+                .suggest("flow directly to the single reader, or remove the unused relay"),
+            );
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use urt_dataflow::flowtype::FlowType;
+    use urt_dataflow::graph::NodeId;
+    use urt_dataflow::streamer::FnStreamer;
+
+    fn add_source(net: &mut StreamerNetwork, name: &str) -> NodeId {
+        net.add_streamer(
+            FnStreamer::new(name, 0, 1, |_t, _h, _u: &[f64], y: &mut [f64]| y[0] = 1.0),
+            &[],
+            &[("y", FlowType::scalar())],
+        )
+        .unwrap()
+    }
+
+    fn add_sink(net: &mut StreamerNetwork, name: &str) -> NodeId {
+        net.add_streamer(
+            FnStreamer::new(name, 1, 0, |_t, _h, _u: &[f64], _y: &mut [f64]| {}),
+            &[("u", FlowType::scalar())],
+            &[],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn collects_undriven_inputs_as_errors() {
+        let mut net = StreamerNetwork::new("n");
+        add_sink(&mut net, "a");
+        add_sink(&mut net, "b");
+        let mut out = Vec::new();
+        run(&net, &mut out);
+        let undriven: Vec<&Diagnostic> = out.iter().filter(|d| d.code == "URT006").collect();
+        assert_eq!(undriven.len(), 2, "both undriven inputs: {out:#?}");
+        assert!(undriven.iter().all(|d| d.severity == Severity::Error));
+        assert_eq!(undriven[0].path, "n/a.dport:u");
+        assert_eq!(undriven[1].path, "n/b.dport:u");
+    }
+
+    #[test]
+    fn dead_output_warned_unless_exported() {
+        let mut net = StreamerNetwork::new("n");
+        let s = add_source(&mut net, "src");
+        let mut out = Vec::new();
+        run(&net, &mut out);
+        assert!(out.iter().any(|d| d.code == "URT201"), "{out:#?}");
+
+        net.export_output(s, "y").unwrap();
+        let mut out = Vec::new();
+        run(&net, &mut out);
+        assert!(!out.iter().any(|d| d.code == "URT201"), "{out:#?}");
+    }
+
+    #[test]
+    fn degenerate_relay_warned() {
+        let mut net = StreamerNetwork::new("n");
+        let s = add_source(&mut net, "src");
+        let r = net.add_relay("relay", FlowType::scalar(), 1).unwrap();
+        let k = add_sink(&mut net, "snk");
+        net.flow((s, "y"), (r, "in")).unwrap();
+        net.flow((r, "out0"), (k, "u")).unwrap();
+        let mut out = Vec::new();
+        run(&net, &mut out);
+        let d = out.iter().find(|d| d.code == "URT202").expect("URT202");
+        assert_eq!(d.severity, Severity::Warning);
+        assert!(d.message.contains("1 destination"));
+    }
+
+    #[test]
+    fn healthy_fan_out_relay_is_clean() {
+        let mut net = StreamerNetwork::new("n");
+        let s = add_source(&mut net, "src");
+        let r = net.add_relay("relay", FlowType::scalar(), 2).unwrap();
+        let k1 = add_sink(&mut net, "snk1");
+        let k2 = add_sink(&mut net, "snk2");
+        net.flow((s, "y"), (r, "in")).unwrap();
+        net.flow((r, "out0"), (k1, "u")).unwrap();
+        net.flow((r, "out1"), (k2, "u")).unwrap();
+        let mut out = Vec::new();
+        run(&net, &mut out);
+        assert!(out.is_empty(), "{out:#?}");
+    }
+}

@@ -1,0 +1,125 @@
+//! Thread-plan deadlock analysis (`URT206`).
+//!
+//! The deployment architecture runs each streamer on an assigned solver
+//! thread; at every macro step, threads rendezvous to exchange same-step
+//! values for direct-feedthrough dependencies. The capsule's event thread
+//! is a *star barrier* — it synchronises with every solver thread once
+//! per macro step and so cannot deadlock by construction — but two solver
+//! threads can: if thread A needs a same-step value computed on thread B
+//! while B needs one from A, both block at the rendezvous forever.
+//!
+//! The pass builds a wait-for graph over solver threads — an edge
+//! `t(b) -> t(a)` for every effective flow `a -> b` (capsule relay chains
+//! resolved) where `b` is direct-feedthrough and the threads differ — and
+//! reports any cycle.
+
+use crate::diagnostic::{Diagnostic, Severity};
+use crate::model_pass::effective_streamer_edges;
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
+use urt_core::model::UnifiedModel;
+
+/// Runs the thread-plan deadlock pass.
+pub fn run(model: &UnifiedModel, out: &mut Vec<Diagnostic>) {
+    // wait_for[t] = threads whose rendezvous `t` blocks on.
+    let mut wait_for: BTreeMap<usize, BTreeSet<usize>> = BTreeMap::new();
+    for (a, b) in effective_streamer_edges(model) {
+        let (ta, tb) = (model.streamer_thread(a), model.streamer_thread(b));
+        if ta != tb && model.streamer_feedthrough(b) {
+            wait_for.entry(tb).or_default().insert(ta);
+            wait_for.entry(ta).or_default();
+        }
+    }
+    // Kahn over the wait-for graph; leftover threads sit on a cycle.
+    let threads: Vec<usize> = wait_for.keys().copied().collect();
+    let index: BTreeMap<usize, usize> = threads.iter().enumerate().map(|(i, &t)| (t, i)).collect();
+    let n = threads.len();
+    let mut adj: Vec<Vec<usize>> = vec![Vec::new(); n];
+    let mut indeg = vec![0usize; n];
+    for (&t, waits) in &wait_for {
+        for w in waits {
+            adj[index[w]].push(index[&t]);
+            indeg[index[&t]] += 1;
+        }
+    }
+    let mut queue: VecDeque<usize> = (0..n).filter(|&i| indeg[i] == 0).collect();
+    let mut done = 0;
+    while let Some(u) = queue.pop_front() {
+        done += 1;
+        for &v in &adj[u] {
+            indeg[v] -= 1;
+            if indeg[v] == 0 {
+                queue.push_back(v);
+            }
+        }
+    }
+    if done < n {
+        let stuck: Vec<String> =
+            (0..n).filter(|&i| indeg[i] > 0).map(|i| threads[i].to_string()).collect();
+        out.push(
+            Diagnostic::new(
+                "URT206",
+                Severity::Error,
+                format!("{}/threads", model.name()),
+                format!(
+                    "rendezvous deadlock: solver threads {} wait on each other for same-step values",
+                    stuck.join(", ")
+                ),
+            )
+            .suggest(
+                "put the mutually dependent streamers on one thread, or break the dependency with a non-feedthrough streamer",
+            ),
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use urt_core::model::ModelBuilder;
+    use urt_dataflow::flowtype::FlowType;
+
+    /// Two streamers exchanging same-step values; thread layout decides
+    /// whether their rendezvous can deadlock.
+    fn cross_model(threads: (usize, usize), feedthrough_back: bool) -> UnifiedModel {
+        let mut b = ModelBuilder::new("plan");
+        let s1 = b.streamer("s1", "rk4");
+        let s2 = b.streamer("s2", "rk4");
+        b.streamer_out(s1, "y", FlowType::scalar());
+        b.streamer_in(s1, "u", FlowType::scalar());
+        b.streamer_out(s2, "y", FlowType::scalar());
+        b.streamer_in(s2, "u", FlowType::scalar());
+        b.flow_between_streamers(s1, "y", s2, "u");
+        b.flow_between_streamers(s2, "y", s1, "u");
+        b.assign_thread(s1, threads.0);
+        b.assign_thread(s2, threads.1);
+        // s1 is an integrator unless the test wants a full algebraic
+        // cycle; the deadlock exists either way when threads differ.
+        b.streamer_feedthrough(s1, feedthrough_back);
+        b.build()
+    }
+
+    #[test]
+    fn cross_thread_mutual_waits_deadlock() {
+        let mut out = Vec::new();
+        run(&cross_model((0, 1), true), &mut out);
+        let d = out.iter().find(|d| d.code == "URT206").expect("URT206 reported");
+        assert_eq!(d.severity, Severity::Error);
+        assert!(d.message.contains('0') && d.message.contains('1'));
+    }
+
+    #[test]
+    fn same_thread_never_deadlocks() {
+        let mut out = Vec::new();
+        run(&cross_model((0, 0), true), &mut out);
+        assert!(out.is_empty(), "{out:#?}");
+    }
+
+    #[test]
+    fn integrator_breaks_the_wait_cycle() {
+        // s1 non-feedthrough: s1 does not need s2's same-step value, so
+        // thread 0 never blocks on thread 1.
+        let mut out = Vec::new();
+        run(&cross_model((0, 1), false), &mut out);
+        assert!(out.is_empty(), "{out:#?}");
+    }
+}

@@ -274,11 +274,7 @@ impl HybridEngine {
 
     fn deliver_capsule_signals_local(&mut self) -> Result<(), CoreError> {
         for li in 0..self.links.len() {
-            loop {
-                let msg = match self.links[li].from_capsule.try_recv() {
-                    Ok(m) => m,
-                    Err(_) => break,
-                };
+            while let Ok(msg) = self.links[li].from_capsule.try_recv() {
                 let (group, node) = (self.links[li].group, self.links[li].node);
                 self.groups[group].send_signal(node, &msg)?;
             }

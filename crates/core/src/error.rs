@@ -32,17 +32,49 @@ pub enum CoreError {
     },
 }
 
+impl CoreError {
+    /// Stable diagnostic code for a model well-formedness rule, shared
+    /// with the `urt_analysis` lint registry.
+    pub fn validation_code(rule: &str) -> &'static str {
+        match rule {
+            "unique-names" => "URT101",
+            "fig3-containment" => "URT102",
+            "containment-acyclic" => "URT103",
+            "flow-endpoint" => "URT104",
+            "flow-subset" => "URT105",
+            "fig3-dport-relay" => "URT106",
+            "sport-protocol" => "URT107",
+            _ => "URT199",
+        }
+    }
+
+    /// Stable diagnostic code (`URTxxx`) for this error, included in the
+    /// display string so log greps and tests can match on the code
+    /// instead of prose. [`CoreError::Flow`] delegates to the inner
+    /// [`FlowError::code`].
+    pub fn code(&self) -> &'static str {
+        match self {
+            CoreError::Rt(_) => "URT110",
+            CoreError::Flow(e) => e.code(),
+            CoreError::Validation { rule, .. } => Self::validation_code(rule),
+            CoreError::Engine { .. } => "URT111",
+            CoreError::ThreadLost { .. } => "URT112",
+        }
+    }
+}
+
 impl fmt::Display for CoreError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            CoreError::Rt(e) => write!(f, "runtime error: {e}"),
+            CoreError::Rt(e) => write!(f, "{}: runtime error: {e}", self.code()),
+            // The inner FlowError display already carries its code.
             CoreError::Flow(e) => write!(f, "dataflow error: {e}"),
             CoreError::Validation { rule, detail } => {
-                write!(f, "model rule `{rule}` violated: {detail}")
+                write!(f, "{}: model rule `{rule}` violated: {detail}", self.code())
             }
-            CoreError::Engine { detail } => write!(f, "engine error: {detail}"),
+            CoreError::Engine { detail } => write!(f, "{}: engine error: {detail}", self.code()),
             CoreError::ThreadLost { group } => {
-                write!(f, "solver thread for group {group} was lost")
+                write!(f, "{}: solver thread for group {group} was lost", self.code())
             }
         }
     }
@@ -83,6 +115,21 @@ mod tests {
         let e = CoreError::Validation { rule: "fig3-containment", detail: "x".into() };
         assert!(e.to_string().contains("fig3-containment"));
         assert!(e.source().is_none());
+    }
+
+    #[test]
+    fn display_carries_stable_codes() {
+        let e = CoreError::Validation { rule: "flow-subset", detail: "x".into() };
+        assert_eq!(e.code(), "URT105");
+        assert!(e.to_string().starts_with("URT105: "));
+        let e: CoreError =
+            FlowError::UnconnectedInput { node: "n".into(), port: "p".into() }.into();
+        assert_eq!(e.code(), "URT006", "Flow delegates to the inner code");
+        assert!(e.to_string().contains("URT006"));
+        let e = CoreError::Engine { detail: "x".into() };
+        assert!(e.to_string().starts_with("URT111: "));
+        let e = CoreError::ThreadLost { group: 3 };
+        assert!(e.to_string().starts_with("URT112: "));
     }
 
     #[test]

@@ -22,6 +22,8 @@
 use crate::error::CoreError;
 use std::fmt;
 use urt_dataflow::flowtype::FlowType;
+use urt_umlrt::protocol::Protocol;
+use urt_umlrt::statemachine::SmSpec;
 
 /// Reference to a capsule declaration in a [`UnifiedModel`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -60,6 +62,8 @@ struct CapsuleDecl {
     dports: Vec<(String, FlowType)>,
     /// Signal ports: `(name, protocol name)`.
     sports: Vec<(String, String)>,
+    /// Declarative behaviour, if modelled (linted by `urt_analysis`).
+    machine: Option<SmSpec>,
 }
 
 #[derive(Debug, Clone, PartialEq)]
@@ -70,6 +74,11 @@ struct StreamerDecl {
     out_dports: Vec<(String, FlowType)>,
     sports: Vec<(String, String)>,
     solver: String,
+    /// Whether outputs depend on same-step inputs (conservative default:
+    /// `true`; integrator-style streamers should declare `false`).
+    feedthrough: bool,
+    /// Solver-thread assignment for the deployment plan (default 0).
+    thread: usize,
 }
 
 #[derive(Debug, Clone, PartialEq)]
@@ -114,6 +123,9 @@ pub struct UnifiedModel {
     streamers: Vec<StreamerDecl>,
     flows: Vec<FlowDecl>,
     sport_links: Vec<SportLink>,
+    /// Protocols declared by name, from the capsule's perspective:
+    /// `in_signals` are deliverable *to* the capsule.
+    protocols: Vec<Protocol>,
 }
 
 impl UnifiedModel {
@@ -163,6 +175,79 @@ impl UnifiedModel {
         self.capsules.iter().enumerate().map(|(i, d)| (CapsuleRef(i), d.name.as_str()))
     }
 
+    /// Iterates every flow as `(from, to)` endpoints.
+    pub fn iter_flows(&self) -> impl Iterator<Item = (&FlowEnd, &FlowEnd)> {
+        self.flows.iter().map(|f| (&f.from, &f.to))
+    }
+
+    /// Iterates SPort links as `(capsule, capsule port, streamer, sport)`.
+    pub fn iter_sport_links(&self) -> impl Iterator<Item = (CapsuleRef, &str, StreamerRef, &str)> {
+        self.sport_links
+            .iter()
+            .map(|l| (l.capsule, l.capsule_port.as_str(), l.streamer, l.sport.as_str()))
+    }
+
+    /// Relay DPorts `(name, flow type)` declared on a capsule.
+    pub fn capsule_dports(&self, c: CapsuleRef) -> &[(String, FlowType)] {
+        self.capsules.get(c.0).map_or(&[], |d| d.dports.as_slice())
+    }
+
+    /// SPorts `(name, protocol name)` declared on a capsule.
+    pub fn capsule_sports(&self, c: CapsuleRef) -> &[(String, String)] {
+        self.capsules.get(c.0).map_or(&[], |d| d.sports.as_slice())
+    }
+
+    /// The capsule's declarative state machine, if one was attached.
+    pub fn capsule_machine(&self, c: CapsuleRef) -> Option<&SmSpec> {
+        self.capsules.get(c.0).and_then(|d| d.machine.as_ref())
+    }
+
+    /// Input DPorts `(name, flow type)` declared on a streamer.
+    pub fn streamer_in_dports(&self, s: StreamerRef) -> &[(String, FlowType)] {
+        self.streamers.get(s.0).map_or(&[], |d| d.in_dports.as_slice())
+    }
+
+    /// Output DPorts `(name, flow type)` declared on a streamer.
+    pub fn streamer_out_dports(&self, s: StreamerRef) -> &[(String, FlowType)] {
+        self.streamers.get(s.0).map_or(&[], |d| d.out_dports.as_slice())
+    }
+
+    /// SPorts `(name, protocol name)` declared on a streamer.
+    pub fn streamer_sports(&self, s: StreamerRef) -> &[(String, String)] {
+        self.streamers.get(s.0).map_or(&[], |d| d.sports.as_slice())
+    }
+
+    /// Whether a streamer's outputs depend on same-step inputs
+    /// (default `true`).
+    pub fn streamer_feedthrough(&self, s: StreamerRef) -> bool {
+        self.streamers.get(s.0).is_none_or(|d| d.feedthrough)
+    }
+
+    /// Solver-thread assignment of a streamer in the deployment plan.
+    pub fn streamer_thread(&self, s: StreamerRef) -> usize {
+        self.streamers.get(s.0).map_or(0, |d| d.thread)
+    }
+
+    /// Owner of a capsule.
+    pub fn capsule_owner(&self, c: CapsuleRef) -> Option<Owner> {
+        self.capsules.get(c.0).map(|d| d.owner)
+    }
+
+    /// Owner of a streamer.
+    pub fn streamer_owner(&self, s: StreamerRef) -> Option<Owner> {
+        self.streamers.get(s.0).map(|d| d.owner)
+    }
+
+    /// Looks up a declared protocol by name.
+    pub fn protocol(&self, name: &str) -> Option<&Protocol> {
+        self.protocols.iter().find(|p| p.name() == name)
+    }
+
+    /// Iterates the declared protocols.
+    pub fn iter_protocols(&self) -> impl Iterator<Item = &Protocol> {
+        self.protocols.iter()
+    }
+
     fn flow_end_type(&self, end: &FlowEnd, incoming: bool) -> Result<&FlowType, CoreError> {
         match end {
             FlowEnd::Capsule(c, port) => self
@@ -194,26 +279,41 @@ impl UnifiedModel {
         }
     }
 
+    /// Collects **every** well-formedness violation instead of failing
+    /// fast — the model half of the `urt_analysis` analyzer. Pass order
+    /// matches the historical fail-fast order, so
+    /// [`UnifiedModel::validate`] (which fails on the first entry)
+    /// reports the same error it always did.
+    pub fn violations(&self) -> Vec<CoreError> {
+        let mut found = Vec::new();
+        self.collect_unique_names(&mut found);
+        self.collect_containment(&mut found);
+        self.collect_flows(&mut found);
+        self.collect_capsule_dports_relay(&mut found);
+        self.collect_sport_links(&mut found);
+        found
+    }
+
     /// Checks every well-formedness rule; returns the first violation.
+    /// Thin wrapper over the collecting analyzer
+    /// ([`UnifiedModel::violations`]).
     ///
     /// # Errors
     ///
     /// [`CoreError::Validation`] with the rule identifier (see the module
     /// docs for the rule list).
     pub fn validate(&self) -> Result<(), CoreError> {
-        self.check_unique_names()?;
-        self.check_containment()?;
-        self.check_flows()?;
-        self.check_capsule_dports_relay()?;
-        self.check_sport_links()?;
-        Ok(())
+        match self.violations().into_iter().next() {
+            Some(first) => Err(first),
+            None => Ok(()),
+        }
     }
 
-    fn check_unique_names(&self) -> Result<(), CoreError> {
+    fn collect_unique_names(&self, found: &mut Vec<CoreError>) {
         let mut seen = std::collections::HashSet::new();
         for d in &self.capsules {
             if !seen.insert(&d.name) {
-                return Err(CoreError::Validation {
+                found.push(CoreError::Validation {
                     rule: "unique-names",
                     detail: format!("capsule `{}` declared twice", d.name),
                 });
@@ -222,20 +322,19 @@ impl UnifiedModel {
         let mut seen = std::collections::HashSet::new();
         for d in &self.streamers {
             if !seen.insert(&d.name) {
-                return Err(CoreError::Validation {
+                found.push(CoreError::Validation {
                     rule: "unique-names",
                     detail: format!("streamer `{}` declared twice", d.name),
                 });
             }
         }
-        Ok(())
     }
 
-    fn check_containment(&self) -> Result<(), CoreError> {
+    fn collect_containment(&self, found: &mut Vec<CoreError>) {
         // fig3-containment: capsules must never sit inside streamers.
         for d in &self.capsules {
             if let Owner::Streamer(s) = d.owner {
-                return Err(CoreError::Validation {
+                found.push(CoreError::Validation {
                     rule: "fig3-containment",
                     detail: format!(
                         "capsule `{}` is contained in streamer `{}`; streamers don't contain any capsule",
@@ -260,45 +359,70 @@ impl UnifiedModel {
                 Owner::Streamer(s) => Some(self.capsules.len() + s.0),
             }
         };
+        let mut on_cycle = Vec::new();
         for start in 0..n {
-            let mut slow = start;
             let mut steps = 0;
             let mut cur = Some(start);
             while let Some(i) = cur {
                 cur = owner_of(i);
                 steps += 1;
                 if steps > n {
-                    let name = if slow < self.capsules.len() {
-                        &self.capsules[slow].name
-                    } else {
-                        &self.streamers[slow - self.capsules.len()].name
-                    };
-                    let _ = &mut slow;
-                    return Err(CoreError::Validation {
-                        rule: "containment-acyclic",
-                        detail: format!("ownership cycle involving `{name}`"),
-                    });
+                    on_cycle.push(start);
+                    break;
                 }
             }
         }
-        Ok(())
+        if !on_cycle.is_empty() {
+            // One diagnostic naming every element caught in a cycle, not
+            // one duplicate per start node.
+            let names: Vec<String> = on_cycle
+                .iter()
+                .map(|&i| {
+                    if i < self.capsules.len() {
+                        format!("`{}`", self.capsules[i].name)
+                    } else {
+                        format!("`{}`", self.streamers[i - self.capsules.len()].name)
+                    }
+                })
+                .collect();
+            found.push(CoreError::Validation {
+                rule: "containment-acyclic",
+                detail: format!("ownership cycle involving {}", names.join(", ")),
+            });
+        }
     }
 
-    fn check_flows(&self) -> Result<(), CoreError> {
+    fn collect_flows(&self, found: &mut Vec<CoreError>) {
         for flow in &self.flows {
-            let src = self.flow_end_type(&flow.from, false)?;
-            let dst = self.flow_end_type(&flow.to, true)?;
-            if !src.is_subset_of(dst) {
-                return Err(CoreError::Validation {
+            let src = match self.flow_end_type(&flow.from, false) {
+                Ok(t) => Some(t),
+                Err(e) => {
+                    found.push(e);
+                    None
+                }
+            };
+            let dst = match self.flow_end_type(&flow.to, true) {
+                Ok(t) => Some(t),
+                Err(e) => {
+                    found.push(e);
+                    None
+                }
+            };
+            let (Some(src), Some(dst)) = (src, dst) else { continue };
+            if let Some(why) = src.subset_failure(dst) {
+                found.push(CoreError::Validation {
                     rule: "flow-subset",
-                    detail: format!("flow type {src} is not a subset of {dst}"),
+                    detail: format!(
+                        "flow {} -> {}: type {src} is not a subset of {dst}: {why}",
+                        self.flow_end_path(&flow.from),
+                        self.flow_end_path(&flow.to),
+                    ),
                 });
             }
         }
-        Ok(())
     }
 
-    fn check_capsule_dports_relay(&self) -> Result<(), CoreError> {
+    fn collect_capsule_dports_relay(&self, found: &mut Vec<CoreError>) {
         for (ci, d) in self.capsules.iter().enumerate() {
             for (port, _) in &d.dports {
                 let as_dest = self
@@ -310,7 +434,7 @@ impl UnifiedModel {
                     .iter()
                     .any(|f| matches!(&f.from, FlowEnd::Capsule(c, p) if c.0 == ci && p == port));
                 if !(as_dest && as_src) {
-                    return Err(CoreError::Validation {
+                    found.push(CoreError::Validation {
                         rule: "fig3-dport-relay",
                         detail: format!(
                             "capsule `{}` DPort `{port}` must relay (needs both an incoming and an outgoing flow); no data is processed by capsules",
@@ -320,31 +444,31 @@ impl UnifiedModel {
                 }
             }
         }
-        Ok(())
     }
 
-    fn check_sport_links(&self) -> Result<(), CoreError> {
+    fn collect_sport_links(&self, found: &mut Vec<CoreError>) {
         for link in &self.sport_links {
-            let cap = self.capsules.get(link.capsule.0).ok_or(CoreError::Validation {
-                rule: "sport-protocol",
-                detail: "sport link references an unknown capsule".into(),
-            })?;
-            let st = self.streamers.get(link.streamer.0).ok_or(CoreError::Validation {
-                rule: "sport-protocol",
-                detail: "sport link references an unknown streamer".into(),
-            })?;
+            let (Some(cap), Some(st)) =
+                (self.capsules.get(link.capsule.0), self.streamers.get(link.streamer.0))
+            else {
+                found.push(CoreError::Validation {
+                    rule: "sport-protocol",
+                    detail: "sport link references an unknown capsule or streamer".into(),
+                });
+                continue;
+            };
             let cp = cap.sports.iter().find(|(n, _)| n == &link.capsule_port);
             let sp = st.sports.iter().find(|(n, _)| n == &link.sport);
             match (cp, sp) {
                 (Some((_, proto_c)), Some((_, proto_s))) if proto_c == proto_s => {}
                 (Some((_, proto_c)), Some((_, proto_s))) => {
-                    return Err(CoreError::Validation {
+                    found.push(CoreError::Validation {
                         rule: "sport-protocol",
                         detail: format!("sport link protocols differ: `{proto_c}` vs `{proto_s}`"),
                     });
                 }
                 _ => {
-                    return Err(CoreError::Validation {
+                    found.push(CoreError::Validation {
                         rule: "sport-protocol",
                         detail: format!(
                             "sport link `{}`.`{}` <-> `{}`.`{}` references undeclared ports",
@@ -354,7 +478,18 @@ impl UnifiedModel {
                 }
             }
         }
-        Ok(())
+    }
+
+    /// Human-readable `element.dport:name` path for a flow endpoint.
+    pub fn flow_end_path(&self, end: &FlowEnd) -> String {
+        match end {
+            FlowEnd::Capsule(c, port) => {
+                format!("{}.dport:{port}", self.capsule_name(*c).unwrap_or("?"))
+            }
+            FlowEnd::Streamer(s, port) => {
+                format!("{}.dport:{port}", self.streamer_name(*s).unwrap_or("?"))
+            }
+        }
     }
 
     /// Renders the containment tree (the shape of Figures 2 and 3).
@@ -454,6 +589,7 @@ impl ModelBuilder {
             owner: Owner::System,
             dports: Vec::new(),
             sports: Vec::new(),
+            machine: None,
         });
         CapsuleRef(self.model.capsules.len() - 1)
     }
@@ -467,6 +603,8 @@ impl ModelBuilder {
             out_dports: Vec::new(),
             sports: Vec::new(),
             solver: solver.into(),
+            feedthrough: true,
+            thread: 0,
         });
         StreamerRef(self.model.streamers.len() - 1)
     }
@@ -561,6 +699,30 @@ impl ModelBuilder {
             streamer,
             sport: sport.into(),
         });
+    }
+
+    /// Registers a protocol definition (capsule perspective: `in` signals
+    /// are deliverable to the capsule). Used by the `urt_analysis`
+    /// undeliverable-trigger lint.
+    pub fn declare_protocol(&mut self, protocol: Protocol) {
+        self.model.protocols.push(protocol);
+    }
+
+    /// Attaches a declarative state machine to a capsule.
+    pub fn capsule_machine(&mut self, c: CapsuleRef, machine: SmSpec) {
+        self.model.capsules[c.0].machine = Some(machine);
+    }
+
+    /// Declares whether a streamer's outputs depend on same-step inputs.
+    /// Integrator-style streamers should pass `false` to break algebraic
+    /// loops through themselves.
+    pub fn streamer_feedthrough(&mut self, s: StreamerRef, feedthrough: bool) {
+        self.model.streamers[s.0].feedthrough = feedthrough;
+    }
+
+    /// Assigns a streamer to a solver thread in the deployment plan.
+    pub fn assign_thread(&mut self, s: StreamerRef, thread: usize) {
+        self.model.streamers[s.0].thread = thread;
     }
 
     /// Finalises the (unvalidated) model.
@@ -738,6 +900,64 @@ mod tests {
             b.build().validate().unwrap_err(),
             CoreError::Validation { rule: "unique-names", .. }
         ));
+    }
+
+    #[test]
+    fn violations_collects_every_rule_break() {
+        // Three distinct rule violations in one model: duplicate names,
+        // a flow-subset break and a non-relaying capsule DPort.
+        let mut b = ModelBuilder::new("multi");
+        b.capsule("dup");
+        let c = b.capsule("dup");
+        let s1 = b.streamer("s1", "rk4");
+        let s2 = b.streamer("s2", "rk4");
+        b.streamer_out(s1, "y", FlowType::with_unit(Unit::Meter));
+        b.streamer_in(s2, "u", FlowType::with_unit(Unit::Kelvin));
+        b.flow_between_streamers(s1, "y", s2, "u");
+        b.capsule_dport(c, "d", FlowType::scalar());
+        let m = b.build();
+        let found = m.violations();
+        let rules: Vec<&str> = found
+            .iter()
+            .map(|e| match e {
+                CoreError::Validation { rule, .. } => *rule,
+                other => panic!("unexpected {other}"),
+            })
+            .collect();
+        assert_eq!(rules, vec!["unique-names", "flow-subset", "fig3-dport-relay"]);
+        // validate() reports the first collected violation.
+        assert!(matches!(
+            m.validate().unwrap_err(),
+            CoreError::Validation { rule: "unique-names", .. }
+        ));
+        // flow-subset detail names the endpoints and the failing field.
+        let CoreError::Validation { detail, .. } = &found[1] else { unreachable!() };
+        assert!(detail.contains("s1.dport:y"), "{detail}");
+        assert!(detail.contains("unit"), "{detail}");
+    }
+
+    #[test]
+    fn new_declarations_round_trip() {
+        use urt_umlrt::protocol::{PayloadKind, Protocol};
+        use urt_umlrt::statemachine::SmSpec;
+        let mut b = ModelBuilder::new("decl");
+        let c = b.capsule("ctl");
+        let s = b.streamer("plant", "rk4");
+        b.capsule_machine(c, SmSpec::new("ctl_sm").state("idle").initial("idle"));
+        b.streamer_feedthrough(s, false);
+        b.assign_thread(s, 2);
+        b.declare_protocol(Protocol::new("Sense").with_in("sample", PayloadKind::Real));
+        let m = b.build();
+        assert_eq!(m.capsule_machine(c).unwrap().name, "ctl_sm");
+        assert!(!m.streamer_feedthrough(s));
+        assert_eq!(m.streamer_thread(s), 2);
+        assert!(m.protocol("Sense").is_some());
+        assert!(m.protocol("Nope").is_none());
+        assert_eq!(m.iter_protocols().count(), 1);
+        // Unknown refs take the conservative defaults.
+        assert!(m.streamer_feedthrough(StreamerRef(9)));
+        assert_eq!(m.streamer_thread(StreamerRef(9)), 0);
+        assert!(m.capsule_dports(CapsuleRef(9)).is_empty());
     }
 
     #[test]

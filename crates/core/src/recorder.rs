@@ -18,9 +18,12 @@ use std::sync::Arc;
 /// assert_eq!(rec.series("y").len(), 2);
 /// assert_eq!(rec.last("y"), Some((0.1, 2.0)));
 /// ```
+/// Named `(time, value)` series, keyed by signal name.
+type SeriesMap = BTreeMap<String, Vec<(f64, f64)>>;
+
 #[derive(Debug, Clone, Default)]
 pub struct Recorder {
-    series: Arc<Mutex<BTreeMap<String, Vec<(f64, f64)>>>>,
+    series: Arc<Mutex<SeriesMap>>,
 }
 
 impl Recorder {

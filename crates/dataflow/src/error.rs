@@ -33,6 +33,9 @@ pub enum FlowError {
         from: String,
         /// Destination port description.
         to: String,
+        /// Field-level explanation of *which* part breaks the subset
+        /// (from [`crate::flowtype::FlowType::subset_failure`]).
+        detail: String,
     },
     /// An input DPort has more than one incoming flow.
     MultipleWriters {
@@ -76,16 +79,38 @@ pub enum FlowError {
     Solve(SolveError),
 }
 
+impl FlowError {
+    /// Stable diagnostic code (`URT001`…`URT011`) for this error, shared
+    /// with the `urt_analysis` lint registry and included in the display
+    /// string so logs and tests can grep on `URTxxx` instead of prose.
+    pub fn code(&self) -> &'static str {
+        match self {
+            FlowError::UnknownPort { .. } => "URT001",
+            FlowError::UnknownNode { .. } => "URT002",
+            FlowError::WrongDirection { .. } => "URT003",
+            FlowError::TypeMismatch { .. } => "URT004",
+            FlowError::MultipleWriters { .. } => "URT005",
+            FlowError::UnconnectedInput { .. } => "URT006",
+            FlowError::AlgebraicLoop { .. } => "URT007",
+            FlowError::WidthMismatch { .. } => "URT008",
+            FlowError::BadHierarchy { .. } => "URT009",
+            FlowError::DuplicateName { .. } => "URT010",
+            FlowError::Solve(_) => "URT011",
+        }
+    }
+}
+
 impl fmt::Display for FlowError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}: ", self.code())?;
         match self {
             FlowError::UnknownPort { node, port } => {
                 write!(f, "unknown port `{port}` on streamer `{node}`")
             }
             FlowError::UnknownNode { index } => write!(f, "unknown node index {index}"),
             FlowError::WrongDirection { detail } => write!(f, "wrong flow direction: {detail}"),
-            FlowError::TypeMismatch { from, to } => {
-                write!(f, "flow type of `{from}` is not a subset of `{to}`")
+            FlowError::TypeMismatch { from, to, detail } => {
+                write!(f, "flow type of `{from}` is not a subset of `{to}`: {detail}")
             }
             FlowError::MultipleWriters { node, port } => {
                 write!(f, "input DPort `{port}` on `{node}` has multiple writers")
@@ -127,12 +152,39 @@ mod tests {
 
     #[test]
     fn display_and_source() {
-        let e = FlowError::TypeMismatch { from: "a.x".into(), to: "b.y".into() };
+        let e = FlowError::TypeMismatch {
+            from: "a.x".into(),
+            to: "b.y".into(),
+            detail: "unit `m` does not match input unit `K`".into(),
+        };
         assert!(e.to_string().contains("subset"));
+        assert!(e.to_string().contains("unit `m`"), "field-level detail is shown");
         let e = FlowError::from(SolveError::InvalidStep { step: 0.0 });
         assert!(e.source().is_some());
         let e = FlowError::AlgebraicLoop { nodes: vec!["a".into(), "b".into()] };
-        assert_eq!(e.to_string(), "algebraic loop through a -> b");
+        assert_eq!(e.to_string(), "URT007: algebraic loop through a -> b");
+    }
+
+    #[test]
+    fn every_variant_displays_its_stable_code() {
+        let cases: Vec<FlowError> = vec![
+            FlowError::UnknownPort { node: "n".into(), port: "p".into() },
+            FlowError::UnknownNode { index: 0 },
+            FlowError::WrongDirection { detail: "d".into() },
+            FlowError::TypeMismatch { from: "a".into(), to: "b".into(), detail: "d".into() },
+            FlowError::MultipleWriters { node: "n".into(), port: "p".into() },
+            FlowError::UnconnectedInput { node: "n".into(), port: "p".into() },
+            FlowError::AlgebraicLoop { nodes: vec![] },
+            FlowError::WidthMismatch { node: "n".into(), expected: 1, found: 2 },
+            FlowError::BadHierarchy { detail: "d".into() },
+            FlowError::DuplicateName { name: "n".into() },
+            FlowError::Solve(SolveError::InvalidStep { step: 0.0 }),
+        ];
+        let mut codes = std::collections::BTreeSet::new();
+        for e in &cases {
+            assert!(e.to_string().starts_with(&format!("{}: ", e.code())), "{e}");
+            assert!(codes.insert(e.code()), "code {} reused", e.code());
+        }
     }
 
     #[test]

@@ -178,6 +178,48 @@ impl FlowType {
         }
     }
 
+    /// Explains why `self` (the output side) is *not* a subset of `other`
+    /// (the input side), naming the first offending field or lane.
+    ///
+    /// Returns `None` when the subset rule holds. The explanation names
+    /// the record field path that breaks the subset, so diagnostics can
+    /// point at `field \`vel\`` instead of reprinting both whole types.
+    pub fn subset_failure(&self, other: &FlowType) -> Option<String> {
+        match (self, other) {
+            (FlowType::Scalar(a), FlowType::Scalar(b)) => {
+                (!a.is_subset_of(b)).then(|| format!("unit `{a}` does not match input unit `{b}`"))
+            }
+            (FlowType::Vector { len: la, unit: ua }, FlowType::Vector { len: lb, unit: ub }) => {
+                if la != lb {
+                    Some(format!("vector length {la} does not match input length {lb}"))
+                } else {
+                    (!ua.is_subset_of(ub))
+                        .then(|| format!("unit `{ua}` does not match input unit `{ub}`"))
+                }
+            }
+            (FlowType::Record(a), FlowType::Record(b)) => {
+                if !self.is_well_formed() {
+                    return Some("output record has duplicate field names (ill-formed)".into());
+                }
+                if !other.is_well_formed() {
+                    return Some("input record has duplicate field names (ill-formed)".into());
+                }
+                for (name, ta) in a {
+                    let Some((_, tb)) = b.iter().find(|(nb, _)| nb == name) else {
+                        return Some(format!(
+                            "output field `{name}` does not exist on the input side"
+                        ));
+                    };
+                    if let Some(why) = ta.subset_failure(tb) {
+                        return Some(format!("field `{name}`: {why}"));
+                    }
+                }
+                None
+            }
+            _ => Some(format!("structure mismatch: {self} cannot flow into {other}")),
+        }
+    }
+
     /// The paper's DPort connection rule: `self` (the output side) must be
     /// a subset of `other` (the input side).
     ///
@@ -341,6 +383,57 @@ mod tests {
         assert!(!dup.is_well_formed());
         let nested_dup = FlowType::Record(vec![("outer".to_owned(), dup)]);
         assert!(!nested_dup.is_well_formed());
+    }
+
+    #[test]
+    fn subset_failure_explains_field_level_breaks() {
+        let out = FlowType::record([
+            ("pos", FlowType::with_unit(Unit::Meter)),
+            ("vel", FlowType::with_unit(Unit::MeterPerSecond)),
+        ]);
+        let input = FlowType::record([
+            ("pos", FlowType::with_unit(Unit::Meter)),
+            ("vel", FlowType::with_unit(Unit::Kelvin)),
+        ]);
+        let why = out.subset_failure(&input).unwrap();
+        assert!(why.contains("field `vel`"), "names the offending field: {why}");
+        assert!(why.contains("m/s"), "shows the output unit: {why}");
+
+        let narrow = FlowType::record([("x", FlowType::scalar())]);
+        let why = input.subset_failure(&narrow).unwrap();
+        assert!(why.contains("`pos`") && why.contains("does not exist"), "{why}");
+
+        let nested = FlowType::record([("inner", out.clone())]);
+        let nested_in = FlowType::record([("inner", input.clone())]);
+        let why = nested.subset_failure(&nested_in).unwrap();
+        assert!(why.contains("field `inner`: field `vel`"), "nested path: {why}");
+    }
+
+    #[test]
+    fn subset_failure_agrees_with_is_subset_of() {
+        let dup = FlowType::Record(vec![
+            ("x".to_owned(), FlowType::scalar()),
+            ("x".to_owned(), FlowType::scalar()),
+        ]);
+        let cases = [
+            FlowType::scalar(),
+            FlowType::with_unit(Unit::Meter),
+            FlowType::with_unit(Unit::Any),
+            FlowType::vector(2),
+            FlowType::vector(3),
+            FlowType::record([("a", FlowType::scalar())]),
+            FlowType::record([("a", FlowType::scalar()), ("b", FlowType::vector(2))]),
+            dup,
+        ];
+        for a in &cases {
+            for b in &cases {
+                assert_eq!(
+                    a.is_subset_of(b),
+                    a.subset_failure(b).is_none(),
+                    "disagreement for {a} vs {b}"
+                );
+            }
+        }
     }
 
     #[test]

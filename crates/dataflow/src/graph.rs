@@ -346,10 +346,11 @@ impl StreamerNetwork {
         let to_port = self.find_port(to.0, to.1, Direction::In)?;
         let src = &self.nodes[from.0 .0].out_ports[from_port];
         let dst = &self.nodes[to.0 .0].in_ports[to_port];
-        if !src.flow_type().is_subset_of(dst.flow_type()) {
+        if let Some(detail) = src.flow_type().subset_failure(dst.flow_type()) {
             return Err(FlowError::TypeMismatch {
                 from: format!("{}.{}", self.nodes[from.0 .0].name, from.1),
                 to: format!("{}.{}", self.nodes[to.0 .0].name, to.1),
+                detail,
             });
         }
         if self.flows.iter().any(|f| f.to_node == to.0 .0 && f.to_port == to_port) {
@@ -385,7 +386,7 @@ impl StreamerNetwork {
         let offset = self.ext_in_buf.len();
         let width = self.nodes[node.0].in_ports[pi].width();
         self.ext_inputs.push((node.0, pi));
-        self.ext_in_buf.extend(std::iter::repeat(0.0).take(width));
+        self.ext_in_buf.extend(std::iter::repeat_n(0.0, width));
         self.initialized = false;
         Ok(offset)
     }
@@ -463,35 +464,54 @@ impl StreamerNetwork {
         self.ext_outputs.iter().any(|&(i, _)| tainted[i])
     }
 
-    /// Validates the whole network: every input driven (by a flow or an
-    /// export), no algebraic loops. Computes the execution order as a side
-    /// effect.
-    ///
-    /// # Errors
-    ///
-    /// * [`FlowError::UnconnectedInput`] for an undriven input DPort.
-    /// * [`FlowError::AlgebraicLoop`] for a direct-feedthrough cycle.
-    pub fn validate(&mut self) -> Result<(), FlowError> {
+    /// Collects **all** structural violations instead of failing fast:
+    /// every undriven input DPort plus any direct-feedthrough cycle. This
+    /// is the network half of the `urt_analysis` analyzer;
+    /// [`StreamerNetwork::validate`] is a thin wrapper that fails on the
+    /// first entry.
+    pub fn lint(&self) -> Vec<FlowError> {
+        let mut found = Vec::new();
         for (i, node) in self.nodes.iter().enumerate() {
             for (pi, port) in node.in_ports.iter().enumerate() {
                 let driven = self.flows.iter().any(|f| f.to_node == i && f.to_port == pi)
                     || self.ext_inputs.contains(&(i, pi));
                 if !driven {
-                    return Err(FlowError::UnconnectedInput {
+                    found.push(FlowError::UnconnectedInput {
                         node: node.name.clone(),
                         port: port.name().to_owned(),
                     });
                 }
             }
         }
+        if let Some(nodes) = self.feedthrough_cycle() {
+            found.push(FlowError::AlgebraicLoop { nodes });
+        }
+        found
+    }
+
+    /// Validates the whole network: every input driven (by a flow or an
+    /// export), no algebraic loops. Computes the execution order as a side
+    /// effect. Runs the collecting analyzer ([`StreamerNetwork::lint`])
+    /// and fails on its first finding.
+    ///
+    /// # Errors
+    ///
+    /// * [`FlowError::UnconnectedInput`] for an undriven input DPort.
+    /// * [`FlowError::AlgebraicLoop`] for a direct-feedthrough cycle.
+    pub fn validate(&mut self) -> Result<(), FlowError> {
+        if let Some(first) = self.lint().into_iter().next() {
+            return Err(first);
+        }
         self.order = self.compute_order()?;
         Ok(())
     }
 
-    /// Kahn's algorithm over *feedthrough-relevant* edges: an edge
+    /// Runs Kahn's algorithm over *feedthrough-relevant* edges: an edge
     /// constrains order only if the downstream node has direct
     /// feedthrough; integrator-like nodes may consume last-step values.
-    fn compute_order(&self) -> Result<Vec<usize>, FlowError> {
+    /// Returns `(order, leftover-indegrees)`; nodes with a positive
+    /// leftover indegree sit on a direct-feedthrough cycle.
+    fn kahn(&self) -> (Vec<usize>, Vec<usize>) {
         let n = self.nodes.len();
         let mut indeg = vec![0usize; n];
         let mut adj: Vec<Vec<usize>> = vec![Vec::new(); n];
@@ -512,9 +532,32 @@ impl StreamerNetwork {
                 }
             }
         }
-        if order.len() != n {
-            let cycle: Vec<String> =
-                (0..n).filter(|&i| indeg[i] > 0).map(|i| self.nodes[i].name.clone()).collect();
+        (order, indeg)
+    }
+
+    /// Names of the nodes on a direct-feedthrough cycle, if any — the
+    /// cycle finder shared by [`StreamerNetwork::lint`] and the execution
+    /// order computation.
+    pub fn feedthrough_cycle(&self) -> Option<Vec<String>> {
+        let (order, indeg) = self.kahn();
+        if order.len() == self.nodes.len() {
+            return None;
+        }
+        Some(
+            (0..self.nodes.len())
+                .filter(|&i| indeg[i] > 0)
+                .map(|i| self.nodes[i].name.clone())
+                .collect(),
+        )
+    }
+
+    fn compute_order(&self) -> Result<Vec<usize>, FlowError> {
+        let (order, indeg) = self.kahn();
+        if order.len() != self.nodes.len() {
+            let cycle: Vec<String> = (0..self.nodes.len())
+                .filter(|&i| indeg[i] > 0)
+                .map(|i| self.nodes[i].name.clone())
+                .collect();
             return Err(FlowError::AlgebraicLoop { nodes: cycle });
         }
         Ok(order)
@@ -654,6 +697,81 @@ impl StreamerNetwork {
             .map(|n| n.sports.as_slice())
             .ok_or(FlowError::UnknownNode { index: node.0 })
     }
+
+    /// Iterates over all flows as `((from node, out port), (to node, in
+    /// port))` — read-only topology access for static analysis.
+    pub fn iter_flows(&self) -> impl Iterator<Item = ((NodeId, &str), (NodeId, &str))> {
+        self.flows.iter().map(|f| {
+            (
+                (NodeId(f.from_node), self.nodes[f.from_node].out_ports[f.from_port].name()),
+                (NodeId(f.to_node), self.nodes[f.to_node].in_ports[f.to_port].name()),
+            )
+        })
+    }
+
+    /// Input DPorts of a node.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FlowError::UnknownNode`] for a bad id.
+    pub fn in_ports(&self, node: NodeId) -> Result<&[DPortSpec], FlowError> {
+        self.nodes
+            .get(node.0)
+            .map(|n| n.in_ports.as_slice())
+            .ok_or(FlowError::UnknownNode { index: node.0 })
+    }
+
+    /// Output DPorts of a node.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FlowError::UnknownNode`] for a bad id.
+    pub fn out_ports(&self, node: NodeId) -> Result<&[DPortSpec], FlowError> {
+        self.nodes
+            .get(node.0)
+            .map(|n| n.out_ports.as_slice())
+            .ok_or(FlowError::UnknownNode { index: node.0 })
+    }
+
+    /// Whether a node is a relay point (as opposed to a streamer).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FlowError::UnknownNode`] for a bad id.
+    pub fn is_relay(&self, node: NodeId) -> Result<bool, FlowError> {
+        self.nodes
+            .get(node.0)
+            .map(|n| matches!(n.kind, NodeKind::Relay))
+            .ok_or(FlowError::UnknownNode { index: node.0 })
+    }
+
+    /// Whether a node has direct feedthrough (relays always do).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FlowError::UnknownNode`] for a bad id.
+    pub fn node_feedthrough(&self, node: NodeId) -> Result<bool, FlowError> {
+        self.nodes
+            .get(node.0)
+            .map(Node::direct_feedthrough)
+            .ok_or(FlowError::UnknownNode { index: node.0 })
+    }
+
+    /// Input DPorts exported to the parent context, as `(node, port)`.
+    pub fn exported_inputs(&self) -> Vec<(NodeId, &str)> {
+        self.ext_inputs
+            .iter()
+            .map(|&(n, p)| (NodeId(n), self.nodes[n].in_ports[p].name()))
+            .collect()
+    }
+
+    /// Output DPorts exported to the parent context, as `(node, port)`.
+    pub fn exported_outputs(&self) -> Vec<(NodeId, &str)> {
+        self.ext_outputs
+            .iter()
+            .map(|&(n, p)| (NodeId(n), self.nodes[n].out_ports[p].name()))
+            .collect()
+    }
 }
 
 #[cfg(test)]
@@ -751,6 +869,51 @@ mod tests {
         )
         .unwrap();
         assert!(matches!(net.validate(), Err(FlowError::UnconnectedInput { .. })));
+    }
+
+    #[test]
+    fn lint_collects_every_unconnected_input() {
+        // Regression: validate used to stop at the first undriven input,
+        // so a user fixed one port per run. lint() surfaces all of them.
+        let mut net = StreamerNetwork::new("t");
+        net.add_streamer(
+            FnStreamer::new("g2", 2, 1, |_t, _h, _u: &[f64], y: &mut [f64]| y[0] = 0.0),
+            &[("i1", FlowType::scalar()), ("i2", FlowType::scalar())],
+            &[("o", FlowType::scalar())],
+        )
+        .unwrap();
+        let found = net.lint();
+        let undriven: Vec<&str> = found
+            .iter()
+            .filter_map(|e| match e {
+                FlowError::UnconnectedInput { port, .. } => Some(port.as_str()),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(undriven, vec!["i1", "i2"], "both undriven inputs are reported");
+        // validate still fails on the first one.
+        assert!(
+            matches!(net.validate(), Err(FlowError::UnconnectedInput { port, .. }) if port == "i1")
+        );
+    }
+
+    #[test]
+    fn introspection_reflects_topology() {
+        let mut net = StreamerNetwork::new("t");
+        let s = net.add_streamer(source("s"), &[], &[("o", FlowType::scalar())]).unwrap();
+        let r = net.add_relay("r", FlowType::scalar(), 1).unwrap();
+        net.flow((s, "o"), (r, "in")).unwrap();
+        net.export_output(r, "out0").unwrap();
+        let flows: Vec<_> = net.iter_flows().collect();
+        assert_eq!(flows, vec![((s, "o"), (r, "in"))]);
+        assert!(net.is_relay(r).unwrap());
+        assert!(!net.is_relay(s).unwrap());
+        assert!(net.node_feedthrough(r).unwrap());
+        assert_eq!(net.in_ports(r).unwrap().len(), 1);
+        assert_eq!(net.out_ports(s).unwrap().len(), 1);
+        assert_eq!(net.exported_outputs(), vec![(r, "out0")]);
+        assert!(net.exported_inputs().is_empty());
+        assert!(net.feedthrough_cycle().is_none());
     }
 
     #[test]

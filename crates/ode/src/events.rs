@@ -48,10 +48,13 @@ impl EventDirection {
 /// assert_eq!(zc.label(), "threshold");
 /// assert_eq!(zc.eval(0.0, &[1.5]), 0.5);
 /// ```
+/// A boxed guard function `g(t, x)` whose sign change marks the event.
+pub type GuardFn = Box<dyn Fn(f64, &[f64]) -> f64 + Send>;
+
 pub struct ZeroCrossing {
     label: String,
     direction: EventDirection,
-    guard: Box<dyn Fn(f64, &[f64]) -> f64 + Send>,
+    guard: GuardFn,
 }
 
 impl std::fmt::Debug for ZeroCrossing {

@@ -36,6 +36,9 @@ pub fn hermite(t0: f64, x0: f64, dx0: f64, t1: f64, x1: f64, dx1: f64, t: f64) -
 /// # Panics
 ///
 /// Panics if the slices have differing lengths.
+// Two (t, x, dx) endpoint triples plus the query time and output slice:
+// the argument list mirrors the interpolation formula.
+#[allow(clippy::too_many_arguments)]
 pub fn hermite_vec(
     t0: f64,
     x0: &[f64],

@@ -1,6 +1,10 @@
 //! Small dense linear algebra: just enough for state-space blocks and
 //! implicit methods — a row-major [`Matrix`] with LU factorisation.
 
+// Row/column elimination indexes matrices and permutation vectors in
+// lockstep; indexed loops read closer to the math than iterator chains.
+#![allow(clippy::needless_range_loop)]
+
 use crate::error::SolveError;
 use std::fmt;
 use std::ops::{Index, IndexMut};

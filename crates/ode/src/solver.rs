@@ -5,6 +5,10 @@
 //! State/Strategy separation the paper presents as its architectural
 //! pattern.
 
+// The kernels update several state vectors in lockstep; indexed loops
+// read closer to the Butcher-tableau math than zipped iterator chains.
+#![allow(clippy::needless_range_loop)]
+
 use crate::error::SolveError;
 use crate::state::StateVec;
 use crate::system::OdeSystem;

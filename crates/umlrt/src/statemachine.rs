@@ -38,11 +38,154 @@ impl Trigger {
     pub fn matches(&self, msg: &Message) -> bool {
         (self.port == "*" || self.port == msg.port()) && self.signal == msg.signal()
     }
+
+    /// The port component (`"*"` matches any port).
+    pub fn port(&self) -> &str {
+        &self.port
+    }
+
+    /// The signal component.
+    pub fn signal(&self) -> &str {
+        &self.signal
+    }
 }
 
 impl From<(&str, &str)> for Trigger {
     fn from((port, signal): (&str, &str)) -> Self {
         Trigger::new(port, signal)
+    }
+}
+
+/// Declarative shape of one state inside an [`SmSpec`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SmStateSpec {
+    /// State name (unique within the machine).
+    pub name: String,
+    /// Enclosing composite state, if nested.
+    pub parent: Option<String>,
+    /// Which child a composite state enters by default.
+    pub initial_child: Option<String>,
+}
+
+/// Declarative shape of one transition inside an [`SmSpec`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SmTransitionSpec {
+    /// Source state name.
+    pub source: String,
+    /// Target state name; `None` marks an internal transition.
+    pub target: Option<String>,
+    /// Trigger port (`"*"` matches any port).
+    pub port: String,
+    /// Trigger signal.
+    pub signal: String,
+}
+
+/// The declarative shape of a hierarchical state machine: states,
+/// transitions and the initial state, without the guard/action closures.
+///
+/// This is what static analysis (the `urt_analysis` crate) lints —
+/// reachability, trigger deliverability, missing initial state — and what
+/// a `UnifiedModel` attaches to capsule declarations. Extract one from a
+/// built machine with [`StateMachine::spec`], or describe a machine that
+/// only exists on the drawing board with the builder-style methods.
+///
+/// # Examples
+///
+/// ```
+/// use urt_umlrt::statemachine::SmSpec;
+///
+/// let spec = SmSpec::new("thermostat")
+///     .state("idle")
+///     .state("heating")
+///     .initial("idle")
+///     .on("idle", ("ctl", "heat"), "heating")
+///     .on("heating", ("ctl", "off"), "idle");
+/// assert_eq!(spec.states.len(), 2);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct SmSpec {
+    /// Machine name.
+    pub name: String,
+    /// Declared states.
+    pub states: Vec<SmStateSpec>,
+    /// Initial state name, if set.
+    pub initial: Option<String>,
+    /// Declared transitions.
+    pub transitions: Vec<SmTransitionSpec>,
+}
+
+impl SmSpec {
+    /// Starts an empty spec called `name`.
+    pub fn new(name: impl Into<String>) -> Self {
+        SmSpec { name: name.into(), ..SmSpec::default() }
+    }
+
+    /// Declares a top-level state.
+    #[must_use]
+    pub fn state(mut self, name: impl Into<String>) -> Self {
+        self.states.push(SmStateSpec { name: name.into(), parent: None, initial_child: None });
+        self
+    }
+
+    /// Declares a state nested inside `parent`.
+    #[must_use]
+    pub fn substate(mut self, name: impl Into<String>, parent: impl Into<String>) -> Self {
+        self.states.push(SmStateSpec {
+            name: name.into(),
+            parent: Some(parent.into()),
+            initial_child: None,
+        });
+        self
+    }
+
+    /// Sets the initial state.
+    #[must_use]
+    pub fn initial(mut self, name: impl Into<String>) -> Self {
+        self.initial = Some(name.into());
+        self
+    }
+
+    /// Marks which child a composite state enters by default.
+    #[must_use]
+    pub fn initial_child(mut self, parent: &str, child: impl Into<String>) -> Self {
+        if let Some(s) = self.states.iter_mut().find(|s| s.name == parent) {
+            s.initial_child = Some(child.into());
+        }
+        self
+    }
+
+    /// Adds an external transition triggered by `(port, signal)`.
+    #[must_use]
+    pub fn on(
+        mut self,
+        from: impl Into<String>,
+        trigger: (&str, &str),
+        to: impl Into<String>,
+    ) -> Self {
+        self.transitions.push(SmTransitionSpec {
+            source: from.into(),
+            target: Some(to.into()),
+            port: trigger.0.to_owned(),
+            signal: trigger.1.to_owned(),
+        });
+        self
+    }
+
+    /// Adds an internal transition (no state change).
+    #[must_use]
+    pub fn internal(mut self, state: impl Into<String>, trigger: (&str, &str)) -> Self {
+        self.transitions.push(SmTransitionSpec {
+            source: state.into(),
+            target: None,
+            port: trigger.0.to_owned(),
+            signal: trigger.1.to_owned(),
+        });
+        self
+    }
+
+    /// Looks up a state spec by name.
+    pub fn find_state(&self, name: &str) -> Option<&SmStateSpec> {
+        self.states.iter().find(|s| s.name == name)
     }
 }
 
@@ -120,6 +263,34 @@ impl<D> StateMachine<D> {
         self.transition_count
     }
 
+    /// Extracts the declarative shape of this machine (names, hierarchy,
+    /// triggers — not the guard/action closures) for static analysis.
+    pub fn spec(&self) -> SmSpec {
+        SmSpec {
+            name: self.name.clone(),
+            states: self
+                .states
+                .iter()
+                .map(|s| SmStateSpec {
+                    name: s.name.clone(),
+                    parent: s.parent.map(|p| self.states[p].name.clone()),
+                    initial_child: s.initial_child.map(|c| self.states[c].name.clone()),
+                })
+                .collect(),
+            initial: Some(self.states[self.initial].name.clone()),
+            transitions: self
+                .transitions
+                .iter()
+                .map(|t| SmTransitionSpec {
+                    source: self.states[t.source].name.clone(),
+                    target: t.target.map(|i| self.states[i].name.clone()),
+                    port: t.trigger.port().to_owned(),
+                    signal: t.trigger.signal().to_owned(),
+                })
+                .collect(),
+        }
+    }
+
     /// Runs the initial transition and enters the initial state chain.
     pub fn start(&mut self, data: &mut D, ctx: &mut CapsuleContext) {
         if self.started {
@@ -160,7 +331,7 @@ impl<D> StateMachine<D> {
         'outer: for &state in &source_chain {
             for (ti, tr) in self.transitions.iter().enumerate() {
                 if tr.source == state && tr.trigger.matches(msg) {
-                    let pass = tr.guard.as_ref().map_or(true, |g| g(data, msg));
+                    let pass = tr.guard.as_ref().is_none_or(|g| g(data, msg));
                     if pass {
                         chosen = Some(ti);
                         break 'outer;
@@ -791,6 +962,50 @@ mod tests {
         m.dispatch(&mut d, &msg("p", "pause"), &mut c);
         m.dispatch(&mut d, &msg("p", "resume"), &mut c);
         assert_eq!(m.current_state(), "phase1", "no history restarts phase1");
+    }
+
+    #[test]
+    fn spec_extraction_mirrors_structure() {
+        let m = StateMachineBuilder::new("m")
+            .state("running")
+            .substate("fast", "running")
+            .substate("slow", "running")
+            .state("stopped")
+            .initial_child("running", "slow")
+            .initial("running", |_d: &mut (), _| {})
+            .on("running", ("p", "stop"), "stopped", |_, _, _| {})
+            .internal("stopped", ("p", "ping"), |_, _, _| {})
+            .build()
+            .unwrap();
+        let spec = m.spec();
+        assert_eq!(spec.name, "m");
+        assert_eq!(spec.initial.as_deref(), Some("running"));
+        assert_eq!(spec.states.len(), 4);
+        assert_eq!(spec.find_state("fast").unwrap().parent.as_deref(), Some("running"));
+        assert_eq!(spec.find_state("running").unwrap().initial_child.as_deref(), Some("slow"));
+        assert_eq!(spec.transitions.len(), 2);
+        assert_eq!(spec.transitions[0].source, "running");
+        assert_eq!(spec.transitions[0].target.as_deref(), Some("stopped"));
+        assert_eq!(spec.transitions[0].signal, "stop");
+        assert_eq!(spec.transitions[1].target, None, "internal transition has no target");
+        // The builder-style spec produces the same shape.
+        let by_hand = SmSpec::new("m")
+            .state("running")
+            .substate("fast", "running")
+            .substate("slow", "running")
+            .state("stopped")
+            .initial_child("running", "slow")
+            .initial("running")
+            .on("running", ("p", "stop"), "stopped")
+            .internal("stopped", ("p", "ping"));
+        assert_eq!(spec, by_hand);
+    }
+
+    #[test]
+    fn trigger_accessors() {
+        let t = Trigger::new("p", "s");
+        assert_eq!(t.port(), "p");
+        assert_eq!(t.signal(), "s");
     }
 
     #[test]

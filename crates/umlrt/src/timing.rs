@@ -155,8 +155,7 @@ impl TimerService {
     /// Pops every timer due at or before `now`, re-arming periodic ones.
     pub fn pop_due(&mut self, now: f64) -> Vec<FiredTimer> {
         let mut fired = Vec::new();
-        loop {
-            let Some(due) = self.next_due() else { break };
+        while let Some(due) = self.next_due() {
             if due > now + 1e-12 {
                 break;
             }

@@ -59,7 +59,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         guards,
         |_label, _t, x| {
             x[0] = 0.0;
-            x[1] = -0.8 * x[1];
+            x[1] *= -0.8;
             EventOutcome::Continue
         },
         0.0,
@@ -96,7 +96,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     .with_signal_handler(|msg, ball: &mut Ball, state| {
         if msg.signal() == "kick" {
             state[0] = 0.0;
-            state[1] = -ball.restitution * state[1];
+            state[1] *= -ball.restitution;
         }
     });
     let mut net = StreamerNetwork::new("pitch");

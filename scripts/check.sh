@@ -15,4 +15,21 @@ cargo test -q --offline
 echo "==> cargo fmt --check"
 cargo fmt --check
 
+echo "==> cargo clippy --offline --all-targets -- -D warnings"
+cargo clippy --offline --all-targets -- -D warnings
+
+echo "==> urt-lint --json smoke"
+lint_json="$(cargo run -q --offline -p urt-analysis --bin urt-lint -- --json demo)"
+case "$lint_json" in
+    '[{"model":"demo","errors":0,'*) ;;
+    *)
+        echo "unexpected urt-lint --json output: $lint_json" >&2
+        exit 1
+        ;;
+esac
+if cargo run -q --offline -p urt-analysis --bin urt-lint -- seeded-violations >/dev/null 2>&1; then
+    echo "urt-lint should exit non-zero on seeded-violations" >&2
+    exit 1
+fi
+
 echo "OK"

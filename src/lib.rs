@@ -16,6 +16,9 @@
 //! * [`blocks`] — a Simulink-like block library and diagram compiler.
 //! * [`core`] — the unified model, Table-1 stereotypes, `Time` clock,
 //!   thread assignment and the hybrid co-simulation engine.
+//! * [`analysis`] — whole-model static analysis: every Table-1 rule plus
+//!   graph, state-machine and thread-plan lints, collected as structured
+//!   `URTxxx` diagnostics (the `urt-lint` binary fronts it).
 //! * [`codegen`] — model-to-Rust code generation.
 //! * [`baselines`] — the Bichler and Kühl related-work baselines.
 //!
@@ -59,6 +62,7 @@
 //! # }
 //! ```
 
+pub use urt_analysis as analysis;
 pub use urt_baselines as baselines;
 pub use urt_blocks as blocks;
 pub use urt_codegen as codegen;

@@ -1,0 +1,60 @@
+//! End-to-end checks of the `urt_analysis` static analyzer: the clean
+//! example catalogue lints without errors, the seeded model collects
+//! multiple distinct violations, and the codegen pipeline honours the
+//! analyzer's verdict.
+
+use unified_rt::analysis::{analyze, examples, has_errors, severity_counts, Severity};
+use unified_rt::codegen::generate_model;
+
+#[test]
+fn every_example_model_lints_clean() {
+    for (name, model) in examples::all() {
+        let diags = analyze(&model);
+        let errors: Vec<_> = diags.iter().filter(|d| d.severity == Severity::Error).collect();
+        assert!(errors.is_empty(), "example `{name}` has errors: {errors:#?}");
+    }
+}
+
+#[test]
+fn seeded_model_collects_three_distinct_violations() {
+    let model = examples::by_name("seeded-violations").expect("built-in");
+    let diags = analyze(&model);
+    let codes: Vec<&str> = diags.iter().map(|d| d.code).collect();
+    for expected in ["URT105", "URT007", "URT203"] {
+        assert!(codes.contains(&expected), "missing {expected}: {codes:?}");
+    }
+    let (errors, _, _) = severity_counts(&diags);
+    assert!(errors >= 2, "subset break and loop are both errors: {diags:#?}");
+    assert!(has_errors(&diags));
+    // Every diagnostic carries a stable code, a path and a message.
+    for d in &diags {
+        assert!(d.code.starts_with("URT"), "{d:?}");
+        assert!(!d.path.is_empty() && !d.message.is_empty(), "{d:?}");
+    }
+}
+
+#[test]
+fn clean_examples_generate_code_with_lint_header() {
+    for (name, model) in examples::all() {
+        let code = generate_model(&model)
+            .unwrap_or_else(|e| panic!("example `{name}` failed codegen: {e}"));
+        assert!(code.contains("Lint summary (urt-lint): 0 errors"), "example `{name}`");
+    }
+}
+
+#[test]
+fn seeded_model_is_rejected_by_codegen() {
+    let model = examples::by_name("seeded-violations").expect("built-in");
+    let err = generate_model(&model).unwrap_err();
+    assert!(err.to_string().contains("URT"), "carries a stable code: {err}");
+}
+
+#[test]
+fn json_report_shape_is_stable() {
+    let model = examples::by_name("seeded-violations").expect("built-in");
+    let diags = analyze(&model);
+    let json = unified_rt::analysis::render_json_report(model.name(), &diags);
+    assert!(json.starts_with("{\"model\":\"seeded\",\"errors\":"));
+    assert!(json.contains("\"diagnostics\":[{\"code\":\"URT"));
+    assert!(json.ends_with("}]}"));
+}
