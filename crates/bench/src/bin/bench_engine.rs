@@ -1,0 +1,216 @@
+//! Steady-state engine benchmark: macro steps per second through the full
+//! hybrid hot path (clock, signal routing, probe recording) for each
+//! thread policy across 1/2/4 streamer groups, on two workloads:
+//!
+//! * `fig2` — the paper's Figure 2 topology per group (relay fan-out,
+//!   pure dataflow; measures engine/framework overhead);
+//! * `vdp` — one RK4-integrated Van der Pol oscillator per group
+//!   (measures the solver-dominated regime).
+//!
+//! Every run attaches a recorder probe per group so the measured loop is
+//! the same one real simulations pay for. Results are written as
+//! hand-rolled JSON (hermetic, no registry deps) to
+//! `results/BENCH_engine.json` — the baseline future perf PRs are
+//! measured against.
+//!
+//! Run with: `cargo run --release -p urt-bench --bin bench_engine`
+//! (`--smoke` runs a few hundred steps and prints the JSON to stdout
+//! instead of writing the file; `--out PATH` overrides the output path.)
+
+use std::fmt::Write as _;
+use std::time::Instant;
+use urt_bench::fig2_network;
+use urt_core::engine::{EngineConfig, HybridEngine};
+use urt_core::recorder::Recorder;
+use urt_core::threading::ThreadPolicy;
+use urt_dataflow::flowtype::FlowType;
+use urt_dataflow::graph::StreamerNetwork;
+use urt_dataflow::streamer::OdeStreamer;
+use urt_ode::solver::SolverKind;
+use urt_ode::system::library::VanDerPol;
+use urt_ode::system::OdeSystem;
+use urt_umlrt::capsule::{CapsuleContext, SmCapsule};
+use urt_umlrt::controller::Controller;
+use urt_umlrt::statemachine::StateMachineBuilder;
+
+const STEP: f64 = 1e-3;
+const USAGE: &str = "usage: bench_engine [--smoke] [--out PATH]";
+
+/// A Van der Pol oscillator with input dimension zero, usable as an
+/// `OdeStreamer` system.
+struct Vdp(VanDerPol);
+
+impl urt_ode::system::InputSystem for Vdp {
+    fn dim(&self) -> usize {
+        2
+    }
+    fn input_dim(&self) -> usize {
+        0
+    }
+    fn derivatives(&self, t: f64, x: &[f64], _u: &[f64], dx: &mut [f64]) {
+        self.0.derivatives(t, x, dx);
+    }
+}
+
+#[derive(Clone, Copy, PartialEq)]
+enum Workload {
+    Fig2,
+    Vdp,
+}
+
+impl Workload {
+    fn name(self) -> &'static str {
+        match self {
+            Workload::Fig2 => "fig2",
+            Workload::Vdp => "vdp",
+        }
+    }
+
+    /// Builds one group's network. Node names only need to be unique
+    /// within a group, so every group gets an identical copy.
+    fn network(self, group: usize) -> (StreamerNetwork, urt_dataflow::graph::NodeId) {
+        match self {
+            Workload::Fig2 => {
+                let (net, [_, _, sub2, _]) = fig2_network();
+                (net, sub2)
+            }
+            Workload::Vdp => {
+                let mut net = StreamerNetwork::new(format!("vdp-g{group}"));
+                let node = net
+                    .add_streamer(
+                        OdeStreamer::new(
+                            "vdp",
+                            Vdp(VanDerPol { mu: 1.5 }),
+                            SolverKind::Rk4.create(),
+                            &[2.0, 0.0],
+                            1e-5, // 100 RK4 substeps per macro step
+                        ),
+                        &[],
+                        &[("y", FlowType::vector(2))],
+                    )
+                    .expect("add vdp streamer");
+                (net, node)
+            }
+        }
+    }
+}
+
+struct Measurement {
+    workload: &'static str,
+    groups: usize,
+    policy: ThreadPolicy,
+    steps: u64,
+    wall_ns: u128,
+    steps_per_sec: f64,
+}
+
+fn idle_controller() -> Controller {
+    let sm = StateMachineBuilder::new("idle")
+        .state("s")
+        .initial("s", |_d: &mut (), _ctx: &mut CapsuleContext| {})
+        .build()
+        .expect("idle machine");
+    let mut c = Controller::new("events");
+    c.add_capsule(Box::new(SmCapsule::new(sm, ())));
+    c
+}
+
+fn measure(workload: Workload, groups: usize, policy: ThreadPolicy, steps: u64) -> Measurement {
+    let mut engine = HybridEngine::new(idle_controller(), EngineConfig { step: STEP, policy });
+    let rec = Recorder::new();
+    engine.set_recorder(rec.clone());
+    for gi in 0..groups {
+        let (net, node) = workload.network(gi);
+        let g = engine.add_group(net).expect("group");
+        engine.add_probe(g, node, "y", &format!("y{gi}")).expect("probe");
+    }
+    // Warm-up: spin up solver threads, fault in buffers, settle the cache.
+    let warmup = (steps / 10).max(10);
+    engine.run_until(warmup as f64 * STEP).expect("warm-up");
+    let t0 = engine.time();
+    let start = Instant::now();
+    engine.run_until(t0 + steps as f64 * STEP).expect("measured run");
+    let wall_ns = start.elapsed().as_nanos();
+    let measured = engine.step_count() - warmup;
+    assert_eq!(measured, steps, "step-count bound must be exact");
+    assert_eq!(rec.series("y0").len() as u64, warmup + steps, "probes recorded every step");
+    let steps_per_sec = steps as f64 / (wall_ns as f64 / 1e9);
+    Measurement { workload: workload.name(), groups, policy, steps, wall_ns, steps_per_sec }
+}
+
+fn render_json(results: &[Measurement], smoke: bool) -> String {
+    let mut s = String::new();
+    let _ = write!(s, "{{\"schema\":\"bench_engine/v1\",\"smoke\":{smoke},\"step_s\":{STEP}");
+    let _ = write!(s, ",\"results\":[");
+    for (i, m) in results.iter().enumerate() {
+        if i > 0 {
+            s.push(',');
+        }
+        let _ = write!(
+            s,
+            "{{\"workload\":\"{}\",\"groups\":{},\"policy\":\"{}\",\"steps\":{},\
+             \"wall_ns\":{},\"steps_per_sec\":{:.1}}}",
+            m.workload, m.groups, m.policy, m.steps, m.wall_ns, m.steps_per_sec
+        );
+    }
+    s.push_str("]}");
+    s
+}
+
+fn main() {
+    let mut smoke = false;
+    let mut out: Option<String> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--smoke" => smoke = true,
+            "--out" => match args.next() {
+                Some(p) => out = Some(p),
+                None => {
+                    eprintln!("{USAGE}");
+                    std::process::exit(2);
+                }
+            },
+            _ => {
+                eprintln!("{USAGE}");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    let policies = [ThreadPolicy::CurrentThread, ThreadPolicy::DedicatedThreads];
+    let mut results = Vec::new();
+    for workload in [Workload::Fig2, Workload::Vdp] {
+        let steps = match (workload, smoke) {
+            (_, true) => 200,
+            (Workload::Fig2, false) => 20_000,
+            (Workload::Vdp, false) => 4_000,
+        };
+        for groups in [1usize, 2, 4] {
+            for policy in policies {
+                results.push(measure(workload, groups, policy, steps));
+            }
+        }
+    }
+
+    let json = render_json(&results, smoke);
+    if smoke && out.is_none() {
+        // Smoke mode is the CI shape check: JSON is the whole stdout.
+        println!("{json}");
+        return;
+    }
+    let path = out.unwrap_or_else(|| "results/BENCH_engine.json".to_owned());
+    std::fs::write(&path, format!("{json}\n")).expect("write benchmark JSON");
+    println!("engine steady-state baseline (macro step = {STEP} s)");
+    println!();
+    println!("| workload | groups | policy | steps | steps/sec |");
+    println!("|----------|--------|--------|-------|-----------|");
+    for m in &results {
+        println!(
+            "| {} | {} | {} | {} | {:.0} |",
+            m.workload, m.groups, m.policy, m.steps, m.steps_per_sec
+        );
+    }
+    println!();
+    println!("wrote {path}");
+}

@@ -11,14 +11,22 @@
 //! channels.
 
 use crate::error::CoreError;
-use crate::recorder::Recorder;
+use crate::recorder::{Recorder, SeriesHandle};
 use crate::threading::ThreadPolicy;
 use crate::time::SimClock;
+use std::collections::HashMap;
 use std::fmt;
 use std::sync::mpsc::{channel, Receiver, Sender};
 use urt_dataflow::graph::{NodeId, StreamerNetwork};
 use urt_umlrt::controller::Controller;
 use urt_umlrt::message::Message;
+
+/// A signal drained from a streamer group: `(node, sport, message)`.
+type DrainedSignal = (NodeId, String, Message);
+
+/// Per-group buffers recycled through `Cmd::Step`: drained signals plus
+/// `(probe index, value)` samples from the worker's last macro step.
+type StepBuffers = (Vec<DrainedSignal>, Vec<(usize, f64)>);
 
 /// Engine configuration.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -36,12 +44,13 @@ impl Default for EngineConfig {
     }
 }
 
-/// An SPort bridge between a capsule port and a streamer node.
+/// An SPort bridge between a capsule port and a streamer node. The sport
+/// name lives in the engine's `link_index` (it is only ever consulted for
+/// routing lookups).
 #[derive(Debug)]
 struct SportLink {
     group: usize,
     node: NodeId,
-    sport: String,
     capsule: usize,
     capsule_port: String,
     /// Drains messages the capsule sent out of its port.
@@ -68,8 +77,19 @@ pub struct HybridEngine {
     clock: SimClock,
     groups: Vec<StreamerNetwork>,
     links: Vec<SportLink>,
+    /// `(group, node) → sport name → index into `links`` — the O(1)
+    /// routing table for streamer-emitted signals, maintained by
+    /// [`HybridEngine::link_sport`]. First link per key wins, matching the
+    /// former linear scan.
+    link_index: HashMap<(usize, NodeId), HashMap<String, usize>>,
     probes: Vec<Probe>,
+    /// Recorder series handles, parallel to `probes` — resolved once at
+    /// probe/recorder registration so the per-step record path never does
+    /// a string lookup. Empty while no recorder is attached.
+    probe_series: Vec<SeriesHandle>,
     recorder: Option<Recorder>,
+    /// Reused per-step buffer for drained streamer signals.
+    signal_scratch: Vec<DrainedSignal>,
     started: bool,
 }
 
@@ -98,8 +118,11 @@ impl HybridEngine {
             clock: SimClock::new(),
             groups: Vec::new(),
             links: Vec::new(),
+            link_index: HashMap::new(),
             probes: Vec::new(),
+            probe_series: Vec::new(),
             recorder: None,
+            signal_scratch: Vec::new(),
             started: false,
         }
     }
@@ -148,14 +171,15 @@ impl HybridEngine {
         }
         let (tx, rx): (Sender<Message>, Receiver<Message>) = channel();
         self.controller.connect_external(capsule, capsule_port, tx)?;
+        let li = self.links.len();
         self.links.push(SportLink {
             group,
             node,
-            sport: sport.to_owned(),
             capsule,
             capsule_port: capsule_port.to_owned(),
             from_capsule: rx,
         });
+        self.link_index.entry((group, node)).or_default().entry(sport.to_owned()).or_insert(li);
         Ok(())
     }
 
@@ -176,11 +200,16 @@ impl HybridEngine {
             return Err(CoreError::Engine { detail: format!("no streamer group {group}") });
         }
         self.probes.push(Probe { group, node, port: port.to_owned(), series: series.to_owned() });
+        if let Some(rec) = &self.recorder {
+            self.probe_series.push(rec.handle(series));
+        }
         Ok(())
     }
 
-    /// Attaches a recorder for probes.
+    /// Attaches a recorder for probes, interning every registered probe's
+    /// series so the per-step record path is lookup-free.
     pub fn set_recorder(&mut self, recorder: Recorder) {
+        self.probe_series = self.probes.iter().map(|p| recorder.handle(&p.series)).collect();
         self.recorder = Some(recorder);
     }
 
@@ -254,19 +283,36 @@ impl HybridEngine {
         self.start_if_needed()?;
         let h = self.config.step;
         self.deliver_capsule_signals_local()?;
-        let t_next = self.clock.seconds() + h;
         for g in &mut self.groups {
             g.step(h)?;
         }
         self.clock.tick(h);
+        // Post-tick derived instant: the same drift-free product both
+        // thread policies stamp on probes and hand to the controller.
+        let t_next = self.clock.seconds();
         self.collect_streamer_signals_local()?;
         self.record_probes();
         self.controller.run_until(t_next)?;
         Ok(())
     }
 
+    /// Number of whole macro steps needed to reach `t_end` from the
+    /// current instant. Uses a *relative* tolerance so a step landing
+    /// within rounding distance of `t_end` counts as having reached it —
+    /// the former `seconds() + 1e-12 < t_end` loop condition used an
+    /// absolute epsilon that is absorbed for large `t_end` (or dwarfs tiny
+    /// `h`), running one step too many or too few.
+    fn steps_until(&self, t_end: f64) -> u64 {
+        let t = self.clock.seconds();
+        if t_end <= t {
+            return 0;
+        }
+        let raw = (t_end - t) / self.config.step;
+        (raw * (1.0 - 1e-12)).ceil() as u64
+    }
+
     fn run_local(&mut self, t_end: f64) -> Result<(), CoreError> {
-        while self.clock.seconds() + 1e-12 < t_end {
+        for _ in 0..self.steps_until(t_end) {
             self.step_once()?;
         }
         Ok(())
@@ -283,12 +329,21 @@ impl HybridEngine {
     }
 
     fn collect_streamer_signals_local(&mut self) -> Result<(), CoreError> {
-        for gi in 0..self.groups.len() {
-            for (node, sport, msg) in self.groups[gi].drain_signals() {
-                self.route_streamer_signal(gi, node, &sport, msg)?;
+        let mut buf = std::mem::take(&mut self.signal_scratch);
+        let mut result = Ok(());
+        'groups: for gi in 0..self.groups.len() {
+            buf.clear();
+            self.groups[gi].drain_signals_into(&mut buf);
+            for (node, sport, msg) in buf.drain(..) {
+                if let Err(e) = self.route_streamer_signal(gi, node, &sport, msg) {
+                    result = Err(e);
+                    break 'groups;
+                }
             }
         }
-        Ok(())
+        buf.clear();
+        self.signal_scratch = buf;
+        result
     }
 
     fn route_streamer_signal(
@@ -298,8 +353,11 @@ impl HybridEngine {
         sport: &str,
         msg: Message,
     ) -> Result<(), CoreError> {
-        let link =
-            self.links.iter().find(|l| l.group == group && l.node == node && l.sport == sport);
+        let link = self
+            .link_index
+            .get(&(group, node))
+            .and_then(|by_sport| by_sport.get(sport))
+            .map(|&li| &self.links[li]);
         if let Some(link) = link {
             self.controller.inject(link.capsule, &link.capsule_port, msg)?;
         }
@@ -307,12 +365,14 @@ impl HybridEngine {
     }
 
     fn record_probes(&mut self) {
-        let Some(rec) = &self.recorder else { return };
+        if self.recorder.is_none() {
+            return;
+        }
         let t = self.clock.seconds();
-        for p in &self.probes {
+        for (p, series) in self.probes.iter().zip(&self.probe_series) {
             if let Ok(lanes) = self.groups[p.group].output(p.node, &p.port) {
                 if let Some(&v) = lanes.first() {
-                    rec.push(&p.series, t, v);
+                    series.push(t, v);
                 }
             }
         }
@@ -320,25 +380,43 @@ impl HybridEngine {
 
     /// Threaded execution: one worker per group, lock-stepped per macro
     /// step via channels (the paper's deployment).
+    ///
+    /// Per-step buffers (drained signals, probe samples) are recycled:
+    /// each `Cmd::Step` carries the previous step's vectors back to the
+    /// worker, so the steady state allocates nothing.
     fn run_threaded(&mut self, t_end: f64) -> Result<(), CoreError> {
         let h = self.config.step;
         let n_groups = self.groups.len();
+        let n_steps = self.steps_until(t_end);
         if n_groups == 0 {
-            // Pure event-driven run.
-            while self.clock.seconds() + 1e-12 < t_end {
-                let t_next = self.clock.seconds() + h;
+            // Pure event-driven run. Still drain the capsule-side SPort
+            // channels every step — with no solver thread to deliver to,
+            // undrained sends would otherwise accumulate unbounded.
+            for _ in 0..n_steps {
                 self.clock.tick(h);
+                let t_next = self.clock.seconds();
+                for link in &self.links {
+                    while link.from_capsule.try_recv().is_ok() {}
+                }
                 self.controller.run_until(t_next)?;
             }
             return Ok(());
         }
 
         enum Cmd {
-            Step { h: f64 },
-            Signal { node: NodeId, msg: Message },
+            /// One macro step, carrying recycled output buffers.
+            Step {
+                h: f64,
+                signals: Vec<DrainedSignal>,
+                probes: Vec<(usize, f64)>,
+            },
+            Signal {
+                node: NodeId,
+                msg: Message,
+            },
         }
         struct Done {
-            signals: Vec<(NodeId, String, Message)>,
+            signals: Vec<DrainedSignal>,
             probes: Vec<(usize, f64)>,
             result: Result<(), urt_dataflow::FlowError>,
         }
@@ -365,23 +443,36 @@ impl HybridEngine {
                     .map(|(i, p)| (i, p.clone()))
                     .collect();
                 scope.spawn(move || {
+                    // First delivery failure, surfaced in the next Done so
+                    // both thread policies fail identically (the local path
+                    // propagates send_signal errors before stepping).
+                    let mut signal_err: Option<urt_dataflow::FlowError> = None;
                     while let Ok(cmd) = cmd_rx.recv() {
                         match cmd {
                             Cmd::Signal { node, msg } => {
-                                let _ = net.send_signal(node, &msg);
+                                if let Err(e) = net.send_signal(node, &msg) {
+                                    signal_err.get_or_insert(e);
+                                }
                             }
-                            Cmd::Step { h } => {
-                                let result = net.step(h);
-                                let signals = net.drain_signals();
-                                let probes = my_probes
-                                    .iter()
-                                    .filter_map(|(i, p)| {
-                                        net.output(p.node, &p.port)
+                            Cmd::Step { h, mut signals, mut probes } => {
+                                signals.clear();
+                                probes.clear();
+                                let result = match signal_err.take() {
+                                    Some(e) => Err(e),
+                                    None => net.step(h),
+                                };
+                                if result.is_ok() {
+                                    net.drain_signals_into(&mut signals);
+                                    for (i, p) in &my_probes {
+                                        if let Some(v) = net
+                                            .output(p.node, &p.port)
                                             .ok()
                                             .and_then(|l| l.first().copied())
-                                            .map(|v| (*i, v))
-                                    })
-                                    .collect();
+                                        {
+                                            probes.push((*i, v));
+                                        }
+                                    }
+                                }
                                 if done_tx.send(Done { signals, probes, result }).is_err() {
                                     break;
                                 }
@@ -392,7 +483,12 @@ impl HybridEngine {
                 });
             }
 
-            while self.clock.seconds() + 1e-12 < t_end {
+            // Recycled per-group buffers for Cmd::Step, and the cross-group
+            // routing staging area — all allocated once per run.
+            let mut recycled: Vec<StepBuffers> =
+                (0..n_groups).map(|_| (Vec::new(), Vec::new())).collect();
+            let mut all_signals: Vec<(usize, NodeId, String, Message)> = Vec::new();
+            for _ in 0..n_steps {
                 // 1. Capsule -> streamer signals.
                 for link in &self.links {
                     while let Ok(msg) = link.from_capsule.try_recv() {
@@ -402,35 +498,32 @@ impl HybridEngine {
                     }
                 }
                 // 2. Parallel macro step.
-                for tx in &cmd_txs {
-                    tx.send(Cmd::Step { h })
+                for (gi, tx) in cmd_txs.iter().enumerate() {
+                    let (signals, probes) = std::mem::take(&mut recycled[gi]);
+                    tx.send(Cmd::Step { h, signals, probes })
                         .map_err(|_| CoreError::Engine { detail: "worker gone".into() })?;
                 }
-                let t_next = self.clock.seconds() + h;
                 self.clock.tick(h);
+                let t_next = self.clock.seconds();
                 // 3. Barrier: gather results, signals, probes.
-                let mut all_signals: Vec<(usize, NodeId, String, Message)> = Vec::new();
+                all_signals.clear();
                 for (gi, rx) in done_rxs.iter().enumerate() {
-                    let done = rx.recv().map_err(|_| CoreError::ThreadLost { group: gi })?;
+                    let mut done = rx.recv().map_err(|_| CoreError::ThreadLost { group: gi })?;
                     done.result.map_err(CoreError::Flow)?;
-                    for (node, sport, msg) in done.signals {
+                    for (node, sport, msg) in done.signals.drain(..) {
                         all_signals.push((gi, node, sport, msg));
                     }
-                    if let Some(rec) = &self.recorder {
-                        for (pi, v) in done.probes {
-                            rec.push(&probes[pi].series, t_next, v);
+                    if self.recorder.is_some() {
+                        for &(pi, v) in &done.probes {
+                            self.probe_series[pi].push(t_next, v);
                         }
                     }
+                    done.probes.clear();
+                    recycled[gi] = (done.signals, done.probes);
                 }
                 // 4. Streamer -> capsule signals.
-                for (gi, node, sport, msg) in all_signals {
-                    let link = self
-                        .links
-                        .iter()
-                        .find(|l| l.group == gi && l.node == node && l.sport == sport);
-                    if let Some(link) = link {
-                        self.controller.inject(link.capsule, &link.capsule_port, msg)?;
-                    }
+                for (gi, node, sport, msg) in all_signals.drain(..) {
+                    self.route_streamer_signal(gi, node, &sport, msg)?;
                 }
                 // 5. Event-driven world catches up.
                 self.controller.run_until(t_next)?;

@@ -77,7 +77,7 @@ pub mod time;
 pub use engine::{EngineConfig, HybridEngine};
 pub use error::CoreError;
 pub use model::{ModelBuilder, UnifiedModel};
-pub use recorder::Recorder;
+pub use recorder::{Recorder, SeriesHandle};
 pub use stereotype::Stereotype;
 pub use threading::ThreadPolicy;
 pub use time::HybridTime;

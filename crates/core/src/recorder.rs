@@ -1,9 +1,63 @@
 //! Thread-safe signal recording shared by the engine, examples and
 //! benchmarks.
+//!
+//! Series are *interned*: each name resolves once to a [`SeriesHandle`]
+//! owning its own buffer and lock. The engine hot path pushes through
+//! handles, so a per-sample push costs one per-series lock instead of a
+//! global-mutex acquisition plus a string-keyed map lookup. The
+//! string-addressed [`Recorder::push`] remains as a convenience wrapper
+//! for setup-time and test code.
 
 use crate::sync::Mutex;
 use std::collections::BTreeMap;
 use std::sync::Arc;
+
+/// One series' shared sample buffer.
+type SeriesBuf = Arc<Mutex<Vec<(f64, f64)>>>;
+
+/// A pre-resolved, cheaply clonable handle to one recorder series.
+///
+/// Obtained from [`Recorder::handle`]; pushing through it touches only
+/// this series' lock. Handles stay valid across [`Recorder::clear`]
+/// (which empties buffers in place).
+///
+/// # Examples
+///
+/// ```
+/// use urt_core::recorder::Recorder;
+///
+/// let rec = Recorder::new();
+/// let y = rec.handle("y");
+/// y.push(0.0, 1.0);
+/// y.push(0.1, 2.0);
+/// assert_eq!(rec.series("y").len(), 2);
+/// ```
+#[derive(Debug, Clone)]
+pub struct SeriesHandle {
+    buf: SeriesBuf,
+}
+
+impl SeriesHandle {
+    /// Appends a `(t, value)` sample.
+    pub fn push(&self, t: f64, value: f64) {
+        self.buf.lock().push((t, value));
+    }
+
+    /// Number of samples in this series.
+    pub fn len(&self) -> usize {
+        self.buf.lock().len()
+    }
+
+    /// Whether the series has no samples.
+    pub fn is_empty(&self) -> bool {
+        self.buf.lock().is_empty()
+    }
+
+    /// The last sample, if any.
+    pub fn last(&self) -> Option<(f64, f64)> {
+        self.buf.lock().last().copied()
+    }
+}
 
 /// A cheaply clonable recorder of named time series.
 ///
@@ -18,12 +72,11 @@ use std::sync::Arc;
 /// assert_eq!(rec.series("y").len(), 2);
 /// assert_eq!(rec.last("y"), Some((0.1, 2.0)));
 /// ```
-/// Named `(time, value)` series, keyed by signal name.
-type SeriesMap = BTreeMap<String, Vec<(f64, f64)>>;
-
 #[derive(Debug, Clone, Default)]
 pub struct Recorder {
-    series: Arc<Mutex<SeriesMap>>,
+    /// Name → buffer registry. Locked only to intern or enumerate series,
+    /// never on the per-sample path.
+    registry: Arc<Mutex<BTreeMap<String, SeriesBuf>>>,
 }
 
 impl Recorder {
@@ -32,29 +85,44 @@ impl Recorder {
         Self::default()
     }
 
+    /// Interns `name` (creating an empty series if new) and returns its
+    /// handle for lock-cheap repeated pushes.
+    pub fn handle(&self, name: &str) -> SeriesHandle {
+        let mut reg = self.registry.lock();
+        if let Some(buf) = reg.get(name) {
+            return SeriesHandle { buf: Arc::clone(buf) };
+        }
+        let buf: SeriesBuf = Arc::default();
+        reg.insert(name.to_owned(), Arc::clone(&buf));
+        SeriesHandle { buf }
+    }
+
     /// Appends a `(t, value)` sample to the named series.
     pub fn push(&self, name: &str, t: f64, value: f64) {
-        self.series.lock().entry(name.to_owned()).or_default().push((t, value));
+        self.handle(name).push(t, value);
     }
 
     /// Copies out one series (empty if unknown).
     pub fn series(&self, name: &str) -> Vec<(f64, f64)> {
-        self.series.lock().get(name).cloned().unwrap_or_default()
+        let buf = self.registry.lock().get(name).cloned();
+        buf.map(|b| b.lock().clone()).unwrap_or_default()
     }
 
     /// The last sample of a series.
     pub fn last(&self, name: &str) -> Option<(f64, f64)> {
-        self.series.lock().get(name).and_then(|v| v.last().copied())
+        let buf = self.registry.lock().get(name).cloned();
+        buf.and_then(|b| b.lock().last().copied())
     }
 
-    /// Names of all recorded series, sorted.
+    /// Names of all interned series, sorted.
     pub fn names(&self) -> Vec<String> {
-        self.series.lock().keys().cloned().collect()
+        self.registry.lock().keys().cloned().collect()
     }
 
     /// Total number of samples across all series.
     pub fn len(&self) -> usize {
-        self.series.lock().values().map(Vec::len).sum()
+        let bufs: Vec<SeriesBuf> = self.registry.lock().values().cloned().collect();
+        bufs.iter().map(|b| b.lock().len()).sum()
     }
 
     /// Whether nothing was recorded.
@@ -62,9 +130,14 @@ impl Recorder {
         self.len() == 0
     }
 
-    /// Removes all series.
+    /// Drops all samples. Series stay interned so outstanding
+    /// [`SeriesHandle`]s remain valid and keep recording into the same
+    /// (now empty) buffers.
     pub fn clear(&self) {
-        self.series.lock().clear();
+        let bufs: Vec<SeriesBuf> = self.registry.lock().values().cloned().collect();
+        for b in bufs {
+            b.lock().clear();
+        }
     }
 
     /// Root-mean-square error between a series and a reference function
@@ -108,6 +181,32 @@ mod tests {
     }
 
     #[test]
+    fn handles_alias_the_named_series() {
+        let r = Recorder::new();
+        let h = r.handle("x");
+        h.push(0.0, 1.0);
+        r.push("x", 1.0, 2.0);
+        let h2 = r.handle("x");
+        h2.push(2.0, 3.0);
+        assert_eq!(r.series("x"), vec![(0.0, 1.0), (1.0, 2.0), (2.0, 3.0)]);
+        assert_eq!(h.len(), 3);
+        assert_eq!(h.last(), Some((2.0, 3.0)));
+        assert!(!h.is_empty());
+    }
+
+    #[test]
+    fn handles_survive_clear() {
+        let r = Recorder::new();
+        let h = r.handle("x");
+        h.push(0.0, 1.0);
+        r.clear();
+        assert!(h.is_empty());
+        h.push(1.0, 2.0);
+        assert_eq!(r.series("x"), vec![(1.0, 2.0)], "handle still feeds the recorder");
+        assert_eq!(r.names(), vec!["x".to_owned()], "series stay interned across clear");
+    }
+
+    #[test]
     fn rms_error_against_reference() {
         let r = Recorder::new();
         for k in 0..100 {
@@ -124,5 +223,6 @@ mod tests {
     fn recorder_is_send_sync() {
         fn assert_ss<T: Send + Sync>() {}
         assert_ss::<Recorder>();
+        assert_ss::<SeriesHandle>();
     }
 }

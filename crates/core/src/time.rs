@@ -62,6 +62,11 @@ impl HybridTime {
     pub fn next_epoch(&self) -> HybridTime {
         HybridTime { seconds: self.seconds, epoch: self.epoch + 1 }
     }
+
+    /// A time point at `seconds` with an explicit epoch.
+    pub fn with_epoch(seconds: f64, epoch: u64) -> Self {
+        HybridTime { seconds, epoch }
+    }
 }
 
 impl PartialOrd for HybridTime {
@@ -89,31 +94,47 @@ impl fmt::Display for HybridTime {
 /// accumulates exactly the solver macro steps — the paper's fix for
 /// "unpredictable" timing. [`SimClock::drift_against_ticks`] quantifies the
 /// difference for experiment E5.
+///
+/// The clock is *drift-free*: instead of accumulating `t += h` once per
+/// tick (whose rounding error grows with the step count), the current
+/// instant is derived as `t0 + base + run_steps * run_h`, where
+/// `run_steps` counts the ticks of the current uniform run of step size
+/// `run_h` and `base` folds in any earlier runs with a different step.
+/// For the common case of a fixed macro step from t = 0 this makes
+/// `seconds()` bit-equal to `step_count as f64 * h`, however many steps
+/// are taken.
 #[derive(Debug, Clone, PartialEq)]
 pub struct SimClock {
-    now: HybridTime,
+    t0: f64,
+    /// Seconds accumulated by completed uniform runs before the current one.
+    base: f64,
+    /// Step size of the current uniform run of ticks.
+    run_h: f64,
+    /// Ticks in the current uniform run.
+    run_steps: u64,
     step_count: u64,
+    epoch: u64,
 }
 
 impl SimClock {
     /// A clock at t = 0.
     pub fn new() -> Self {
-        SimClock { now: HybridTime::new(0.0), step_count: 0 }
+        Self::starting_at(0.0)
     }
 
     /// A clock starting at `t0` seconds.
     pub fn starting_at(t0: f64) -> Self {
-        SimClock { now: HybridTime::new(t0), step_count: 0 }
+        SimClock { t0, base: 0.0, run_h: 0.0, run_steps: 0, step_count: 0, epoch: 0 }
     }
 
     /// The current hybrid time.
     pub fn now(&self) -> HybridTime {
-        self.now
+        HybridTime::with_epoch(self.seconds(), self.epoch)
     }
 
     /// Current time in seconds.
     pub fn seconds(&self) -> f64 {
-        self.now.seconds()
+        self.t0 + self.base + self.run_steps as f64 * self.run_h
     }
 
     /// Number of macro steps taken.
@@ -128,13 +149,21 @@ impl SimClock {
     /// Panics if `h` is not positive and finite.
     pub fn tick(&mut self, h: f64) {
         assert!(h.is_finite() && h > 0.0, "macro step must be positive");
-        self.now = self.now.advance(h);
+        if self.run_steps > 0 && h != self.run_h {
+            // The step size changed: close the uniform run so the new one
+            // stays a drift-free product.
+            self.base += self.run_steps as f64 * self.run_h;
+            self.run_steps = 0;
+        }
+        self.run_h = h;
+        self.run_steps += 1;
         self.step_count += 1;
+        self.epoch = 0;
     }
 
     /// Begins a discrete event iteration at the current instant.
     pub fn event_iteration(&mut self) {
-        self.now = self.now.next_epoch();
+        self.epoch += 1;
     }
 
     /// How far a tick-quantised timer scheduled every `period` seconds on
@@ -211,6 +240,39 @@ mod tests {
         }
         assert!((c.seconds() - 1.0).abs() < 1e-12);
         assert_eq!(c.step_count(), 1000);
+    }
+
+    #[test]
+    fn clock_is_drift_free_over_ten_million_steps() {
+        // Regression: the clock used to accumulate `t += h` per tick, so
+        // rounding error grew with the step count. Derived time must stay
+        // bit-equal to `step_count as f64 * h` forever.
+        let h = 1e-3;
+        let mut c = SimClock::new();
+        for _ in 0..10_000_000u64 {
+            c.tick(h);
+        }
+        assert_eq!(c.step_count(), 10_000_000);
+        let derived = c.step_count() as f64 * h;
+        assert_eq!(c.seconds().to_bits(), derived.to_bits(), "bit-equal to step_count * h");
+        // 10^7 * 1e-3 is 10^4 seconds up to one rounding of the product.
+        assert!((c.seconds() - 1e4).abs() <= f64::EPSILON * 1e4, "got {}", c.seconds());
+    }
+
+    #[test]
+    fn clock_handles_step_size_changes() {
+        let mut c = SimClock::starting_at(1.0);
+        c.tick(0.5);
+        c.tick(0.5);
+        c.tick(0.25);
+        assert_eq!(c.seconds(), 2.25);
+        assert_eq!(c.step_count(), 3);
+        // Back to a uniform run: the new run is again a drift-free product.
+        for _ in 0..4 {
+            c.tick(0.25);
+        }
+        assert_eq!(c.seconds(), 3.25);
+        assert_eq!(c.step_count(), 7);
     }
 
     #[test]

@@ -99,6 +99,9 @@ pub struct StreamerNetwork {
     /// Boundary outputs exported to a parent context: `(node, port index)`.
     ext_outputs: Vec<(usize, usize)>,
     ext_in_buf: Vec<f64>,
+    /// Scratch lanes reused by [`StreamerNetwork::step`] when moving data
+    /// along flows, so the hot loop never allocates.
+    flow_scratch: Vec<f64>,
 }
 
 impl fmt::Debug for StreamerNetwork {
@@ -126,6 +129,7 @@ impl StreamerNetwork {
             ext_inputs: Vec::new(),
             ext_outputs: Vec::new(),
             ext_in_buf: Vec::new(),
+            flow_scratch: Vec::new(),
         }
     }
 
@@ -603,8 +607,10 @@ impl StreamerNetwork {
             cursor += w;
         }
         let order = std::mem::take(&mut self.order);
+        let mut scratch = std::mem::take(&mut self.flow_scratch);
         for &i in &order {
-            // Gather inputs from upstream out-buffers.
+            // Gather inputs from upstream out-buffers (via the reusable
+            // scratch, since source and destination may be the same node).
             for f in &self.flows {
                 if f.to_node != i {
                     continue;
@@ -612,10 +618,11 @@ impl StreamerNetwork {
                 let src = &self.nodes[f.from_node];
                 let off_src = src.out_port_offset(f.from_port);
                 let w = src.out_ports[f.from_port].width();
-                let seg: Vec<f64> = src.out_buf[off_src..off_src + w].to_vec();
+                scratch.clear();
+                scratch.extend_from_slice(&src.out_buf[off_src..off_src + w]);
                 let dst = &mut self.nodes[f.to_node];
                 let off_dst = dst.in_port_offset(f.to_port);
-                dst.in_buf[off_dst..off_dst + w].copy_from_slice(&seg);
+                dst.in_buf[off_dst..off_dst + w].copy_from_slice(&scratch);
             }
             let t = self.time;
             let node = &mut self.nodes[i];
@@ -627,6 +634,7 @@ impl StreamerNetwork {
                     node.in_buf = in_buf;
                     if let Err(e) = result {
                         self.order = order;
+                        self.flow_scratch = scratch;
                         return Err(e.into());
                     }
                     for (sport, msg) in b.take_emitted() {
@@ -634,16 +642,17 @@ impl StreamerNetwork {
                     }
                 }
                 NodeKind::Relay => {
+                    // in_buf and out_buf are disjoint fields, so the lanes
+                    // copy straight across without a temporary.
                     let w = node.in_buf.len();
                     for k in 0..node.out_ports.len() {
-                        let (src, dst) = (0..w, k * w..(k + 1) * w);
-                        let vals: Vec<f64> = node.in_buf[src].to_vec();
-                        node.out_buf[dst].copy_from_slice(&vals);
+                        node.out_buf[k * w..(k + 1) * w].copy_from_slice(&node.in_buf);
                     }
                 }
             }
         }
         self.order = order;
+        self.flow_scratch = scratch;
         self.time += h;
         Ok(())
     }
@@ -677,8 +686,18 @@ impl StreamerNetwork {
 
     /// Drains signals emitted by behaviours since the last drain, as
     /// `(node, sport, message)` triples.
+    ///
+    /// Allocates a fresh vector per call; hot paths should prefer
+    /// [`StreamerNetwork::drain_signals_into`].
     pub fn drain_signals(&mut self) -> Vec<(NodeId, String, Message)> {
         std::mem::take(&mut self.pending_signals)
+    }
+
+    /// Appends all pending signals to `out`, reusing both the caller's
+    /// buffer and the internal queue's capacity — the allocation-free form
+    /// of [`StreamerNetwork::drain_signals`] used by the engine hot path.
+    pub fn drain_signals_into(&mut self, out: &mut Vec<(NodeId, String, Message)>) {
+        out.append(&mut self.pending_signals);
     }
 
     /// Iterates over `(id, name)` of all nodes.
@@ -1079,6 +1098,62 @@ mod tests {
         assert_eq!(net.sports(s).unwrap().len(), 1);
         // Signals to FnStreamer are accepted and ignored.
         net.send_signal(s, &Message::new("x", urt_umlrt::value::Value::Empty)).unwrap();
+        assert!(net.drain_signals().is_empty());
+    }
+
+    #[test]
+    fn drain_signals_into_reuses_buffers() {
+        // A behaviour that emits one signal per step.
+        struct Beeper {
+            n: u64,
+            emitted: Vec<(String, Message)>,
+        }
+        impl StreamerBehavior for Beeper {
+            fn name(&self) -> &str {
+                "beeper"
+            }
+            fn input_width(&self) -> usize {
+                0
+            }
+            fn output_width(&self) -> usize {
+                0
+            }
+            fn advance(
+                &mut self,
+                t: f64,
+                _h: f64,
+                _u: &[f64],
+                _y: &mut [f64],
+            ) -> Result<(), urt_ode::SolveError> {
+                self.n += 1;
+                self.emitted.push((
+                    "ctl".to_owned(),
+                    Message::new("beep", urt_umlrt::value::Value::Real(self.n as f64))
+                        .with_sent_at(t),
+                ));
+                Ok(())
+            }
+            fn take_emitted(&mut self) -> Vec<(String, Message)> {
+                std::mem::take(&mut self.emitted)
+            }
+        }
+        let mut net = StreamerNetwork::new("t");
+        let b = net.add_streamer(Beeper { n: 0, emitted: Vec::new() }, &[], &[]).unwrap();
+        net.initialize(0.0).unwrap();
+        let mut buf = Vec::new();
+        for step in 1..=3u64 {
+            net.step(0.1).unwrap();
+            buf.clear();
+            net.drain_signals_into(&mut buf);
+            assert_eq!(buf.len(), 1);
+            let (node, sport, msg) = &buf[0];
+            assert_eq!(*node, b);
+            assert_eq!(sport, "ctl");
+            assert_eq!(msg.value().as_real(), Some(step as f64));
+        }
+        // Nothing pending after a drain.
+        net.drain_signals_into(&mut buf);
+        assert_eq!(buf.len(), 1, "appends, does not clear the caller's buffer");
         assert!(net.drain_signals().is_empty());
     }
 

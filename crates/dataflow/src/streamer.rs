@@ -345,6 +345,9 @@ pub struct CompositeStreamer {
     network: StreamerNetwork,
     feedthrough: bool,
     emitted: Vec<(String, Message)>,
+    /// Scratch for draining the inner network's signals without a
+    /// per-step allocation.
+    sig_scratch: Vec<(crate::graph::NodeId, String, Message)>,
 }
 
 impl fmt::Debug for CompositeStreamer {
@@ -366,7 +369,13 @@ impl CompositeStreamer {
     pub fn new(name: impl Into<String>, mut network: StreamerNetwork) -> Result<Self, FlowError> {
         network.validate()?;
         let feedthrough = network.has_external_feedthrough();
-        Ok(CompositeStreamer { name: name.into(), network, feedthrough, emitted: Vec::new() })
+        Ok(CompositeStreamer {
+            name: name.into(),
+            network,
+            feedthrough,
+            emitted: Vec::new(),
+            sig_scratch: Vec::new(),
+        })
     }
 
     /// Read access to the inner network.
@@ -403,7 +412,8 @@ impl StreamerBehavior for CompositeStreamer {
             _ => SolveError::InvalidStep { step: h },
         })?;
         y.copy_from_slice(&self.network.external_outputs());
-        for (_node, sport, msg) in self.network.drain_signals() {
+        self.network.drain_signals_into(&mut self.sig_scratch);
+        for (_node, sport, msg) in self.sig_scratch.drain(..) {
             self.emitted.push((sport, msg));
         }
         Ok(())

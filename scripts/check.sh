@@ -32,4 +32,14 @@ if cargo run -q --offline -p urt-analysis --bin urt-lint -- seeded-violations >/
     exit 1
 fi
 
+echo "==> bench_engine --smoke"
+bench_json="$(cargo run -q --release --offline -p urt-bench --bin bench_engine -- --smoke)"
+case "$bench_json" in
+    '{"schema":"bench_engine/v1","smoke":true,'*'"steps_per_sec":'*) ;;
+    *)
+        echo "unexpected bench_engine --smoke output: $bench_json" >&2
+        exit 1
+        ;;
+esac
+
 echo "OK"

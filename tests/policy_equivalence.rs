@@ -1,0 +1,223 @@
+//! Cross-policy equivalence: the same model run under `CurrentThread`
+//! and `DedicatedThreads` must produce *bit-identical* recorder series
+//! and final states — the threaded deployment is a performance choice,
+//! never a semantic one. Also pins the engine's step-count-bound
+//! termination (`run_until` takes an exact number of macro steps, immune
+//! to f64 clock drift).
+
+use unified_rt::core::engine::{EngineConfig, HybridEngine};
+use unified_rt::core::recorder::Recorder;
+use unified_rt::core::threading::ThreadPolicy;
+use unified_rt::dataflow::flowtype::FlowType;
+use unified_rt::dataflow::graph::StreamerNetwork;
+use unified_rt::dataflow::streamer::OdeStreamer;
+use unified_rt::ode::events::{EventDirection, ZeroCrossing};
+use unified_rt::ode::solver::SolverKind;
+use unified_rt::ode::system::InputSystem;
+use unified_rt::umlrt::capsule::{CapsuleContext, SmCapsule};
+use unified_rt::umlrt::controller::Controller;
+use unified_rt::umlrt::statemachine::StateMachineBuilder;
+use unified_rt::umlrt::value::Value;
+
+struct Tank {
+    inflow: f64,
+    drain: f64,
+}
+
+impl InputSystem for Tank {
+    fn dim(&self) -> usize {
+        1
+    }
+    fn input_dim(&self) -> usize {
+        0
+    }
+    fn derivatives(&self, _t: f64, x: &[f64], _u: &[f64], dx: &mut [f64]) {
+        dx[0] = self.inflow - self.drain * x[0];
+    }
+}
+
+struct Osc {
+    omega: f64,
+}
+
+impl InputSystem for Osc {
+    fn dim(&self) -> usize {
+        2
+    }
+    fn input_dim(&self) -> usize {
+        0
+    }
+    fn derivatives(&self, _t: f64, x: &[f64], _u: &[f64], dx: &mut [f64]) {
+        dx[0] = x[1];
+        dx[1] = -self.omega * self.omega * x[0];
+    }
+}
+
+/// Two streamer groups (a supervised tank and an independent oscillator),
+/// one supervisor capsule toggling the tank's inflow over an SPort link,
+/// probes in both groups.
+struct Run {
+    series: Vec<(String, Vec<(f64, f64)>)>,
+    final_state: String,
+    delivered: u64,
+    step_count: u64,
+    time: f64,
+}
+
+fn run_two_groups(policy: ThreadPolicy, t_end: f64) -> Run {
+    let tank = OdeStreamer::new(
+        "tank",
+        Tank { inflow: 2.0, drain: 0.5 },
+        SolverKind::Rk4.create(),
+        &[0.0],
+        1e-3,
+    )
+    .with_guard(ZeroCrossing::new("high", EventDirection::Rising, |_t, x| x[0] - 1.5))
+    .with_guard(ZeroCrossing::new("low", EventDirection::Falling, |_t, x| x[0] - 1.0))
+    .with_event_sport("ctl")
+    .with_signal_handler(|msg, t: &mut Tank, _| match msg.signal() {
+        "open" => t.inflow = 2.0,
+        "close" => t.inflow = 0.0,
+        _ => {}
+    });
+    let mut net_a = StreamerNetwork::new("supervised");
+    let tank_node =
+        net_a.add_streamer(tank, &[], &[("x", FlowType::scalar())]).expect("tank streamer");
+
+    let mut net_b = StreamerNetwork::new("free");
+    let osc_node = net_b
+        .add_streamer(
+            OdeStreamer::new(
+                "osc",
+                Osc { omega: 3.0 },
+                SolverKind::Rk4.create(),
+                &[1.0, 0.0],
+                1e-3,
+            ),
+            &[],
+            &[("y", FlowType::vector(2))],
+        )
+        .expect("osc streamer");
+
+    let machine = StateMachineBuilder::new("supervisor")
+        .state("filling")
+        .state("draining")
+        .initial("filling", |_d: &mut u32, _ctx: &mut CapsuleContext| {})
+        .on("filling", ("p", "high"), "draining", |n, _m, ctx| {
+            *n += 1;
+            ctx.send("p", "close", Value::Empty);
+        })
+        .on("draining", ("p", "low"), "filling", |n, _m, ctx| {
+            *n += 1;
+            ctx.send("p", "open", Value::Empty);
+        })
+        .build()
+        .expect("machine");
+    let mut controller = Controller::new("ev");
+    let cap = controller.add_capsule(Box::new(SmCapsule::new(machine, 0u32)));
+
+    let mut engine = HybridEngine::new(controller, EngineConfig { step: 0.01, policy });
+    let ga = engine.add_group(net_a).expect("group a");
+    let gb = engine.add_group(net_b).expect("group b");
+    engine.link_sport(ga, tank_node, "ctl", cap, "p").expect("link");
+    let rec = Recorder::new();
+    engine.set_recorder(rec.clone());
+    engine.add_probe(ga, tank_node, "x", "level").expect("probe level");
+    engine.add_probe(gb, osc_node, "y", "osc").expect("probe osc");
+    engine.run_until(t_end).expect("run");
+
+    Run {
+        series: rec.names().into_iter().map(|n| (n.clone(), rec.series(&n))).collect(),
+        final_state: engine.controller().capsule_state(cap).expect("state").to_owned(),
+        delivered: engine.controller().delivered_count(),
+        step_count: engine.step_count(),
+        time: engine.time(),
+    }
+}
+
+#[test]
+fn policies_produce_bit_identical_series_and_final_states() {
+    let local = run_two_groups(ThreadPolicy::CurrentThread, 20.0);
+    let threaded = run_two_groups(ThreadPolicy::DedicatedThreads, 20.0);
+
+    assert_eq!(local.step_count, threaded.step_count, "same number of macro steps");
+    assert_eq!(local.time.to_bits(), threaded.time.to_bits(), "bit-identical final time");
+    assert_eq!(local.final_state, threaded.final_state, "same capsule state");
+    assert_eq!(local.delivered, threaded.delivered, "same number of delivered events");
+
+    assert_eq!(local.series.len(), threaded.series.len());
+    for ((name_a, a), (name_b, b)) in local.series.iter().zip(&threaded.series) {
+        assert_eq!(name_a, name_b);
+        assert_eq!(a.len(), b.len(), "series `{name_a}` lengths");
+        for (k, ((t1, v1), (t2, v2))) in a.iter().zip(b).enumerate() {
+            assert_eq!(t1.to_bits(), t2.to_bits(), "series `{name_a}` sample {k} time");
+            assert_eq!(v1.to_bits(), v2.to_bits(), "series `{name_a}` sample {k} value");
+        }
+    }
+    // The closed loop actually switched — this is not an idle run.
+    assert!(local.delivered >= 2, "supervisor saw threshold crossings");
+}
+
+#[test]
+fn run_until_takes_an_exact_number_of_steps() {
+    // Regression for the old `seconds() + 1e-12 < t_end` loop bound: with
+    // a drift-free clock and a step-count bound, k successive runs to
+    // k * 0.1 with h = 1e-3 land on exactly 100 * k steps, and probe
+    // series grow by exactly 100 samples per segment.
+    for policy in [ThreadPolicy::CurrentThread, ThreadPolicy::DedicatedThreads] {
+        let mut net = StreamerNetwork::new("free");
+        let node = net
+            .add_streamer(
+                OdeStreamer::new(
+                    "osc",
+                    Osc { omega: 2.0 },
+                    SolverKind::Rk4.create(),
+                    &[1.0, 0.0],
+                    1e-3,
+                ),
+                &[],
+                &[("y", FlowType::vector(2))],
+            )
+            .expect("osc streamer");
+        let sm = StateMachineBuilder::new("idle")
+            .state("s")
+            .initial("s", |_d: &mut (), _ctx: &mut CapsuleContext| {})
+            .build()
+            .expect("sm");
+        let mut controller = Controller::new("ev");
+        controller.add_capsule(Box::new(SmCapsule::new(sm, ())));
+        let mut engine = HybridEngine::new(controller, EngineConfig { step: 1e-3, policy });
+        let g = engine.add_group(net).expect("group");
+        let rec = Recorder::new();
+        engine.set_recorder(rec.clone());
+        engine.add_probe(g, node, "y", "y").expect("probe");
+
+        for k in 1..=7u64 {
+            engine.run_until(k as f64 * 0.1).expect("run");
+            assert_eq!(engine.step_count(), 100 * k, "{policy}: exact step count at segment {k}");
+            assert_eq!(rec.series("y").len() as u64, 100 * k, "{policy}: exact sample count");
+        }
+        // Time is the drift-free product, bit-equal to step_count * h.
+        assert_eq!(engine.time().to_bits(), (700.0f64 * 1e-3).to_bits(), "{policy}");
+        // Re-running to a reached instant takes no further steps.
+        engine.run_until(0.7).expect("noop run");
+        assert_eq!(engine.step_count(), 700, "{policy}: no extra steps");
+    }
+}
+
+#[test]
+fn zero_group_threaded_run_matches_local() {
+    for policy in [ThreadPolicy::CurrentThread, ThreadPolicy::DedicatedThreads] {
+        let sm = StateMachineBuilder::new("idle")
+            .state("s")
+            .initial("s", |_d: &mut (), _ctx: &mut CapsuleContext| {})
+            .build()
+            .expect("sm");
+        let mut controller = Controller::new("ev");
+        controller.add_capsule(Box::new(SmCapsule::new(sm, ())));
+        let mut engine = HybridEngine::new(controller, EngineConfig { step: 1e-3, policy });
+        engine.run_until(0.25).expect("run");
+        assert_eq!(engine.step_count(), 250, "{policy}: pure event-driven step count");
+        assert_eq!(engine.time().to_bits(), (250.0f64 * 1e-3).to_bits(), "{policy}");
+    }
+}
