@@ -1,0 +1,69 @@
+//! `urt-elab-smoke` — CI smoke for the elaboration pipeline.
+//!
+//! Pushes every clean built-in model through the full
+//! `model → analyze → compile → run` pipeline with stub behaviours:
+//! each model is compiled via [`urt_analysis::compile`] (so the
+//! whole-model analyzer gates it), handed to
+//! `HybridEngine::from_compiled`, and run for a few macro steps.
+//! `seeded-violations` must **refuse** to compile. Any deviation exits
+//! non-zero, which is what `scripts/check.sh` keys on.
+
+use std::process::ExitCode;
+use urt_analysis::{compile, examples, stubs};
+use urt_core::engine::{EngineConfig, HybridEngine};
+use urt_core::threading::ThreadPolicy;
+
+const STEP: f64 = 1e-3;
+const MACRO_STEPS: u32 = 5;
+
+fn main() -> ExitCode {
+    let mut failed = false;
+
+    for &name in examples::NAMES {
+        let model = examples::by_name(name).expect("catalogue name");
+        let compiled = match compile(&model, stubs::stub_registry(&model)) {
+            Ok(c) => c,
+            Err(e) => {
+                eprintln!("urt-elab-smoke: `{name}` refused to compile: {e}");
+                failed = true;
+                continue;
+            }
+        };
+        let groups = compiled.group_count();
+        let mut engine = match HybridEngine::from_compiled(
+            compiled,
+            EngineConfig { step: STEP, policy: ThreadPolicy::CurrentThread },
+        ) {
+            Ok(e) => e,
+            Err(e) => {
+                eprintln!("urt-elab-smoke: `{name}` failed engine assembly: {e}");
+                failed = true;
+                continue;
+            }
+        };
+        let t_end = STEP * f64::from(MACRO_STEPS);
+        if let Err(e) = engine.run_until(t_end) {
+            eprintln!("urt-elab-smoke: `{name}` failed to run: {e}");
+            failed = true;
+            continue;
+        }
+        println!("urt-elab-smoke: `{name}` ok ({groups} group(s), {MACRO_STEPS} steps)");
+    }
+
+    // The seeded model must be refused by the analysis gate.
+    let seeded = examples::by_name("seeded-violations").expect("catalogue name");
+    match compile(&seeded, stubs::stub_registry(&seeded)) {
+        Err(e) => println!("urt-elab-smoke: `seeded-violations` refused as expected: {e}"),
+        Ok(_) => {
+            eprintln!("urt-elab-smoke: `seeded-violations` compiled — the gate is broken");
+            failed = true;
+        }
+    }
+
+    if failed {
+        ExitCode::FAILURE
+    } else {
+        println!("urt-elab-smoke: PASS");
+        ExitCode::SUCCESS
+    }
+}

@@ -26,6 +26,13 @@
 //! [`StreamerNetwork`]: undriven inputs, algebraic loops, dead outputs and
 //! degenerate relays.
 //!
+//! [`compile`] is the pipeline front door: it injects the analyzer as
+//! the elaboration gate and lowers a clean model plus a behaviour
+//! registry into an executable `CompiledSystem` — error-severity
+//! findings refuse to compile. [`stubs`] provides width- and
+//! feedthrough-faithful placeholder behaviours so structure-only models
+//! (e.g. the [`examples`] catalogue) can ride the whole pipeline.
+//!
 //! # Examples
 //!
 //! ```
@@ -44,11 +51,14 @@ pub mod examples;
 pub mod machine_pass;
 pub mod model_pass;
 pub mod network_pass;
+pub mod stubs;
 pub mod thread_pass;
 
 pub use diagnostic::{render_json_report, Diagnostic, Severity};
 
+use urt_core::elaborate::{BehaviorRegistry, CompiledSystem};
 use urt_core::model::UnifiedModel;
+use urt_core::CoreError;
 use urt_dataflow::graph::StreamerNetwork;
 
 /// Runs every analysis pass over a declarative model and returns all
@@ -68,6 +78,46 @@ pub fn analyze_network(net: &StreamerNetwork) -> Vec<Diagnostic> {
     network_pass::run(net, &mut out);
     out.sort_by_key(|d| d.severity);
     out
+}
+
+/// The full pipeline gate: compiles `model` into an executable
+/// [`CompiledSystem`], refusing any model the analyzer flags with an
+/// error-severity diagnostic.
+///
+/// This is the front door of `model → analyze → compile → run`: it
+/// injects [`analyze`] as the elaboration gate (the crate DAG points
+/// `urt_analysis → urt_core`, so `urt_core::elaborate` takes the gate as
+/// an argument) and then lowers the model with the given behaviour
+/// `registry`. Pass the result to
+/// [`HybridEngine::from_compiled`](urt_core::engine::HybridEngine::from_compiled).
+///
+/// # Errors
+///
+/// [`CoreError::Elaborate`] when the analyzer reports errors, plus every
+/// failure mode of [`urt_core::elaborate::elaborate`] (validation
+/// violations, missing behaviours, width or feedthrough mismatches,
+/// duplicate SPort links).
+pub fn compile(
+    model: &UnifiedModel,
+    registry: BehaviorRegistry,
+) -> Result<CompiledSystem, CoreError> {
+    urt_core::elaborate::elaborate(model, registry, &|m| {
+        let diags = analyze(m);
+        if has_errors(&diags) {
+            let (errors, _, _) = severity_counts(&diags);
+            let first = diags.iter().find(|d| d.severity == Severity::Error).expect("has errors");
+            return Err(CoreError::Elaborate {
+                detail: format!(
+                    "analysis found {errors} error(s) in model `{}`; first: [{}] {} ({})",
+                    m.name(),
+                    first.code,
+                    first.message,
+                    first.path
+                ),
+            });
+        }
+        Ok(())
+    })
 }
 
 /// Whether any diagnostic is an [`Severity::Error`].
@@ -120,5 +170,22 @@ mod tests {
     fn analyze_is_pure() {
         let model = examples::seeded_violations();
         assert_eq!(analyze(&model), analyze(&model));
+    }
+
+    #[test]
+    fn whole_catalogue_compiles_with_stubs() {
+        for (name, model) in examples::all() {
+            let compiled = compile(&model, stubs::stub_registry(&model));
+            assert!(compiled.is_ok(), "example `{name}`: {:?}", compiled.err());
+        }
+    }
+
+    #[test]
+    fn compile_refuses_seeded_model() {
+        let model = examples::seeded_violations();
+        let err = compile(&model, stubs::stub_registry(&model)).unwrap_err();
+        assert!(matches!(err, CoreError::Elaborate { .. }), "{err}");
+        assert!(err.to_string().starts_with("URT114: "), "{err}");
+        assert!(err.to_string().contains("analysis found"), "{err}");
     }
 }

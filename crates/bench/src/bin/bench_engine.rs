@@ -2,10 +2,19 @@
 //! hybrid hot path (clock, signal routing, probe recording) for each
 //! thread policy across 1/2/4 streamer groups, on two workloads:
 //!
-//! * `fig2` — the paper's Figure 2 topology per group (relay fan-out,
-//!   pure dataflow; measures engine/framework overhead);
+//! * `fig2` — the paper's Figure 2 topology per group (fan-out, pure
+//!   dataflow; measures engine/framework overhead);
 //! * `vdp` — one RK4-integrated Van der Pol oscillator per group
 //!   (measures the solver-dominated regime).
+//!
+//! Each configuration is measured along both construction paths:
+//!
+//! * `wired` — the engine assembled by hand (`add_group`/`add_probe`),
+//!   as in the pre-elaboration era (the fig2 fan-out uses an explicit
+//!   relay node);
+//! * `compiled` — the same system declared as a `UnifiedModel` and
+//!   lowered through `model → analyze → compile → run` (the fan-out is
+//!   two flows from one output, no relay node).
 //!
 //! Every run attaches a recorder probe per group so the measured loop is
 //! the same one real simulations pay for. Results are written as
@@ -20,18 +29,20 @@
 use std::fmt::Write as _;
 use std::time::Instant;
 use urt_bench::fig2_network;
+use urt_core::elaborate::BehaviorRegistry;
 use urt_core::engine::{EngineConfig, HybridEngine};
+use urt_core::model::ModelBuilder;
 use urt_core::recorder::Recorder;
 use urt_core::threading::ThreadPolicy;
 use urt_dataflow::flowtype::FlowType;
 use urt_dataflow::graph::StreamerNetwork;
-use urt_dataflow::streamer::OdeStreamer;
+use urt_dataflow::streamer::{FnStreamer, OdeStreamer};
 use urt_ode::solver::SolverKind;
 use urt_ode::system::library::VanDerPol;
 use urt_ode::system::OdeSystem;
 use urt_umlrt::capsule::{CapsuleContext, SmCapsule};
 use urt_umlrt::controller::Controller;
-use urt_umlrt::statemachine::StateMachineBuilder;
+use urt_umlrt::statemachine::{SmSpec, StateMachineBuilder};
 
 const STEP: f64 = 1e-3;
 const USAGE: &str = "usage: bench_engine [--smoke] [--out PATH]";
@@ -52,6 +63,16 @@ impl urt_ode::system::InputSystem for Vdp {
     }
 }
 
+fn vdp_streamer(name: &str) -> OdeStreamer<Vdp> {
+    OdeStreamer::new(
+        name,
+        Vdp(VanDerPol { mu: 1.5 }),
+        SolverKind::Rk4.create(),
+        &[2.0, 0.0],
+        1e-5, // 100 RK4 substeps per macro step
+    )
+}
+
 #[derive(Clone, Copy, PartialEq)]
 enum Workload {
     Fig2,
@@ -66,8 +87,8 @@ impl Workload {
         }
     }
 
-    /// Builds one group's network. Node names only need to be unique
-    /// within a group, so every group gets an identical copy.
+    /// Builds one group's hand-wired network. Node names only need to be
+    /// unique within a group, so every group gets an identical copy.
     fn network(self, group: usize) -> (StreamerNetwork, urt_dataflow::graph::NodeId) {
         match self {
             Workload::Fig2 => {
@@ -77,26 +98,88 @@ impl Workload {
             Workload::Vdp => {
                 let mut net = StreamerNetwork::new(format!("vdp-g{group}"));
                 let node = net
-                    .add_streamer(
-                        OdeStreamer::new(
-                            "vdp",
-                            Vdp(VanDerPol { mu: 1.5 }),
-                            SolverKind::Rk4.create(),
-                            &[2.0, 0.0],
-                            1e-5, // 100 RK4 substeps per macro step
-                        ),
-                        &[],
-                        &[("y", FlowType::vector(2))],
-                    )
+                    .add_streamer(vdp_streamer("vdp"), &[], &[("y", FlowType::vector(2))])
                     .expect("add vdp streamer");
                 (net, node)
             }
         }
     }
+
+    /// Declares the whole multi-group system as one `UnifiedModel` plus
+    /// its behaviour registry. Streamer names carry a `-g{i}` suffix
+    /// (model names are global) and each group is pinned to its own
+    /// solver thread, which elaboration's thread coalescing keeps apart
+    /// (no inter-group flows).
+    fn model(self, groups: usize) -> (urt_core::model::UnifiedModel, BehaviorRegistry) {
+        let mut b = ModelBuilder::new(format!("{}-bench", self.name()));
+        let idle = b.capsule("idle");
+        b.capsule_machine(idle, SmSpec::new("idle").state("s").initial("s"));
+        let mut registry = BehaviorRegistry::new();
+        for gi in 0..groups {
+            match self {
+                Workload::Fig2 => {
+                    let n1 = format!("sub1-g{gi}");
+                    let n2 = format!("sub2-g{gi}");
+                    let n3 = format!("sub3-g{gi}");
+                    let s1 = b.streamer(&n1, "euler");
+                    let s2 = b.streamer(&n2, "euler");
+                    let s3 = b.streamer(&n3, "euler");
+                    b.streamer_out(s1, "y", FlowType::scalar());
+                    b.streamer_in(s2, "u", FlowType::scalar());
+                    b.streamer_out(s2, "y", FlowType::scalar());
+                    b.streamer_in(s3, "u", FlowType::scalar());
+                    b.streamer_out(s3, "y", FlowType::scalar());
+                    b.flow_between_streamers(s1, "y", s2, "u");
+                    b.flow_between_streamers(s1, "y", s3, "u");
+                    for s in [s1, s2, s3] {
+                        b.assign_thread(s, gi);
+                    }
+                    b.probe(s2, "y", format!("y{gi}"));
+                    registry = registry
+                        .streamer(n1.clone(), move || {
+                            Box::new(FnStreamer::new(
+                                n1,
+                                0,
+                                1,
+                                |t: f64, _h, _u: &[f64], y: &mut [f64]| y[0] = (2.0 * t).sin(),
+                            ))
+                        })
+                        .streamer(n2.clone(), move || {
+                            Box::new(FnStreamer::new(
+                                n2,
+                                1,
+                                1,
+                                |_t, _h, u: &[f64], y: &mut [f64]| y[0] = 2.0 * u[0],
+                            ))
+                        })
+                        .streamer(n3.clone(), move || {
+                            Box::new(FnStreamer::new(
+                                n3,
+                                1,
+                                1,
+                                |_t, _h, u: &[f64], y: &mut [f64]| y[0] = u[0] * u[0],
+                            ))
+                        });
+                }
+                Workload::Vdp => {
+                    let name = format!("vdp-g{gi}");
+                    let s = b.streamer(&name, "rk4");
+                    b.streamer_out(s, "y", FlowType::vector(2));
+                    b.streamer_feedthrough(s, false);
+                    b.assign_thread(s, gi);
+                    b.probe(s, "y", format!("y{gi}"));
+                    registry =
+                        registry.streamer(name.clone(), move || Box::new(vdp_streamer(&name)));
+                }
+            }
+        }
+        (b.build(), registry)
+    }
 }
 
 struct Measurement {
     workload: &'static str,
+    path: &'static str,
     groups: usize,
     policy: ThreadPolicy,
     steps: u64,
@@ -115,7 +198,12 @@ fn idle_controller() -> Controller {
     c
 }
 
-fn measure(workload: Workload, groups: usize, policy: ThreadPolicy, steps: u64) -> Measurement {
+/// Assembles the engine by hand — the pre-elaboration construction path.
+fn wired_engine(
+    workload: Workload,
+    groups: usize,
+    policy: ThreadPolicy,
+) -> (HybridEngine, Recorder) {
     let mut engine = HybridEngine::new(idle_controller(), EngineConfig { step: STEP, policy });
     let rec = Recorder::new();
     engine.set_recorder(rec.clone());
@@ -124,6 +212,36 @@ fn measure(workload: Workload, groups: usize, policy: ThreadPolicy, steps: u64) 
         let g = engine.add_group(net).expect("group");
         engine.add_probe(g, node, "y", &format!("y{gi}")).expect("probe");
     }
+    (engine, rec)
+}
+
+/// Assembles the engine through the elaboration pipeline.
+fn compiled_engine(
+    workload: Workload,
+    groups: usize,
+    policy: ThreadPolicy,
+) -> (HybridEngine, Recorder) {
+    let (model, registry) = workload.model(groups);
+    let compiled = urt_analysis::compile(&model, registry).expect("bench model compiles");
+    assert_eq!(compiled.group_count(), groups, "thread pinning keeps groups apart");
+    let mut engine = HybridEngine::from_compiled(compiled, EngineConfig { step: STEP, policy })
+        .expect("engine from compiled system");
+    let rec = Recorder::new();
+    engine.set_recorder(rec.clone());
+    (engine, rec)
+}
+
+fn measure(
+    workload: Workload,
+    path: &'static str,
+    groups: usize,
+    policy: ThreadPolicy,
+    steps: u64,
+) -> Measurement {
+    let (mut engine, rec) = match path {
+        "wired" => wired_engine(workload, groups, policy),
+        _ => compiled_engine(workload, groups, policy),
+    };
     // Warm-up: spin up solver threads, fault in buffers, settle the cache.
     let warmup = (steps / 10).max(10);
     engine.run_until(warmup as f64 * STEP).expect("warm-up");
@@ -135,12 +253,12 @@ fn measure(workload: Workload, groups: usize, policy: ThreadPolicy, steps: u64) 
     assert_eq!(measured, steps, "step-count bound must be exact");
     assert_eq!(rec.series("y0").len() as u64, warmup + steps, "probes recorded every step");
     let steps_per_sec = steps as f64 / (wall_ns as f64 / 1e9);
-    Measurement { workload: workload.name(), groups, policy, steps, wall_ns, steps_per_sec }
+    Measurement { workload: workload.name(), path, groups, policy, steps, wall_ns, steps_per_sec }
 }
 
 fn render_json(results: &[Measurement], smoke: bool) -> String {
     let mut s = String::new();
-    let _ = write!(s, "{{\"schema\":\"bench_engine/v1\",\"smoke\":{smoke},\"step_s\":{STEP}");
+    let _ = write!(s, "{{\"schema\":\"bench_engine/v2\",\"smoke\":{smoke},\"step_s\":{STEP}");
     let _ = write!(s, ",\"results\":[");
     for (i, m) in results.iter().enumerate() {
         if i > 0 {
@@ -148,9 +266,9 @@ fn render_json(results: &[Measurement], smoke: bool) -> String {
         }
         let _ = write!(
             s,
-            "{{\"workload\":\"{}\",\"groups\":{},\"policy\":\"{}\",\"steps\":{},\
-             \"wall_ns\":{},\"steps_per_sec\":{:.1}}}",
-            m.workload, m.groups, m.policy, m.steps, m.wall_ns, m.steps_per_sec
+            "{{\"workload\":\"{}\",\"path\":\"{}\",\"groups\":{},\"policy\":\"{}\",\
+             \"steps\":{},\"wall_ns\":{},\"steps_per_sec\":{:.1}}}",
+            m.workload, m.path, m.groups, m.policy, m.steps, m.wall_ns, m.steps_per_sec
         );
     }
     s.push_str("]}");
@@ -188,7 +306,9 @@ fn main() {
         };
         for groups in [1usize, 2, 4] {
             for policy in policies {
-                results.push(measure(workload, groups, policy, steps));
+                for path in ["wired", "compiled"] {
+                    results.push(measure(workload, path, groups, policy, steps));
+                }
             }
         }
     }
@@ -203,12 +323,12 @@ fn main() {
     std::fs::write(&path, format!("{json}\n")).expect("write benchmark JSON");
     println!("engine steady-state baseline (macro step = {STEP} s)");
     println!();
-    println!("| workload | groups | policy | steps | steps/sec |");
-    println!("|----------|--------|--------|-------|-----------|");
+    println!("| workload | path | groups | policy | steps | steps/sec |");
+    println!("|----------|------|--------|--------|-------|-----------|");
     for m in &results {
         println!(
-            "| {} | {} | {} | {} | {:.0} |",
-            m.workload, m.groups, m.policy, m.steps, m.steps_per_sec
+            "| {} | {} | {} | {} | {} | {:.0} |",
+            m.workload, m.path, m.groups, m.policy, m.steps, m.steps_per_sec
         );
     }
     println!();

@@ -1,12 +1,20 @@
 //! Regenerates **Figure 2** of the paper: the abstract syntax of
 //! streamers — a top streamer containing sub-streamers, a solver, DPorts,
-//! SPorts, a flow and a relay — built, validated and executed.
+//! SPorts and fan-out flows — declared once as a `UnifiedModel`, then
+//! lowered through the full `model → analyze → compile → run` pipeline
+//! (the container is flattened away, the fan-out duplicates one flow
+//! into two similar flows).
 //!
 //! Run with: `cargo run -p urt-bench --bin report_fig2`
 
-use urt_bench::fig2_network;
+use urt_analysis::compile;
+use urt_core::elaborate::BehaviorRegistry;
+use urt_core::engine::{EngineConfig, HybridEngine};
 use urt_core::model::ModelBuilder;
+use urt_core::recorder::Recorder;
+use urt_core::threading::ThreadPolicy;
 use urt_dataflow::flowtype::FlowType;
+use urt_dataflow::streamer::FnStreamer;
 
 fn main() {
     // Declarative form (validated against the paper's rules).
@@ -20,10 +28,14 @@ fn main() {
     b.contain_streamer(sub3, top);
     b.streamer_out(sub1, "y", FlowType::scalar());
     b.streamer_in(sub2, "u", FlowType::scalar());
+    b.streamer_out(sub2, "y", FlowType::scalar());
     b.streamer_in(sub3, "u", FlowType::scalar());
+    b.streamer_out(sub3, "y", FlowType::scalar());
     b.flow_between_streamers(sub1, "y", sub2, "u");
     b.flow_between_streamers(sub1, "y", sub3, "u");
     b.streamer_sport(top, "ctl", "StreamCtl");
+    b.probe(sub2, "y", "sub2.y");
+    b.probe(sub3, "y", "sub3.y");
     let model = b.build();
     model.validate().expect("fig2 structure is well-formed");
 
@@ -32,25 +44,47 @@ fn main() {
     print!("{}", model.render_structure());
     println!();
 
-    // Executable form with an explicit relay node.
-    let (mut net, [sub1, relay, sub2, sub3]) = fig2_network();
-    net.initialize(0.0).expect("init");
-    for _ in 0..200 {
-        net.step(0.01).expect("step");
+    // Executable form through the one pipeline: the analyzer gates the
+    // model, elaboration flattens `top` away and duplicates the fan-out.
+    let registry = BehaviorRegistry::new()
+        .streamer("sub1", || {
+            Box::new(FnStreamer::new("sub1", 0, 1, |t: f64, _h, _u: &[f64], y: &mut [f64]| {
+                y[0] = (2.0 * t).sin();
+            }))
+        })
+        .streamer("sub2", || {
+            Box::new(FnStreamer::new("sub2", 1, 1, |_t, _h, u: &[f64], y: &mut [f64]| {
+                y[0] = 2.0 * u[0];
+            }))
+        })
+        .streamer("sub3", || {
+            Box::new(FnStreamer::new("sub3", 1, 1, |_t, _h, u: &[f64], y: &mut [f64]| {
+                y[0] = u[0] * u[0];
+            }))
+        });
+    let compiled = compile(&model, registry).expect("fig2 compiles");
+    println!("compiled form (container flattened, fan-out resolved):");
+    println!("  groups: {}", compiled.group_count());
+    for name in ["sub1", "sub2", "sub3"] {
+        let (group, node) = compiled.streamer_node(name).expect("leaf placed");
+        println!("  {name:<6} -> group {group}, node {node}");
     }
-    println!("executable form (with explicit relay node):");
-    println!("  nodes: {}  flows: {}", net.node_count(), net.flow_count());
-    for (id, label) in
-        [(sub1, "sub1 (source)"), (relay, "relay"), (sub2, "sub2 = 2x"), (sub3, "sub3 = x^2")]
-    {
-        let name = net.node_name(id).expect("name");
-        println!("  {label:<16} -> node `{name}`");
-    }
-    let d = net.output(sub2, "y").expect("out")[0];
-    let q = net.output(sub3, "y").expect("out")[0];
+    assert!(compiled.streamer_node("top").is_none(), "containers contribute no nodes");
+
+    let mut engine = HybridEngine::from_compiled(
+        compiled,
+        EngineConfig { step: 0.01, policy: ThreadPolicy::CurrentThread },
+    )
+    .expect("engine");
+    let rec = Recorder::new();
+    engine.set_recorder(rec.clone());
+    engine.run_until(2.0).expect("run");
+
+    let d = rec.series("sub2.y").last().expect("recorded").1;
+    let q = rec.series("sub3.y").last().expect("recorded").1;
     println!("  after 2 s: sub2 output = {d:.4}, sub3 output = {q:.4}");
     println!(
-        "  relay duplicated one flow into two similar flows: {}",
+        "  one flow duplicated into two similar flows: {}",
         (q - (d / 2.0) * (d / 2.0)).abs() < 1e-9
     );
 }

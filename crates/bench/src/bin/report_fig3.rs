@@ -1,16 +1,26 @@
 //! Regenerates **Figure 3** of the paper: the structure of the extension —
-//! a top capsule containing a sub-capsule and two streamers — plus the
-//! containment rule ("streamers don't contain any capsule") enforced both
-//! positively and negatively.
+//! a top capsule containing a sub-capsule and two streamers, with a relay
+//! DPort on the sub-capsule — plus the containment rule ("streamers don't
+//! contain any capsule") enforced both positively and negatively. The
+//! executable form comes out of the one pipeline
+//! `model → analyze → compile → run`: elaboration resolves the capsule
+//! relay DPort chain into a direct streamer-to-streamer flow.
 //!
 //! Run with: `cargo run -p urt-bench --bin report_fig3`
 
-use urt_core::model::ModelBuilder;
+use urt_analysis::compile;
+use urt_core::elaborate::BehaviorRegistry;
+use urt_core::engine::{EngineConfig, HybridEngine};
+use urt_core::model::{FlowEnd, ModelBuilder};
+use urt_core::recorder::Recorder;
+use urt_core::threading::ThreadPolicy;
 use urt_core::CoreError;
 use urt_dataflow::flowtype::FlowType;
+use urt_dataflow::streamer::FnStreamer;
 
 fn main() {
-    // The exact Figure 3 shape.
+    // The exact Figure 3 shape: the measured flow relays through the
+    // sub-capsule's DPort.
     let mut b = ModelBuilder::new("fig3");
     let top = b.capsule("top_capsule");
     let sub = b.capsule("sub_capsule");
@@ -21,7 +31,11 @@ fn main() {
     b.contain_streamer_in_capsule(s2, top);
     b.streamer_out(s1, "y", FlowType::scalar());
     b.streamer_in(s2, "u", FlowType::scalar());
-    b.flow_between_streamers(s1, "y", s2, "u");
+    b.streamer_out(s2, "acc", FlowType::scalar());
+    b.capsule_dport(sub, "d", FlowType::scalar());
+    b.flow(FlowEnd::Streamer(s1, "y".into()), FlowEnd::Capsule(sub, "d".into()));
+    b.flow(FlowEnd::Capsule(sub, "d".into()), FlowEnd::Streamer(s2, "u".into()));
+    b.probe(s2, "acc", "acc");
     let model = b.build();
     model.validate().expect("figure 3 structure is well-formed");
 
@@ -32,11 +46,11 @@ fn main() {
     println!("rule check: capsules may contain streamers .......... ok");
 
     // The forbidden inverse.
-    let mut b = ModelBuilder::new("inverse");
-    let host = b.streamer("host_streamer", "rk4");
-    let trapped = b.capsule("trapped_capsule");
-    b.contain_capsule_in_streamer(trapped, host);
-    match b.build().validate() {
+    let mut inv = ModelBuilder::new("inverse");
+    let host = inv.streamer("host_streamer", "rk4");
+    let trapped = inv.capsule("trapped_capsule");
+    inv.contain_capsule_in_streamer(trapped, host);
+    match inv.build().validate() {
         Err(CoreError::Validation { rule, detail }) => {
             println!("rule check: streamers must not contain capsules .... rejected");
             println!("  rule   : {rule}");
@@ -44,4 +58,45 @@ fn main() {
         }
         other => panic!("expected fig3-containment violation, got {other:?}"),
     }
+    println!();
+
+    // Executable form: the relay DPort chain flattens to a direct flow;
+    // both capsules become inert controller instances.
+    let registry = BehaviorRegistry::new()
+        .streamer("streamer1", || {
+            Box::new(FnStreamer::new("streamer1", 0, 1, |t: f64, _h, _u: &[f64], y: &mut [f64]| {
+                y[0] = t.cos();
+            }))
+        })
+        .streamer("streamer2", || {
+            let mut acc = 0.0;
+            Box::new(FnStreamer::new(
+                "streamer2",
+                1,
+                1,
+                move |_t, h: f64, u: &[f64], y: &mut [f64]| {
+                    acc += u[0] * h;
+                    y[0] = acc;
+                },
+            ))
+        });
+    let compiled = compile(&model, registry).expect("fig3 compiles");
+    println!("compiled form (relay DPort resolved to a direct flow):");
+    println!("  groups  : {}", compiled.group_count());
+    println!(
+        "  capsules: top_capsule={:?}, sub_capsule={:?}",
+        compiled.capsule_index("top_capsule").expect("top"),
+        compiled.capsule_index("sub_capsule").expect("sub")
+    );
+    let mut engine = HybridEngine::from_compiled(
+        compiled,
+        EngineConfig { step: 0.01, policy: ThreadPolicy::CurrentThread },
+    )
+    .expect("engine");
+    let rec = Recorder::new();
+    engine.set_recorder(rec.clone());
+    engine.run_until(1.0).expect("run");
+    let acc = rec.series("acc").last().expect("recorded").1;
+    println!("  after 1 s: streamer2 integral of cos(t) = {acc:.4} (~ sin(1) = {:.4})", 1f64.sin());
+    assert!((acc - 1f64.sin()).abs() < 0.02, "relay chain delivers the flow");
 }

@@ -1,0 +1,829 @@
+//! Elaboration: lowering a declarative [`UnifiedModel`] into an
+//! executable [`CompiledSystem`].
+//!
+//! The paper's point is *one* model covering both the event-driven and
+//! the time-continuous half. This module closes the gap between the
+//! declarative model (what `urt-lint` and codegen consume) and the
+//! hand-wired runtime (`HybridEngine` + `StreamerNetwork` +
+//! `Controller`): [`elaborate`] resolves every name, port, flow, SPort
+//! link and probe **once**, at compile time, into dense integer ids, so
+//! the engine's hot path never compares strings or hashes keys.
+//!
+//! The pipeline is `model → analyze → compile → run`:
+//!
+//! 1. an injected [analysis gate](AnalysisGate) vets the model —
+//!    `urt_analysis::compile` passes the full whole-model analyzer here
+//!    and refuses any error-severity finding (the crate DAG points
+//!    `urt_analysis → urt_core`, so the analyzer is injected instead of
+//!    called directly);
+//! 2. the model's own well-formedness rules run
+//!    ([`UnifiedModel::validate`]);
+//! 3. the streamer hierarchy is **flattened**: container streamers
+//!    (those owning sub-streamers, Figure 2) contribute no nodes, their
+//!    leaves become nodes of a flat [`StreamerNetwork`] per solver-thread
+//!    group, and capsule relay DPort chains (Figure 3) are resolved to
+//!    direct leaf-to-leaf flows;
+//! 4. behaviours come from a [`BehaviorRegistry`] (streamer name →
+//!    [`StreamerBehavior`] factory, capsule name → [`Capsule`] factory),
+//!    cross-checked against the declared DPort widths and feedthrough
+//!    flag;
+//! 5. SPort links and probes are resolved to `(group, node)` pairs, with
+//!    the same duplicate-link rule the engine enforces
+//!    ([`CoreError::DuplicateSportLink`]).
+//!
+//! The result plugs into the engine via
+//! [`HybridEngine::from_compiled`](crate::engine::HybridEngine::from_compiled).
+
+use crate::error::CoreError;
+use crate::model::{FlowEnd, Owner, StreamerRef, UnifiedModel};
+use std::collections::{BTreeMap, HashMap, HashSet};
+use urt_dataflow::flowtype::FlowType;
+use urt_dataflow::graph::{NodeId, StreamerNetwork};
+use urt_dataflow::port::SPortSpec;
+use urt_dataflow::streamer::StreamerBehavior;
+use urt_umlrt::capsule::{Capsule, CapsuleContext, SmCapsule};
+use urt_umlrt::controller::Controller;
+use urt_umlrt::message::Message;
+use urt_umlrt::protocol::Protocol;
+use urt_umlrt::statemachine::{SmSpec, StateMachineBuilder};
+
+/// Factory producing the executable behaviour of one model streamer.
+pub type StreamerFactory = Box<dyn FnOnce() -> Box<dyn StreamerBehavior>>;
+
+/// Factory producing the executable instance of one model capsule.
+pub type CapsuleFactory = Box<dyn FnOnce() -> Box<dyn Capsule>>;
+
+/// Maps model element names to the executable behaviours elaboration
+/// instantiates for them.
+///
+/// Every **leaf** streamer in the model needs a registered factory.
+/// Capsules fall back to an inert instance compiled from the model's
+/// attached [`SmSpec`] (no-op actions) — or a stateless placeholder if
+/// no machine was declared — so analysis-only models still elaborate.
+#[derive(Default)]
+pub struct BehaviorRegistry {
+    streamers: HashMap<String, StreamerFactory>,
+    capsules: HashMap<String, CapsuleFactory>,
+}
+
+impl std::fmt::Debug for BehaviorRegistry {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("BehaviorRegistry")
+            .field("streamers", &self.streamers.len())
+            .field("capsules", &self.capsules.len())
+            .finish()
+    }
+}
+
+impl BehaviorRegistry {
+    /// Creates an empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Registers the behaviour factory for streamer `name`
+    /// (builder style).
+    pub fn streamer(
+        mut self,
+        name: impl Into<String>,
+        factory: impl FnOnce() -> Box<dyn StreamerBehavior> + 'static,
+    ) -> Self {
+        self.streamers.insert(name.into(), Box::new(factory));
+        self
+    }
+
+    /// Registers the capsule factory for capsule `name` (builder style).
+    pub fn capsule(
+        mut self,
+        name: impl Into<String>,
+        factory: impl FnOnce() -> Box<dyn Capsule> + 'static,
+    ) -> Self {
+        self.capsules.insert(name.into(), Box::new(factory));
+        self
+    }
+}
+
+/// The analysis stage injected into [`elaborate`] — returns `Err` to
+/// refuse compilation. `urt_analysis::compile` passes the whole-model
+/// analyzer; tests and registries without the analysis crate can pass
+/// [`validate_gate`] (model rules only) or `&|_| Ok(())`.
+pub type AnalysisGate<'a> = &'a dyn Fn(&UnifiedModel) -> Result<(), CoreError>;
+
+/// The minimal gate: just the model's own well-formedness rules.
+///
+/// # Errors
+///
+/// Returns the first [`CoreError::Validation`] violation.
+pub fn validate_gate(model: &UnifiedModel) -> Result<(), CoreError> {
+    model.validate()
+}
+
+/// One resolved SPort link: streamer `(group, node, sport)` bridged to a
+/// capsule port.
+#[derive(Debug, Clone)]
+pub(crate) struct CompiledLink {
+    pub(crate) group: usize,
+    pub(crate) node: NodeId,
+    pub(crate) sport: String,
+    pub(crate) capsule: usize,
+    pub(crate) capsule_port: String,
+}
+
+/// One resolved probe: streamer output `(group, node, port)` recorded
+/// into a named series.
+#[derive(Debug, Clone)]
+pub(crate) struct CompiledProbe {
+    pub(crate) group: usize,
+    pub(crate) node: NodeId,
+    pub(crate) port: String,
+    pub(crate) series: String,
+}
+
+/// The executable form of a [`UnifiedModel`]: flat per-group streamer
+/// networks, an instantiated capsule controller, and fully resolved link
+/// and probe tables.
+///
+/// Consume with
+/// [`HybridEngine::from_compiled`](crate::engine::HybridEngine::from_compiled);
+/// query element locations first if the caller needs them afterwards
+/// (e.g. [`CompiledSystem::capsule_index`] to read a capsule's state
+/// after the run).
+#[derive(Debug)]
+pub struct CompiledSystem {
+    pub(crate) groups: Vec<StreamerNetwork>,
+    pub(crate) controller: Controller,
+    pub(crate) links: Vec<CompiledLink>,
+    pub(crate) probes: Vec<CompiledProbe>,
+    pub(crate) streamer_loc: BTreeMap<String, (usize, NodeId)>,
+    pub(crate) capsule_idx: BTreeMap<String, usize>,
+}
+
+impl CompiledSystem {
+    /// Number of streamer groups (one per coalesced solver thread).
+    pub fn group_count(&self) -> usize {
+        self.groups.len()
+    }
+
+    /// Where a leaf streamer landed, as `(group, node)`.
+    pub fn streamer_node(&self, name: &str) -> Option<(usize, NodeId)> {
+        self.streamer_loc.get(name).copied()
+    }
+
+    /// Controller index of a capsule, for state queries after the run.
+    pub fn capsule_index(&self, name: &str) -> Option<usize> {
+        self.capsule_idx.get(name).copied()
+    }
+
+    /// Read access to the instantiated controller.
+    pub fn controller(&self) -> &Controller {
+        &self.controller
+    }
+
+    /// Series names of all resolved probes, in declaration order.
+    pub fn probe_series(&self) -> Vec<&str> {
+        self.probes.iter().map(|p| p.series.as_str()).collect()
+    }
+}
+
+/// A capsule with no behaviour: accepts every message, does nothing.
+/// Elaboration instantiates it for model capsules that have neither a
+/// registered factory nor an attached state machine (pure structural
+/// capsules, e.g. Figure 3's containment shells).
+struct InertCapsule {
+    name: String,
+}
+
+impl Capsule for InertCapsule {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn on_start(&mut self, _ctx: &mut CapsuleContext) {}
+
+    fn on_message(&mut self, _msg: &Message, _ctx: &mut CapsuleContext) {}
+}
+
+/// Compiles an [`SmSpec`] into a runnable machine with no-op actions —
+/// states and transitions fire exactly as declared, so supervisors built
+/// this way still change state on SPort signals, they just cause no side
+/// effects.
+fn inert_machine(spec: &SmSpec) -> Result<Box<dyn Capsule>, CoreError> {
+    // Parents must exist before their children: order states in waves.
+    let mut ordered: Vec<&urt_umlrt::statemachine::SmStateSpec> = Vec::new();
+    let mut remaining: Vec<&_> = spec.states.iter().collect();
+    let mut declared: HashSet<&str> = HashSet::new();
+    while !remaining.is_empty() {
+        let before = remaining.len();
+        remaining.retain(|s| {
+            let ready = s.parent.as_ref().is_none_or(|p| declared.contains(p.as_str()));
+            if ready {
+                declared.insert(s.name.as_str());
+                ordered.push(s);
+            }
+            !ready
+        });
+        if remaining.len() == before {
+            return Err(CoreError::Elaborate {
+                detail: format!(
+                    "machine `{}`: state `{}` has an undeclared parent",
+                    spec.name, remaining[0].name
+                ),
+            });
+        }
+    }
+    let mut b = StateMachineBuilder::new(spec.name.clone());
+    for s in ordered {
+        b = match &s.parent {
+            None => b.state(&s.name),
+            Some(p) => b.substate(&s.name, p),
+        };
+    }
+    for s in &spec.states {
+        if let Some(child) = &s.initial_child {
+            b = b.initial_child(&s.name, child);
+        }
+    }
+    let Some(initial) = &spec.initial else {
+        return Err(CoreError::Elaborate {
+            detail: format!("machine `{}` declares no initial state", spec.name),
+        });
+    };
+    b = b.initial(initial, |_d: &mut (), _ctx: &mut CapsuleContext| {});
+    for t in &spec.transitions {
+        let trigger = (t.port.as_str(), t.signal.as_str());
+        b = match &t.target {
+            Some(target) => b.on(&t.source, trigger, target, |_d, _m, _ctx| {}),
+            None => b.internal(&t.source, trigger, |_d, _m, _ctx| {}),
+        };
+    }
+    let machine = b.build()?;
+    Ok(Box::new(SmCapsule::new(machine, ())))
+}
+
+/// Thread ids coalesced by flow connectivity: a dataflow edge forces its
+/// two endpoints into one solver group (the engine exchanges flow values
+/// within a group only), so declared threads connected by flows merge.
+/// True cross-group flow channels are a ROADMAP open item.
+struct ThreadUnion {
+    parent: HashMap<usize, usize>,
+}
+
+impl ThreadUnion {
+    fn new() -> Self {
+        ThreadUnion { parent: HashMap::new() }
+    }
+
+    fn find(&mut self, t: usize) -> usize {
+        let p = *self.parent.entry(t).or_insert(t);
+        if p == t {
+            return t;
+        }
+        let root = self.find(p);
+        self.parent.insert(t, root);
+        root
+    }
+
+    fn union(&mut self, a: usize, b: usize) {
+        let (ra, rb) = (self.find(a), self.find(b));
+        if ra != rb {
+            // Lower thread id wins as representative, for determinism.
+            let (lo, hi) = if ra < rb { (ra, rb) } else { (rb, ra) };
+            self.parent.insert(hi, lo);
+        }
+    }
+}
+
+/// An effective leaf-to-leaf flow after capsule relay resolution.
+struct EffectiveFlow {
+    from: StreamerRef,
+    from_port: String,
+    to: StreamerRef,
+    to_port: String,
+}
+
+fn elaborate_err(detail: String) -> CoreError {
+    CoreError::Elaborate { detail }
+}
+
+/// Lowers `model` into a [`CompiledSystem`] using `registry` for
+/// behaviours, after `gate` (the injected analysis stage) accepts it.
+///
+/// See the [module docs](self) for the flattening and id-assignment
+/// rules.
+///
+/// # Errors
+///
+/// * whatever `gate` returns — `urt_analysis::compile` refuses any
+///   error-severity finding;
+/// * [`CoreError::Validation`] for model rule violations;
+/// * [`CoreError::Elaborate`] for a missing behaviour factory, a
+///   width/feedthrough mismatch between declaration and behaviour, or
+///   structure the executable form cannot realise (flows touching
+///   container streamers, unresolvable relay chains);
+/// * [`CoreError::DuplicateSportLink`] if two SPort links claim the same
+///   `(group, node, sport)`.
+pub fn elaborate(
+    model: &UnifiedModel,
+    registry: BehaviorRegistry,
+    gate: AnalysisGate<'_>,
+) -> Result<CompiledSystem, CoreError> {
+    gate(model)?;
+    model.validate()?;
+    let BehaviorRegistry { mut streamers, mut capsules } = registry;
+
+    // --- hierarchy: container streamers contribute no nodes ------------
+    let refs: Vec<(StreamerRef, String)> =
+        model.iter_streamers().map(|(r, name, _)| (r, name.to_owned())).collect();
+    let containers: HashSet<StreamerRef> = refs
+        .iter()
+        .filter_map(|(r, _)| match model.streamer_owner(*r) {
+            Some(Owner::Streamer(parent)) => Some(parent),
+            _ => None,
+        })
+        .collect();
+    let name_of = |r: StreamerRef| -> &str { model.streamer_name(r).unwrap_or("?") };
+    for r in &containers {
+        if !model.streamer_in_dports(*r).is_empty() || !model.streamer_out_dports(*r).is_empty() {
+            return Err(elaborate_err(format!(
+                "container streamer `{}` declares DPorts; flatten flows to its leaves instead",
+                name_of(*r)
+            )));
+        }
+    }
+
+    // --- flows: resolve capsule relay chains to leaf-to-leaf edges -----
+    let trace_source = |mut end: FlowEnd| -> Result<(StreamerRef, String), CoreError> {
+        let mut hops = 0usize;
+        loop {
+            match end {
+                FlowEnd::Streamer(s, port) => return Ok((s, port)),
+                FlowEnd::Capsule(c, port) => {
+                    hops += 1;
+                    if hops > model.stats().flows + 1 {
+                        return Err(elaborate_err(format!(
+                            "relay chain through capsule DPort `{port}` does not terminate"
+                        )));
+                    }
+                    let mut sources = model.iter_flows().filter(|&(_, to)| match to {
+                        FlowEnd::Capsule(tc, tp) => *tc == c && *tp == port,
+                        FlowEnd::Streamer(..) => false,
+                    });
+                    let Some((from, _)) = sources.next() else {
+                        return Err(elaborate_err(format!(
+                            "capsule DPort `{}`.`{port}` relays nothing",
+                            model.capsule_name(c).unwrap_or("?")
+                        )));
+                    };
+                    if sources.next().is_some() {
+                        return Err(elaborate_err(format!(
+                            "capsule DPort `{}`.`{port}` has multiple sources",
+                            model.capsule_name(c).unwrap_or("?")
+                        )));
+                    }
+                    end = from.clone();
+                }
+            }
+        }
+    };
+    let mut effective: Vec<EffectiveFlow> = Vec::new();
+    for (from, to) in model.iter_flows() {
+        let FlowEnd::Streamer(to_s, to_port) = to else {
+            // Flows *into* capsule DPorts are consumed by relay tracing.
+            continue;
+        };
+        if containers.contains(to_s) {
+            return Err(elaborate_err(format!(
+                "flow targets container streamer `{}`",
+                name_of(*to_s)
+            )));
+        }
+        let (from_s, from_port) = trace_source(from.clone())?;
+        if containers.contains(&from_s) {
+            return Err(elaborate_err(format!(
+                "flow originates at container streamer `{}`",
+                name_of(from_s)
+            )));
+        }
+        effective.push(EffectiveFlow {
+            from: from_s,
+            from_port,
+            to: *to_s,
+            to_port: to_port.clone(),
+        });
+    }
+
+    // --- thread groups: declared threads coalesced by flows ------------
+    let leaves: Vec<StreamerRef> =
+        refs.iter().map(|(r, _)| *r).filter(|r| !containers.contains(r)).collect();
+    let mut uf = ThreadUnion::new();
+    for r in &leaves {
+        uf.find(model.streamer_thread(*r));
+    }
+    for f in &effective {
+        uf.union(model.streamer_thread(f.from), model.streamer_thread(f.to));
+    }
+    let mut roots: Vec<usize> = leaves.iter().map(|r| uf.find(model.streamer_thread(*r))).collect();
+    let mut group_of_root: BTreeMap<usize, usize> = BTreeMap::new();
+    for root in roots.iter().copied().collect::<std::collections::BTreeSet<_>>() {
+        let next = group_of_root.len();
+        group_of_root.insert(root, next);
+    }
+    roots = roots.into_iter().map(|r| group_of_root[&r]).collect();
+    // A pure event-driven model (no leaf streamers) gets zero groups.
+    let mut groups: Vec<StreamerNetwork> = group_of_root
+        .keys()
+        .map(|root| StreamerNetwork::new(format!("{}-t{root}", model.name())))
+        .collect();
+
+    // --- instantiate leaf streamers ------------------------------------
+    let mut streamer_loc: BTreeMap<String, (usize, NodeId)> = BTreeMap::new();
+    let mut loc_of: HashMap<StreamerRef, (usize, NodeId)> = HashMap::new();
+    for (r, gid) in leaves.iter().zip(roots.iter()) {
+        let name = name_of(*r);
+        let Some(factory) = streamers.remove(name) else {
+            return Err(elaborate_err(format!("no behaviour registered for streamer `{name}`")));
+        };
+        let behavior = factory();
+        let in_ports: Vec<(&str, FlowType)> =
+            model.streamer_in_dports(*r).iter().map(|(n, t)| (n.as_str(), t.clone())).collect();
+        let out_ports: Vec<(&str, FlowType)> =
+            model.streamer_out_dports(*r).iter().map(|(n, t)| (n.as_str(), t.clone())).collect();
+        let in_width: usize = in_ports.iter().map(|(_, t)| t.width()).sum();
+        let out_width: usize = out_ports.iter().map(|(_, t)| t.width()).sum();
+        if behavior.input_width() != in_width || behavior.output_width() != out_width {
+            return Err(elaborate_err(format!(
+                "streamer `{name}`: declared DPort widths {in_width}->{out_width} but behaviour \
+                 `{}` computes {}->{}",
+                behavior.name(),
+                behavior.input_width(),
+                behavior.output_width()
+            )));
+        }
+        if behavior.direct_feedthrough() != model.streamer_feedthrough(*r) {
+            return Err(elaborate_err(format!(
+                "streamer `{name}`: model declares feedthrough={} but behaviour `{}` reports {}",
+                model.streamer_feedthrough(*r),
+                behavior.name(),
+                behavior.direct_feedthrough()
+            )));
+        }
+        let net = &mut groups[*gid];
+        let node = net.add_streamer_boxed(behavior, &in_ports, &out_ports)?;
+        for (sport, proto) in model.streamer_sports(*r) {
+            let protocol =
+                model.protocol(proto).cloned().unwrap_or_else(|| Protocol::new(proto.clone()));
+            net.add_sport(node, SPortSpec::new(sport.clone(), protocol))?;
+        }
+        streamer_loc.insert(name.to_owned(), (*gid, node));
+        loc_of.insert(*r, (*gid, node));
+    }
+
+    // --- wire effective flows ------------------------------------------
+    for f in &effective {
+        let (gf, nf) = loc_of[&f.from];
+        let (gt, nt) = loc_of[&f.to];
+        debug_assert_eq!(gf, gt, "union-find co-located flow endpoints");
+        groups[gf].flow((nf, f.from_port.as_str()), (nt, f.to_port.as_str()))?;
+    }
+
+    // --- instantiate capsules ------------------------------------------
+    let mut controller = Controller::new(model.name());
+    let mut capsule_idx: BTreeMap<String, usize> = BTreeMap::new();
+    let mut cap_of: HashMap<crate::model::CapsuleRef, usize> = HashMap::new();
+    for (c, name) in model.iter_capsules() {
+        let instance: Box<dyn Capsule> = match capsules.remove(name) {
+            Some(factory) => factory(),
+            None => match model.capsule_machine(c) {
+                Some(spec) => inert_machine(spec)?,
+                None => Box::new(InertCapsule { name: name.to_owned() }),
+            },
+        };
+        let idx = controller.add_capsule(instance);
+        capsule_idx.insert(name.to_owned(), idx);
+        cap_of.insert(c, idx);
+    }
+
+    // --- resolve SPort links, refusing duplicates ----------------------
+    let mut links: Vec<CompiledLink> = Vec::new();
+    let mut seen: HashSet<(usize, usize, &str)> = HashSet::new();
+    for (c, cport, s, sport) in model.iter_sport_links() {
+        let Some(&(gid, node)) = loc_of.get(&s) else {
+            return Err(elaborate_err(format!(
+                "sport link targets container streamer `{}`",
+                name_of(s)
+            )));
+        };
+        if !seen.insert((gid, node.index(), sport)) {
+            return Err(CoreError::DuplicateSportLink {
+                group: gid,
+                node: name_of(s).to_owned(),
+                sport: sport.to_owned(),
+            });
+        }
+        links.push(CompiledLink {
+            group: gid,
+            node,
+            sport: sport.to_owned(),
+            capsule: cap_of[&c],
+            capsule_port: cport.to_owned(),
+        });
+    }
+
+    // --- resolve probes -------------------------------------------------
+    let mut probes: Vec<CompiledProbe> = Vec::new();
+    for (s, port, series) in model.iter_probes() {
+        let Some(&(gid, node)) = loc_of.get(&s) else {
+            return Err(elaborate_err(format!(
+                "probe `{series}` taps container streamer `{}`",
+                name_of(s)
+            )));
+        };
+        probes.push(CompiledProbe {
+            group: gid,
+            node,
+            port: port.to_owned(),
+            series: series.to_owned(),
+        });
+    }
+
+    Ok(CompiledSystem { groups, controller, links, probes, streamer_loc, capsule_idx })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::{EngineConfig, HybridEngine};
+    use crate::model::ModelBuilder;
+    use crate::recorder::Recorder;
+    use crate::threading::ThreadPolicy;
+    use urt_dataflow::streamer::FnStreamer;
+
+    fn two_stage_model() -> UnifiedModel {
+        let mut b = ModelBuilder::new("m");
+        let src = b.streamer("src", "none");
+        let dbl = b.streamer("dbl", "none");
+        b.streamer_out(src, "y", FlowType::scalar());
+        b.streamer_in(dbl, "u", FlowType::scalar());
+        b.streamer_out(dbl, "y", FlowType::scalar());
+        b.streamer_feedthrough(src, false);
+        b.flow_between_streamers(src, "y", dbl, "u");
+        b.probe(dbl, "y", "out");
+        b.build()
+    }
+
+    fn two_stage_registry() -> BehaviorRegistry {
+        // A non-feedthrough source (t at step start) feeding a doubler.
+        struct Src;
+        impl StreamerBehavior for Src {
+            fn name(&self) -> &str {
+                "src"
+            }
+            fn input_width(&self) -> usize {
+                0
+            }
+            fn output_width(&self) -> usize {
+                1
+            }
+            fn direct_feedthrough(&self) -> bool {
+                false
+            }
+            fn advance(
+                &mut self,
+                t: f64,
+                _h: f64,
+                _u: &[f64],
+                y: &mut [f64],
+            ) -> Result<(), urt_ode::SolveError> {
+                y[0] = t;
+                Ok(())
+            }
+        }
+        BehaviorRegistry::new().streamer("src", || Box::new(Src)).streamer("dbl", || {
+            Box::new(FnStreamer::new("dbl", 1, 1, |_t, _h, u: &[f64], y: &mut [f64]| {
+                y[0] = 2.0 * u[0]
+            }))
+        })
+    }
+
+    #[test]
+    fn elaborates_and_runs_model_first() {
+        let model = two_stage_model();
+        let compiled = elaborate(&model, two_stage_registry(), &validate_gate).expect("elaborates");
+        assert_eq!(compiled.group_count(), 1);
+        assert!(compiled.streamer_node("src").is_some());
+        assert_eq!(compiled.probe_series(), vec!["out"]);
+        let mut engine = HybridEngine::from_compiled(
+            compiled,
+            EngineConfig { step: 0.1, policy: ThreadPolicy::CurrentThread },
+        )
+        .expect("engine");
+        let rec = Recorder::new();
+        engine.set_recorder(rec.clone());
+        engine.run_until(1.0).expect("run");
+        let series = rec.series("out");
+        assert_eq!(series.len(), 10);
+        // Last step starts at t=0.9: src emits 0.9, dbl doubles it.
+        assert!((series.last().unwrap().1 - 1.8).abs() < 1e-12);
+    }
+
+    #[test]
+    fn missing_behaviour_is_an_elaboration_error() {
+        let model = two_stage_model();
+        let err = elaborate(&model, BehaviorRegistry::new(), &validate_gate).unwrap_err();
+        assert!(matches!(err, CoreError::Elaborate { .. }));
+        assert!(err.to_string().starts_with("URT114: "), "{err}");
+    }
+
+    #[test]
+    fn feedthrough_mismatch_is_refused() {
+        let mut b = ModelBuilder::new("m");
+        let s = b.streamer("s", "none");
+        b.streamer_out(s, "y", FlowType::scalar());
+        // Model claims non-feedthrough; FnStreamer reports feedthrough.
+        b.streamer_feedthrough(s, false);
+        let registry = BehaviorRegistry::new().streamer("s", || {
+            Box::new(FnStreamer::new("s", 0, 1, |_t, _h, _u: &[f64], y: &mut [f64]| y[0] = 1.0))
+        });
+        let err = elaborate(&b.build(), registry, &validate_gate).unwrap_err();
+        assert!(err.to_string().contains("feedthrough"), "{err}");
+    }
+
+    #[test]
+    fn width_mismatch_is_refused() {
+        let mut b = ModelBuilder::new("m");
+        let s = b.streamer("s", "none");
+        b.streamer_out(s, "y", FlowType::vector(3));
+        let registry = BehaviorRegistry::new().streamer("s", || {
+            Box::new(FnStreamer::new("s", 0, 1, |_t, _h, _u: &[f64], y: &mut [f64]| y[0] = 1.0))
+        });
+        let err = elaborate(&b.build(), registry, &validate_gate).unwrap_err();
+        assert!(err.to_string().contains("width"), "{err}");
+    }
+
+    #[test]
+    fn duplicate_model_sport_link_is_refused() {
+        let mut b = ModelBuilder::new("m");
+        let cap = b.capsule("sup");
+        let s = b.streamer("plant", "none");
+        b.streamer_out(s, "y", FlowType::scalar());
+        b.streamer_feedthrough(s, false);
+        b.capsule_sport(cap, "p", "Ctl");
+        b.capsule_sport(cap, "q", "Ctl");
+        b.streamer_sport(s, "ctl", "Ctl");
+        b.sport_link(cap, "p", s, "ctl");
+        b.sport_link(cap, "q", s, "ctl");
+        let registry = BehaviorRegistry::new().streamer("plant", || {
+            struct P;
+            impl StreamerBehavior for P {
+                fn name(&self) -> &str {
+                    "plant"
+                }
+                fn input_width(&self) -> usize {
+                    0
+                }
+                fn output_width(&self) -> usize {
+                    1
+                }
+                fn direct_feedthrough(&self) -> bool {
+                    false
+                }
+                fn advance(
+                    &mut self,
+                    t: f64,
+                    _h: f64,
+                    _u: &[f64],
+                    y: &mut [f64],
+                ) -> Result<(), urt_ode::SolveError> {
+                    y[0] = t;
+                    Ok(())
+                }
+            }
+            Box::new(P)
+        });
+        let err = elaborate(&b.build(), registry, &validate_gate).unwrap_err();
+        assert!(matches!(err, CoreError::DuplicateSportLink { .. }), "{err}");
+        assert!(err.to_string().starts_with("URT113: "), "{err}");
+    }
+
+    #[test]
+    fn gate_refusal_propagates() {
+        let model = two_stage_model();
+        let gate = |_m: &UnifiedModel| -> Result<(), CoreError> {
+            Err(CoreError::Elaborate { detail: "analysis says no".into() })
+        };
+        let err = elaborate(&model, two_stage_registry(), &gate).unwrap_err();
+        assert!(err.to_string().contains("analysis says no"));
+    }
+
+    #[test]
+    fn capsule_relay_dports_flatten_to_direct_flows() {
+        // Figure 3: s1.y -> cap.d -> s2.u becomes a direct s1 -> s2 flow.
+        let mut b = ModelBuilder::new("fig3ish");
+        let cap = b.capsule("sub");
+        let s1 = b.streamer("s1", "none");
+        let s2 = b.streamer("s2", "none");
+        b.streamer_out(s1, "y", FlowType::scalar());
+        b.streamer_in(s2, "u", FlowType::scalar());
+        b.streamer_out(s2, "y", FlowType::scalar());
+        b.streamer_feedthrough(s1, false);
+        b.capsule_dport(cap, "d", FlowType::scalar());
+        b.flow(FlowEnd::Streamer(s1, "y".into()), FlowEnd::Capsule(cap, "d".into()));
+        b.flow(FlowEnd::Capsule(cap, "d".into()), FlowEnd::Streamer(s2, "u".into()));
+        b.probe(s2, "y", "out");
+        let registry = BehaviorRegistry::new()
+            .streamer("s1", || {
+                struct T;
+                impl StreamerBehavior for T {
+                    fn name(&self) -> &str {
+                        "t"
+                    }
+                    fn input_width(&self) -> usize {
+                        0
+                    }
+                    fn output_width(&self) -> usize {
+                        1
+                    }
+                    fn direct_feedthrough(&self) -> bool {
+                        false
+                    }
+                    fn advance(
+                        &mut self,
+                        t: f64,
+                        _h: f64,
+                        _u: &[f64],
+                        y: &mut [f64],
+                    ) -> Result<(), urt_ode::SolveError> {
+                        y[0] = t + 1.0;
+                        Ok(())
+                    }
+                }
+                Box::new(T)
+            })
+            .streamer("s2", || {
+                Box::new(FnStreamer::new("s2", 1, 1, |_t, _h, u: &[f64], y: &mut [f64]| {
+                    y[0] = u[0] * 10.0
+                }))
+            });
+        let compiled = elaborate(&b.build(), registry, &validate_gate).expect("elaborates");
+        let mut engine = HybridEngine::from_compiled(compiled, EngineConfig::default()).unwrap();
+        let rec = Recorder::new();
+        engine.set_recorder(rec.clone());
+        engine.run_until(2e-3).expect("run");
+        // s1 emits t+1 at the step start; s2 multiplies by 10.
+        assert!((rec.series("out").last().unwrap().1 - 10.0 * (1e-3 + 1.0)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn inert_capsules_compile_from_machine_specs() {
+        use urt_umlrt::statemachine::SmSpec;
+        let mut b = ModelBuilder::new("m");
+        let cap = b.capsule("sup");
+        let s = b.streamer("plant", "none");
+        b.streamer_out(s, "y", FlowType::scalar());
+        b.streamer_feedthrough(s, false);
+        b.capsule_sport(cap, "p", "Ctl");
+        b.streamer_sport(s, "ctl", "Ctl");
+        b.sport_link(cap, "p", s, "ctl");
+        b.capsule_machine(
+            cap,
+            SmSpec::new("sup_sm").state("idle").state("busy").initial("idle").on(
+                "idle",
+                ("p", "go"),
+                "busy",
+            ),
+        );
+        let registry = BehaviorRegistry::new().streamer("plant", || {
+            struct P;
+            impl StreamerBehavior for P {
+                fn name(&self) -> &str {
+                    "plant"
+                }
+                fn input_width(&self) -> usize {
+                    0
+                }
+                fn output_width(&self) -> usize {
+                    1
+                }
+                fn direct_feedthrough(&self) -> bool {
+                    false
+                }
+                fn advance(
+                    &mut self,
+                    t: f64,
+                    _h: f64,
+                    _u: &[f64],
+                    y: &mut [f64],
+                ) -> Result<(), urt_ode::SolveError> {
+                    y[0] = t;
+                    Ok(())
+                }
+            }
+            Box::new(P)
+        });
+        let compiled = elaborate(&b.build(), registry, &validate_gate).expect("elaborates");
+        let cap_idx = compiled.capsule_index("sup").expect("capsule");
+        let mut engine = HybridEngine::from_compiled(compiled, EngineConfig::default()).unwrap();
+        engine.run_until(1e-2).expect("run");
+        assert_eq!(engine.controller().capsule_state(cap_idx).unwrap(), "idle");
+    }
+}

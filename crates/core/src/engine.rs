@@ -10,14 +10,14 @@
 //! messages across the boundary in both directions over `std::sync::mpsc`
 //! channels.
 
+use crate::elaborate::CompiledSystem;
 use crate::error::CoreError;
 use crate::recorder::{Recorder, SeriesHandle};
 use crate::threading::ThreadPolicy;
 use crate::time::SimClock;
-use std::collections::HashMap;
 use std::fmt;
 use std::sync::mpsc::{channel, Receiver, Sender};
-use urt_dataflow::graph::{NodeId, StreamerNetwork};
+use urt_dataflow::graph::{NodeId, OutputHandle, StreamerNetwork};
 use urt_umlrt::controller::Controller;
 use urt_umlrt::message::Message;
 
@@ -57,12 +57,13 @@ struct SportLink {
     from_capsule: Receiver<Message>,
 }
 
-/// A signal-series probe on a streamer output DPort.
+/// A signal-series probe on a streamer output DPort. The port is
+/// resolved to an [`OutputHandle`] at registration, so per-step sampling
+/// is array indexing with no name lookup.
 #[derive(Debug, Clone)]
 struct Probe {
     group: usize,
-    node: NodeId,
-    port: String,
+    handle: OutputHandle,
     series: String,
 }
 
@@ -77,11 +78,13 @@ pub struct HybridEngine {
     clock: SimClock,
     groups: Vec<StreamerNetwork>,
     links: Vec<SportLink>,
-    /// `(group, node) → sport name → index into `links`` — the O(1)
-    /// routing table for streamer-emitted signals, maintained by
-    /// [`HybridEngine::link_sport`]. First link per key wins, matching the
-    /// former linear scan.
-    link_index: HashMap<(usize, NodeId), HashMap<String, usize>>,
+    /// Dense routing table for streamer-emitted signals, maintained by
+    /// [`HybridEngine::link_sport`]: `link_index[group][node]` holds the
+    /// node's `(sport, link index)` pairs — direct array indexing to the
+    /// node, then a scan over its (almost always 0–2) linked sports. A
+    /// second link for the same `(group, node, sport)` is refused with
+    /// [`CoreError::DuplicateSportLink`].
+    link_index: Vec<Vec<Vec<(String, usize)>>>,
     probes: Vec<Probe>,
     /// Recorder series handles, parallel to `probes` — resolved once at
     /// probe/recorder registration so the per-step record path never does
@@ -118,7 +121,7 @@ impl HybridEngine {
             clock: SimClock::new(),
             groups: Vec::new(),
             links: Vec::new(),
-            link_index: HashMap::new(),
+            link_index: Vec::new(),
             probes: Vec::new(),
             probe_series: Vec::new(),
             recorder: None,
@@ -135,8 +138,41 @@ impl HybridEngine {
     /// Propagates network validation errors.
     pub fn add_group(&mut self, mut network: StreamerNetwork) -> Result<usize, CoreError> {
         network.validate()?;
+        self.link_index.push(vec![Vec::new(); network.node_count()]);
         self.groups.push(network);
         Ok(self.groups.len() - 1)
+    }
+
+    /// Builds an engine from an elaborated [`CompiledSystem`] — the
+    /// model-first path (`ModelBuilder` → `elaborate` → run). Groups,
+    /// SPort links and probes arrive fully resolved; attach a recorder
+    /// with [`HybridEngine::set_recorder`] to capture the model's
+    /// declared probe series.
+    ///
+    /// # Errors
+    ///
+    /// Propagates network validation and wiring errors (none are
+    /// expected from a system produced by `elaborate`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `config.step` is not positive and finite.
+    pub fn from_compiled(
+        compiled: CompiledSystem,
+        config: EngineConfig,
+    ) -> Result<Self, CoreError> {
+        let CompiledSystem { groups, controller, links, probes, .. } = compiled;
+        let mut engine = HybridEngine::new(controller, config);
+        for net in groups {
+            engine.add_group(net)?;
+        }
+        for l in &links {
+            engine.link_sport(l.group, l.node, &l.sport, l.capsule, &l.capsule_port)?;
+        }
+        for p in &probes {
+            engine.add_probe(p.group, p.node, &p.port, &p.series)?;
+        }
+        Ok(engine)
     }
 
     /// Bridges a capsule SPort to a streamer SPort: messages the capsule
@@ -147,6 +183,8 @@ impl HybridEngine {
     /// # Errors
     ///
     /// * [`CoreError::Engine`] for a bad group index.
+    /// * [`CoreError::DuplicateSportLink`] if `(group, node, sport)` is
+    ///   already linked — a second link would silently shadow the first.
     /// * Runtime errors from the controller for bad capsule indices.
     pub fn link_sport(
         &mut self,
@@ -169,6 +207,14 @@ impl HybridEngine {
                 ),
             });
         }
+        let by_node = &mut self.link_index[group][node.index()];
+        if by_node.iter().any(|(s, _)| s == sport) {
+            return Err(CoreError::DuplicateSportLink {
+                group,
+                node: self.groups[group].node_name(node).unwrap_or("?").to_owned(),
+                sport: sport.to_owned(),
+            });
+        }
         let (tx, rx): (Sender<Message>, Receiver<Message>) = channel();
         self.controller.connect_external(capsule, capsule_port, tx)?;
         let li = self.links.len();
@@ -179,16 +225,18 @@ impl HybridEngine {
             capsule_port: capsule_port.to_owned(),
             from_capsule: rx,
         });
-        self.link_index.entry((group, node)).or_default().entry(sport.to_owned()).or_insert(li);
+        self.link_index[group][node.index()].push((sport.to_owned(), li));
         Ok(())
     }
 
     /// Records the first lane of `(group, node, port)` into the recorder
-    /// series `series` after every macro step.
+    /// series `series` after every macro step. The port is resolved to an
+    /// output handle here, once — recording never looks names up again.
     ///
     /// # Errors
     ///
-    /// Returns [`CoreError::Engine`] for a bad group index.
+    /// Returns [`CoreError::Engine`] for a bad group index and
+    /// [`CoreError::Flow`] for an unknown node or output port.
     pub fn add_probe(
         &mut self,
         group: usize,
@@ -199,7 +247,8 @@ impl HybridEngine {
         if group >= self.groups.len() {
             return Err(CoreError::Engine { detail: format!("no streamer group {group}") });
         }
-        self.probes.push(Probe { group, node, port: port.to_owned(), series: series.to_owned() });
+        let handle = self.groups[group].output_handle(node, port)?;
+        self.probes.push(Probe { group, handle, series: series.to_owned() });
         if let Some(rec) = &self.recorder {
             self.probe_series.push(rec.handle(series));
         }
@@ -355,9 +404,10 @@ impl HybridEngine {
     ) -> Result<(), CoreError> {
         let link = self
             .link_index
-            .get(&(group, node))
-            .and_then(|by_sport| by_sport.get(sport))
-            .map(|&li| &self.links[li]);
+            .get(group)
+            .and_then(|by_node| by_node.get(node.index()))
+            .and_then(|sports| sports.iter().find(|(s, _)| s == sport))
+            .map(|&(_, li)| &self.links[li]);
         if let Some(link) = link {
             self.controller.inject(link.capsule, &link.capsule_port, msg)?;
         }
@@ -370,10 +420,8 @@ impl HybridEngine {
         }
         let t = self.clock.seconds();
         for (p, series) in self.probes.iter().zip(&self.probe_series) {
-            if let Ok(lanes) = self.groups[p.group].output(p.node, &p.port) {
-                if let Some(&v) = lanes.first() {
-                    series.push(t, v);
-                }
+            if let Some(&v) = self.groups[p.group].output_by_handle(&p.handle).first() {
+                series.push(t, v);
             }
         }
     }
@@ -464,11 +512,7 @@ impl HybridEngine {
                                 if result.is_ok() {
                                     net.drain_signals_into(&mut signals);
                                     for (i, p) in &my_probes {
-                                        if let Some(v) = net
-                                            .output(p.node, &p.port)
-                                            .ok()
-                                            .and_then(|l| l.first().copied())
-                                        {
+                                        if let Some(&v) = net.output_by_handle(&p.handle).first() {
                                             probes.push((*i, v));
                                         }
                                     }
@@ -719,6 +763,21 @@ mod tests {
         assert!(matches!(e.link_sport(g, n, "ghost", 0, "plant"), Err(CoreError::Engine { .. })));
         // Declared name: accepted.
         e.link_sport(g, n, "ctl", 0, "plant").unwrap();
+    }
+
+    #[test]
+    fn duplicate_sport_link_is_refused() {
+        // Regression: the old index kept the first link per key and
+        // silently dropped the second — now it is a stable-coded error.
+        let (net, n) = sine_net("p");
+        let mut e = HybridEngine::new(empty_controller(), EngineConfig::default());
+        let g = e.add_group(net).unwrap();
+        e.link_sport(g, n, "ctl", 0, "plant").unwrap();
+        let err = e.link_sport(g, n, "ctl", 0, "other").unwrap_err();
+        assert!(matches!(err, CoreError::DuplicateSportLink { .. }));
+        assert!(err.to_string().starts_with("URT113: "), "stable code: {err}");
+        // A different sport on the same node is still fine.
+        e.link_sport(g, n, "aux", 0, "plant").unwrap();
     }
 
     #[test]

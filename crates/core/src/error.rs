@@ -30,6 +30,25 @@ pub enum CoreError {
         /// Index of the streamer group whose thread died.
         group: usize,
     },
+    /// A second SPort link was registered for the same
+    /// `(group, node, sport)` key — each streamer SPort routes to exactly
+    /// one capsule port, so the duplicate would silently shadow the first.
+    DuplicateSportLink {
+        /// Streamer group index.
+        group: usize,
+        /// Node name (or index rendering) within the group.
+        node: String,
+        /// The SPort that was linked twice.
+        sport: String,
+    },
+    /// Elaboration of a `UnifiedModel` into a `CompiledSystem` failed:
+    /// the model was rejected by the analysis gate, referenced a behavior
+    /// the registry does not provide, or declared structure the executable
+    /// form cannot realise.
+    Elaborate {
+        /// What went wrong.
+        detail: String,
+    },
 }
 
 impl CoreError {
@@ -44,6 +63,7 @@ impl CoreError {
             "flow-subset" => "URT105",
             "fig3-dport-relay" => "URT106",
             "sport-protocol" => "URT107",
+            "probe-port" => "URT108",
             _ => "URT199",
         }
     }
@@ -59,6 +79,8 @@ impl CoreError {
             CoreError::Validation { rule, .. } => Self::validation_code(rule),
             CoreError::Engine { .. } => "URT111",
             CoreError::ThreadLost { .. } => "URT112",
+            CoreError::DuplicateSportLink { .. } => "URT113",
+            CoreError::Elaborate { .. } => "URT114",
         }
     }
 }
@@ -75,6 +97,17 @@ impl fmt::Display for CoreError {
             CoreError::Engine { detail } => write!(f, "{}: engine error: {detail}", self.code()),
             CoreError::ThreadLost { group } => {
                 write!(f, "{}: solver thread for group {group} was lost", self.code())
+            }
+            CoreError::DuplicateSportLink { group, node, sport } => {
+                write!(
+                    f,
+                    "{}: duplicate SPort link: group {group} node `{node}` sport `{sport}` \
+                     is already linked to a capsule port",
+                    self.code()
+                )
+            }
+            CoreError::Elaborate { detail } => {
+                write!(f, "{}: elaboration error: {detail}", self.code())
             }
         }
     }
@@ -130,6 +163,13 @@ mod tests {
         assert!(e.to_string().starts_with("URT111: "));
         let e = CoreError::ThreadLost { group: 3 };
         assert!(e.to_string().starts_with("URT112: "));
+        let e =
+            CoreError::DuplicateSportLink { group: 0, node: "tank".into(), sport: "ctl".into() };
+        assert_eq!(e.code(), "URT113");
+        assert!(e.to_string().starts_with("URT113: "));
+        let e = CoreError::Elaborate { detail: "x".into() };
+        assert_eq!(e.code(), "URT114");
+        assert!(e.to_string().starts_with("URT114: "));
     }
 
     #[test]

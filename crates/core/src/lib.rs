@@ -11,6 +11,9 @@
 //! * [`model`] — the declarative unified model (capsules + streamers +
 //!   containment + connections) with the paper's well-formedness rules
 //!   from Figures 2 and 3.
+//! * [`elaborate`] — lowering a validated model plus a behaviour
+//!   registry into an executable `CompiledSystem`: hierarchy flattening,
+//!   dense id assignment, resolved link/probe tables.
 //! * [`time`] — the continuous `Time` stereotype: a predictable hybrid
 //!   simulation clock, versus UML-RT's tick-quantised timers.
 //! * [`strategy`] — the Figure 1 State/Strategy catalogue: named solver
@@ -61,6 +64,7 @@
 //! # }
 //! ```
 
+pub mod elaborate;
 pub mod engine;
 pub mod error;
 pub mod model;
@@ -74,6 +78,7 @@ pub mod sync;
 pub mod threading;
 pub mod time;
 
+pub use elaborate::{elaborate, BehaviorRegistry, CompiledSystem};
 pub use engine::{EngineConfig, HybridEngine};
 pub use error::CoreError;
 pub use model::{ModelBuilder, UnifiedModel};

@@ -95,6 +95,13 @@ struct SportLink {
     sport: String,
 }
 
+#[derive(Debug, Clone, PartialEq)]
+struct ProbeDecl {
+    streamer: StreamerRef,
+    port: String,
+    series: String,
+}
+
 /// Summary statistics of a model (used by reports and the Kühl baseline
 /// comparison).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -126,6 +133,8 @@ pub struct UnifiedModel {
     /// Protocols declared by name, from the capsule's perspective:
     /// `in_signals` are deliverable *to* the capsule.
     protocols: Vec<Protocol>,
+    /// Recorder probes: named series tapped off streamer output DPorts.
+    probes: Vec<ProbeDecl>,
 }
 
 impl UnifiedModel {
@@ -248,6 +257,11 @@ impl UnifiedModel {
         self.protocols.iter()
     }
 
+    /// Iterates declared probes as `(streamer, output port, series name)`.
+    pub fn iter_probes(&self) -> impl Iterator<Item = (StreamerRef, &str, &str)> {
+        self.probes.iter().map(|p| (p.streamer, p.port.as_str(), p.series.as_str()))
+    }
+
     fn flow_end_type(&self, end: &FlowEnd, incoming: bool) -> Result<&FlowType, CoreError> {
         match end {
             FlowEnd::Capsule(c, port) => self
@@ -291,6 +305,7 @@ impl UnifiedModel {
         self.collect_flows(&mut found);
         self.collect_capsule_dports_relay(&mut found);
         self.collect_sport_links(&mut found);
+        self.collect_probes(&mut found);
         found
     }
 
@@ -476,6 +491,27 @@ impl UnifiedModel {
                         ),
                     });
                 }
+            }
+        }
+    }
+
+    fn collect_probes(&self, found: &mut Vec<CoreError>) {
+        for p in &self.probes {
+            let Some(st) = self.streamers.get(p.streamer.0) else {
+                found.push(CoreError::Validation {
+                    rule: "probe-port",
+                    detail: format!("probe `{}` references an unknown streamer", p.series),
+                });
+                continue;
+            };
+            if !st.out_dports.iter().any(|(n, _)| n == &p.port) {
+                found.push(CoreError::Validation {
+                    rule: "probe-port",
+                    detail: format!(
+                        "probe `{}` taps streamer `{}` output DPort `{}`, which is not declared",
+                        p.series, st.name, p.port
+                    ),
+                });
             }
         }
     }
@@ -723,6 +759,14 @@ impl ModelBuilder {
     /// Assigns a streamer to a solver thread in the deployment plan.
     pub fn assign_thread(&mut self, s: StreamerRef, thread: usize) {
         self.model.streamers[s.0].thread = thread;
+    }
+
+    /// Declares a recorder probe: the first lane of streamer `s`'s output
+    /// DPort `port` is sampled every macro step into a series named
+    /// `series`. Elaboration resolves the tap once, so probing costs no
+    /// per-step name lookup.
+    pub fn probe(&mut self, s: StreamerRef, port: impl Into<String>, series: impl Into<String>) {
+        self.model.probes.push(ProbeDecl { streamer: s, port: port.into(), series: series.into() });
     }
 
     /// Finalises the (unvalidated) model.

@@ -32,6 +32,24 @@ impl fmt::Display for NodeId {
     }
 }
 
+/// A pre-resolved reference to one node's output DPort lanes: node index,
+/// lane offset and lane width, computed once by
+/// [`StreamerNetwork::output_handle`] so per-step reads
+/// ([`StreamerNetwork::output_by_handle`]) are pure array indexing.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct OutputHandle {
+    node: usize,
+    offset: usize,
+    width: usize,
+}
+
+impl OutputHandle {
+    /// Lane count of the referenced port.
+    pub fn width(&self) -> usize {
+        self.width
+    }
+}
+
 enum NodeKind {
     Streamer(Box<dyn StreamerBehavior>),
     /// "Relay is used as a relay point which generates two similar flows
@@ -668,6 +686,32 @@ impl StreamerNetwork {
         let off = n.out_port_offset(pi);
         let w = n.out_ports[pi].width();
         Ok(&n.out_buf[off..off + w])
+    }
+
+    /// Resolves `(node, port)` to a reusable [`OutputHandle`] — the
+    /// string lookup happens once here, so per-step readers
+    /// ([`StreamerNetwork::output_by_handle`]) index straight into the
+    /// node's output buffer with no name comparison.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FlowError::UnknownNode`] / [`FlowError::UnknownPort`].
+    pub fn output_handle(&self, node: NodeId, port: &str) -> Result<OutputHandle, FlowError> {
+        let pi = self.find_port(node, port, Direction::Out)?;
+        let n = &self.nodes[node.0];
+        let off = n.out_port_offset(pi);
+        Ok(OutputHandle { node: node.0, offset: off, width: n.out_ports[pi].width() })
+    }
+
+    /// Reads the current lanes of an output DPort through a handle
+    /// resolved by [`StreamerNetwork::output_handle`] — pure array
+    /// indexing, the hot-path form of [`StreamerNetwork::output`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if the handle was resolved against a different network.
+    pub fn output_by_handle(&self, h: &OutputHandle) -> &[f64] {
+        &self.nodes[h.node].out_buf[h.offset..h.offset + h.width]
     }
 
     /// Delivers a signal message to a node's behaviour (as if it arrived on

@@ -4,22 +4,25 @@
 //!    reset map), showing the solver substrate on its own.
 //! 2. As a unified model: ball streamer with a bounce guard emitting
 //!    SPort signals, a referee capsule counting bounces and stopping the
-//!    game after five.
+//!    game after five — declared as one `UnifiedModel` and lowered
+//!    through `model → analyze → compile → run`.
 //!
 //! Run with: `cargo run --example bouncing_ball`
 
+use unified_rt::analysis::compile;
+use unified_rt::core::elaborate::BehaviorRegistry;
 use unified_rt::core::engine::{EngineConfig, HybridEngine};
+use unified_rt::core::model::ModelBuilder;
 use unified_rt::core::threading::ThreadPolicy;
 use unified_rt::dataflow::flowtype::{FlowType, Unit};
-use unified_rt::dataflow::graph::StreamerNetwork;
 use unified_rt::dataflow::streamer::OdeStreamer;
 use unified_rt::ode::events::{EventDirection, ZeroCrossing};
 use unified_rt::ode::hybrid::{simulate_hybrid, EventOutcome};
 use unified_rt::ode::solver::{Rk4, SolverKind};
 use unified_rt::ode::system::{FnSystem, InputSystem};
 use unified_rt::umlrt::capsule::{CapsuleContext, SmCapsule};
-use unified_rt::umlrt::controller::Controller;
-use unified_rt::umlrt::statemachine::StateMachineBuilder;
+use unified_rt::umlrt::protocol::{PayloadKind, Protocol};
+use unified_rt::umlrt::statemachine::{SmSpec, StateMachineBuilder};
 use unified_rt::umlrt::value::Value;
 
 struct Ball {
@@ -84,55 +87,82 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // The bounce is implemented *inside* the streamer's signal handler:
     // the guard emits `bounce`, the referee echoes back `kick` which the
     // handler turns into the restitution reset.
-    let streamer = OdeStreamer::new(
-        "ball",
-        Ball { gravity: 9.81, restitution: 0.8 },
-        SolverKind::Rk4.create(),
-        &[1.0, 0.0],
-        1e-4,
-    )
-    .with_guard(ZeroCrossing::new("bounce", EventDirection::Falling, |_t, x| x[0]))
-    .with_event_sport("game")
-    .with_signal_handler(|msg, ball: &mut Ball, state| {
-        if msg.signal() == "kick" {
-            state[0] = 0.0;
-            state[1] *= -ball.restitution;
-        }
-    });
-    let mut net = StreamerNetwork::new("pitch");
-    let node = net.add_streamer(streamer, &[], &[("height", FlowType::with_unit(Unit::Meter))])?;
-
-    let machine = StateMachineBuilder::new("referee")
-        .state("playing")
-        .state("done")
-        .initial("playing", |_d: &mut u32, _ctx: &mut CapsuleContext| {})
-        .on_guarded(
+    let mut b = ModelBuilder::new("bouncing-ball");
+    let referee = b.capsule("referee");
+    let ball = b.streamer("ball", "rk4");
+    b.streamer_out(ball, "height", FlowType::with_unit(Unit::Meter));
+    b.streamer_feedthrough(ball, false); // gravity integrates
+    b.declare_protocol(
+        Protocol::new("BallGame")
+            .with_in("bounce", PayloadKind::Real)
+            .with_out("kick", PayloadKind::Empty),
+    );
+    b.streamer_sport(ball, "game", "BallGame");
+    b.capsule_sport(referee, "ball", "BallGame");
+    b.sport_link(referee, "ball", ball, "game");
+    b.capsule_machine(
+        referee,
+        SmSpec::new("referee").state("playing").state("done").initial("playing").on(
             "playing",
             ("ball", "bounce"),
             "done",
-            |count, _m| *count >= 4,
-            |count, _m, ctx| {
-                *count += 1;
-                ctx.send("ball", "kick", Value::Empty);
-            },
-        )
-        .internal("playing", ("ball", "bounce"), |count, _m, ctx| {
-            *count += 1;
-            ctx.send("ball", "kick", Value::Empty);
-        })
-        .build()?;
-    let mut controller = Controller::new("events");
-    let referee = controller.add_capsule(Box::new(SmCapsule::new(machine, 0u32)));
-
-    let mut engine = HybridEngine::new(
-        controller,
-        EngineConfig { step: 0.002, policy: ThreadPolicy::CurrentThread },
+        ),
     );
-    let group = engine.add_group(net)?;
-    engine.link_sport(group, node, "game", referee, "ball")?;
+    let model = b.build();
+
+    let registry = BehaviorRegistry::new()
+        .streamer("ball", || {
+            Box::new(
+                OdeStreamer::new(
+                    "ball",
+                    Ball { gravity: 9.81, restitution: 0.8 },
+                    SolverKind::Rk4.create(),
+                    &[1.0, 0.0],
+                    1e-4,
+                )
+                .with_guard(ZeroCrossing::new("bounce", EventDirection::Falling, |_t, x| x[0]))
+                .with_event_sport("game")
+                .with_signal_handler(|msg, ball: &mut Ball, state| {
+                    if msg.signal() == "kick" {
+                        state[0] = 0.0;
+                        state[1] *= -ball.restitution;
+                    }
+                }),
+            )
+        })
+        .capsule("referee", || {
+            let machine = StateMachineBuilder::new("referee")
+                .state("playing")
+                .state("done")
+                .initial("playing", |_d: &mut u32, _ctx: &mut CapsuleContext| {})
+                .on_guarded(
+                    "playing",
+                    ("ball", "bounce"),
+                    "done",
+                    |count, _m| *count >= 4,
+                    |count, _m, ctx| {
+                        *count += 1;
+                        ctx.send("ball", "kick", Value::Empty);
+                    },
+                )
+                .internal("playing", ("ball", "bounce"), |count, _m, ctx| {
+                    *count += 1;
+                    ctx.send("ball", "kick", Value::Empty);
+                })
+                .build()
+                .expect("well-formed machine");
+            Box::new(SmCapsule::new(machine, 0u32))
+        });
+
+    let compiled = compile(&model, registry)?;
+    let referee_idx = compiled.capsule_index("referee").expect("capsule exists");
+    let mut engine = HybridEngine::from_compiled(
+        compiled,
+        EngineConfig { step: 0.002, policy: ThreadPolicy::CurrentThread },
+    )?;
     engine.run_until(4.0)?;
 
-    let state = engine.controller().capsule_state(referee)?;
+    let state = engine.controller().capsule_state(referee_idx)?;
     println!("bouncing ball (unified model):");
     println!("  referee state after 4 s : {state}");
     println!("  events delivered        : {}", engine.controller().delivered_count());

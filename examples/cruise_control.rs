@@ -3,25 +3,29 @@
 //! The vehicle is a nonlinear plant streamer (`m v' = F − c v² − r`), the
 //! speed controller is a PI block diagram compiled into a single streamer
 //! (the paper's Simulink-unification path), and the driver is a capsule
-//! issuing setpoint changes and a cancel on timers.
+//! issuing setpoint changes and a cancel on timers. The whole system is
+//! declared as one `UnifiedModel` and lowered through
+//! `model → analyze → compile → run`.
 //!
 //! Run with: `cargo run --example cruise_control`
 
+use unified_rt::analysis::compile;
 use unified_rt::blocks::continuous::Integrator;
 use unified_rt::blocks::diagram::BlockDiagram;
 use unified_rt::blocks::math::{Gain, Saturation, Sum};
+use unified_rt::core::elaborate::BehaviorRegistry;
 use unified_rt::core::engine::{EngineConfig, HybridEngine};
+use unified_rt::core::model::ModelBuilder;
 use unified_rt::core::recorder::Recorder;
 use unified_rt::core::threading::ThreadPolicy;
 use unified_rt::dataflow::flowtype::{FlowType, Unit};
-use unified_rt::dataflow::graph::StreamerNetwork;
-use unified_rt::dataflow::streamer::{OdeStreamer, StreamerBehavior};
+use unified_rt::dataflow::streamer::{FnStreamer, OdeStreamer, StreamerBehavior};
 use unified_rt::ode::solver::SolverKind;
 use unified_rt::ode::system::InputSystem;
 use unified_rt::umlrt::capsule::{CapsuleContext, SmCapsule};
-use unified_rt::umlrt::controller::Controller;
 use unified_rt::umlrt::message::Message;
-use unified_rt::umlrt::statemachine::StateMachineBuilder;
+use unified_rt::umlrt::protocol::{PayloadKind, Protocol};
+use unified_rt::umlrt::statemachine::{SmSpec, StateMachineBuilder};
 use unified_rt::umlrt::timing::TIMER_PORT;
 use unified_rt::umlrt::value::Value;
 
@@ -80,103 +84,146 @@ fn pi_controller() -> impl StreamerBehavior {
 }
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    let vehicle = OdeStreamer::new(
-        "vehicle",
-        Vehicle { mass: 1200.0, drag: 0.6, rolling: 120.0, setpoint: 0.0, engaged: false },
-        SolverKind::Rk4.create(),
-        &[20.0],
-        1e-3,
-    )
-    .with_signal_handler(|msg: &Message, v: &mut Vehicle, _state| match msg.signal() {
-        "set" => {
-            if let Some(sp) = msg.value().as_real() {
-                v.setpoint = sp;
-                v.engaged = true;
-            }
-        }
-        "cancel" => v.engaged = false,
-        _ => {}
-    });
+    let speed2 = FlowType::Vector { len: 2, unit: Unit::MeterPerSecond };
 
-    let mut net = StreamerNetwork::new("cruise");
-    let vehicle_node = net.add_streamer(
-        vehicle,
-        &[("force", FlowType::with_unit(Unit::Newton))],
-        &[("out", FlowType::Vector { len: 2, unit: Unit::MeterPerSecond })],
-    )?;
-    // Relay duplicates the vehicle output: one copy to the controller, one
-    // copy to the trip monitor lane.
-    let relay =
-        net.add_relay("split", FlowType::Vector { len: 2, unit: Unit::MeterPerSecond }, 2)?;
-    // Adapter picks the error lane for the PI controller (twice: kp and ki).
-    let pick_error = net.add_streamer(
-        unified_rt::dataflow::streamer::FnStreamer::new(
-            "pick-error",
-            2,
-            2,
-            |_t, _h, u: &[f64], y: &mut [f64]| {
+    // --- The unified model: vehicle loop, fan-out, driver capsule.
+    let mut b = ModelBuilder::new("cruise-control");
+    let driver = b.capsule("driver");
+    let vehicle = b.streamer("vehicle", "rk4");
+    let split = b.streamer("split", "euler");
+    let pick = b.streamer("pick-error", "euler");
+    let pi = b.streamer("pi-force", "euler");
+    let monitor = b.streamer("monitor", "euler");
+    b.streamer_in(vehicle, "force", FlowType::with_unit(Unit::Newton));
+    b.streamer_out(vehicle, "out", speed2.clone());
+    b.streamer_feedthrough(vehicle, false); // speed integrates force
+    b.streamer_in(split, "in", speed2.clone());
+    b.streamer_out(split, "out0", speed2.clone());
+    b.streamer_out(split, "out1", speed2.clone());
+    b.streamer_in(pick, "in", speed2.clone());
+    b.streamer_out(pick, "err2", FlowType::vector(2));
+    b.streamer_in(pi, "err", FlowType::vector(2));
+    b.streamer_out(pi, "force", FlowType::with_unit(Unit::Newton));
+    b.streamer_in(monitor, "in", speed2);
+    b.streamer_out(monitor, "speed", FlowType::with_unit(Unit::MeterPerSecond));
+    b.flow_between_streamers(vehicle, "out", split, "in");
+    b.flow_between_streamers(split, "out0", pick, "in");
+    b.flow_between_streamers(split, "out1", monitor, "in");
+    b.flow_between_streamers(pick, "err2", pi, "err");
+    // The force flow closes the loop; the vehicle integrator breaks it.
+    b.flow_between_streamers(pi, "force", vehicle, "force");
+    b.declare_protocol(
+        Protocol::new("CruiseCmd")
+            .with_out("set", PayloadKind::Real)
+            .with_out("cancel", PayloadKind::Empty),
+    );
+    b.streamer_sport(vehicle, "ctl", "CruiseCmd");
+    b.capsule_sport(driver, "car", "CruiseCmd");
+    b.sport_link(driver, "car", vehicle, "ctl");
+    b.capsule_machine(
+        driver,
+        SmSpec::new("driver")
+            .state("idle")
+            .state("cruising")
+            .state("done")
+            .initial("idle")
+            .on("idle", (TIMER_PORT, "engage"), "cruising")
+            .internal("cruising", (TIMER_PORT, "faster"))
+            .on("cruising", (TIMER_PORT, "cancel"), "done"),
+    );
+    b.probe(monitor, "speed", "speed");
+    let model = b.build();
+
+    // --- Behaviours for every model name.
+    let registry = BehaviorRegistry::new()
+        .streamer("vehicle", || {
+            Box::new(
+                OdeStreamer::new(
+                    "vehicle",
+                    Vehicle {
+                        mass: 1200.0,
+                        drag: 0.6,
+                        rolling: 120.0,
+                        setpoint: 0.0,
+                        engaged: false,
+                    },
+                    SolverKind::Rk4.create(),
+                    &[20.0],
+                    1e-3,
+                )
+                .with_signal_handler(|msg: &Message, v: &mut Vehicle, _state| {
+                    match msg.signal() {
+                        "set" => {
+                            if let Some(sp) = msg.value().as_real() {
+                                v.setpoint = sp;
+                                v.engaged = true;
+                            }
+                        }
+                        "cancel" => v.engaged = false,
+                        _ => {}
+                    }
+                }),
+            )
+        })
+        .streamer("split", || {
+            // Fan-out relay: duplicate the 2-lane vehicle output to both
+            // consumers.
+            Box::new(FnStreamer::new("split", 2, 4, |_t, _h, u: &[f64], y: &mut [f64]| {
+                y[0] = u[0];
+                y[1] = u[1];
+                y[2] = u[0];
+                y[3] = u[1];
+            }))
+        })
+        .streamer("pick-error", || {
+            // Adapter picks the error lane for the PI controller (twice:
+            // kp and ki).
+            Box::new(FnStreamer::new("pick-error", 2, 2, |_t, _h, u: &[f64], y: &mut [f64]| {
                 y[0] = u[1];
                 y[1] = u[1];
-            },
-        ),
-        &[("in", FlowType::Vector { len: 2, unit: Unit::MeterPerSecond })],
-        &[("err2", FlowType::vector(2))],
-    )?;
-    let pi = net.add_streamer(
-        pi_controller(),
-        &[("err", FlowType::vector(2))],
-        &[("force", FlowType::with_unit(Unit::Newton))],
-    )?;
-    let monitor = net.add_streamer(
-        unified_rt::dataflow::streamer::FnStreamer::new(
-            "monitor",
-            2,
-            1,
-            |_t, _h, u: &[f64], y: &mut [f64]| y[0] = u[0],
-        ),
-        &[("in", FlowType::Vector { len: 2, unit: Unit::MeterPerSecond })],
-        &[("speed", FlowType::with_unit(Unit::MeterPerSecond))],
-    )?;
-    net.flow((vehicle_node, "out"), (relay, "in"))?;
-    net.flow((relay, "out0"), (pick_error, "in"))?;
-    net.flow((relay, "out1"), (monitor, "in"))?;
-    net.flow((pick_error, "err2"), (pi, "err"))?;
-    // The force flow closes the loop (newton-to-newton, subset rule holds).
-    net.flow((pi, "force"), (vehicle_node, "force"))?;
+            }))
+        })
+        .streamer("pi-force", || Box::new(pi_controller()))
+        .streamer("monitor", || {
+            Box::new(FnStreamer::new("monitor", 2, 1, |_t, _h, u: &[f64], y: &mut [f64]| {
+                y[0] = u[0];
+            }))
+        })
+        .capsule("driver", || {
+            // Driver: engage 25 m/s at t=5, resume-to 30 at t=20, cancel
+            // at t=40.
+            let machine = StateMachineBuilder::new("driver")
+                .state("idle")
+                .state("cruising")
+                .state("done")
+                .initial("idle", |_d: &mut (), ctx: &mut CapsuleContext| {
+                    ctx.inform_in(5.0, "engage");
+                })
+                .on("idle", (TIMER_PORT, "engage"), "cruising", |_d, _m, ctx| {
+                    ctx.send("car", "set", Value::Real(25.0));
+                    ctx.inform_in(15.0, "faster");
+                })
+                .internal("cruising", (TIMER_PORT, "faster"), |_d, _m, ctx| {
+                    ctx.send("car", "set", Value::Real(30.0));
+                    ctx.inform_in(20.0, "cancel");
+                })
+                .on("cruising", (TIMER_PORT, "cancel"), "done", |_d, _m, ctx| {
+                    ctx.send("car", "cancel", Value::Empty);
+                })
+                .build()
+                .expect("well-formed machine");
+            Box::new(SmCapsule::new(machine, ()))
+        });
 
-    // Driver capsule: engage 25 m/s at t=5, resume-to 30 at t=20, cancel
-    // at t=40.
-    let machine = StateMachineBuilder::new("driver")
-        .state("idle")
-        .state("cruising")
-        .state("done")
-        .initial("idle", |_d: &mut (), ctx: &mut CapsuleContext| {
-            ctx.inform_in(5.0, "engage");
-        })
-        .on("idle", (TIMER_PORT, "engage"), "cruising", |_d, _m, ctx| {
-            ctx.send("car", "set", Value::Real(25.0));
-            ctx.inform_in(15.0, "faster");
-        })
-        .internal("cruising", (TIMER_PORT, "faster"), |_d, _m, ctx| {
-            ctx.send("car", "set", Value::Real(30.0));
-            ctx.inform_in(20.0, "cancel");
-        })
-        .on("cruising", (TIMER_PORT, "cancel"), "done", |_d, _m, ctx| {
-            ctx.send("car", "cancel", Value::Empty);
-        })
-        .build()?;
-    let mut controller = Controller::new("events");
-    let driver = controller.add_capsule(Box::new(SmCapsule::new(machine, ())));
-
-    let mut engine = HybridEngine::new(
-        controller,
+    // --- Compile and run.
+    let compiled = compile(&model, registry)?;
+    let driver_idx = compiled.capsule_index("driver").expect("capsule exists");
+    let mut engine = HybridEngine::from_compiled(
+        compiled,
         EngineConfig { step: 0.01, policy: ThreadPolicy::CurrentThread },
-    );
-    let group = engine.add_group(net)?;
-    engine.link_sport(group, vehicle_node, "ctl", driver, "car")?;
+    )?;
     let recorder = Recorder::new();
     engine.set_recorder(recorder.clone());
-    engine.add_probe(group, monitor, "speed", "speed")?;
 
     engine.run_until(55.0)?;
 
@@ -193,12 +240,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("  t=18s (set 25)  : {:.2} m/s", at(18.0));
     println!("  t=38s (set 30)  : {:.2} m/s", at(38.0));
     println!("  t=54s (cancel)  : {:.2} m/s", at(54.0));
-    println!("  driver state    : {}", engine.controller().capsule_state(driver)?);
+    println!("  driver state    : {}", engine.controller().capsule_state(driver_idx)?);
 
     assert!((at(18.0) - 25.0).abs() < 1.0, "tracks first setpoint");
     assert!((at(38.0) - 30.0).abs() < 1.0, "tracks second setpoint");
     assert!(at(54.0) < at(38.0), "coasts down after cancel");
-    assert_eq!(engine.controller().capsule_state(driver)?, "done");
+    assert_eq!(engine.controller().capsule_state(driver_idx)?, "done");
     println!("ok: setpoints tracked, cancel coasts");
     Ok(())
 }

@@ -4,22 +4,25 @@
 //! streamer (both solver-driven); the event-driven part is a supervisor
 //! capsule that arms the controller only once the pendulum enters the
 //! capture region (signalled by a zero-crossing guard), and raises an
-//! alarm if it ever leaves again.
+//! alarm if it ever leaves again. The system is declared as one
+//! `UnifiedModel` and lowered through `model → analyze → compile → run`.
 //!
 //! Run with: `cargo run --example inverted_pendulum`
 
+use unified_rt::analysis::compile;
+use unified_rt::core::elaborate::BehaviorRegistry;
 use unified_rt::core::engine::{EngineConfig, HybridEngine};
+use unified_rt::core::model::ModelBuilder;
 use unified_rt::core::recorder::Recorder;
 use unified_rt::core::threading::ThreadPolicy;
 use unified_rt::dataflow::flowtype::{FlowType, Unit};
-use unified_rt::dataflow::graph::StreamerNetwork;
 use unified_rt::dataflow::streamer::{FnStreamer, OdeStreamer};
 use unified_rt::ode::events::{EventDirection, ZeroCrossing};
 use unified_rt::ode::solver::SolverKind;
 use unified_rt::ode::system::InputSystem;
 use unified_rt::umlrt::capsule::{CapsuleContext, SmCapsule};
-use unified_rt::umlrt::controller::Controller;
-use unified_rt::umlrt::statemachine::StateMachineBuilder;
+use unified_rt::umlrt::protocol::{PayloadKind, Protocol};
+use unified_rt::umlrt::statemachine::{SmSpec, StateMachineBuilder};
 use unified_rt::umlrt::value::Value;
 
 /// Inverted pendulum linearised around the upright position is unstable;
@@ -53,82 +56,113 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // capture region is |theta| < 0.3 rad.
     let capture = 0.3f64;
 
-    let plant = OdeStreamer::new(
-        "pendulum",
-        Pendulum { gravity: 9.81, length: 1.0, damping: 0.5, enabled: false },
-        SolverKind::Dopri45.create(),
-        &[0.5, -2.0],
-        1e-3,
-    )
-    .with_guard(ZeroCrossing::new("captured", EventDirection::Falling, move |_t, x| {
-        x[0].abs() - capture
-    }))
-    .with_guard(ZeroCrossing::new("escaped", EventDirection::Rising, move |_t, x| {
-        x[0].abs() - 2.0 * capture
-    }))
-    .with_event_sport("status")
-    .with_signal_handler(|msg, plant: &mut Pendulum, _state| match msg.signal() {
-        "enable" => plant.enabled = true,
-        "disable" => plant.enabled = false,
-        _ => {}
-    });
+    // --- The unified model: plant/PD loop plus the supervisor.
+    let state_ty = FlowType::Vector { len: 2, unit: Unit::Radian };
+    let mut b = ModelBuilder::new("inverted-pendulum");
+    let supervisor = b.capsule("supervisor");
+    let pendulum = b.streamer("pendulum", "dopri45");
+    let pd = b.streamer("pd", "euler");
+    b.streamer_in(pendulum, "torque", FlowType::scalar());
+    b.streamer_out(pendulum, "state", state_ty.clone());
+    b.streamer_feedthrough(pendulum, false); // the plant integrates
+    b.streamer_in(pd, "state", state_ty);
+    b.streamer_out(pd, "torque", FlowType::scalar());
+    b.flow_between_streamers(pendulum, "state", pd, "state");
+    b.flow_between_streamers(pd, "torque", pendulum, "torque");
+    b.declare_protocol(
+        Protocol::new("PendulumStatus")
+            .with_in("captured", PayloadKind::Real)
+            .with_in("escaped", PayloadKind::Real)
+            .with_out("enable", PayloadKind::Empty)
+            .with_out("disable", PayloadKind::Empty),
+    );
+    b.streamer_sport(pendulum, "status", "PendulumStatus");
+    b.capsule_sport(supervisor, "pendulum", "PendulumStatus");
+    b.sport_link(supervisor, "pendulum", pendulum, "status");
+    b.capsule_machine(
+        supervisor,
+        SmSpec::new("supervisor")
+            .state("waiting")
+            .state("stabilizing")
+            .state("alarm")
+            .initial("waiting")
+            .on("waiting", ("pendulum", "captured"), "stabilizing")
+            .on("stabilizing", ("pendulum", "escaped"), "alarm"),
+    );
+    b.probe(pendulum, "state", "theta");
+    let model = b.build();
 
-    // PD controller as a direct-feedthrough streamer on [theta, omega].
-    let kp = 40.0;
-    let kd = 12.0;
-    let controller_streamer =
-        FnStreamer::new("pd", 2, 1, move |_t, _h, u: &[f64], y: &mut [f64]| {
-            y[0] = -(kp * u[0] + kd * u[1]);
+    // --- Behaviours.
+    let registry = BehaviorRegistry::new()
+        .streamer("pendulum", move || {
+            Box::new(
+                OdeStreamer::new(
+                    "pendulum",
+                    Pendulum { gravity: 9.81, length: 1.0, damping: 0.5, enabled: false },
+                    SolverKind::Dopri45.create(),
+                    &[0.5, -2.0],
+                    1e-3,
+                )
+                .with_guard(ZeroCrossing::new("captured", EventDirection::Falling, move |_t, x| {
+                    x[0].abs() - capture
+                }))
+                .with_guard(ZeroCrossing::new("escaped", EventDirection::Rising, move |_t, x| {
+                    x[0].abs() - 2.0 * capture
+                }))
+                .with_event_sport("status")
+                .with_signal_handler(|msg, plant: &mut Pendulum, _state| match msg
+                    .signal()
+                {
+                    "enable" => plant.enabled = true,
+                    "disable" => plant.enabled = false,
+                    _ => {}
+                }),
+            )
+        })
+        .streamer("pd", || {
+            // PD controller as a direct-feedthrough streamer on
+            // [theta, omega].
+            let kp = 40.0;
+            let kd = 12.0;
+            Box::new(FnStreamer::new("pd", 2, 1, move |_t, _h, u: &[f64], y: &mut [f64]| {
+                y[0] = -(kp * u[0] + kd * u[1]);
+            }))
+        })
+        .capsule("supervisor", || {
+            // waiting -> stabilizing (on capture), alarm on escape.
+            let machine = StateMachineBuilder::new("supervisor")
+                .state("waiting")
+                .state("stabilizing")
+                .state("alarm")
+                .initial("waiting", |_d: &mut Vec<String>, _ctx: &mut CapsuleContext| {})
+                .on("waiting", ("pendulum", "captured"), "stabilizing", |log, m, ctx| {
+                    log.push(format!("captured at t={:.3}", m.value().as_real().unwrap_or(0.0)));
+                    ctx.send("pendulum", "enable", Value::Empty);
+                })
+                .on("stabilizing", ("pendulum", "escaped"), "alarm", |log, _m, ctx| {
+                    log.push("escaped".to_owned());
+                    ctx.send("pendulum", "disable", Value::Empty);
+                })
+                .build()
+                .expect("well-formed machine");
+            Box::new(SmCapsule::new(machine, Vec::new()))
         });
 
-    let mut net = StreamerNetwork::new("pendulum-loop");
-    let plant_node = net.add_streamer(
-        plant,
-        &[("torque", FlowType::scalar())],
-        &[("state", FlowType::Vector { len: 2, unit: Unit::Radian })],
-    )?;
-    let pd_node = net.add_streamer(
-        controller_streamer,
-        &[("state", FlowType::Vector { len: 2, unit: Unit::Radian })],
-        &[("torque", FlowType::scalar())],
-    )?;
-    net.flow((plant_node, "state"), (pd_node, "state"))?;
-    net.flow((pd_node, "torque"), (plant_node, "torque"))?;
-
-    // Supervisor capsule: waiting -> stabilizing (on capture), alarm on
-    // escape.
-    let machine = StateMachineBuilder::new("supervisor")
-        .state("waiting")
-        .state("stabilizing")
-        .state("alarm")
-        .initial("waiting", |_d: &mut Vec<String>, _ctx: &mut CapsuleContext| {})
-        .on("waiting", ("pendulum", "captured"), "stabilizing", |log, m, ctx| {
-            log.push(format!("captured at t={:.3}", m.value().as_real().unwrap_or(0.0)));
-            ctx.send("pendulum", "enable", Value::Empty);
-        })
-        .on("stabilizing", ("pendulum", "escaped"), "alarm", |log, _m, ctx| {
-            log.push("escaped".to_owned());
-            ctx.send("pendulum", "disable", Value::Empty);
-        })
-        .build()?;
-    let mut controller = Controller::new("events");
-    let supervisor = controller.add_capsule(Box::new(SmCapsule::new(machine, Vec::new())));
-
-    let mut engine = HybridEngine::new(
-        controller,
+    // --- Compile and run on a dedicated solver thread.
+    let compiled = compile(&model, registry)?;
+    let supervisor_idx = compiled.capsule_index("supervisor").expect("capsule exists");
+    let mut engine = HybridEngine::from_compiled(
+        compiled,
         EngineConfig { step: 0.005, policy: ThreadPolicy::DedicatedThreads },
-    );
-    let group = engine.add_group(net)?;
-    engine.link_sport(group, plant_node, "status", supervisor, "pendulum")?;
+    )?;
     let recorder = Recorder::new();
     engine.set_recorder(recorder.clone());
-    engine.add_probe(group, plant_node, "state", "theta")?;
 
     engine.run_until(10.0)?;
 
     let theta = recorder.series("theta");
     let final_theta = theta.last().map(|(_, v)| *v).unwrap_or(f64::NAN);
-    let state = engine.controller().capsule_state(supervisor)?;
+    let state = engine.controller().capsule_state(supervisor_idx)?;
     println!("inverted pendulum (dedicated solver thread)");
     println!("  supervisor state : {state}");
     println!("  final theta      : {final_theta:.5} rad");

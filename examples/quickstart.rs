@@ -5,23 +5,27 @@
 //!   thresholds that emit SPort signals.
 //! * Event-driven part — a thermostat capsule whose state machine switches
 //!   the heater on/off in response to those signals.
-//! * The two halves run in the hybrid engine and communicate only through
-//!   SPort messages — the paper's architecture end to end.
+//! * One declarative model describes both halves; the pipeline is
+//!   `model → analyze → compile → run`: `compile` runs the whole-model
+//!   analyzer, lowers the model into a `CompiledSystem`, and the engine
+//!   executes it — no hand wiring anywhere.
 //!
 //! Run with: `cargo run --example quickstart`
 
+use unified_rt::analysis::compile;
+use unified_rt::core::elaborate::BehaviorRegistry;
 use unified_rt::core::engine::{EngineConfig, HybridEngine};
+use unified_rt::core::model::ModelBuilder;
 use unified_rt::core::recorder::Recorder;
 use unified_rt::core::threading::ThreadPolicy;
 use unified_rt::dataflow::flowtype::{FlowType, Unit};
-use unified_rt::dataflow::graph::StreamerNetwork;
 use unified_rt::dataflow::streamer::OdeStreamer;
 use unified_rt::ode::events::{EventDirection, ZeroCrossing};
 use unified_rt::ode::solver::SolverKind;
 use unified_rt::ode::system::InputSystem;
 use unified_rt::umlrt::capsule::{CapsuleContext, SmCapsule};
-use unified_rt::umlrt::controller::Controller;
-use unified_rt::umlrt::statemachine::StateMachineBuilder;
+use unified_rt::umlrt::protocol::{PayloadKind, Protocol};
+use unified_rt::umlrt::statemachine::{SmSpec, StateMachineBuilder};
 use unified_rt::umlrt::value::Value;
 
 /// Thermal plant: one state (temperature in kelvin-ish degrees C).
@@ -52,53 +56,93 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let setpoint = 22.0;
     let band = 0.5;
 
-    // --- Continuous part: plant streamer with guards and a signal handler.
-    let plant =
-        ThermalPlant { capacity: 20.0, loss: 1.0, power: 60.0, ambient: 10.0, heater_on: true };
-    let streamer = OdeStreamer::new("room", plant, SolverKind::Rk4.create(), &[15.0], 1e-3)
-        .with_guard(ZeroCrossing::new("too_hot", EventDirection::Rising, move |_t, x| {
-            x[0] - (setpoint + band)
-        }))
-        .with_guard(ZeroCrossing::new("too_cold", EventDirection::Falling, move |_t, x| {
-            x[0] - (setpoint - band)
-        }))
-        .with_event_sport("ctl")
-        .with_signal_handler(|msg, plant: &mut ThermalPlant, _state| match msg.signal() {
-            "heater_on" => plant.heater_on = true,
-            "heater_off" => plant.heater_on = false,
-            _ => {}
+    // --- The unified model: both halves declared in one place.
+    let mut b = ModelBuilder::new("thermostat-quickstart");
+    let room = b.streamer("room", "rk4");
+    let thermostat = b.capsule("thermostat");
+    b.streamer_out(room, "temp", FlowType::with_unit(Unit::Kelvin));
+    b.streamer_feedthrough(room, false); // the plant integrates its state
+    b.declare_protocol(
+        Protocol::new("RoomCtl")
+            .with_in("too_hot", PayloadKind::Empty)
+            .with_in("too_cold", PayloadKind::Empty)
+            .with_out("heater_on", PayloadKind::Empty)
+            .with_out("heater_off", PayloadKind::Empty),
+    );
+    b.streamer_sport(room, "ctl", "RoomCtl");
+    b.capsule_sport(thermostat, "plant", "RoomCtl");
+    b.sport_link(thermostat, "plant", room, "ctl");
+    b.capsule_machine(
+        thermostat,
+        SmSpec::new("thermostat")
+            .state("heating")
+            .state("cooling")
+            .initial("heating")
+            .on("heating", ("plant", "too_hot"), "cooling")
+            .on("cooling", ("plant", "too_cold"), "heating"),
+    );
+    b.probe(room, "temp", "temperature");
+    let model = b.build();
+
+    // --- Behaviours: what the model's names execute as.
+    let registry = BehaviorRegistry::new()
+        .streamer("room", move || {
+            let plant = ThermalPlant {
+                capacity: 20.0,
+                loss: 1.0,
+                power: 60.0,
+                ambient: 10.0,
+                heater_on: true,
+            };
+            Box::new(
+                OdeStreamer::new("room", plant, SolverKind::Rk4.create(), &[15.0], 1e-3)
+                    .with_guard(ZeroCrossing::new(
+                        "too_hot",
+                        EventDirection::Rising,
+                        move |_t, x| x[0] - (setpoint + band),
+                    ))
+                    .with_guard(ZeroCrossing::new(
+                        "too_cold",
+                        EventDirection::Falling,
+                        move |_t, x| x[0] - (setpoint - band),
+                    ))
+                    .with_event_sport("ctl")
+                    .with_signal_handler(|msg, plant: &mut ThermalPlant, _state| {
+                        match msg.signal() {
+                            "heater_on" => plant.heater_on = true,
+                            "heater_off" => plant.heater_on = false,
+                            _ => {}
+                        }
+                    }),
+            )
+        })
+        .capsule("thermostat", || {
+            let machine = StateMachineBuilder::new("thermostat")
+                .state("heating")
+                .state("cooling")
+                .initial("heating", |_d: &mut u32, _ctx: &mut CapsuleContext| {})
+                .on("heating", ("plant", "too_hot"), "cooling", |switches, _m, ctx| {
+                    *switches += 1;
+                    ctx.send("plant", "heater_off", Value::Empty);
+                })
+                .on("cooling", ("plant", "too_cold"), "heating", |switches, _m, ctx| {
+                    *switches += 1;
+                    ctx.send("plant", "heater_on", Value::Empty);
+                })
+                .build()
+                .expect("well-formed machine");
+            Box::new(SmCapsule::new(machine, 0u32))
         });
 
-    let mut net = StreamerNetwork::new("thermal");
-    let node = net.add_streamer(streamer, &[], &[("temp", FlowType::with_unit(Unit::Kelvin))])?;
-
-    // --- Event-driven part: the thermostat capsule.
-    let machine = StateMachineBuilder::new("thermostat")
-        .state("heating")
-        .state("cooling")
-        .initial("heating", |_d: &mut u32, _ctx: &mut CapsuleContext| {})
-        .on("heating", ("plant", "too_hot"), "cooling", |switches, _m, ctx| {
-            *switches += 1;
-            ctx.send("plant", "heater_off", Value::Empty);
-        })
-        .on("cooling", ("plant", "too_cold"), "heating", |switches, _m, ctx| {
-            *switches += 1;
-            ctx.send("plant", "heater_on", Value::Empty);
-        })
-        .build()?;
-    let mut controller = Controller::new("events");
-    let thermostat = controller.add_capsule(Box::new(SmCapsule::new(machine, 0u32)));
-
-    // --- Unify: one engine, SPort bridge, a probe on the temperature.
-    let mut engine = HybridEngine::new(
-        controller,
+    // --- Compile: analyze gates, elaboration lowers, the engine runs.
+    let compiled = compile(&model, registry)?;
+    let thermostat_idx = compiled.capsule_index("thermostat").expect("capsule exists");
+    let mut engine = HybridEngine::from_compiled(
+        compiled,
         EngineConfig { step: 0.01, policy: ThreadPolicy::CurrentThread },
-    );
-    let group = engine.add_group(net)?;
-    engine.link_sport(group, node, "ctl", thermostat, "plant")?;
+    )?;
     let recorder = Recorder::new();
     engine.set_recorder(recorder.clone());
-    engine.add_probe(group, node, "temp", "temperature")?;
 
     engine.run_until(120.0)?;
 
@@ -113,7 +157,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         engine.time(),
         engine.step_count()
     );
-    println!("  final capsule state: {}", engine.controller().capsule_state(thermostat)?);
+    println!("  final capsule state: {}", engine.controller().capsule_state(thermostat_idx)?);
     println!("  settled band       : [{t_min:.2}, {t_max:.2}] degC (target {setpoint} +/- {band})");
     println!("  samples recorded   : {}", series.len());
 

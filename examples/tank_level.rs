@@ -3,23 +3,27 @@
 //! Tank 1 drains into tank 2 (Torricelli outflow), tank 2 drains away. A
 //! pump streamer fills tank 1 under on/off control from a supervisor
 //! capsule, which reacts to high/low level alarms raised by zero-crossing
-//! guards. A relay duplicates the level flow to both the controller path
-//! and a logging monitor (the paper's "two similar flows from a flow").
+//! guards. A fan-out streamer duplicates the level flow to both the
+//! monitor and an overflow meter (the paper's "two similar flows from a
+//! flow"). Declared as one `UnifiedModel` and lowered through
+//! `model → analyze → compile → run`, on dedicated solver threads.
 //!
 //! Run with: `cargo run --example tank_level`
 
+use unified_rt::analysis::compile;
+use unified_rt::core::elaborate::BehaviorRegistry;
 use unified_rt::core::engine::{EngineConfig, HybridEngine};
+use unified_rt::core::model::ModelBuilder;
 use unified_rt::core::recorder::Recorder;
 use unified_rt::core::threading::ThreadPolicy;
 use unified_rt::dataflow::flowtype::{FlowType, Unit};
-use unified_rt::dataflow::graph::StreamerNetwork;
 use unified_rt::dataflow::streamer::{FnStreamer, OdeStreamer};
 use unified_rt::ode::events::{EventDirection, ZeroCrossing};
 use unified_rt::ode::solver::SolverKind;
 use unified_rt::ode::system::InputSystem;
 use unified_rt::umlrt::capsule::{CapsuleContext, SmCapsule};
-use unified_rt::umlrt::controller::Controller;
-use unified_rt::umlrt::statemachine::StateMachineBuilder;
+use unified_rt::umlrt::protocol::{PayloadKind, Protocol};
+use unified_rt::umlrt::statemachine::{SmSpec, StateMachineBuilder};
 use unified_rt::umlrt::value::Value;
 
 /// Two gravity-drained tanks in series; pump inflow into tank 1.
@@ -56,76 +60,133 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let high = 1.2;
     let low = 0.8;
 
-    let tanks = OdeStreamer::new(
-        "tanks",
-        TwoTanks {
-            area1: 1.0,
-            area2: 1.5,
-            outflow1: 0.4,
-            outflow2: 0.3,
-            pump_rate: 0.8,
-            pump_on: true,
-        },
-        SolverKind::Rk4.create(),
-        &[1.0, 0.5],
-        1e-3,
-    )
-    .with_guard(ZeroCrossing::new("tank1_high", EventDirection::Rising, move |_t, x| x[0] - high))
-    .with_guard(ZeroCrossing::new("tank1_low", EventDirection::Falling, move |_t, x| x[0] - low))
-    .with_event_sport("alarms")
-    .with_signal_handler(|msg, tanks: &mut TwoTanks, _state| match msg.signal() {
-        "pump_on" => tanks.pump_on = true,
-        "pump_off" => tanks.pump_on = false,
-        _ => {}
-    });
-
+    // --- The unified model.
     let level_ty = FlowType::Vector { len: 2, unit: Unit::Meter };
-    let mut net = StreamerNetwork::new("tanks");
-    let tank_node = net.add_streamer(tanks, &[], &[("levels", level_ty.clone())])?;
-    let relay = net.add_relay("fanout", level_ty.clone(), 2)?;
-    let monitor = net.add_streamer(
-        FnStreamer::new("monitor", 2, 1, |_t, _h, u: &[f64], y: &mut [f64]| y[0] = u[0]),
-        &[("in", level_ty.clone())],
-        &[("level1", FlowType::with_unit(Unit::Meter))],
-    )?;
-    let overflow_meter = net.add_streamer(
-        FnStreamer::new("overflow", 2, 1, |_t, _h, u: &[f64], y: &mut [f64]| {
-            y[0] = (u[0] - 1.2).max(0.0)
-        }),
-        &[("in", level_ty)],
-        &[("excess", FlowType::with_unit(Unit::Meter))],
-    )?;
-    net.flow((tank_node, "levels"), (relay, "in"))?;
-    net.flow((relay, "out0"), (monitor, "in"))?;
-    net.flow((relay, "out1"), (overflow_meter, "in"))?;
-
-    // Supervisor capsule with hysteresis control + switch counting.
-    let machine = StateMachineBuilder::new("supervisor")
-        .state("filling")
-        .state("draining")
-        .initial("filling", |_d: &mut u32, _ctx: &mut CapsuleContext| {})
-        .on("filling", ("tanks", "tank1_high"), "draining", |n, _m, ctx| {
-            *n += 1;
-            ctx.send("tanks", "pump_off", Value::Empty);
-        })
-        .on("draining", ("tanks", "tank1_low"), "filling", |n, _m, ctx| {
-            *n += 1;
-            ctx.send("tanks", "pump_on", Value::Empty);
-        })
-        .build()?;
-    let mut controller = Controller::new("events");
-    let supervisor = controller.add_capsule(Box::new(SmCapsule::new(machine, 0u32)));
-
-    let mut engine = HybridEngine::new(
-        controller,
-        EngineConfig { step: 0.02, policy: ThreadPolicy::DedicatedThreads },
+    let mut b = ModelBuilder::new("two-tank");
+    let supervisor = b.capsule("supervisor");
+    let tanks = b.streamer("tanks", "rk4");
+    let fanout = b.streamer("fanout", "euler");
+    let monitor = b.streamer("monitor", "euler");
+    let overflow = b.streamer("overflow", "euler");
+    b.streamer_out(tanks, "levels", level_ty.clone());
+    b.streamer_feedthrough(tanks, false); // levels integrate the flows
+    b.streamer_in(fanout, "in", level_ty.clone());
+    b.streamer_out(fanout, "out0", level_ty.clone());
+    b.streamer_out(fanout, "out1", level_ty.clone());
+    b.streamer_in(monitor, "in", level_ty.clone());
+    b.streamer_out(monitor, "level1", FlowType::with_unit(Unit::Meter));
+    b.streamer_in(overflow, "in", level_ty);
+    b.streamer_out(overflow, "excess", FlowType::with_unit(Unit::Meter));
+    b.flow_between_streamers(tanks, "levels", fanout, "in");
+    b.flow_between_streamers(fanout, "out0", monitor, "in");
+    b.flow_between_streamers(fanout, "out1", overflow, "in");
+    b.declare_protocol(
+        Protocol::new("TankAlarms")
+            .with_in("tank1_high", PayloadKind::Real)
+            .with_in("tank1_low", PayloadKind::Real)
+            .with_out("pump_on", PayloadKind::Empty)
+            .with_out("pump_off", PayloadKind::Empty),
     );
-    let group = engine.add_group(net)?;
-    engine.link_sport(group, tank_node, "alarms", supervisor, "tanks")?;
+    b.streamer_sport(tanks, "alarms", "TankAlarms");
+    b.capsule_sport(supervisor, "tanks", "TankAlarms");
+    b.sport_link(supervisor, "tanks", tanks, "alarms");
+    b.capsule_machine(
+        supervisor,
+        SmSpec::new("supervisor")
+            .state("filling")
+            .state("draining")
+            .initial("filling")
+            .on("filling", ("tanks", "tank1_high"), "draining")
+            .on("draining", ("tanks", "tank1_low"), "filling"),
+    );
+    b.probe(monitor, "level1", "level1");
+    b.probe(overflow, "excess", "excess");
+    let model = b.build();
+
+    // --- Behaviours.
+    let registry = BehaviorRegistry::new()
+        .streamer("tanks", move || {
+            Box::new(
+                OdeStreamer::new(
+                    "tanks",
+                    TwoTanks {
+                        area1: 1.0,
+                        area2: 1.5,
+                        outflow1: 0.4,
+                        outflow2: 0.3,
+                        pump_rate: 0.8,
+                        pump_on: true,
+                    },
+                    SolverKind::Rk4.create(),
+                    &[1.0, 0.5],
+                    1e-3,
+                )
+                .with_guard(ZeroCrossing::new(
+                    "tank1_high",
+                    EventDirection::Rising,
+                    move |_t, x| x[0] - high,
+                ))
+                .with_guard(ZeroCrossing::new(
+                    "tank1_low",
+                    EventDirection::Falling,
+                    move |_t, x| x[0] - low,
+                ))
+                .with_event_sport("alarms")
+                .with_signal_handler(|msg, tanks: &mut TwoTanks, _state| match msg
+                    .signal()
+                {
+                    "pump_on" => tanks.pump_on = true,
+                    "pump_off" => tanks.pump_on = false,
+                    _ => {}
+                }),
+            )
+        })
+        .streamer("fanout", || {
+            Box::new(FnStreamer::new("fanout", 2, 4, |_t, _h, u: &[f64], y: &mut [f64]| {
+                y[0] = u[0];
+                y[1] = u[1];
+                y[2] = u[0];
+                y[3] = u[1];
+            }))
+        })
+        .streamer("monitor", || {
+            Box::new(FnStreamer::new("monitor", 2, 1, |_t, _h, u: &[f64], y: &mut [f64]| {
+                y[0] = u[0];
+            }))
+        })
+        .streamer("overflow", || {
+            Box::new(FnStreamer::new("overflow", 2, 1, |_t, _h, u: &[f64], y: &mut [f64]| {
+                y[0] = (u[0] - 1.2).max(0.0);
+            }))
+        })
+        .capsule("supervisor", || {
+            // Hysteresis control + switch counting.
+            let machine = StateMachineBuilder::new("supervisor")
+                .state("filling")
+                .state("draining")
+                .initial("filling", |_d: &mut u32, _ctx: &mut CapsuleContext| {})
+                .on("filling", ("tanks", "tank1_high"), "draining", |n, _m, ctx| {
+                    *n += 1;
+                    ctx.send("tanks", "pump_off", Value::Empty);
+                })
+                .on("draining", ("tanks", "tank1_low"), "filling", |n, _m, ctx| {
+                    *n += 1;
+                    ctx.send("tanks", "pump_on", Value::Empty);
+                })
+                .build()
+                .expect("well-formed machine");
+            Box::new(SmCapsule::new(machine, 0u32))
+        });
+
+    // --- Compile and run on dedicated solver threads.
+    let compiled = compile(&model, registry)?;
+    let supervisor_idx = compiled.capsule_index("supervisor").expect("capsule exists");
+    let mut engine = HybridEngine::from_compiled(
+        compiled,
+        EngineConfig { step: 0.02, policy: ThreadPolicy::DedicatedThreads },
+    )?;
     let recorder = Recorder::new();
     engine.set_recorder(recorder.clone());
-    engine.add_probe(group, monitor, "level1", "level1")?;
-    engine.add_probe(group, overflow_meter, "excess", "excess")?;
 
     engine.run_until(120.0)?;
 
@@ -135,10 +196,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let hi = settled.iter().copied().fold(f64::NEG_INFINITY, f64::max);
     let worst_excess = recorder.series("excess").iter().map(|(_, v)| *v).fold(0.0f64, f64::max);
 
-    println!("two-tank level control (relay fan-out, dedicated threads)");
+    println!("two-tank level control (fan-out, dedicated threads)");
     println!("  level band after settling: [{lo:.3}, {hi:.3}] m (target [0.8, 1.2])");
     println!("  worst overflow excess    : {worst_excess:.4} m");
-    println!("  supervisor state         : {}", engine.controller().capsule_state(supervisor)?);
+    println!("  supervisor state         : {}", engine.controller().capsule_state(supervisor_idx)?);
 
     assert!(lo > low - 0.1 && hi < high + 0.1, "hysteresis holds the band");
     assert!(worst_excess < 0.1, "no substantial overflow");

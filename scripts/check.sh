@@ -32,10 +32,20 @@ if cargo run -q --offline -p urt-analysis --bin urt-lint -- seeded-violations >/
     exit 1
 fi
 
+echo "==> urt-elab-smoke (model -> analyze -> compile -> run)"
+elab_out="$(cargo run -q --offline -p urt-analysis --bin urt-elab-smoke)"
+case "$elab_out" in
+    *'urt-elab-smoke: PASS') ;;
+    *)
+        echo "unexpected urt-elab-smoke output: $elab_out" >&2
+        exit 1
+        ;;
+esac
+
 echo "==> bench_engine --smoke"
 bench_json="$(cargo run -q --release --offline -p urt-bench --bin bench_engine -- --smoke)"
 case "$bench_json" in
-    '{"schema":"bench_engine/v1","smoke":true,'*'"steps_per_sec":'*) ;;
+    '{"schema":"bench_engine/v2","smoke":true,'*'"steps_per_sec":'*) ;;
     *)
         echo "unexpected bench_engine --smoke output: $bench_json" >&2
         exit 1

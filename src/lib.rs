@@ -18,49 +18,53 @@
 //!   thread assignment and the hybrid co-simulation engine.
 //! * [`analysis`] — whole-model static analysis: every Table-1 rule plus
 //!   graph, state-machine and thread-plan lints, collected as structured
-//!   `URTxxx` diagnostics (the `urt-lint` binary fronts it).
+//!   `URTxxx` diagnostics (the `urt-lint` binary fronts it) — and
+//!   [`compile`], the gated `model → analyze → compile → run` entry
+//!   point.
 //! * [`codegen`] — model-to-Rust code generation.
 //! * [`baselines`] — the Bichler and Kühl related-work baselines.
 //!
 //! # Quickstart
 //!
+//! The one pipeline is `model → analyze → compile → run`: declare the
+//! system once, bind behaviours to its names, and let [`compile`] gate
+//! the model through the whole-model analyzer before lowering it into an
+//! executable [`core::elaborate::CompiledSystem`].
+//!
 //! ```
+//! use unified_rt::compile;
+//! use unified_rt::core::elaborate::BehaviorRegistry;
 //! use unified_rt::core::engine::{EngineConfig, HybridEngine};
+//! use unified_rt::core::model::ModelBuilder;
 //! use unified_rt::core::threading::ThreadPolicy;
 //! use unified_rt::dataflow::flowtype::FlowType;
-//! use unified_rt::dataflow::graph::StreamerNetwork;
 //! use unified_rt::dataflow::streamer::FnStreamer;
-//! use unified_rt::umlrt::capsule::{CapsuleContext, SmCapsule};
-//! use unified_rt::umlrt::controller::Controller;
-//! use unified_rt::umlrt::statemachine::StateMachineBuilder;
 //!
 //! # fn main() -> Result<(), Box<dyn std::error::Error>> {
-//! // Continuous part: a streamer network.
-//! let mut net = StreamerNetwork::new("plant");
-//! net.add_streamer(
-//!     FnStreamer::new("wave", 0, 1, |t, _h, _u, y| y[0] = t.cos()),
-//!     &[],
-//!     &[("y", FlowType::scalar())],
-//! )?;
+//! // One declarative model: a wave source observed by a probe.
+//! let mut b = ModelBuilder::new("hello");
+//! let wave = b.streamer("wave", "rk4");
+//! b.streamer_out(wave, "y", FlowType::scalar());
+//! b.probe(wave, "y", "wave.y");
+//! let model = b.build();
 //!
-//! // Event-driven part: a capsule controller.
-//! let sm = StateMachineBuilder::new("monitor")
-//!     .state("on")
-//!     .initial("on", |_d: &mut (), _ctx: &mut CapsuleContext| {})
-//!     .build()?;
-//! let mut controller = Controller::new("events");
-//! controller.add_capsule(Box::new(SmCapsule::new(sm, ())));
+//! // Behaviours bind the model's names to executable code.
+//! let registry = BehaviorRegistry::new().streamer("wave", || {
+//!     Box::new(FnStreamer::new("wave", 0, 1, |t, _h, _u, y| y[0] = t.cos()))
+//! });
 //!
-//! // Unified execution.
-//! let mut engine = HybridEngine::new(
-//!     controller,
+//! // Analyze, lower, run.
+//! let compiled = compile(&model, registry)?;
+//! let mut engine = HybridEngine::from_compiled(
+//!     compiled,
 //!     EngineConfig { step: 1e-3, policy: ThreadPolicy::CurrentThread },
-//! );
-//! engine.add_group(net)?;
+//! )?;
 //! engine.run_until(0.25)?;
 //! # Ok(())
 //! # }
 //! ```
+
+pub use urt_analysis::compile;
 
 pub use urt_analysis as analysis;
 pub use urt_baselines as baselines;

@@ -1,0 +1,309 @@
+//! Elaboration equivalence: lowering a declarative `UnifiedModel` through
+//! `compile` (analyze → elaborate) must produce an engine whose behaviour
+//! is *bit-identical* to the same system wired by hand against the
+//! runtime APIs — recorder series, final capsule states, delivered
+//! counts, step counts, and final times, under both threading policies.
+//! Elaboration is a change of notation, never a change of semantics.
+//!
+//! Two workloads are pinned:
+//!
+//! * **fig2** — the paper's Figure 2 streamer network (source, fan-out,
+//!   two consumers). The hand-wired form routes the fan-out through an
+//!   explicit relay node; the elaborated form duplicates the flow
+//!   directly. Relays copy samples exactly, so the two topologies must
+//!   agree to the last bit.
+//! * **quickstart** — the bang-bang thermostat: an ODE streamer with
+//!   zero-crossing guards SPort-linked to a thermostat capsule.
+
+use unified_rt::analysis::compile;
+use unified_rt::core::elaborate::BehaviorRegistry;
+use unified_rt::core::engine::{EngineConfig, HybridEngine};
+use unified_rt::core::model::ModelBuilder;
+use unified_rt::core::recorder::Recorder;
+use unified_rt::core::threading::ThreadPolicy;
+use unified_rt::dataflow::flowtype::{FlowType, Unit};
+use unified_rt::dataflow::graph::StreamerNetwork;
+use unified_rt::dataflow::streamer::{FnStreamer, OdeStreamer, StreamerBehavior};
+use unified_rt::ode::events::{EventDirection, ZeroCrossing};
+use unified_rt::ode::solver::SolverKind;
+use unified_rt::ode::system::InputSystem;
+use unified_rt::umlrt::capsule::{CapsuleContext, SmCapsule};
+use unified_rt::umlrt::controller::Controller;
+use unified_rt::umlrt::protocol::{PayloadKind, Protocol};
+use unified_rt::umlrt::statemachine::{SmSpec, StateMachineBuilder};
+use unified_rt::umlrt::value::Value;
+
+/// Everything observable about a finished run, captured for bitwise
+/// comparison.
+struct Run {
+    series: Vec<(String, Vec<(f64, f64)>)>,
+    final_state: Option<String>,
+    delivered: u64,
+    step_count: u64,
+    time: f64,
+}
+
+fn capture(engine: &HybridEngine, rec: &Recorder, capsule: Option<usize>) -> Run {
+    Run {
+        series: rec.names().into_iter().map(|n| (n.clone(), rec.series(&n))).collect(),
+        final_state: capsule
+            .map(|c| engine.controller().capsule_state(c).expect("capsule state").to_owned()),
+        delivered: engine.controller().delivered_count(),
+        step_count: engine.step_count(),
+        time: engine.time(),
+    }
+}
+
+fn assert_bit_identical(wired: &Run, compiled: &Run, what: &str) {
+    assert_eq!(wired.step_count, compiled.step_count, "{what}: same number of macro steps");
+    assert_eq!(wired.time.to_bits(), compiled.time.to_bits(), "{what}: bit-identical final time");
+    assert_eq!(wired.final_state, compiled.final_state, "{what}: same capsule state");
+    assert_eq!(wired.delivered, compiled.delivered, "{what}: same delivered event count");
+    assert_eq!(wired.series.len(), compiled.series.len(), "{what}: same probe count");
+    for ((name_a, a), (name_b, b)) in wired.series.iter().zip(&compiled.series) {
+        assert_eq!(name_a, name_b, "{what}: same probe names");
+        assert_eq!(a.len(), b.len(), "{what}: series `{name_a}` lengths");
+        for (k, ((t1, v1), (t2, v2))) in a.iter().zip(b).enumerate() {
+            assert_eq!(t1.to_bits(), t2.to_bits(), "{what}: series `{name_a}` sample {k} time");
+            assert_eq!(v1.to_bits(), v2.to_bits(), "{what}: series `{name_a}` sample {k} value");
+        }
+    }
+}
+
+// ---------------------------------------------------------------- fig2
+
+fn fig2_source() -> Box<dyn StreamerBehavior> {
+    Box::new(FnStreamer::new("sub1", 0, 1, |t: f64, _h, _u: &[f64], y: &mut [f64]| {
+        y[0] = (2.0 * t).sin();
+    }))
+}
+
+fn fig2_doubler() -> Box<dyn StreamerBehavior> {
+    Box::new(FnStreamer::new("sub2", 1, 1, |_t, _h, u: &[f64], y: &mut [f64]| y[0] = 2.0 * u[0]))
+}
+
+fn fig2_squarer() -> Box<dyn StreamerBehavior> {
+    Box::new(FnStreamer::new("sub3", 1, 1, |_t, _h, u: &[f64], y: &mut [f64]| y[0] = u[0] * u[0]))
+}
+
+/// Hand-wired Figure 2, with the fan-out routed through an explicit
+/// relay node (the pre-elaboration idiom).
+fn fig2_wired(policy: ThreadPolicy, t_end: f64) -> Run {
+    let mut net = StreamerNetwork::new("fig2");
+    let sub1 =
+        net.add_streamer_boxed(fig2_source(), &[], &[("y", FlowType::scalar())]).expect("sub1");
+    let relay = net.add_relay("relay", FlowType::scalar(), 2).expect("relay");
+    let sub2 = net
+        .add_streamer_boxed(
+            fig2_doubler(),
+            &[("u", FlowType::scalar())],
+            &[("y", FlowType::scalar())],
+        )
+        .expect("sub2");
+    let sub3 = net
+        .add_streamer_boxed(
+            fig2_squarer(),
+            &[("u", FlowType::scalar())],
+            &[("y", FlowType::scalar())],
+        )
+        .expect("sub3");
+    net.flow((sub1, "y"), (relay, "in")).expect("flow 1");
+    net.flow((relay, "out0"), (sub2, "u")).expect("flow 2");
+    net.flow((relay, "out1"), (sub3, "u")).expect("flow 3");
+
+    let mut engine = HybridEngine::new(Controller::new("ev"), EngineConfig { step: 0.01, policy });
+    let g = engine.add_group(net).expect("group");
+    let rec = Recorder::new();
+    engine.set_recorder(rec.clone());
+    engine.add_probe(g, sub2, "y", "sub2.y").expect("probe sub2");
+    engine.add_probe(g, sub3, "y", "sub3.y").expect("probe sub3");
+    engine.run_until(t_end).expect("run");
+    capture(&engine, &rec, None)
+}
+
+/// The same Figure 2 declared as a model (container streamer, fan-out as
+/// two similar flows) and lowered through `compile`.
+fn fig2_compiled(policy: ThreadPolicy, t_end: f64) -> Run {
+    let mut b = ModelBuilder::new("fig2");
+    let top = b.streamer("top", "rk4");
+    let sub1 = b.streamer("sub1", "rk4");
+    let sub2 = b.streamer("sub2", "euler");
+    let sub3 = b.streamer("sub3", "euler");
+    b.contain_streamer(sub1, top);
+    b.contain_streamer(sub2, top);
+    b.contain_streamer(sub3, top);
+    b.streamer_out(sub1, "y", FlowType::scalar());
+    b.streamer_in(sub2, "u", FlowType::scalar());
+    b.streamer_out(sub2, "y", FlowType::scalar());
+    b.streamer_in(sub3, "u", FlowType::scalar());
+    b.streamer_out(sub3, "y", FlowType::scalar());
+    b.flow_between_streamers(sub1, "y", sub2, "u");
+    b.flow_between_streamers(sub1, "y", sub3, "u");
+    b.probe(sub2, "y", "sub2.y");
+    b.probe(sub3, "y", "sub3.y");
+    let model = b.build();
+
+    let registry = BehaviorRegistry::new()
+        .streamer("sub1", fig2_source)
+        .streamer("sub2", fig2_doubler)
+        .streamer("sub3", fig2_squarer);
+    let compiled = compile(&model, registry).expect("fig2 compiles");
+    assert!(compiled.streamer_node("top").is_none(), "containers contribute no nodes");
+    let mut engine =
+        HybridEngine::from_compiled(compiled, EngineConfig { step: 0.01, policy }).expect("engine");
+    let rec = Recorder::new();
+    engine.set_recorder(rec.clone());
+    engine.run_until(t_end).expect("run");
+    capture(&engine, &rec, None)
+}
+
+// ----------------------------------------------------------- quickstart
+
+struct ThermalPlant {
+    heater_on: bool,
+}
+
+impl InputSystem for ThermalPlant {
+    fn dim(&self) -> usize {
+        1
+    }
+
+    fn input_dim(&self) -> usize {
+        0
+    }
+
+    fn derivatives(&self, _t: f64, x: &[f64], _u: &[f64], dx: &mut [f64]) {
+        let heating = if self.heater_on { 60.0 } else { 0.0 };
+        dx[0] = (heating - (x[0] - 10.0)) / 20.0;
+    }
+}
+
+const SETPOINT: f64 = 22.0;
+const BAND: f64 = 0.5;
+
+fn room_streamer() -> Box<OdeStreamer<ThermalPlant>> {
+    let plant = ThermalPlant { heater_on: true };
+    Box::new(
+        OdeStreamer::new("room", plant, SolverKind::Rk4.create(), &[15.0], 1e-3)
+            .with_guard(ZeroCrossing::new("too_hot", EventDirection::Rising, |_t, x| {
+                x[0] - (SETPOINT + BAND)
+            }))
+            .with_guard(ZeroCrossing::new("too_cold", EventDirection::Falling, |_t, x| {
+                x[0] - (SETPOINT - BAND)
+            }))
+            .with_event_sport("ctl")
+            .with_signal_handler(|msg, plant: &mut ThermalPlant, _state| match msg.signal() {
+                "heater_on" => plant.heater_on = true,
+                "heater_off" => plant.heater_on = false,
+                _ => {}
+            }),
+    )
+}
+
+fn thermostat_capsule() -> Box<SmCapsule<u32>> {
+    let machine = StateMachineBuilder::new("thermostat")
+        .state("heating")
+        .state("cooling")
+        .initial("heating", |_d: &mut u32, _ctx: &mut CapsuleContext| {})
+        .on("heating", ("plant", "too_hot"), "cooling", |switches, _m, ctx| {
+            *switches += 1;
+            ctx.send("plant", "heater_off", Value::Empty);
+        })
+        .on("cooling", ("plant", "too_cold"), "heating", |switches, _m, ctx| {
+            *switches += 1;
+            ctx.send("plant", "heater_on", Value::Empty);
+        })
+        .build()
+        .expect("well-formed machine");
+    Box::new(SmCapsule::new(machine, 0u32))
+}
+
+/// The thermostat wired by hand: explicit network, controller, SPort
+/// link, and probe (the pre-elaboration idiom).
+fn quickstart_wired(policy: ThreadPolicy, t_end: f64) -> Run {
+    let mut net = StreamerNetwork::new("thermal");
+    let node = net
+        .add_streamer(*room_streamer(), &[], &[("temp", FlowType::with_unit(Unit::Kelvin))])
+        .expect("room");
+    let mut controller = Controller::new("events");
+    let thermostat = controller.add_capsule(thermostat_capsule());
+    let mut engine = HybridEngine::new(controller, EngineConfig { step: 0.01, policy });
+    let group = engine.add_group(net).expect("group");
+    engine.link_sport(group, node, "ctl", thermostat, "plant").expect("link");
+    let rec = Recorder::new();
+    engine.set_recorder(rec.clone());
+    engine.add_probe(group, node, "temp", "temperature").expect("probe");
+    engine.run_until(t_end).expect("run");
+    capture(&engine, &rec, Some(thermostat))
+}
+
+/// The same thermostat declared as a model and lowered through `compile`.
+fn quickstart_compiled(policy: ThreadPolicy, t_end: f64) -> Run {
+    let mut b = ModelBuilder::new("thermostat-quickstart");
+    let room = b.streamer("room", "rk4");
+    let thermostat = b.capsule("thermostat");
+    b.streamer_out(room, "temp", FlowType::with_unit(Unit::Kelvin));
+    b.streamer_feedthrough(room, false);
+    b.declare_protocol(
+        Protocol::new("RoomCtl")
+            .with_in("too_hot", PayloadKind::Empty)
+            .with_in("too_cold", PayloadKind::Empty)
+            .with_out("heater_on", PayloadKind::Empty)
+            .with_out("heater_off", PayloadKind::Empty),
+    );
+    b.streamer_sport(room, "ctl", "RoomCtl");
+    b.capsule_sport(thermostat, "plant", "RoomCtl");
+    b.sport_link(thermostat, "plant", room, "ctl");
+    b.capsule_machine(
+        thermostat,
+        SmSpec::new("thermostat")
+            .state("heating")
+            .state("cooling")
+            .initial("heating")
+            .on("heating", ("plant", "too_hot"), "cooling")
+            .on("cooling", ("plant", "too_cold"), "heating"),
+    );
+    b.probe(room, "temp", "temperature");
+    let model = b.build();
+
+    let registry = BehaviorRegistry::new()
+        .streamer("room", || room_streamer())
+        .capsule("thermostat", || thermostat_capsule());
+    let compiled = compile(&model, registry).expect("quickstart compiles");
+    let cap = compiled.capsule_index("thermostat").expect("capsule exists");
+    let mut engine =
+        HybridEngine::from_compiled(compiled, EngineConfig { step: 0.01, policy }).expect("engine");
+    let rec = Recorder::new();
+    engine.set_recorder(rec.clone());
+    engine.run_until(t_end).expect("run");
+    capture(&engine, &rec, Some(cap))
+}
+
+// ---------------------------------------------------------------- tests
+
+#[test]
+fn fig2_elaboration_is_bit_identical_to_hand_wiring() {
+    for policy in [ThreadPolicy::CurrentThread, ThreadPolicy::DedicatedThreads] {
+        let wired = fig2_wired(policy, 2.0);
+        let lowered = fig2_compiled(policy, 2.0);
+        assert_bit_identical(&wired, &lowered, &format!("fig2/{policy}"));
+        // The run is not degenerate: both probes carried samples.
+        assert_eq!(wired.series.len(), 2, "fig2/{policy}: both probes present");
+        assert!(
+            wired.series.iter().all(|(_, s)| s.len() == 200),
+            "fig2/{policy}: 200 samples per probe"
+        );
+    }
+}
+
+#[test]
+fn quickstart_elaboration_is_bit_identical_to_hand_wiring() {
+    for policy in [ThreadPolicy::CurrentThread, ThreadPolicy::DedicatedThreads] {
+        let wired = quickstart_wired(policy, 120.0);
+        let lowered = quickstart_compiled(policy, 120.0);
+        assert_bit_identical(&wired, &lowered, &format!("quickstart/{policy}"));
+        // The closed loop actually switched — this is not an idle run.
+        assert!(wired.delivered >= 2, "quickstart/{policy}: the thermostat saw crossings");
+        assert_eq!(wired.final_state.as_deref(), lowered.final_state.as_deref());
+    }
+}
