@@ -50,13 +50,16 @@ fn main() -> ExitCode {
         println!("urt-elab-smoke: `{name}` ok ({groups} group(s), {MACRO_STEPS} steps)");
     }
 
-    // The seeded model must be refused by the analysis gate.
-    let seeded = examples::by_name("seeded-violations").expect("catalogue name");
-    match compile(&seeded, stubs::stub_registry(&seeded)) {
-        Err(e) => println!("urt-elab-smoke: `seeded-violations` refused as expected: {e}"),
-        Ok(_) => {
-            eprintln!("urt-elab-smoke: `seeded-violations` compiled — the gate is broken");
-            failed = true;
+    // The seeded models must be refused by the analysis gate — including
+    // the cross-group algebraic loop that fail-fast `validate()` misses.
+    for name in ["seeded-violations", "seeded-cross-loop"] {
+        let seeded = examples::by_name(name).expect("catalogue name");
+        match compile(&seeded, stubs::stub_registry(&seeded)) {
+            Err(e) => println!("urt-elab-smoke: `{name}` refused as expected: {e}"),
+            Ok(_) => {
+                eprintln!("urt-elab-smoke: `{name}` compiled — the gate is broken");
+                failed = true;
+            }
         }
     }
 

@@ -12,7 +12,7 @@
 use std::process::ExitCode;
 use urt_analysis::{analyze, examples, render_json_report, severity_counts};
 
-const USAGE: &str = "usage: urt-lint [--json] [--list] [MODEL...]\n       models: built-in names (see --list), plus `seeded-violations`";
+const USAGE: &str = "usage: urt-lint [--json] [--list] [MODEL...]\n       models: built-in names (see --list), plus `seeded-violations` and `seeded-cross-loop`";
 
 fn main() -> ExitCode {
     let mut json = false;
@@ -39,6 +39,7 @@ fn main() -> ExitCode {
             println!("{name}");
         }
         println!("seeded-violations");
+        println!("seeded-cross-loop");
         return ExitCode::SUCCESS;
     }
 

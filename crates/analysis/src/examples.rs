@@ -4,7 +4,9 @@
 //! error diagnostics** (warnings are allowed); [`seeded_violations`]
 //! returns a deliberately broken model that trips at least three distinct
 //! rules (flow-type subset, algebraic loop, unreachable state) for
-//! exercising the collected-diagnostics path.
+//! exercising the collected-diagnostics path, and [`seeded_cross_loop`]
+//! a zero-delay algebraic loop spanning two thread groups that only the
+//! whole-model analyzer (not fail-fast `validate()`) can refuse.
 
 use urt_core::model::{FlowEnd, ModelBuilder, UnifiedModel};
 use urt_dataflow::flowtype::{FlowType, Unit};
@@ -32,6 +34,7 @@ pub fn by_name(name: &str) -> Option<UnifiedModel> {
         "inverted-pendulum" => Some(inverted_pendulum()),
         "bouncing-ball" => Some(bouncing_ball()),
         "seeded-violations" => Some(seeded_violations()),
+        "seeded-cross-loop" => Some(seeded_cross_loop()),
         _ => None,
     }
 }
@@ -51,6 +54,9 @@ pub fn demo() -> UnifiedModel {
     b.flow_between_streamers(plant, "y", filter, "u");
     b.flow_between_streamers(filter, "smoothed", recorder, "u");
     b.streamer_feedthrough(plant, false); // integrates its state
+                                          // The plant->filter flow crosses thread groups (0 -> 1): the filter
+                                          // must be non-feedthrough so the channel's one-step delay is sound.
+    b.streamer_feedthrough(filter, false);
     b.declare_protocol(
         Protocol::new("PlantCtl")
             .with_in("start", PayloadKind::Empty)
@@ -133,6 +139,10 @@ pub fn cruise_control() -> UnifiedModel {
     );
     b.flow_between_streamers(controller, "force", vehicle, "force");
     b.streamer_feedthrough(vehicle, false); // speed integrates force
+                                            // vehicle and controller sit on different threads: the controller
+                                            // reads the previous step's speed sample through the cross-group
+                                            // channel, so it must be non-feedthrough too.
+    b.streamer_feedthrough(controller, false);
     b.declare_protocol(
         Protocol::new("CruiseCtl")
             .with_in("set", PayloadKind::Real)
@@ -280,6 +290,27 @@ pub fn seeded_violations() -> UnifiedModel {
     b.build()
 }
 
+/// A model seeded with an **illegal zero-delay cross-group algebraic
+/// loop**: two direct-feedthrough streamers on different threads feeding
+/// each other (`URT007` + `URT206` + `URT207`). It passes the fail-fast
+/// Table 1 `validate()` — only the whole-model analyzer catches it, so
+/// the elaboration gate must refuse it.
+pub fn seeded_cross_loop() -> UnifiedModel {
+    let mut b = ModelBuilder::new("seeded-cross-loop");
+    let s1 = b.streamer("alpha", "rk4");
+    let s2 = b.streamer("beta", "euler");
+    b.streamer_out(s1, "y", FlowType::scalar());
+    b.streamer_in(s1, "u", FlowType::scalar());
+    b.streamer_out(s2, "y", FlowType::scalar());
+    b.streamer_in(s2, "u", FlowType::scalar());
+    b.flow_between_streamers(s1, "y", s2, "u");
+    b.flow_between_streamers(s2, "y", s1, "u");
+    // Both keep the default direct feedthrough; the loop crosses groups.
+    b.assign_thread(s1, 0);
+    b.assign_thread(s2, 1);
+    b.build()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -291,11 +322,24 @@ mod tests {
             model.validate().unwrap_or_else(|e| panic!("example `{name}`: {e}"));
         }
         assert!(by_name("seeded-violations").is_some());
+        assert!(by_name("seeded-cross-loop").is_some());
         assert!(by_name("nope").is_none());
     }
 
     #[test]
     fn seeded_model_fails_validation() {
         assert!(seeded_violations().validate().is_err());
+    }
+
+    #[test]
+    fn seeded_cross_loop_passes_validation_but_not_analysis() {
+        // The fail-fast Table 1 check misses it...
+        seeded_cross_loop().validate().expect("Table 1 rules alone cannot see the loop");
+        // ...the whole-model analyzer does not.
+        let diags = crate::analyze(&seeded_cross_loop());
+        let codes: Vec<&str> = diags.iter().map(|d| d.code).collect();
+        assert!(codes.contains(&"URT007"), "algebraic loop, got {codes:?}");
+        assert!(codes.contains(&"URT206"), "rendezvous deadlock, got {codes:?}");
+        assert!(codes.contains(&"URT207"), "cross-group feedthrough, got {codes:?}");
     }
 }

@@ -21,6 +21,11 @@
 //!    initial states.
 //! 4. **Thread-plan deadlock** ([`thread_pass`]) — a wait-for graph over
 //!    the solver threads' data rendezvous; cycles are deadlocks.
+//! 5. **Cross-group flows** ([`flow_pass`]) — classifies every effective
+//!    flow as intra- or cross-thread-group: cross-group flows into
+//!    direct-feedthrough consumers are errors (`URT207`, the channel's
+//!    one-macro-step delay would break a zero-delay algebraic path);
+//!    legal ones report the induced delay.
 //!
 //! [`analyze_network`] runs the network half over an executable
 //! [`StreamerNetwork`]: undriven inputs, algebraic loops, dead outputs and
@@ -48,6 +53,7 @@
 
 pub mod diagnostic;
 pub mod examples;
+pub mod flow_pass;
 pub mod machine_pass;
 pub mod model_pass;
 pub mod network_pass;
@@ -68,6 +74,7 @@ pub fn analyze(model: &UnifiedModel) -> Vec<Diagnostic> {
     model_pass::run(model, &mut out);
     machine_pass::run(model, &mut out);
     thread_pass::run(model, &mut out);
+    flow_pass::run(model, &mut out);
     out.sort_by_key(|d| d.severity);
     out
 }

@@ -1,26 +1,36 @@
 //! Steady-state engine benchmark: macro steps per second through the full
 //! hybrid hot path (clock, signal routing, probe recording) for each
-//! thread policy across 1/2/4 streamer groups, on two workloads:
+//! thread policy across 1/2/4 streamer groups, on three workloads:
 //!
 //! * `fig2` — the paper's Figure 2 topology per group (fan-out, pure
 //!   dataflow; measures engine/framework overhead);
 //! * `vdp` — one RK4-integrated Van der Pol oscillator per group
-//!   (measures the solver-dominated regime).
+//!   (measures the solver-dominated regime);
+//! * `chain` — an 8-stage lag pipeline split *across* the groups via
+//!   cross-group double-buffered channels (measures the inter-group
+//!   dataflow the dedicated-threads policy exists for).
 //!
 //! Each configuration is measured along both construction paths:
 //!
-//! * `wired` — the engine assembled by hand (`add_group`/`add_probe`),
-//!   as in the pre-elaboration era (the fig2 fan-out uses an explicit
-//!   relay node);
+//! * `wired` — the engine assembled by hand (`add_group`/`add_probe`,
+//!   plus `export_input`/`link_flow` for the chain's channels);
 //! * `compiled` — the same system declared as a `UnifiedModel` and
-//!   lowered through `model → analyze → compile → run` (the fan-out is
-//!   two flows from one output, no relay node).
+//!   lowered through `model → analyze → compile → run`.
 //!
-//! Every run attaches a recorder probe per group so the measured loop is
-//! the same one real simulations pay for. Results are written as
-//! hand-rolled JSON (hermetic, no registry deps) to
-//! `results/BENCH_engine.json` — the baseline future perf PRs are
-//! measured against.
+//! And, under `dedicated-threads`, along a `batch` axis:
+//!
+//! * `k1` — `set_max_batch(1)`, one worker rendezvous per macro step
+//!   (the pre-batching schedule);
+//! * `auto` — the coordinator batches every step it can prove needs no
+//!   signal exchange or coordinator-side work.
+//!
+//! Every run attaches a recorder probe so the measured loop is the same
+//! one real simulations pay for. Results are written as hand-rolled JSON
+//! (hermetic, no registry deps) to `results/BENCH_engine.json` — the
+//! baseline future perf PRs are measured against. In `--smoke` mode the
+//! binary also *self-asserts* that the batched dedicated-threads path is
+//! no slower than `k1` in aggregate, exiting non-zero otherwise, so the
+//! rendezvous amortization cannot silently regress.
 //!
 //! Run with: `cargo run --release -p urt-bench --bin bench_engine`
 //! (`--smoke` runs a few hundred steps and prints the JSON to stdout
@@ -36,15 +46,17 @@ use urt_core::recorder::Recorder;
 use urt_core::threading::ThreadPolicy;
 use urt_dataflow::flowtype::FlowType;
 use urt_dataflow::graph::StreamerNetwork;
-use urt_dataflow::streamer::{FnStreamer, OdeStreamer};
+use urt_dataflow::streamer::{FnStreamer, OdeStreamer, StreamerBehavior};
 use urt_ode::solver::SolverKind;
 use urt_ode::system::library::VanDerPol;
 use urt_ode::system::OdeSystem;
+use urt_ode::SolveError;
 use urt_umlrt::capsule::{CapsuleContext, SmCapsule};
 use urt_umlrt::controller::Controller;
 use urt_umlrt::statemachine::{SmSpec, StateMachineBuilder};
 
 const STEP: f64 = 1e-3;
+const CHAIN_STAGES: usize = 8;
 const USAGE: &str = "usage: bench_engine [--smoke] [--out PATH]";
 
 /// A Van der Pol oscillator with input dimension zero, usable as an
@@ -73,10 +85,76 @@ fn vdp_streamer(name: &str) -> OdeStreamer<Vdp> {
     )
 }
 
+/// Non-feedthrough chain source: y = sin(2 t) at the step start.
+struct ChainSrc {
+    name: String,
+}
+
+impl StreamerBehavior for ChainSrc {
+    fn name(&self) -> &str {
+        &self.name
+    }
+    fn input_width(&self) -> usize {
+        0
+    }
+    fn output_width(&self) -> usize {
+        1
+    }
+    fn direct_feedthrough(&self) -> bool {
+        false
+    }
+    fn advance(&mut self, t: f64, _h: f64, _u: &[f64], y: &mut [f64]) -> Result<(), SolveError> {
+        y[0] = (2.0 * t).sin();
+        Ok(())
+    }
+}
+
+/// Non-feedthrough first-order lag: outputs its state, then relaxes it
+/// one Euler step toward the latched input.
+struct Lag {
+    name: String,
+    state: f64,
+}
+
+impl StreamerBehavior for Lag {
+    fn name(&self) -> &str {
+        &self.name
+    }
+    fn input_width(&self) -> usize {
+        1
+    }
+    fn output_width(&self) -> usize {
+        1
+    }
+    fn direct_feedthrough(&self) -> bool {
+        false
+    }
+    fn advance(&mut self, _t: f64, h: f64, u: &[f64], y: &mut [f64]) -> Result<(), SolveError> {
+        y[0] = self.state;
+        self.state += h * (u[0] - self.state);
+        Ok(())
+    }
+}
+
+/// Which group pipeline stage `i` lives on: contiguous blocks, so a
+/// `groups`-way split has exactly `groups - 1` cross-group channels.
+fn chain_group_of(stage: usize, groups: usize) -> usize {
+    stage * groups / CHAIN_STAGES
+}
+
+fn chain_stage(i: usize) -> Box<dyn StreamerBehavior> {
+    if i == 0 {
+        Box::new(ChainSrc { name: "stage0".to_owned() })
+    } else {
+        Box::new(Lag { name: format!("stage{i}"), state: 0.0 })
+    }
+}
+
 #[derive(Clone, Copy, PartialEq)]
 enum Workload {
     Fig2,
     Vdp,
+    Chain,
 }
 
 impl Workload {
@@ -84,11 +162,13 @@ impl Workload {
         match self {
             Workload::Fig2 => "fig2",
             Workload::Vdp => "vdp",
+            Workload::Chain => "chain",
         }
     }
 
-    /// Builds one group's hand-wired network. Node names only need to be
-    /// unique within a group, so every group gets an identical copy.
+    /// Builds one group's hand-wired network (fig2/vdp: every group is an
+    /// identical copy; the chain workload wires whole engines instead —
+    /// see [`chain_wired`]).
     fn network(self, group: usize) -> (StreamerNetwork, urt_dataflow::graph::NodeId) {
         match self {
             Workload::Fig2 => {
@@ -102,15 +182,20 @@ impl Workload {
                     .expect("add vdp streamer");
                 (net, node)
             }
+            Workload::Chain => unreachable!("chain builds whole engines"),
         }
     }
 
     /// Declares the whole multi-group system as one `UnifiedModel` plus
     /// its behaviour registry. Streamer names carry a `-g{i}` suffix
     /// (model names are global) and each group is pinned to its own
-    /// solver thread, which elaboration's thread coalescing keeps apart
-    /// (no inter-group flows).
+    /// solver thread. fig2/vdp have no inter-group flows; the chain's
+    /// flows span the thread assignment and elaboration lowers them into
+    /// cross-group channels.
     fn model(self, groups: usize) -> (urt_core::model::UnifiedModel, BehaviorRegistry) {
+        if self == Workload::Chain {
+            return chain_model(groups);
+        }
         let mut b = ModelBuilder::new(format!("{}-bench", self.name()));
         let idle = b.capsule("idle");
         b.capsule_machine(idle, SmSpec::new("idle").state("s").initial("s"));
@@ -171,10 +256,80 @@ impl Workload {
                     registry =
                         registry.streamer(name.clone(), move || Box::new(vdp_streamer(&name)));
                 }
+                Workload::Chain => unreachable!("handled above"),
             }
         }
         (b.build(), registry)
     }
+}
+
+/// The chain pipeline as a declarative model: N stages, flows spanning
+/// the thread assignment (lowered into channels by elaboration).
+fn chain_model(groups: usize) -> (urt_core::model::UnifiedModel, BehaviorRegistry) {
+    let mut b = ModelBuilder::new("chain-bench");
+    let idle = b.capsule("idle");
+    b.capsule_machine(idle, SmSpec::new("idle").state("s").initial("s"));
+    let mut registry = BehaviorRegistry::new();
+    let mut stages = Vec::new();
+    for i in 0..CHAIN_STAGES {
+        let name = format!("stage{i}");
+        let s = b.streamer(&name, "euler");
+        if i > 0 {
+            b.streamer_in(s, "u", FlowType::scalar());
+        }
+        b.streamer_out(s, "y", FlowType::scalar());
+        b.streamer_feedthrough(s, false);
+        b.assign_thread(s, chain_group_of(i, groups));
+        registry = registry.streamer(name, move || chain_stage(i));
+        stages.push(s);
+    }
+    for i in 1..CHAIN_STAGES {
+        b.flow_between_streamers(stages[i - 1], "y", stages[i], "u");
+    }
+    b.probe(stages[CHAIN_STAGES - 1], "y", "y0");
+    (b.build(), registry)
+}
+
+/// Hand-wires the chain pipeline: block-partitions the stages into
+/// `groups` networks, keeps intra-block flows in-network, and links the
+/// block boundaries through `export_input` + `link_flow` channels.
+fn chain_wired(engine: &mut HybridEngine, groups: usize) {
+    let mut nets: Vec<StreamerNetwork> =
+        (0..groups).map(|g| StreamerNetwork::new(format!("chain-g{g}"))).collect();
+    let mut loc = Vec::new();
+    for i in 0..CHAIN_STAGES {
+        let g = chain_group_of(i, groups);
+        let node = if i == 0 {
+            nets[g].add_streamer_boxed(chain_stage(i), &[], &[("y", FlowType::scalar())])
+        } else {
+            nets[g].add_streamer_boxed(
+                chain_stage(i),
+                &[("u", FlowType::scalar())],
+                &[("y", FlowType::scalar())],
+            )
+        }
+        .expect("chain stage");
+        loc.push((g, node));
+    }
+    for i in 1..CHAIN_STAGES {
+        let (gp, np) = loc[i - 1];
+        let (gc, nc) = loc[i];
+        if gp == gc {
+            nets[gc].flow((np, "y"), (nc, "u")).expect("intra-group flow");
+        } else {
+            nets[gc].export_input(nc, "u").expect("export channel input");
+        }
+    }
+    let gids: Vec<usize> = nets.into_iter().map(|n| engine.add_group(n).expect("group")).collect();
+    for i in 1..CHAIN_STAGES {
+        let (gp, np) = loc[i - 1];
+        let (gc, nc) = loc[i];
+        if gp != gc {
+            engine.link_flow((gids[gp], np, "y"), (gids[gc], nc, "u")).expect("channel");
+        }
+    }
+    let (gl, nl) = loc[CHAIN_STAGES - 1];
+    engine.add_probe(gids[gl], nl, "y", "y0").expect("probe");
 }
 
 struct Measurement {
@@ -182,6 +337,7 @@ struct Measurement {
     path: &'static str,
     groups: usize,
     policy: ThreadPolicy,
+    batch: &'static str,
     steps: u64,
     wall_ns: u128,
     steps_per_sec: f64,
@@ -207,10 +363,14 @@ fn wired_engine(
     let mut engine = HybridEngine::new(idle_controller(), EngineConfig { step: STEP, policy });
     let rec = Recorder::new();
     engine.set_recorder(rec.clone());
-    for gi in 0..groups {
-        let (net, node) = workload.network(gi);
-        let g = engine.add_group(net).expect("group");
-        engine.add_probe(g, node, "y", &format!("y{gi}")).expect("probe");
+    if workload == Workload::Chain {
+        chain_wired(&mut engine, groups);
+    } else {
+        for gi in 0..groups {
+            let (net, node) = workload.network(gi);
+            let g = engine.add_group(net).expect("group");
+            engine.add_probe(g, node, "y", &format!("y{gi}")).expect("probe");
+        }
     }
     (engine, rec)
 }
@@ -236,29 +396,60 @@ fn measure(
     path: &'static str,
     groups: usize,
     policy: ThreadPolicy,
+    batch: &'static str,
     steps: u64,
+    smoke: bool,
 ) -> Measurement {
     let (mut engine, rec) = match path {
         "wired" => wired_engine(workload, groups, policy),
         _ => compiled_engine(workload, groups, policy),
     };
+    if batch == "k1" {
+        engine.set_max_batch(1);
+    }
     // Warm-up: spin up solver threads, fault in buffers, settle the cache.
     let warmup = (steps / 10).max(10);
     engine.run_until(warmup as f64 * STEP).expect("warm-up");
+    // Pilot rep: sizes the measured reps to a short wall-clock window.
+    // The box may be a single shared core, so any long window averages
+    // in scheduler interference; instead we take many short windows and
+    // keep the fastest, which is very likely to have run uninterrupted.
     let t0 = engine.time();
     let start = Instant::now();
-    engine.run_until(t0 + steps as f64 * STEP).expect("measured run");
-    let wall_ns = start.elapsed().as_nanos();
-    let measured = engine.step_count() - warmup;
-    assert_eq!(measured, steps, "step-count bound must be exact");
-    assert_eq!(rec.series("y0").len() as u64, warmup + steps, "probes recorded every step");
-    let steps_per_sec = steps as f64 / (wall_ns as f64 / 1e9);
-    Measurement { workload: workload.name(), path, groups, policy, steps, wall_ns, steps_per_sec }
+    engine.run_until(t0 + steps as f64 * STEP).expect("pilot run");
+    let pilot_ns = start.elapsed().as_nanos().max(1);
+    let target_ns: f64 = if smoke { 2e6 } else { 10e6 };
+    let rep_steps =
+        ((steps as f64 * target_ns / pilot_ns as f64).ceil() as u64).clamp(200, 500_000);
+    let reps: u64 = if smoke { 5 } else { 25 };
+    let mut wall_ns = u128::MAX;
+    let mut done = warmup + steps;
+    for _ in 0..reps {
+        rec.clear(); // in place — series handles and capacity survive
+        let t0 = engine.time();
+        let start = Instant::now();
+        engine.run_until(t0 + rep_steps as f64 * STEP).expect("measured run");
+        wall_ns = wall_ns.min(start.elapsed().as_nanos());
+        done += rep_steps;
+        assert_eq!(engine.step_count(), done, "step-count bound must be exact");
+        assert_eq!(rec.series("y0").len() as u64, rep_steps, "probes recorded every step");
+    }
+    let steps_per_sec = rep_steps as f64 / (wall_ns as f64 / 1e9);
+    Measurement {
+        workload: workload.name(),
+        path,
+        groups,
+        policy,
+        batch,
+        steps: rep_steps,
+        wall_ns,
+        steps_per_sec,
+    }
 }
 
 fn render_json(results: &[Measurement], smoke: bool) -> String {
     let mut s = String::new();
-    let _ = write!(s, "{{\"schema\":\"bench_engine/v2\",\"smoke\":{smoke},\"step_s\":{STEP}");
+    let _ = write!(s, "{{\"schema\":\"bench_engine/v3\",\"smoke\":{smoke},\"step_s\":{STEP}");
     let _ = write!(s, ",\"results\":[");
     for (i, m) in results.iter().enumerate() {
         if i > 0 {
@@ -267,8 +458,8 @@ fn render_json(results: &[Measurement], smoke: bool) -> String {
         let _ = write!(
             s,
             "{{\"workload\":\"{}\",\"path\":\"{}\",\"groups\":{},\"policy\":\"{}\",\
-             \"steps\":{},\"wall_ns\":{},\"steps_per_sec\":{:.1}}}",
-            m.workload, m.path, m.groups, m.policy, m.steps, m.wall_ns, m.steps_per_sec
+             \"batch\":\"{}\",\"steps\":{},\"wall_ns\":{},\"steps_per_sec\":{:.1}}}",
+            m.workload, m.path, m.groups, m.policy, m.batch, m.steps, m.wall_ns, m.steps_per_sec
         );
     }
     s.push_str("]}");
@@ -296,20 +487,57 @@ fn main() {
         }
     }
 
-    let policies = [ThreadPolicy::CurrentThread, ThreadPolicy::DedicatedThreads];
     let mut results = Vec::new();
-    for workload in [Workload::Fig2, Workload::Vdp] {
+    for workload in [Workload::Fig2, Workload::Vdp, Workload::Chain] {
         let steps = match (workload, smoke) {
             (_, true) => 200,
-            (Workload::Fig2, false) => 20_000,
             (Workload::Vdp, false) => 4_000,
+            (Workload::Fig2 | Workload::Chain, false) => 20_000,
         };
         for groups in [1usize, 2, 4] {
-            for policy in policies {
-                for path in ["wired", "compiled"] {
-                    results.push(measure(workload, path, groups, policy, steps));
+            for path in ["wired", "compiled"] {
+                results.push(measure(
+                    workload,
+                    path,
+                    groups,
+                    ThreadPolicy::CurrentThread,
+                    "n/a",
+                    steps,
+                    smoke,
+                ));
+                for batch in ["k1", "auto"] {
+                    results.push(measure(
+                        workload,
+                        path,
+                        groups,
+                        ThreadPolicy::DedicatedThreads,
+                        batch,
+                        steps,
+                        smoke,
+                    ));
                 }
             }
+        }
+    }
+
+    if smoke {
+        // Self-assertion: amortizing the rendezvous must not make the
+        // dedicated-threads path slower than the per-step schedule.
+        let throughput = |batch: &str| -> f64 {
+            results
+                .iter()
+                .filter(|m| m.policy == ThreadPolicy::DedicatedThreads && m.batch == batch)
+                .map(|m| m.steps_per_sec)
+                .sum()
+        };
+        let (auto_sps, k1_sps) = (throughput("auto"), throughput("k1"));
+        if auto_sps < k1_sps {
+            eprintln!(
+                "bench_engine: batched dedicated-threads path is slower than K=1 \
+                 ({auto_sps:.0} steps/s < {k1_sps:.0} steps/s aggregate) — \
+                 rendezvous amortization regressed"
+            );
+            std::process::exit(1);
         }
     }
 
@@ -323,12 +551,12 @@ fn main() {
     std::fs::write(&path, format!("{json}\n")).expect("write benchmark JSON");
     println!("engine steady-state baseline (macro step = {STEP} s)");
     println!();
-    println!("| workload | path | groups | policy | steps | steps/sec |");
-    println!("|----------|------|--------|--------|-------|-----------|");
+    println!("| workload | path | groups | policy | batch | steps | steps/sec |");
+    println!("|----------|------|--------|--------|-------|-------|-----------|");
     for m in &results {
         println!(
-            "| {} | {} | {} | {} | {} | {:.0} |",
-            m.workload, m.path, m.groups, m.policy, m.steps, m.steps_per_sec
+            "| {} | {} | {} | {} | {} | {} | {:.0} |",
+            m.workload, m.path, m.groups, m.policy, m.batch, m.steps, m.steps_per_sec
         );
     }
     println!();

@@ -20,9 +20,12 @@
 //!    ([`UnifiedModel::validate`]);
 //! 3. the streamer hierarchy is **flattened**: container streamers
 //!    (those owning sub-streamers, Figure 2) contribute no nodes, their
-//!    leaves become nodes of a flat [`StreamerNetwork`] per solver-thread
-//!    group, and capsule relay DPort chains (Figure 3) are resolved to
-//!    direct leaf-to-leaf flows;
+//!    leaves become nodes of a flat [`StreamerNetwork`] per declared
+//!    solver thread, and capsule relay DPort chains (Figure 3) are
+//!    resolved to direct leaf-to-leaf flows; flows whose endpoints sit on
+//!    *different* declared threads are lowered into cross-group channel
+//!    entries (double-buffered, one-macro-step delay) instead of forcing
+//!    the threads to merge;
 //! 4. behaviours come from a [`BehaviorRegistry`] (streamer name →
 //!    [`StreamerBehavior`] factory, capsule name → [`Capsule`] factory),
 //!    cross-checked against the declared DPort widths and feedthrough
@@ -36,7 +39,7 @@
 
 use crate::error::CoreError;
 use crate::model::{FlowEnd, Owner, StreamerRef, UnifiedModel};
-use std::collections::{BTreeMap, HashMap, HashSet};
+use std::collections::{BTreeMap, BTreeSet, HashMap, HashSet};
 use urt_dataflow::flowtype::FlowType;
 use urt_dataflow::graph::{NodeId, StreamerNetwork};
 use urt_dataflow::port::SPortSpec;
@@ -139,6 +142,21 @@ pub(crate) struct CompiledProbe {
     pub(crate) series: String,
 }
 
+/// One resolved cross-group flow: producer output `(group, node, port)`
+/// feeding consumer input `(group, node, port)` in a *different* solver
+/// group, carried by a double-buffered channel with a deterministic
+/// one-macro-step delay (the consumer reads the producer's previous
+/// step's sample; see `HybridEngine::link_flow`).
+#[derive(Debug, Clone)]
+pub(crate) struct CrossGroupFlow {
+    pub(crate) from_group: usize,
+    pub(crate) from_node: NodeId,
+    pub(crate) from_port: String,
+    pub(crate) to_group: usize,
+    pub(crate) to_node: NodeId,
+    pub(crate) to_port: String,
+}
+
 /// The executable form of a [`UnifiedModel`]: flat per-group streamer
 /// networks, an instantiated capsule controller, and fully resolved link
 /// and probe tables.
@@ -154,14 +172,21 @@ pub struct CompiledSystem {
     pub(crate) controller: Controller,
     pub(crate) links: Vec<CompiledLink>,
     pub(crate) probes: Vec<CompiledProbe>,
+    pub(crate) cross_flows: Vec<CrossGroupFlow>,
     pub(crate) streamer_loc: BTreeMap<String, (usize, NodeId)>,
     pub(crate) capsule_idx: BTreeMap<String, usize>,
 }
 
 impl CompiledSystem {
-    /// Number of streamer groups (one per coalesced solver thread).
+    /// Number of streamer groups (one per declared solver thread).
     pub fn group_count(&self) -> usize {
         self.groups.len()
+    }
+
+    /// Number of flows lowered into cross-group channels (each carries a
+    /// deterministic one-macro-step delay).
+    pub fn cross_flow_count(&self) -> usize {
+        self.cross_flows.len()
     }
 
     /// Where a leaf streamer landed, as `(group, node)`.
@@ -258,39 +283,6 @@ fn inert_machine(spec: &SmSpec) -> Result<Box<dyn Capsule>, CoreError> {
     }
     let machine = b.build()?;
     Ok(Box::new(SmCapsule::new(machine, ())))
-}
-
-/// Thread ids coalesced by flow connectivity: a dataflow edge forces its
-/// two endpoints into one solver group (the engine exchanges flow values
-/// within a group only), so declared threads connected by flows merge.
-/// True cross-group flow channels are a ROADMAP open item.
-struct ThreadUnion {
-    parent: HashMap<usize, usize>,
-}
-
-impl ThreadUnion {
-    fn new() -> Self {
-        ThreadUnion { parent: HashMap::new() }
-    }
-
-    fn find(&mut self, t: usize) -> usize {
-        let p = *self.parent.entry(t).or_insert(t);
-        if p == t {
-            return t;
-        }
-        let root = self.find(p);
-        self.parent.insert(t, root);
-        root
-    }
-
-    fn union(&mut self, a: usize, b: usize) {
-        let (ra, rb) = (self.find(a), self.find(b));
-        if ra != rb {
-            // Lower thread id wins as representative, for determinism.
-            let (lo, hi) = if ra < rb { (ra, rb) } else { (rb, ra) };
-            self.parent.insert(hi, lo);
-        }
-    }
 }
 
 /// An effective leaf-to-leaf flow after capsule relay resolution.
@@ -412,27 +404,23 @@ pub fn elaborate(
         });
     }
 
-    // --- thread groups: declared threads coalesced by flows ------------
+    // --- thread groups: one group per declared solver thread ------------
+    // Flows no longer coalesce their endpoints: a flow between streamers
+    // on distinct declared threads is lowered into a cross-group channel
+    // below, so `assign_thread` is an actual partition, not a hint.
     let leaves: Vec<StreamerRef> =
         refs.iter().map(|(r, _)| *r).filter(|r| !containers.contains(r)).collect();
-    let mut uf = ThreadUnion::new();
-    for r in &leaves {
-        uf.find(model.streamer_thread(*r));
+    let mut group_of_thread: BTreeMap<usize, usize> = BTreeMap::new();
+    for tid in leaves.iter().map(|r| model.streamer_thread(*r)).collect::<BTreeSet<_>>() {
+        let next = group_of_thread.len();
+        group_of_thread.insert(tid, next);
     }
-    for f in &effective {
-        uf.union(model.streamer_thread(f.from), model.streamer_thread(f.to));
-    }
-    let mut roots: Vec<usize> = leaves.iter().map(|r| uf.find(model.streamer_thread(*r))).collect();
-    let mut group_of_root: BTreeMap<usize, usize> = BTreeMap::new();
-    for root in roots.iter().copied().collect::<std::collections::BTreeSet<_>>() {
-        let next = group_of_root.len();
-        group_of_root.insert(root, next);
-    }
-    roots = roots.into_iter().map(|r| group_of_root[&r]).collect();
+    let roots: Vec<usize> =
+        leaves.iter().map(|r| group_of_thread[&model.streamer_thread(*r)]).collect();
     // A pure event-driven model (no leaf streamers) gets zero groups.
-    let mut groups: Vec<StreamerNetwork> = group_of_root
+    let mut groups: Vec<StreamerNetwork> = group_of_thread
         .keys()
-        .map(|root| StreamerNetwork::new(format!("{}-t{root}", model.name())))
+        .map(|tid| StreamerNetwork::new(format!("{}-t{tid}", model.name())))
         .collect();
 
     // --- instantiate leaf streamers ------------------------------------
@@ -479,11 +467,29 @@ pub fn elaborate(
     }
 
     // --- wire effective flows ------------------------------------------
+    // Same-group flows become in-network edges (zero-delay, ordered by
+    // the network's topological schedule). Cross-group flows become
+    // channel table entries: the consumer input is exported (so the
+    // engine can latch channel samples into it) and the engine backs the
+    // edge with a double-buffered channel — a deterministic one-step
+    // delay, which the analyzer's flow pass vets ahead of time.
+    let mut cross_flows: Vec<CrossGroupFlow> = Vec::new();
     for f in &effective {
         let (gf, nf) = loc_of[&f.from];
         let (gt, nt) = loc_of[&f.to];
-        debug_assert_eq!(gf, gt, "union-find co-located flow endpoints");
-        groups[gf].flow((nf, f.from_port.as_str()), (nt, f.to_port.as_str()))?;
+        if gf == gt {
+            groups[gf].flow((nf, f.from_port.as_str()), (nt, f.to_port.as_str()))?;
+        } else {
+            groups[gt].export_input(nt, &f.to_port)?;
+            cross_flows.push(CrossGroupFlow {
+                from_group: gf,
+                from_node: nf,
+                from_port: f.from_port.clone(),
+                to_group: gt,
+                to_node: nt,
+                to_port: f.to_port.clone(),
+            });
+        }
     }
 
     // --- instantiate capsules ------------------------------------------
@@ -546,7 +552,7 @@ pub fn elaborate(
         });
     }
 
-    Ok(CompiledSystem { groups, controller, links, probes, streamer_loc, capsule_idx })
+    Ok(CompiledSystem { groups, controller, links, probes, cross_flows, streamer_loc, capsule_idx })
 }
 
 #[cfg(test)]

@@ -13,10 +13,13 @@
 use crate::elaborate::CompiledSystem;
 use crate::error::CoreError;
 use crate::recorder::{Recorder, SeriesHandle};
+use crate::sync::Mutex;
 use crate::threading::ThreadPolicy;
 use crate::time::SimClock;
 use std::fmt;
+use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::mpsc::{channel, Receiver, Sender};
+use std::sync::Arc;
 use urt_dataflow::graph::{NodeId, OutputHandle, StreamerNetwork};
 use urt_umlrt::controller::Controller;
 use urt_umlrt::message::Message;
@@ -24,9 +27,87 @@ use urt_umlrt::message::Message;
 /// A signal drained from a streamer group: `(node, sport, message)`.
 type DrainedSignal = (NodeId, String, Message);
 
+/// One recorded probe sample from a worker:
+/// `(probe index, post-tick time, value)`. The worker stamps the time
+/// itself (from its per-batch clock copy) so samples buffered across a
+/// batch merge into the recorder with exactly the instants the local
+/// path would have produced.
+type ProbeSample = (usize, f64, f64);
+
 /// Per-group buffers recycled through `Cmd::Step`: drained signals plus
-/// `(probe index, value)` samples from the worker's last macro step.
-type StepBuffers = (Vec<DrainedSignal>, Vec<(usize, f64)>);
+/// probe samples from the worker's last batch of macro steps.
+type StepBuffers = (Vec<DrainedSignal>, Vec<ProbeSample>);
+
+/// The two sample buffers of one cross-group flow channel, shared between
+/// the producer and the consumer thread.
+type ChannelBufs = Arc<[Mutex<Vec<f64>>; 2]>;
+
+/// Upper bound on the auto-computed macro-step batch size `K` in
+/// [`ThreadPolicy::DedicatedThreads`] runs: bounds the per-batch probe
+/// sample buffers (a few kilobytes per probe at this value) while still
+/// amortising the per-batch rendezvous to nothing.
+const DEFAULT_MAX_BATCH: u64 = 4096;
+
+/// A double-buffered dataflow channel carrying one cross-group flow.
+///
+/// Buffers are indexed by macro-step parity: during step `k` the consumer
+/// reads slot `k % 2` *before* its group steps, and the producer writes
+/// slot `(k + 1) % 2` *after* stepping. One barrier between consecutive
+/// macro steps is what separates every write of a slot from every read of
+/// the same slot, so there is no swap, no torn sample, and the consumer
+/// deterministically sees the producer's previous step's output — the
+/// documented one-macro-step channel delay (zero for lane values at
+/// step 0, where the consumer reads the initial all-zero buffer).
+struct FlowChannel {
+    from_group: usize,
+    from_handle: OutputHandle,
+    to_group: usize,
+    /// Lane offset inside the consumer group's exported-input vector.
+    to_offset: usize,
+    bufs: ChannelBufs,
+}
+
+/// A sense-reversing spin barrier synchronising the channel-touching
+/// solver threads between the macro steps *inside* a batch.
+///
+/// `std::sync`'s Mutex+Condvar barrier costs microseconds per wait; at
+/// sub-microsecond macro steps that would erase the batching win, so the
+/// inner sub-step barrier spins (briefly) and then yields. Batch
+/// boundaries still use the mpsc `Step`/`Done` rendezvous, which parks
+/// properly — spinning is confined to the hot inner loop.
+struct SpinBarrier {
+    participants: usize,
+    count: AtomicUsize,
+    generation: AtomicUsize,
+}
+
+impl SpinBarrier {
+    fn new(participants: usize) -> Self {
+        SpinBarrier { participants, count: AtomicUsize::new(0), generation: AtomicUsize::new(0) }
+    }
+
+    /// Blocks until all participants have called `wait` this generation.
+    fn wait(&self) {
+        let generation = self.generation.load(Ordering::Acquire);
+        if self.count.fetch_add(1, Ordering::AcqRel) + 1 == self.participants {
+            // Reset the count *before* releasing the waiters: the Release
+            // bump happens-before their Acquire load, so no participant of
+            // the next generation can observe a stale count.
+            self.count.store(0, Ordering::Relaxed);
+            self.generation.fetch_add(1, Ordering::Release);
+        } else {
+            let mut spins = 0u32;
+            while self.generation.load(Ordering::Acquire) == generation {
+                spins = spins.saturating_add(1);
+                if spins < 64 {
+                    std::hint::spin_loop();
+                } else {
+                    std::thread::yield_now();
+                }
+            }
+        }
+    }
+}
 
 /// Engine configuration.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -91,6 +172,19 @@ pub struct HybridEngine {
     /// a string lookup. Empty while no recorder is attached.
     probe_series: Vec<SeriesHandle>,
     recorder: Option<Recorder>,
+    /// Cross-group flow channels registered by
+    /// [`HybridEngine::link_flow`].
+    channels: Vec<FlowChannel>,
+    /// Per-group staging for exported-input lanes, written from channel
+    /// front buffers before each macro step (local path only — workers
+    /// keep their own staging).
+    staging: Vec<Vec<f64>>,
+    /// Which groups receive at least one channel (their staging must be
+    /// latched every step).
+    has_incoming: Vec<bool>,
+    /// Upper bound on the auto-computed threaded batch size; 1 disables
+    /// batching ([`HybridEngine::set_max_batch`]).
+    max_batch: u64,
     /// Reused per-step buffer for drained streamer signals.
     signal_scratch: Vec<DrainedSignal>,
     started: bool,
@@ -125,6 +219,10 @@ impl HybridEngine {
             probes: Vec::new(),
             probe_series: Vec::new(),
             recorder: None,
+            channels: Vec::new(),
+            staging: Vec::new(),
+            has_incoming: Vec::new(),
+            max_batch: DEFAULT_MAX_BATCH,
             signal_scratch: Vec::new(),
             started: false,
         }
@@ -133,12 +231,18 @@ impl HybridEngine {
     /// Adds a streamer group (one candidate solver thread). Returns the
     /// group index.
     ///
+    /// To receive cross-group flows ([`HybridEngine::link_flow`]), export
+    /// the consumer inputs (`StreamerNetwork::export_input`) *before*
+    /// adding the group — validation treats exported inputs as driven.
+    ///
     /// # Errors
     ///
     /// Propagates network validation errors.
     pub fn add_group(&mut self, mut network: StreamerNetwork) -> Result<usize, CoreError> {
         network.validate()?;
         self.link_index.push(vec![Vec::new(); network.node_count()]);
+        self.staging.push(vec![0.0; network.external_input_width()]);
+        self.has_incoming.push(false);
         self.groups.push(network);
         Ok(self.groups.len() - 1)
     }
@@ -161,7 +265,7 @@ impl HybridEngine {
         compiled: CompiledSystem,
         config: EngineConfig,
     ) -> Result<Self, CoreError> {
-        let CompiledSystem { groups, controller, links, probes, .. } = compiled;
+        let CompiledSystem { groups, controller, links, probes, cross_flows, .. } = compiled;
         let mut engine = HybridEngine::new(controller, config);
         for net in groups {
             engine.add_group(net)?;
@@ -172,7 +276,157 @@ impl HybridEngine {
         for p in &probes {
             engine.add_probe(p.group, p.node, &p.port, &p.series)?;
         }
+        for cf in &cross_flows {
+            engine.link_flow(
+                (cf.from_group, cf.from_node, &cf.from_port),
+                (cf.to_group, cf.to_node, &cf.to_port),
+            )?;
+        }
         Ok(engine)
+    }
+
+    /// Connects a producer output DPort in one group to a consumer input
+    /// DPort in *another* group through a double-buffered channel.
+    ///
+    /// Unlike an in-network flow (zero-delay, schedule-ordered), a
+    /// cross-group channel carries a deterministic **one-macro-step
+    /// delay**: during step `k` the consumer reads the sample the
+    /// producer wrote at the end of step `k - 1` (all-zero lanes at step
+    /// 0). The delay is what lets the two groups integrate concurrently —
+    /// it is identical under both thread policies and independent of the
+    /// threaded batch size.
+    ///
+    /// The consumer input must have been exported
+    /// (`StreamerNetwork::export_input`) before its group was added; the
+    /// elaboration pipeline does this automatically for model flows whose
+    /// endpoints carry distinct `assign_thread` declarations.
+    ///
+    /// # Errors
+    ///
+    /// * [`CoreError::Engine`] for bad group indices, endpoints in the
+    ///   same group, a direct-feedthrough consumer (the unit delay would
+    ///   break its same-step input dependency — lint URT207 catches this
+    ///   at model level), an unexported consumer input, or a consumer
+    ///   input already fed by another channel.
+    /// * [`CoreError::Flow`] for unknown nodes/ports and flow-type subset
+    ///   violations (the paper's connection rule, same as in-network
+    ///   flows).
+    pub fn link_flow(
+        &mut self,
+        from: (usize, NodeId, &str),
+        to: (usize, NodeId, &str),
+    ) -> Result<(), CoreError> {
+        let (fg, fnode, fport) = from;
+        let (tg, tnode, tport) = to;
+        for g in [fg, tg] {
+            if g >= self.groups.len() {
+                return Err(CoreError::Engine { detail: format!("no streamer group {g}") });
+            }
+        }
+        if fg == tg {
+            return Err(CoreError::Engine {
+                detail: format!(
+                    "flow endpoints are both in group {fg}; use an in-network flow (zero-delay) \
+                     instead of a channel"
+                ),
+            });
+        }
+        if self.groups[tg].node_feedthrough(tnode)? {
+            return Err(CoreError::Engine {
+                detail: format!(
+                    "cross-group flow into `{}`.`{tport}`: the consumer declares direct \
+                     feedthrough, which a one-step-delay channel cannot honour (keep both \
+                     streamers on one thread or make the consumer non-feedthrough)",
+                    self.groups[tg].node_name(tnode).unwrap_or("?")
+                ),
+            });
+        }
+        let from_handle = self.groups[fg].output_handle(fnode, fport)?;
+        // The paper's connection rule, channel edition: the producer's
+        // flow type must be a subset of the consumer's.
+        let src_ty = self.groups[fg]
+            .out_ports(fnode)?
+            .iter()
+            .find(|p| p.name() == fport)
+            .map(|p| p.flow_type().clone())
+            .ok_or(CoreError::Flow(urt_dataflow::FlowError::UnknownPort {
+                node: self.groups[fg].node_name(fnode).unwrap_or("?").to_owned(),
+                port: fport.to_owned(),
+            }))?;
+        let dst_spec =
+            self.groups[tg].in_ports(tnode)?.iter().find(|p| p.name() == tport).cloned().ok_or(
+                CoreError::Flow(urt_dataflow::FlowError::UnknownPort {
+                    node: self.groups[tg].node_name(tnode).unwrap_or("?").to_owned(),
+                    port: tport.to_owned(),
+                }),
+            )?;
+        if let Some(detail) = src_ty.subset_failure(dst_spec.flow_type()) {
+            return Err(CoreError::Flow(urt_dataflow::FlowError::TypeMismatch {
+                from: format!("{}.{fport}", self.groups[fg].node_name(fnode).unwrap_or("?")),
+                to: format!("{}.{tport}", self.groups[tg].node_name(tnode).unwrap_or("?")),
+                detail,
+            }));
+        }
+        // Resolve the consumer's lane offset inside its group's exported
+        // input vector (exports accumulate in registration order).
+        let mut to_offset = None;
+        let mut cursor = 0usize;
+        for (n, p) in self.groups[tg].exported_inputs() {
+            let width: usize = self.groups[tg]
+                .in_ports(n)?
+                .iter()
+                .find(|spec| spec.name() == p)
+                .map(|spec| spec.width())
+                .unwrap_or(0);
+            if n == tnode && p == tport {
+                to_offset = Some(cursor);
+                break;
+            }
+            cursor += width;
+        }
+        let Some(to_offset) = to_offset else {
+            return Err(CoreError::Engine {
+                detail: format!(
+                    "cross-group flow into `{}`.`{tport}`: the consumer input is not exported — \
+                     call export_input before add_group",
+                    self.groups[tg].node_name(tnode).unwrap_or("?")
+                ),
+            });
+        };
+        if self.channels.iter().any(|c| c.to_group == tg && c.to_offset == to_offset) {
+            return Err(CoreError::Engine {
+                detail: format!(
+                    "cross-group flow into `{}`.`{tport}`: the consumer input is already fed by \
+                     another channel",
+                    self.groups[tg].node_name(tnode).unwrap_or("?")
+                ),
+            });
+        }
+        let width = from_handle.width();
+        let bufs: ChannelBufs =
+            Arc::new([Mutex::new(vec![0.0; width]), Mutex::new(vec![0.0; width])]);
+        // Group construction may have widened the exported-input vector
+        // since add_group snapshotted it; re-sync the staging row.
+        let ext_width = self.groups[tg].external_input_width();
+        self.staging[tg].resize(ext_width, 0.0);
+        self.has_incoming[tg] = true;
+        self.channels.push(FlowChannel {
+            from_group: fg,
+            from_handle,
+            to_group: tg,
+            to_offset,
+            bufs,
+        });
+        Ok(())
+    }
+
+    /// Caps the batch size `K` the threaded scheduler may choose (1
+    /// forces every macro step through the full `Step`/`Done`
+    /// rendezvous, today's pre-batching behaviour). Values below 1 are
+    /// clamped to 1. Batching never changes results — only how often the
+    /// coordinator and the solver threads synchronise over mpsc.
+    pub fn set_max_batch(&mut self, max_batch: u64) {
+        self.max_batch = max_batch.max(1);
     }
 
     /// Bridges a capsule SPort to a streamer SPort: messages the capsule
@@ -332,10 +586,12 @@ impl HybridEngine {
         self.start_if_needed()?;
         let h = self.config.step;
         self.deliver_capsule_signals_local()?;
+        self.latch_channel_inputs_local();
         for g in &mut self.groups {
             g.step(h)?;
         }
         self.clock.tick(h);
+        self.publish_channel_outputs_local();
         // Post-tick derived instant: the same drift-free product both
         // thread policies stamp on probes and hand to the controller.
         let t_next = self.clock.seconds();
@@ -343,6 +599,39 @@ impl HybridEngine {
         self.record_probes();
         self.controller.run_until(t_next)?;
         Ok(())
+    }
+
+    /// Copies every channel's front buffer (slot `step_count % 2`,
+    /// pre-tick) into its consumer group's exported-input lanes. Reads
+    /// the sample the producer published at the end of the *previous*
+    /// step — the channel's one-step delay.
+    fn latch_channel_inputs_local(&mut self) {
+        if self.channels.is_empty() {
+            return;
+        }
+        let slot = (self.clock.step_count() % 2) as usize;
+        for ch in &self.channels {
+            let src = ch.bufs[slot].lock();
+            let w = src.len();
+            self.staging[ch.to_group][ch.to_offset..ch.to_offset + w].copy_from_slice(&src);
+        }
+        for (gi, latch) in self.has_incoming.iter().enumerate() {
+            if *latch {
+                self.groups[gi].set_external_inputs(&self.staging[gi]);
+            }
+        }
+    }
+
+    /// Copies every channel's producer output into its back buffer (slot
+    /// `step_count % 2` *post-tick*, i.e. the slot the consumer will read
+    /// at the next step).
+    fn publish_channel_outputs_local(&mut self) {
+        let slot = (self.clock.step_count() % 2) as usize;
+        for ch in &self.channels {
+            ch.bufs[slot]
+                .lock()
+                .copy_from_slice(self.groups[ch.from_group].output_by_handle(&ch.from_handle));
+        }
     }
 
     /// Number of whole macro steps needed to reach `t_end` from the
@@ -426,37 +715,46 @@ impl HybridEngine {
         }
     }
 
-    /// Threaded execution: one worker per group, lock-stepped per macro
-    /// step via channels (the paper's deployment).
+    /// Threaded execution: one worker per group, synchronised via
+    /// channels once per *batch* of macro steps (the paper's deployment,
+    /// with the rendezvous amortised).
     ///
-    /// Per-step buffers (drained signals, probe samples) are recycled:
-    /// each `Cmd::Step` carries the previous step's vectors back to the
+    /// The coordinator picks the largest batch `K` such that nothing due
+    /// within the next `K` macro steps needs the coordinator: with SPort
+    /// links present a signal exchange may be due every step, so `K = 1`
+    /// (bit-exactly today's behaviour); without links `K` is only capped
+    /// by the remaining step count and [`HybridEngine::set_max_batch`].
+    /// Inside a batch, workers run counted inner loops; groups touching a
+    /// cross-group flow channel synchronise between sub-steps over a
+    /// [`SpinBarrier`] (one wait per sub-step), everyone else runs free.
+    /// Each worker stamps its probe samples from a private clock copy, so
+    /// batch-buffered samples carry exactly the local path's instants.
+    ///
+    /// Per-batch buffers (drained signals, probe samples) are recycled:
+    /// each `Cmd::Step` carries the previous batch's vectors back to the
     /// worker, so the steady state allocates nothing.
     fn run_threaded(&mut self, t_end: f64) -> Result<(), CoreError> {
         let h = self.config.step;
         let n_groups = self.groups.len();
-        let n_steps = self.steps_until(t_end);
         if n_groups == 0 {
-            // Pure event-driven run. Still drain the capsule-side SPort
-            // channels every step — with no solver thread to deliver to,
-            // undrained sends would otherwise accumulate unbounded.
-            for _ in 0..n_steps {
-                self.clock.tick(h);
-                let t_next = self.clock.seconds();
-                for link in &self.links {
-                    while link.from_capsule.try_recv().is_ok() {}
-                }
-                self.controller.run_until(t_next)?;
-            }
-            return Ok(());
+            // Pure event-driven run: no solver threads to coordinate, so
+            // the local path *is* the threaded path. (This also delivers
+            // capsule-bound SPort messages instead of discarding them —
+            // with zero groups no links can exist today, but the local
+            // loop keeps that invariant by construction.)
+            return self.run_local(t_end);
         }
+        let n_steps = self.steps_until(t_end);
 
         enum Cmd {
-            /// One macro step, carrying recycled output buffers.
+            /// A batch of `k` macro steps, carrying recycled output
+            /// buffers and a clock copy for probe timestamps.
             Step {
                 h: f64,
+                k: u64,
+                clock: SimClock,
                 signals: Vec<DrainedSignal>,
-                probes: Vec<(usize, f64)>,
+                probes: Vec<ProbeSample>,
             },
             Signal {
                 node: NodeId,
@@ -465,12 +763,27 @@ impl HybridEngine {
         }
         struct Done {
             signals: Vec<DrainedSignal>,
-            probes: Vec<(usize, f64)>,
+            probes: Vec<ProbeSample>,
             result: Result<(), urt_dataflow::FlowError>,
         }
 
         let networks: Vec<StreamerNetwork> = std::mem::take(&mut self.groups);
         let probes = self.probes.clone();
+        let record = self.recorder.is_some();
+
+        // Channel wiring per worker: which channels it reads before each
+        // sub-step and which it publishes after. Only channel-touching
+        // groups join the inner sub-step barrier.
+        let mut incoming: Vec<Vec<(ChannelBufs, usize)>> = vec![Vec::new(); n_groups];
+        let mut outgoing: Vec<Vec<(ChannelBufs, OutputHandle)>> = vec![Vec::new(); n_groups];
+        for ch in &self.channels {
+            incoming[ch.to_group].push((Arc::clone(&ch.bufs), ch.to_offset));
+            outgoing[ch.from_group].push((Arc::clone(&ch.bufs), ch.from_handle));
+        }
+        let participating: Vec<bool> =
+            (0..n_groups).map(|g| !incoming[g].is_empty() || !outgoing[g].is_empty()).collect();
+        let n_participants = participating.iter().filter(|&&p| p).count();
+        let barrier = (n_participants >= 2).then(|| Arc::new(SpinBarrier::new(n_participants)));
 
         let mut cmd_txs: Vec<Sender<Cmd>> = Vec::with_capacity(n_groups);
         let mut done_rxs: Vec<Receiver<Done>> = Vec::with_capacity(n_groups);
@@ -490,11 +803,15 @@ impl HybridEngine {
                     .filter(|(_, p)| p.group == gi)
                     .map(|(i, p)| (i, p.clone()))
                     .collect();
+                let my_incoming = std::mem::take(&mut incoming[gi]);
+                let my_outgoing = std::mem::take(&mut outgoing[gi]);
+                let my_barrier = participating[gi].then(|| barrier.clone()).flatten();
                 scope.spawn(move || {
                     // First delivery failure, surfaced in the next Done so
                     // both thread policies fail identically (the local path
                     // propagates send_signal errors before stepping).
                     let mut signal_err: Option<urt_dataflow::FlowError> = None;
+                    let mut staging = vec![0.0; net.external_input_width()];
                     while let Ok(cmd) = cmd_rx.recv() {
                         match cmd {
                             Cmd::Signal { node, msg } => {
@@ -502,18 +819,59 @@ impl HybridEngine {
                                     signal_err.get_or_insert(e);
                                 }
                             }
-                            Cmd::Step { h, mut signals, mut probes } => {
+                            Cmd::Step { h, k, mut clock, mut signals, mut probes } => {
                                 signals.clear();
                                 probes.clear();
-                                let result = match signal_err.take() {
+                                let mut result = match signal_err.take() {
                                     Some(e) => Err(e),
-                                    None => net.step(h),
+                                    None => Ok(()),
                                 };
-                                if result.is_ok() {
-                                    net.drain_signals_into(&mut signals);
-                                    for (i, p) in &my_probes {
-                                        if let Some(&v) = net.output_by_handle(&p.handle).first() {
-                                            probes.push((*i, v));
+                                for i in 0..k {
+                                    // Between consecutive sub-steps the
+                                    // channel-touching groups rendezvous:
+                                    // the wait separates last sub-step's
+                                    // slot writes from this sub-step's
+                                    // same-slot reads. A worker that
+                                    // already failed stops stepping and
+                                    // publishing but keeps waiting, so
+                                    // its peers never deadlock.
+                                    if i > 0 {
+                                        if let Some(b) = &my_barrier {
+                                            b.wait();
+                                        }
+                                    }
+                                    if result.is_ok() && !my_incoming.is_empty() {
+                                        // Front slot: pre-tick parity.
+                                        let slot = (clock.step_count() % 2) as usize;
+                                        for (bufs, off) in &my_incoming {
+                                            let src = bufs[slot].lock();
+                                            staging[*off..*off + src.len()].copy_from_slice(&src);
+                                        }
+                                        net.set_external_inputs(&staging);
+                                    }
+                                    if result.is_ok() {
+                                        result = net.step(h);
+                                    }
+                                    clock.tick(h);
+                                    if result.is_ok() {
+                                        // Back slot: post-tick parity (what
+                                        // consumers read next sub-step).
+                                        let slot = (clock.step_count() % 2) as usize;
+                                        for (bufs, handle) in &my_outgoing {
+                                            bufs[slot]
+                                                .lock()
+                                                .copy_from_slice(net.output_by_handle(handle));
+                                        }
+                                        net.drain_signals_into(&mut signals);
+                                        if record {
+                                            let t = clock.seconds();
+                                            for (pi, p) in &my_probes {
+                                                if let Some(&v) =
+                                                    net.output_by_handle(&p.handle).first()
+                                                {
+                                                    probes.push((*pi, t, v));
+                                                }
+                                            }
                                         }
                                     }
                                 }
@@ -532,7 +890,14 @@ impl HybridEngine {
             let mut recycled: Vec<StepBuffers> =
                 (0..n_groups).map(|_| (Vec::new(), Vec::new())).collect();
             let mut all_signals: Vec<(usize, NodeId, String, Message)> = Vec::new();
-            for _ in 0..n_steps {
+            let mut remaining = n_steps;
+            while remaining > 0 {
+                // Batch size: with SPort links a signal exchange may be
+                // due after any step, so the rendezvous must run every
+                // step. Without links, nothing inside the batch needs the
+                // coordinator (probe samples buffer with their own
+                // timestamps; channels synchronise on the inner barrier).
+                let k = if self.links.is_empty() { remaining.min(self.max_batch) } else { 1 };
                 // 1. Capsule -> streamer signals.
                 for link in &self.links {
                     while let Ok(msg) = link.from_capsule.try_recv() {
@@ -541,15 +906,27 @@ impl HybridEngine {
                             .map_err(|_| CoreError::ThreadLost { group: link.group })?;
                     }
                 }
-                // 2. Parallel macro step.
+                // 2. Parallel batch of macro steps.
                 for (gi, tx) in cmd_txs.iter().enumerate() {
                     let (signals, probes) = std::mem::take(&mut recycled[gi]);
-                    tx.send(Cmd::Step { h, signals, probes })
+                    tx.send(Cmd::Step { h, k, clock: self.clock.clone(), signals, probes })
                         .map_err(|_| CoreError::Engine { detail: "worker gone".into() })?;
                 }
-                self.clock.tick(h);
+                // 3. Coordinator catch-up. Without links the controller
+                // cannot interact with the streamer world, so its
+                // per-instant catch-ups run here, overlapping the solver
+                // threads; with links (k = 1) it runs after signal
+                // routing below, exactly as the local path orders it.
+                if self.links.is_empty() {
+                    for _ in 0..k {
+                        self.clock.tick(h);
+                        self.controller.run_until(self.clock.seconds())?;
+                    }
+                } else {
+                    self.clock.tick(h);
+                }
                 let t_next = self.clock.seconds();
-                // 3. Barrier: gather results, signals, probes.
+                // 4. Batch barrier: gather results, signals, probes.
                 all_signals.clear();
                 for (gi, rx) in done_rxs.iter().enumerate() {
                     let mut done = rx.recv().map_err(|_| CoreError::ThreadLost { group: gi })?;
@@ -557,20 +934,24 @@ impl HybridEngine {
                     for (node, sport, msg) in done.signals.drain(..) {
                         all_signals.push((gi, node, sport, msg));
                     }
-                    if self.recorder.is_some() {
-                        for &(pi, v) in &done.probes {
-                            self.probe_series[pi].push(t_next, v);
+                    if record {
+                        for &(pi, t, v) in &done.probes {
+                            self.probe_series[pi].push(t, v);
                         }
                     }
                     done.probes.clear();
                     recycled[gi] = (done.signals, done.probes);
                 }
-                // 4. Streamer -> capsule signals.
+                // 5. Streamer -> capsule signals.
                 for (gi, node, sport, msg) in all_signals.drain(..) {
                     self.route_streamer_signal(gi, node, &sport, msg)?;
                 }
-                // 5. Event-driven world catches up.
-                self.controller.run_until(t_next)?;
+                // 6. Event-driven world catches up (links path; without
+                // links it already ran in step 3).
+                if !self.links.is_empty() {
+                    self.controller.run_until(t_next)?;
+                }
+                remaining -= k;
             }
             drop(cmd_txs);
             Ok(())
@@ -751,6 +1132,102 @@ mod tests {
     }
 
     #[test]
+    fn capsule_replies_pending_at_segment_end_survive_into_the_next_segment() {
+        use urt_dataflow::streamer::StreamerBehavior;
+        use urt_ode::SolveError;
+
+        // Emits `tick` every step and reports how many `ack` replies it
+        // has received so far as its output.
+        struct Pinger {
+            acks: u32,
+            emitted: Vec<(String, Message)>,
+        }
+        impl StreamerBehavior for Pinger {
+            fn name(&self) -> &str {
+                "pinger"
+            }
+            fn input_width(&self) -> usize {
+                0
+            }
+            fn output_width(&self) -> usize {
+                1
+            }
+            fn advance(
+                &mut self,
+                t: f64,
+                _h: f64,
+                _u: &[f64],
+                y: &mut [f64],
+            ) -> Result<(), SolveError> {
+                y[0] = f64::from(self.acks);
+                self.emitted
+                    .push(("ctl".to_owned(), Message::new("tick", Value::Empty).with_sent_at(t)));
+                Ok(())
+            }
+            fn on_signal(&mut self, _msg: &Message) {
+                self.acks += 1;
+            }
+            fn take_emitted(&mut self) -> Vec<(String, Message)> {
+                std::mem::take(&mut self.emitted)
+            }
+        }
+
+        // Regression for the threaded shutdown drain: the capsule's reply
+        // to the *final* macro step of a `run_until` segment is queued
+        // after the last rendezvous; the old teardown drained and
+        // discarded it, so a follow-up segment started one ack short on
+        // the threaded path only. Every ack must now survive the segment
+        // boundary under both policies.
+        let run = |policy| {
+            let sm = StateMachineBuilder::new("driver")
+                .state("s")
+                .initial("s", |_d: &mut (), _ctx: &mut CapsuleContext| {})
+                .internal("s", ("plant", "tick"), |_d, _m, ctx| {
+                    ctx.send("plant", "ack", Value::Empty);
+                })
+                .build()
+                .unwrap();
+            let mut controller = Controller::new("events");
+            let cap = controller.add_capsule(Box::new(SmCapsule::new(sm, ())));
+            let mut net = StreamerNetwork::new("p");
+            let node = net
+                .add_streamer(
+                    Pinger { acks: 0, emitted: Vec::new() },
+                    &[],
+                    &[("y", FlowType::scalar())],
+                )
+                .unwrap();
+            let mut e = HybridEngine::new(controller, EngineConfig { step: 0.01, policy });
+            let g = e.add_group(net).unwrap();
+            e.link_sport(g, node, "ctl", cap, "plant").unwrap();
+            let rec = Recorder::new();
+            e.set_recorder(rec.clone());
+            e.add_probe(g, node, "y", "acks").unwrap();
+            // Two segments: the segment boundary is where the old drain
+            // lost the in-flight reply.
+            e.run_until(0.05).unwrap();
+            e.run_until(0.10).unwrap();
+            rec.series("acks")
+        };
+        let local = run(ThreadPolicy::CurrentThread);
+        let threaded = run(ThreadPolicy::DedicatedThreads);
+        assert_eq!(local.len(), 10);
+        assert_eq!(threaded.len(), 10);
+        // Step k sees the acks for ticks 0..k (each reply arrives at the
+        // start of the next step) — including tick 4's reply, which was
+        // in flight across the segment boundary.
+        for (name, series) in [("local", &local), ("threaded", &threaded)] {
+            for (k, (_, v)) in series.iter().enumerate() {
+                assert_eq!(*v, k as f64, "{name}: acks visible at step {k}");
+            }
+        }
+        for ((t1, v1), (t2, v2)) in local.iter().zip(&threaded) {
+            assert_eq!(t1.to_bits(), t2.to_bits());
+            assert_eq!(v1.to_bits(), v2.to_bits());
+        }
+    }
+
+    #[test]
     fn declared_sports_are_checked_at_link_time() {
         use urt_dataflow::port::SPortSpec;
         use urt_umlrt::protocol::Protocol;
@@ -799,6 +1276,204 @@ mod tests {
         let _ = HybridEngine::new(
             empty_controller(),
             EngineConfig { step: 0.0, policy: ThreadPolicy::CurrentThread },
+        );
+    }
+
+    /// A non-feedthrough unit-delay block: output is the input latched at
+    /// the step start (for cross-group consumers, the channel's front
+    /// sample — i.e. the producer's previous step's output).
+    struct Witness;
+    impl urt_dataflow::streamer::StreamerBehavior for Witness {
+        fn name(&self) -> &str {
+            "witness"
+        }
+        fn input_width(&self) -> usize {
+            1
+        }
+        fn output_width(&self) -> usize {
+            1
+        }
+        fn direct_feedthrough(&self) -> bool {
+            false
+        }
+        fn advance(
+            &mut self,
+            _t: f64,
+            _h: f64,
+            u: &[f64],
+            y: &mut [f64],
+        ) -> Result<(), urt_ode::SolveError> {
+            y[0] = u[0];
+            Ok(())
+        }
+    }
+
+    /// Non-feedthrough ramp source: y = 100 t at the step start.
+    struct Ramp;
+    impl urt_dataflow::streamer::StreamerBehavior for Ramp {
+        fn name(&self) -> &str {
+            "ramp"
+        }
+        fn input_width(&self) -> usize {
+            0
+        }
+        fn output_width(&self) -> usize {
+            1
+        }
+        fn direct_feedthrough(&self) -> bool {
+            false
+        }
+        fn advance(
+            &mut self,
+            t: f64,
+            _h: f64,
+            _u: &[f64],
+            y: &mut [f64],
+        ) -> Result<(), urt_ode::SolveError> {
+            y[0] = 100.0 * t;
+            Ok(())
+        }
+    }
+
+    fn cross_group_engine(policy: ThreadPolicy) -> (HybridEngine, Recorder) {
+        let mut producer = StreamerNetwork::new("producer");
+        let src = producer.add_streamer(Ramp, &[], &[("y", FlowType::scalar())]).unwrap();
+        let mut consumer = StreamerNetwork::new("consumer");
+        let wit = consumer
+            .add_streamer(Witness, &[("u", FlowType::scalar())], &[("y", FlowType::scalar())])
+            .unwrap();
+        consumer.export_input(wit, "u").unwrap();
+        let mut e = HybridEngine::new(empty_controller(), EngineConfig { step: 0.01, policy });
+        let gp = e.add_group(producer).unwrap();
+        let gc = e.add_group(consumer).unwrap();
+        e.link_flow((gp, src, "y"), (gc, wit, "y")).unwrap_err(); // wrong port direction
+        e.link_flow((gp, src, "y"), (gc, wit, "u")).unwrap();
+        let rec = Recorder::new();
+        e.set_recorder(rec.clone());
+        e.add_probe(gp, src, "y", "src").unwrap();
+        e.add_probe(gc, wit, "y", "wit").unwrap();
+        (e, rec)
+    }
+
+    #[test]
+    fn cross_group_channel_delays_exactly_one_step() {
+        for policy in [ThreadPolicy::CurrentThread, ThreadPolicy::DedicatedThreads] {
+            let (mut e, rec) = cross_group_engine(policy);
+            e.run_until(0.1).unwrap();
+            let src = rec.series("src");
+            let wit = rec.series("wit");
+            assert_eq!(src.len(), 10, "{policy}");
+            assert_eq!(wit.len(), 10, "{policy}");
+            // Step 0: the witness read the channel's initial zero buffer.
+            assert_eq!(wit[0].1.to_bits(), 0.0f64.to_bits(), "{policy}: initial sample");
+            // Step k: the witness carries the producer's step k-1 output.
+            for k in 1..wit.len() {
+                assert_eq!(
+                    wit[k].1.to_bits(),
+                    src[k - 1].1.to_bits(),
+                    "{policy}: one-step delay at sample {k}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn cross_group_channel_is_policy_and_batch_invariant() {
+        let run = |policy, max_batch| {
+            let (mut e, rec) = cross_group_engine(policy);
+            e.set_max_batch(max_batch);
+            e.run_until(0.25).unwrap();
+            (rec.series("src"), rec.series("wit"))
+        };
+        let local = run(ThreadPolicy::CurrentThread, 1);
+        for max_batch in [1, 7, 4096] {
+            let threaded = run(ThreadPolicy::DedicatedThreads, max_batch);
+            for (a, b) in [(&local.0, &threaded.0), (&local.1, &threaded.1)] {
+                assert_eq!(a.len(), b.len(), "max_batch={max_batch}");
+                for ((t1, v1), (t2, v2)) in a.iter().zip(b) {
+                    assert_eq!(t1.to_bits(), t2.to_bits(), "max_batch={max_batch}: time");
+                    assert_eq!(v1.to_bits(), v2.to_bits(), "max_batch={max_batch}: value");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn link_flow_validates_its_endpoints() {
+        let mut producer = StreamerNetwork::new("producer");
+        let src = producer.add_streamer(Ramp, &[], &[("y", FlowType::scalar())]).unwrap();
+        let mut consumer = StreamerNetwork::new("consumer");
+        let wit = consumer
+            .add_streamer(Witness, &[("u", FlowType::scalar())], &[("y", FlowType::scalar())])
+            .unwrap();
+        consumer.export_input(wit, "u").unwrap();
+        // A feedthrough consumer in a third group.
+        let mut ft_net = StreamerNetwork::new("ft");
+        let gain = ft_net
+            .add_streamer(
+                FnStreamer::new("gain", 1, 1, |_t, _h, u: &[f64], y: &mut [f64]| y[0] = u[0]),
+                &[("u", FlowType::scalar())],
+                &[("y", FlowType::scalar())],
+            )
+            .unwrap();
+        ft_net.export_input(gain, "u").unwrap();
+        // An unexported consumer in a fourth group (input driven in-network
+        // so the group still validates).
+        let mut closed = StreamerNetwork::new("closed");
+        let csrc = closed.add_streamer(Ramp, &[], &[("y", FlowType::scalar())]).unwrap();
+        let cwit = closed
+            .add_streamer(Witness, &[("u", FlowType::scalar())], &[("y", FlowType::scalar())])
+            .unwrap();
+        closed.flow((csrc, "y"), (cwit, "u")).unwrap();
+
+        let mut e = HybridEngine::new(empty_controller(), EngineConfig::default());
+        let gp = e.add_group(producer).unwrap();
+        let gc = e.add_group(consumer).unwrap();
+        let gf = e.add_group(ft_net).unwrap();
+        let gx = e.add_group(closed).unwrap();
+
+        // Bad group index.
+        assert!(matches!(
+            e.link_flow((9, src, "y"), (gc, wit, "u")),
+            Err(CoreError::Engine { .. })
+        ));
+        // Same group.
+        let err = e.link_flow((gc, wit, "y"), (gc, wit, "u")).unwrap_err();
+        assert!(err.to_string().contains("in-network"), "{err}");
+        // Feedthrough consumer.
+        let err = e.link_flow((gp, src, "y"), (gf, gain, "u")).unwrap_err();
+        assert!(err.to_string().contains("feedthrough"), "{err}");
+        // Unexported consumer input.
+        let err = e.link_flow((gp, src, "y"), (gx, cwit, "u")).unwrap_err();
+        assert!(err.to_string().contains("not exported"), "{err}");
+        // Valid link, then a second channel into the same input.
+        e.link_flow((gp, src, "y"), (gc, wit, "u")).unwrap();
+        let err = e.link_flow((gx, csrc, "y"), (gc, wit, "u")).unwrap_err();
+        assert!(err.to_string().contains("already fed"), "{err}");
+    }
+
+    #[test]
+    fn link_flow_enforces_the_subset_rule() {
+        use urt_dataflow::flowtype::Unit;
+        let mut producer = StreamerNetwork::new("producer");
+        let src =
+            producer.add_streamer(Ramp, &[], &[("y", FlowType::with_unit(Unit::Kelvin))]).unwrap();
+        let mut consumer = StreamerNetwork::new("consumer");
+        let wit = consumer
+            .add_streamer(
+                Witness,
+                &[("u", FlowType::with_unit(Unit::Meter))],
+                &[("y", FlowType::scalar())],
+            )
+            .unwrap();
+        consumer.export_input(wit, "u").unwrap();
+        let mut e = HybridEngine::new(empty_controller(), EngineConfig::default());
+        let gp = e.add_group(producer).unwrap();
+        let gc = e.add_group(consumer).unwrap();
+        let err = e.link_flow((gp, src, "y"), (gc, wit, "u")).unwrap_err();
+        assert!(
+            matches!(err, CoreError::Flow(urt_dataflow::FlowError::TypeMismatch { .. })),
+            "{err}"
         );
     }
 

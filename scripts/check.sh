@@ -27,10 +27,12 @@ case "$lint_json" in
         exit 1
         ;;
 esac
-if cargo run -q --offline -p urt-analysis --bin urt-lint -- seeded-violations >/dev/null 2>&1; then
-    echo "urt-lint should exit non-zero on seeded-violations" >&2
-    exit 1
-fi
+for seeded in seeded-violations seeded-cross-loop; do
+    if cargo run -q --offline -p urt-analysis --bin urt-lint -- "$seeded" >/dev/null 2>&1; then
+        echo "urt-lint should exit non-zero on $seeded" >&2
+        exit 1
+    fi
+done
 
 echo "==> urt-elab-smoke (model -> analyze -> compile -> run)"
 elab_out="$(cargo run -q --offline -p urt-analysis --bin urt-elab-smoke)"
@@ -42,10 +44,10 @@ case "$elab_out" in
         ;;
 esac
 
-echo "==> bench_engine --smoke"
+echo "==> bench_engine --smoke (self-asserts batched >= K=1 dedicated throughput)"
 bench_json="$(cargo run -q --release --offline -p urt-bench --bin bench_engine -- --smoke)"
 case "$bench_json" in
-    '{"schema":"bench_engine/v2","smoke":true,'*'"steps_per_sec":'*) ;;
+    '{"schema":"bench_engine/v3","smoke":true,'*'"batch":'*'"steps_per_sec":'*) ;;
     *)
         echo "unexpected bench_engine --smoke output: $bench_json" >&2
         exit 1

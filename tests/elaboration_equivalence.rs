@@ -279,6 +279,140 @@ fn quickstart_compiled(policy: ThreadPolicy, t_end: f64) -> Run {
     capture(&engine, &rec, Some(cap))
 }
 
+// ----------------------------------------------------------- cross-group
+
+/// Non-feedthrough source: y = sin(2 t) at the step start.
+struct Wave;
+impl StreamerBehavior for Wave {
+    fn name(&self) -> &str {
+        "wave"
+    }
+    fn input_width(&self) -> usize {
+        0
+    }
+    fn output_width(&self) -> usize {
+        1
+    }
+    fn direct_feedthrough(&self) -> bool {
+        false
+    }
+    fn advance(
+        &mut self,
+        t: f64,
+        _h: f64,
+        _u: &[f64],
+        y: &mut [f64],
+    ) -> Result<(), unified_rt::ode::SolveError> {
+        y[0] = (2.0 * t).sin();
+        Ok(())
+    }
+}
+
+/// Non-feedthrough unit-delay: output is the input latched at step start.
+struct Hold;
+impl StreamerBehavior for Hold {
+    fn name(&self) -> &str {
+        "hold"
+    }
+    fn input_width(&self) -> usize {
+        1
+    }
+    fn output_width(&self) -> usize {
+        1
+    }
+    fn direct_feedthrough(&self) -> bool {
+        false
+    }
+    fn advance(
+        &mut self,
+        _t: f64,
+        _h: f64,
+        u: &[f64],
+        y: &mut [f64],
+    ) -> Result<(), unified_rt::ode::SolveError> {
+        y[0] = u[0];
+        Ok(())
+    }
+}
+
+fn scaler() -> Box<dyn StreamerBehavior> {
+    Box::new(FnStreamer::new("scale", 1, 1, |_t, _h, u: &[f64], y: &mut [f64]| y[0] = 0.5 * u[0]))
+}
+
+/// Hand-wired cross-group pipeline: a wave source in one group feeding a
+/// hold + feedthrough scaler in another, with the channel linked through
+/// the engine API (export the consumer input, then `link_flow`).
+fn cross_group_wired(policy: ThreadPolicy, t_end: f64) -> Run {
+    let mut producer = StreamerNetwork::new("xg-t0");
+    let wave = producer
+        .add_streamer_boxed(Box::new(Wave), &[], &[("y", FlowType::scalar())])
+        .expect("wave");
+    let mut consumer = StreamerNetwork::new("xg-t1");
+    let hold = consumer
+        .add_streamer_boxed(
+            Box::new(Hold),
+            &[("u", FlowType::scalar())],
+            &[("y", FlowType::scalar())],
+        )
+        .expect("hold");
+    let scale = consumer
+        .add_streamer_boxed(scaler(), &[("u", FlowType::scalar())], &[("y", FlowType::scalar())])
+        .expect("scale");
+    consumer.flow((hold, "y"), (scale, "u")).expect("intra flow");
+    consumer.export_input(hold, "u").expect("export");
+
+    let mut engine = HybridEngine::new(Controller::new("ev"), EngineConfig { step: 0.01, policy });
+    let gp = engine.add_group(producer).expect("producer group");
+    let gc = engine.add_group(consumer).expect("consumer group");
+    engine.link_flow((gp, wave, "y"), (gc, hold, "u")).expect("channel");
+    let rec = Recorder::new();
+    engine.set_recorder(rec.clone());
+    engine.add_probe(gp, wave, "y", "wave.y").expect("probe wave");
+    engine.add_probe(gc, scale, "y", "scale.y").expect("probe scale");
+    engine.run_until(t_end).expect("run");
+    capture(&engine, &rec, None)
+}
+
+/// The same pipeline declared as a model: `assign_thread` splits the
+/// streamers across two groups and elaboration lowers the wave -> hold
+/// flow into a cross-group channel (exporting the consumer input
+/// automatically).
+fn cross_group_compiled(policy: ThreadPolicy, t_end: f64) -> Run {
+    let mut b = ModelBuilder::new("xg");
+    let wave = b.streamer("wave", "rk4");
+    let hold = b.streamer("hold", "euler");
+    let scale = b.streamer("scale", "euler");
+    b.streamer_out(wave, "y", FlowType::scalar());
+    b.streamer_in(hold, "u", FlowType::scalar());
+    b.streamer_out(hold, "y", FlowType::scalar());
+    b.streamer_in(scale, "u", FlowType::scalar());
+    b.streamer_out(scale, "y", FlowType::scalar());
+    b.flow_between_streamers(wave, "y", hold, "u");
+    b.flow_between_streamers(hold, "y", scale, "u");
+    b.streamer_feedthrough(wave, false);
+    b.streamer_feedthrough(hold, false);
+    b.assign_thread(wave, 0);
+    b.assign_thread(hold, 1);
+    b.assign_thread(scale, 1);
+    b.probe(wave, "y", "wave.y");
+    b.probe(scale, "y", "scale.y");
+    let model = b.build();
+
+    let registry = BehaviorRegistry::new()
+        .streamer("wave", || Box::new(Wave))
+        .streamer("hold", || Box::new(Hold))
+        .streamer("scale", scaler);
+    let compiled = compile(&model, registry).expect("cross-group model compiles");
+    assert_eq!(compiled.group_count(), 2, "assign_thread keeps two groups");
+    assert_eq!(compiled.cross_flow_count(), 1, "one lowered channel");
+    let mut engine =
+        HybridEngine::from_compiled(compiled, EngineConfig { step: 0.01, policy }).expect("engine");
+    let rec = Recorder::new();
+    engine.set_recorder(rec.clone());
+    engine.run_until(t_end).expect("run");
+    capture(&engine, &rec, None)
+}
+
 // ---------------------------------------------------------------- tests
 
 #[test]
@@ -293,6 +427,31 @@ fn fig2_elaboration_is_bit_identical_to_hand_wiring() {
             wired.series.iter().all(|(_, s)| s.len() == 200),
             "fig2/{policy}: 200 samples per probe"
         );
+    }
+}
+
+#[test]
+fn cross_group_elaboration_is_bit_identical_to_hand_wiring() {
+    for policy in [ThreadPolicy::CurrentThread, ThreadPolicy::DedicatedThreads] {
+        let wired = cross_group_wired(policy, 2.0);
+        let lowered = cross_group_compiled(policy, 2.0);
+        assert_bit_identical(&wired, &lowered, &format!("cross-group/{policy}"));
+        assert!(
+            wired.series.iter().all(|(_, s)| s.len() == 200),
+            "cross-group/{policy}: 200 samples per probe"
+        );
+        // The channel's one-step delay is part of the pinned semantics:
+        // scale(k) = 0.5 * wave(k-1), with a zero-initialised first read.
+        let wave = &wired.series.iter().find(|(n, _)| n == "wave.y").expect("wave series").1;
+        let scale = &wired.series.iter().find(|(n, _)| n == "scale.y").expect("scale series").1;
+        assert_eq!(scale[0].1.to_bits(), 0.0f64.to_bits(), "cross-group/{policy}: initial read");
+        for k in 1..scale.len() {
+            assert_eq!(
+                scale[k].1.to_bits(),
+                (0.5 * wave[k - 1].1).to_bits(),
+                "cross-group/{policy}: delayed sample {k}"
+            );
+        }
     }
 }
 
