@@ -5,19 +5,27 @@
 //! each model is compiled via [`urt_analysis::compile`] (so the
 //! whole-model analyzer gates it), handed to
 //! `HybridEngine::from_compiled`, and run for a few macro steps.
+//! Models without SPort links additionally run as a K-instance
+//! [`EnsembleEngine`], whose instance 0 must replay the standalone run
+//! bit-identically (the ensemble determinism anchor).
 //! `seeded-violations` must **refuse** to compile. Any deviation exits
 //! non-zero, which is what `scripts/check.sh` keys on.
 
 use std::process::ExitCode;
 use urt_analysis::{compile, examples, stubs};
 use urt_core::engine::{EngineConfig, HybridEngine};
+use urt_core::ensemble::EnsembleEngine;
+use urt_core::recorder::Recorder;
 use urt_core::threading::ThreadPolicy;
 
 const STEP: f64 = 1e-3;
 const MACRO_STEPS: u32 = 5;
+const ENSEMBLE_K: usize = 8;
 
 fn main() -> ExitCode {
     let mut failed = false;
+    let config = EngineConfig { step: STEP, policy: ThreadPolicy::CurrentThread };
+    let t_end = STEP * f64::from(MACRO_STEPS);
 
     for &name in examples::NAMES {
         let model = examples::by_name(name).expect("catalogue name");
@@ -30,10 +38,9 @@ fn main() -> ExitCode {
             }
         };
         let groups = compiled.group_count();
-        let mut engine = match HybridEngine::from_compiled(
-            compiled,
-            EngineConfig { step: STEP, policy: ThreadPolicy::CurrentThread },
-        ) {
+        let sport_links = compiled.sport_link_count();
+        let series: Vec<String> = compiled.probe_series().iter().map(|s| (*s).to_owned()).collect();
+        let mut engine = match HybridEngine::from_compiled(compiled, config) {
             Ok(e) => e,
             Err(e) => {
                 eprintln!("urt-elab-smoke: `{name}` failed engine assembly: {e}");
@@ -41,13 +48,65 @@ fn main() -> ExitCode {
                 continue;
             }
         };
-        let t_end = STEP * f64::from(MACRO_STEPS);
+        let rec = Recorder::new();
+        engine.set_recorder(rec.clone());
         if let Err(e) = engine.run_until(t_end) {
             eprintln!("urt-elab-smoke: `{name}` failed to run: {e}");
             failed = true;
             continue;
         }
         println!("urt-elab-smoke: `{name}` ok ({groups} group(s), {MACRO_STEPS} steps)");
+
+        // Ensemble smoke: the continuous half of every SPort-free model
+        // must also run as a K-instance lockstep ensemble, with instance
+        // 0 bit-identical to the standalone run just taken.
+        if sport_links > 0 {
+            continue;
+        }
+        let recompiled = match compile(&model, stubs::stub_registry(&model)) {
+            Ok(c) => c,
+            Err(e) => {
+                eprintln!("urt-elab-smoke: `{name}` refused to recompile: {e}");
+                failed = true;
+                continue;
+            }
+        };
+        let mut ensemble = match EnsembleEngine::from_compiled(&recompiled, ENSEMBLE_K, config) {
+            Ok(e) => e,
+            Err(e) => {
+                eprintln!("urt-elab-smoke: `{name}` failed ensemble assembly: {e}");
+                failed = true;
+                continue;
+            }
+        };
+        let erec = Recorder::new();
+        ensemble.set_recorder(erec.clone());
+        if let Err(e) = ensemble.run_until(t_end) {
+            eprintln!("urt-elab-smoke: `{name}` failed ensemble run: {e}");
+            failed = true;
+            continue;
+        }
+        let mut diverged = false;
+        for s in &series {
+            let standalone = rec.series(s);
+            let instance0 = erec.series(&EnsembleEngine::series_name(s, 0));
+            let same = standalone.len() == instance0.len()
+                && standalone.iter().zip(&instance0).all(|((t1, v1), (t2, v2))| {
+                    t1.to_bits() == t2.to_bits() && v1.to_bits() == v2.to_bits()
+                });
+            if !same {
+                eprintln!("urt-elab-smoke: `{name}` ensemble instance 0 diverged on `{s}`");
+                diverged = true;
+            }
+        }
+        if diverged {
+            failed = true;
+            continue;
+        }
+        println!(
+            "urt-elab-smoke: `{name}` ensemble ok (K = {ENSEMBLE_K}, {} series bit-checked)",
+            series.len()
+        );
     }
 
     // The seeded models must be refused by the analysis gate — including

@@ -96,6 +96,9 @@ pub fn fig2() -> UnifiedModel {
     b.flow_between_streamers(sub1, "y", sub2, "u");
     b.flow_between_streamers(sub1, "y", sub3, "u");
     b.streamer_sport(top, "ctl", "StreamCtl");
+    // Recorded in the CI smokes (and bit-compared between the standalone
+    // engine and ensemble instance 0).
+    b.probe(sub1, "y", "fig2.sub1.y");
     b.build()
 }
 
@@ -116,6 +119,9 @@ pub fn fig3() -> UnifiedModel {
     b.flow(FlowEnd::Streamer(s1, "y".into()), FlowEnd::Capsule(sub, "d".into()));
     b.flow(FlowEnd::Capsule(sub, "d".into()), FlowEnd::Streamer(s2, "u".into()));
     b.streamer_feedthrough(s2, false);
+    // Recorded in the CI smokes (and bit-compared between the standalone
+    // engine and ensemble instance 0).
+    b.probe(s1, "y", "fig3.streamer1.y");
     b.build()
 }
 

@@ -15,6 +15,8 @@ use urt_umlrt::capsule::{CapsuleContext, SmCapsule};
 use urt_umlrt::controller::Controller;
 use urt_umlrt::statemachine::StateMachineBuilder;
 
+#[derive(Clone)]
+
 struct Lag;
 
 impl InputSystem for Lag {

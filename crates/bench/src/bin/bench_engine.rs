@@ -24,13 +24,24 @@
 //! * `auto` — the coordinator batches every step it can prove needs no
 //!   signal exchange or coordinator-side work.
 //!
+//! A second, independent axis measures **ensemble execution**: `K`
+//! instances of one workload (`fig2`, `chain`) advanced per macro step,
+//! either as one structure-of-arrays [`EnsembleEngine`]
+//! (`mode = ensemble`) or as `K` single-instance engines stepped
+//! back-to-back (`mode = independent` — the same per-step code path with
+//! no amortization, so the delta is exactly what the SoA layout buys).
+//! `K ∈ {1, 8}` in smoke mode, `{1, 8, 64, 256}` in full runs.
+//!
 //! Every run attaches a recorder probe so the measured loop is the same
 //! one real simulations pay for. Results are written as hand-rolled JSON
 //! (hermetic, no registry deps) to `results/BENCH_engine.json` — the
-//! baseline future perf PRs are measured against. In `--smoke` mode the
-//! binary also *self-asserts* that the batched dedicated-threads path is
-//! no slower than `k1` in aggregate, exiting non-zero otherwise, so the
-//! rendezvous amortization cannot silently regress.
+//! baseline future perf PRs are measured against. The binary also
+//! *self-asserts* two throughput invariants, exiting non-zero otherwise:
+//! the batched dedicated-threads path must not fall behind `k1` in
+//! aggregate (rendezvous amortization), and the ensemble must not fall
+//! behind `K` independent engines (SoA amortization). Smoke runs allow a
+//! 10% tolerance — a few hundred steps on a shared box is noisy — while
+//! full runs are strict.
 //!
 //! Run with: `cargo run --release -p urt-bench --bin bench_engine`
 //! (`--smoke` runs a few hundred steps and prints the JSON to stdout
@@ -38,14 +49,15 @@
 
 use std::fmt::Write as _;
 use std::time::Instant;
-use urt_bench::fig2_network;
+use urt_bench::{chain_network_tail, fig2_network};
 use urt_core::elaborate::BehaviorRegistry;
 use urt_core::engine::{EngineConfig, HybridEngine};
+use urt_core::ensemble::EnsembleEngine;
 use urt_core::model::ModelBuilder;
 use urt_core::recorder::Recorder;
 use urt_core::threading::ThreadPolicy;
 use urt_dataflow::flowtype::FlowType;
-use urt_dataflow::graph::StreamerNetwork;
+use urt_dataflow::graph::{NodeId, StreamerNetwork};
 use urt_dataflow::streamer::{FnStreamer, OdeStreamer, StreamerBehavior};
 use urt_ode::solver::SolverKind;
 use urt_ode::system::library::VanDerPol;
@@ -61,6 +73,7 @@ const USAGE: &str = "usage: bench_engine [--smoke] [--out PATH]";
 
 /// A Van der Pol oscillator with input dimension zero, usable as an
 /// `OdeStreamer` system.
+#[derive(Clone)]
 struct Vdp(VanDerPol);
 
 impl urt_ode::system::InputSystem for Vdp {
@@ -447,9 +460,126 @@ fn measure(
     }
 }
 
-fn render_json(results: &[Measurement], smoke: bool) -> String {
+/// Workloads for the ensemble axis: raw networks (no controller, no
+/// channels) so the measurement isolates per-instance routing overhead.
+#[derive(Clone, Copy)]
+enum EnsembleWorkload {
+    Fig2,
+    Chain,
+}
+
+impl EnsembleWorkload {
+    fn name(self) -> &'static str {
+        match self {
+            EnsembleWorkload::Fig2 => "fig2",
+            EnsembleWorkload::Chain => "chain",
+        }
+    }
+
+    /// The network plus the node whose `y` output gets the probe.
+    fn network(self) -> (StreamerNetwork, NodeId) {
+        match self {
+            EnsembleWorkload::Fig2 => {
+                let (net, [_, _, sub2, _]) = fig2_network();
+                (net, sub2)
+            }
+            EnsembleWorkload::Chain => chain_network_tail(CHAIN_STAGES),
+        }
+    }
+}
+
+struct EnsembleMeasurement {
+    workload: &'static str,
+    mode: &'static str,
+    k: usize,
+    steps: u64,
+    wall_ns: u128,
+    steps_per_sec: f64,
+}
+
+/// One K-instance SoA engine (`mode = "ensemble"`), or K single-instance
+/// engines (`mode = "independent"`) — the unamortized control.
+fn ensemble_engines(
+    workload: EnsembleWorkload,
+    mode: &str,
+    k: usize,
+) -> Vec<(EnsembleEngine, Recorder)> {
+    let build = |instances: usize| {
+        let (net, tail) = workload.network();
+        let mut engine = EnsembleEngine::from_network(
+            &net,
+            instances,
+            &[(tail, "y", "y0")],
+            EngineConfig { step: STEP, policy: ThreadPolicy::CurrentThread },
+        )
+        .expect("ensemble engine");
+        let rec = Recorder::new();
+        engine.set_recorder(rec.clone());
+        (engine, rec)
+    };
+    if mode == "ensemble" {
+        vec![build(k)]
+    } else {
+        (0..k).map(|_| build(1)).collect()
+    }
+}
+
+/// Measures macro steps per second advancing all K instances — same
+/// warm-up / pilot / min-of-reps protocol as [`measure`]. Both modes
+/// advance the whole population each macro step, so `steps_per_sec` is
+/// directly comparable across modes at equal K.
+fn measure_ensemble(
+    workload: EnsembleWorkload,
+    mode: &'static str,
+    k: usize,
+    steps: u64,
+    smoke: bool,
+) -> EnsembleMeasurement {
+    let mut engines = ensemble_engines(workload, mode, k);
+    let warmup = (steps / 10).max(10);
+    for (engine, _) in &mut engines {
+        engine.run_until(warmup as f64 * STEP).expect("warm-up");
+    }
+    let t0 = engines[0].0.time();
+    let start = Instant::now();
+    for (engine, _) in &mut engines {
+        engine.run_until(t0 + steps as f64 * STEP).expect("pilot run");
+    }
+    let pilot_ns = start.elapsed().as_nanos().max(1);
+    let target_ns: f64 = if smoke { 2e6 } else { 10e6 };
+    let rep_steps =
+        ((steps as f64 * target_ns / pilot_ns as f64).ceil() as u64).clamp(200, 500_000);
+    let reps: u64 = if smoke { 5 } else { 25 };
+    let mut wall_ns = u128::MAX;
+    for _ in 0..reps {
+        for (_, rec) in &engines {
+            rec.clear();
+        }
+        let t0 = engines[0].0.time();
+        let start = Instant::now();
+        for (engine, _) in &mut engines {
+            engine.run_until(t0 + rep_steps as f64 * STEP).expect("measured run");
+        }
+        wall_ns = wall_ns.min(start.elapsed().as_nanos());
+        for (engine, rec) in &engines {
+            let series = EnsembleEngine::series_name("y0", engine.instances() - 1);
+            assert_eq!(rec.series(&series).len() as u64, rep_steps, "probes recorded every step");
+        }
+    }
+    let steps_per_sec = rep_steps as f64 / (wall_ns as f64 / 1e9);
+    EnsembleMeasurement {
+        workload: workload.name(),
+        mode,
+        k,
+        steps: rep_steps,
+        wall_ns,
+        steps_per_sec,
+    }
+}
+
+fn render_json(results: &[Measurement], ensemble: &[EnsembleMeasurement], smoke: bool) -> String {
     let mut s = String::new();
-    let _ = write!(s, "{{\"schema\":\"bench_engine/v3\",\"smoke\":{smoke},\"step_s\":{STEP}");
+    let _ = write!(s, "{{\"schema\":\"bench_engine/v4\",\"smoke\":{smoke},\"step_s\":{STEP}");
     let _ = write!(s, ",\"results\":[");
     for (i, m) in results.iter().enumerate() {
         if i > 0 {
@@ -460,6 +590,18 @@ fn render_json(results: &[Measurement], smoke: bool) -> String {
             "{{\"workload\":\"{}\",\"path\":\"{}\",\"groups\":{},\"policy\":\"{}\",\
              \"batch\":\"{}\",\"steps\":{},\"wall_ns\":{},\"steps_per_sec\":{:.1}}}",
             m.workload, m.path, m.groups, m.policy, m.batch, m.steps, m.wall_ns, m.steps_per_sec
+        );
+    }
+    s.push_str("],\"ensemble\":[");
+    for (i, m) in ensemble.iter().enumerate() {
+        if i > 0 {
+            s.push(',');
+        }
+        let _ = write!(
+            s,
+            "{{\"workload\":\"{}\",\"mode\":\"{}\",\"k\":{},\"steps\":{},\
+             \"wall_ns\":{},\"steps_per_sec\":{:.1}}}",
+            m.workload, m.mode, m.k, m.steps, m.wall_ns, m.steps_per_sec
         );
     }
     s.push_str("]}");
@@ -520,28 +662,63 @@ fn main() {
         }
     }
 
-    if smoke {
-        // Self-assertion: amortizing the rendezvous must not make the
-        // dedicated-threads path slower than the per-step schedule.
-        let throughput = |batch: &str| -> f64 {
-            results
-                .iter()
-                .filter(|m| m.policy == ThreadPolicy::DedicatedThreads && m.batch == batch)
-                .map(|m| m.steps_per_sec)
-                .sum()
-        };
-        let (auto_sps, k1_sps) = (throughput("auto"), throughput("k1"));
-        if auto_sps < k1_sps {
+    let ks: &[usize] = if smoke { &[1, 8] } else { &[1, 8, 64, 256] };
+    let mut ensemble_results = Vec::new();
+    for workload in [EnsembleWorkload::Fig2, EnsembleWorkload::Chain] {
+        let steps = if smoke { 200 } else { 2_000 };
+        for &k in ks {
+            for mode in ["ensemble", "independent"] {
+                ensemble_results.push(measure_ensemble(workload, mode, k, steps, smoke));
+            }
+        }
+    }
+
+    // Self-assertion 1: amortizing the rendezvous must not make the
+    // dedicated-threads path slower than the per-step schedule. Smoke runs
+    // measure a few hundred steps on a possibly-shared box, so they get a
+    // 10% noise allowance; full runs are strict.
+    let tolerance = if smoke { 0.9 } else { 1.0 };
+    let throughput = |batch: &str| -> f64 {
+        results
+            .iter()
+            .filter(|m| m.policy == ThreadPolicy::DedicatedThreads && m.batch == batch)
+            .map(|m| m.steps_per_sec)
+            .sum()
+    };
+    let (auto_sps, k1_sps) = (throughput("auto"), throughput("k1"));
+    if auto_sps < k1_sps * tolerance {
+        eprintln!(
+            "bench_engine: batched dedicated-threads path is slower than K=1 \
+             ({auto_sps:.0} steps/s < {k1_sps:.0} steps/s aggregate) — \
+             rendezvous amortization regressed"
+        );
+        std::process::exit(1);
+    }
+
+    // Self-assertion 2: at the largest common K, the SoA ensemble must
+    // beat K independent engines (strictly in full runs, within the same
+    // 10% allowance in smoke).
+    let check_k = if smoke { 8 } else { 64 };
+    let ens_sps = |workload: &str, mode: &str| -> f64 {
+        ensemble_results
+            .iter()
+            .find(|m| m.workload == workload && m.mode == mode && m.k == check_k)
+            .map(|m| m.steps_per_sec)
+            .expect("measured configuration")
+    };
+    for workload in ["fig2", "chain"] {
+        let (ens, ind) = (ens_sps(workload, "ensemble"), ens_sps(workload, "independent"));
+        if ens <= ind * tolerance {
             eprintln!(
-                "bench_engine: batched dedicated-threads path is slower than K=1 \
-                 ({auto_sps:.0} steps/s < {k1_sps:.0} steps/s aggregate) — \
-                 rendezvous amortization regressed"
+                "bench_engine: K={check_k} ensemble is not faster than {check_k} independent \
+                 engines on {workload} ({ens:.0} steps/s vs {ind:.0} steps/s) — \
+                 SoA amortization regressed"
             );
             std::process::exit(1);
         }
     }
 
-    let json = render_json(&results, smoke);
+    let json = render_json(&results, &ensemble_results, smoke);
     if smoke && out.is_none() {
         // Smoke mode is the CI shape check: JSON is the whole stdout.
         println!("{json}");
@@ -557,6 +734,22 @@ fn main() {
         println!(
             "| {} | {} | {} | {} | {} | {} | {:.0} |",
             m.workload, m.path, m.groups, m.policy, m.batch, m.steps, m.steps_per_sec
+        );
+    }
+    println!();
+    println!("ensemble scaling (K instances advanced per macro step)");
+    println!();
+    println!("| workload | mode | K | steps | steps/sec | instance-steps/sec |");
+    println!("|----------|------|---|-------|-----------|--------------------|");
+    for m in &ensemble_results {
+        println!(
+            "| {} | {} | {} | {} | {:.0} | {:.0} |",
+            m.workload,
+            m.mode,
+            m.k,
+            m.steps,
+            m.steps_per_sec,
+            m.steps_per_sec * m.k as f64
         );
     }
     println!();

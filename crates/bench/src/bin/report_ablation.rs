@@ -23,6 +23,7 @@ use urt_umlrt::controller::Controller;
 use urt_umlrt::statemachine::StateMachineBuilder;
 
 fn idle_engine(policy: ThreadPolicy, step: f64, substep: f64) -> HybridEngine {
+    #[derive(Clone)]
     struct Lag;
     impl InputSystem for Lag {
         fn dim(&self) -> usize {

@@ -16,6 +16,8 @@ use urt_umlrt::capsule::{CapsuleContext, SmCapsule};
 use urt_umlrt::controller::Controller;
 use urt_umlrt::statemachine::StateMachineBuilder;
 
+#[derive(Clone)]
+
 struct Vdp {
     mu: f64,
 }

@@ -74,6 +74,17 @@ pub fn fig2_network() -> (StreamerNetwork, [NodeId; 4]) {
 ///
 /// Panics if `n == 0`.
 pub fn chain_network(n: usize) -> StreamerNetwork {
+    chain_network_tail(n).0
+}
+
+/// [`chain_network`], additionally returning the id of the tail node (the
+/// last gain, or the adapter/oscillator for short chains) so callers can
+/// attach probes — the ensemble benchmark needs a recorded series.
+///
+/// # Panics
+///
+/// Panics if `n == 0`.
+pub fn chain_network_tail(n: usize) -> (StreamerNetwork, NodeId) {
     assert!(n > 0, "need at least one streamer");
     let mut net = StreamerNetwork::new("chain");
     let mut prev: Option<NodeId> = None;
@@ -124,11 +135,12 @@ pub fn chain_network(n: usize) -> StreamerNetwork {
             prev = Some(adapter);
         }
     }
-    net
+    (net, prev.expect("n > 0"))
 }
 
 /// An [`OdeStreamer`]-compatible wrapper giving [`VanDerPol`] an input
 /// dimension of zero.
+#[derive(Clone)]
 pub struct WrappedVdp(pub VanDerPol);
 
 impl urt_ode::system::InputSystem for WrappedVdp {

@@ -189,6 +189,14 @@ impl CompiledSystem {
         self.cross_flows.len()
     }
 
+    /// Number of resolved SPort links (capsule–streamer signal bridges).
+    /// Ensemble execution refuses systems with links
+    /// ([`EnsembleEngine::from_compiled`](crate::ensemble::EnsembleEngine::from_compiled)),
+    /// so callers batching a model catalogue use this to skip them.
+    pub fn sport_link_count(&self) -> usize {
+        self.links.len()
+    }
+
     /// Where a leaf streamer landed, as `(group, node)`.
     pub fn streamer_node(&self, name: &str) -> Option<(usize, NodeId)> {
         self.streamer_loc.get(name).copied()

@@ -13,11 +13,10 @@
 use crate::elaborate::CompiledSystem;
 use crate::error::CoreError;
 use crate::recorder::{Recorder, SeriesHandle};
-use crate::sync::Mutex;
+use crate::sync::{Mutex, SpinBarrier};
 use crate::threading::ThreadPolicy;
 use crate::time::SimClock;
 use std::fmt;
-use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::mpsc::{channel, Receiver, Sender};
 use std::sync::Arc;
 use urt_dataflow::graph::{NodeId, OutputHandle, StreamerNetwork};
@@ -65,48 +64,6 @@ struct FlowChannel {
     /// Lane offset inside the consumer group's exported-input vector.
     to_offset: usize,
     bufs: ChannelBufs,
-}
-
-/// A sense-reversing spin barrier synchronising the channel-touching
-/// solver threads between the macro steps *inside* a batch.
-///
-/// `std::sync`'s Mutex+Condvar barrier costs microseconds per wait; at
-/// sub-microsecond macro steps that would erase the batching win, so the
-/// inner sub-step barrier spins (briefly) and then yields. Batch
-/// boundaries still use the mpsc `Step`/`Done` rendezvous, which parks
-/// properly — spinning is confined to the hot inner loop.
-struct SpinBarrier {
-    participants: usize,
-    count: AtomicUsize,
-    generation: AtomicUsize,
-}
-
-impl SpinBarrier {
-    fn new(participants: usize) -> Self {
-        SpinBarrier { participants, count: AtomicUsize::new(0), generation: AtomicUsize::new(0) }
-    }
-
-    /// Blocks until all participants have called `wait` this generation.
-    fn wait(&self) {
-        let generation = self.generation.load(Ordering::Acquire);
-        if self.count.fetch_add(1, Ordering::AcqRel) + 1 == self.participants {
-            // Reset the count *before* releasing the waiters: the Release
-            // bump happens-before their Acquire load, so no participant of
-            // the next generation can observe a stale count.
-            self.count.store(0, Ordering::Relaxed);
-            self.generation.fetch_add(1, Ordering::Release);
-        } else {
-            let mut spins = 0u32;
-            while self.generation.load(Ordering::Acquire) == generation {
-                spins = spins.saturating_add(1);
-                if spins < 64 {
-                    std::hint::spin_loop();
-                } else {
-                    std::thread::yield_now();
-                }
-            }
-        }
-    }
 }
 
 /// Engine configuration.
@@ -635,18 +592,10 @@ impl HybridEngine {
     }
 
     /// Number of whole macro steps needed to reach `t_end` from the
-    /// current instant. Uses a *relative* tolerance so a step landing
-    /// within rounding distance of `t_end` counts as having reached it —
-    /// the former `seconds() + 1e-12 < t_end` loop condition used an
-    /// absolute epsilon that is absorbed for large `t_end` (or dwarfs tiny
-    /// `h`), running one step too many or too few.
+    /// current instant (see [`crate::time::steps_until`] for the
+    /// relative-tolerance rationale).
     fn steps_until(&self, t_end: f64) -> u64 {
-        let t = self.clock.seconds();
-        if t_end <= t {
-            return 0;
-        }
-        let raw = (t_end - t) / self.config.step;
-        (raw * (1.0 - 1e-12)).ceil() as u64
+        crate::time::steps_until(self.clock.seconds(), t_end, self.config.step)
     }
 
     fn run_local(&mut self, t_end: f64) -> Result<(), CoreError> {
@@ -1394,6 +1343,29 @@ mod tests {
                     assert_eq!(t1.to_bits(), t2.to_bits(), "max_batch={max_batch}: time");
                     assert_eq!(v1.to_bits(), v2.to_bits(), "max_batch={max_batch}: value");
                 }
+            }
+        }
+    }
+
+    #[test]
+    fn set_max_batch_zero_clamps_to_one() {
+        // Regression: `set_max_batch(0)` must behave as batch size 1, not
+        // hang the threaded scheduler in a zero-progress loop (`remaining`
+        // would never decrease) — the cap is clamped to 1.
+        let run = |policy, max_batch| {
+            let (mut e, rec) = cross_group_engine(policy);
+            e.set_max_batch(max_batch);
+            e.run_until(0.1).unwrap();
+            (rec.series("src"), rec.series("wit"))
+        };
+        let reference = run(ThreadPolicy::DedicatedThreads, 1);
+        let clamped = run(ThreadPolicy::DedicatedThreads, 0);
+        for (a, b) in [(&reference.0, &clamped.0), (&reference.1, &clamped.1)] {
+            assert_eq!(a.len(), b.len());
+            assert_eq!(a.len(), 10, "all ten macro steps ran");
+            for ((t1, v1), (t2, v2)) in a.iter().zip(b.iter()) {
+                assert_eq!(t1.to_bits(), t2.to_bits());
+                assert_eq!(v1.to_bits(), v2.to_bits());
             }
         }
     }

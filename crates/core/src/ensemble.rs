@@ -1,0 +1,1245 @@
+//! Structure-of-arrays ensemble execution: step `K` parameter-variants
+//! of one [`CompiledSystem`] in lockstep.
+//!
+//! Parameter sweeps, Monte-Carlo robustness studies and scenario fans
+//! all run the *same* lowered model many times with slightly different
+//! parameters. Driving `K` independent [`HybridEngine`]s pays the full
+//! per-step bookkeeping — routing-table walks, barrier crossings,
+//! cross-group channel latching, clock arithmetic — once **per
+//! instance**. [`EnsembleEngine`] pays it once **per step**: each group's
+//! [`StepPlan`] (the dense routing schedule computed once from the
+//! network) is replayed with instance-major inner loops over contiguous
+//! state arrays, so the plan walk, the channel parity bookkeeping and the
+//! probe/clock overhead are amortised over all `K` instances, and the
+//! inner lane copies run over contiguous memory — auto-vectorisable where
+//! the block math allows.
+//!
+//! Layout: instance `i` of a group owns lanes `[i*W .. (i+1)*W)` of that
+//! group's flat input/output arrays, where `W` is the per-instance dense
+//! width from the plan. Behaviours are replicated per instance via
+//! [`StreamerBehavior::clone_fresh`], with per-instance parameter
+//! overrides applied through [`StreamerBehavior::set_param`] before
+//! initialisation ([`VariantSpec`]).
+//!
+//! **Determinism is the correctness anchor**: instance `i` of a
+//! `K`-ensemble is bit-identical to a standalone run with the same
+//! variant parameters — same step plan semantics as
+//! [`StreamerNetwork::step`], same accumulated group time, same
+//! cross-group channel parity slots, same drift-free probe timestamps.
+//! The equivalence suites pin this for both thread policies.
+//!
+//! Scope: ensembles run the time-continuous half only. Systems with SPort
+//! links are refused (capsule signal routing is per-instance discrete
+//! state, which would serialise the ensemble); the compiled controller is
+//! not stepped, and signals emitted by behaviours are drained and
+//! dropped.
+
+use crate::elaborate::CompiledSystem;
+use crate::engine::EngineConfig;
+use crate::error::CoreError;
+use crate::recorder::{Recorder, SeriesHandle};
+use crate::sync::{Mutex, SpinBarrier};
+use crate::threading::ThreadPolicy;
+use crate::time::SimClock;
+use std::fmt;
+use std::sync::Arc;
+use urt_dataflow::graph::{NodeId, PlanNodeKind, StepPlan, StreamerNetwork};
+use urt_dataflow::streamer::StreamerBehavior;
+
+#[cfg(doc)]
+use crate::engine::HybridEngine;
+
+/// Per-instance parameter overrides for one ensemble member: a list of
+/// `(streamer, parameter, value)` assignments applied through
+/// [`StreamerBehavior::set_param`] after cloning and before
+/// initialisation.
+///
+/// An empty spec replicates the compiled system's parameters unchanged.
+/// [`OdeStreamer`](urt_dataflow::streamer::OdeStreamer) understands the
+/// built-in `x0[i]` names (initial-state lanes) plus whatever its
+/// `with_param_fn` hook recognises.
+///
+/// # Examples
+///
+/// ```
+/// use urt_core::ensemble::VariantSpec;
+///
+/// let v = VariantSpec::new().set("plant", "x0[0]", 2.5).set("plant", "mu", 1.2);
+/// assert_eq!(v.len(), 2);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct VariantSpec {
+    overrides: Vec<(String, String, f64)>,
+}
+
+impl VariantSpec {
+    /// An empty spec (the compiled system's own parameters).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds one override (builder style).
+    pub fn set(
+        mut self,
+        streamer: impl Into<String>,
+        param: impl Into<String>,
+        value: f64,
+    ) -> Self {
+        self.overrides.push((streamer.into(), param.into(), value));
+        self
+    }
+
+    /// Number of overrides.
+    pub fn len(&self) -> usize {
+        self.overrides.len()
+    }
+
+    /// Whether the spec has no overrides.
+    pub fn is_empty(&self) -> bool {
+        self.overrides.is_empty()
+    }
+}
+
+/// One group's ensemble state: the shared routing plan plus `K`
+/// instance-major copies of the dense per-instance arrays.
+struct GroupState {
+    plan: StepPlan,
+    /// `behaviours[r][i]` is instance `i` of the `r`-th *streamer* plan
+    /// node (relays carry no behaviour), in plan order.
+    behaviours: Vec<Vec<Box<dyn StreamerBehavior>>>,
+    /// Dense input lanes, `K * plan.in_width()`.
+    ins: Vec<f64>,
+    /// Dense output lanes, `K * plan.out_width()`.
+    outs: Vec<f64>,
+    /// External (channel-fed) input staging, `K * plan.ext_in_width()`.
+    ext: Vec<f64>,
+    /// Accumulated group time — `t += h` per step, exactly like
+    /// `StreamerNetwork::step`, so behaviours see bit-identical instants.
+    time: f64,
+}
+
+impl GroupState {
+    /// Replays the plan once, advancing all `k` instances by `h`.
+    fn step(&mut self, h: f64, k: usize) -> Result<(), CoreError> {
+        let t = self.time;
+        let inw = self.plan.in_width();
+        let outw = self.plan.out_width();
+        let extw = self.plan.ext_in_width();
+        for c in self.plan.ext_loads() {
+            for i in 0..k {
+                let (src, dst) = (i * extw + c.src, i * inw + c.dst);
+                self.ins[dst..dst + c.len].copy_from_slice(&self.ext[src..src + c.len]);
+            }
+        }
+        let mut row = 0usize;
+        for pn in self.plan.nodes() {
+            for c in &pn.gathers {
+                for i in 0..k {
+                    let (src, dst) = (i * outw + c.src, i * inw + c.dst);
+                    self.ins[dst..dst + c.len].copy_from_slice(&self.outs[src..src + c.len]);
+                }
+            }
+            match pn.kind {
+                PlanNodeKind::Streamer => {
+                    let lanes = &mut self.behaviours[row];
+                    row += 1;
+                    for (i, b) in lanes.iter_mut().enumerate() {
+                        let ui = i * inw + pn.in_offset;
+                        let yi = i * outw + pn.out_offset;
+                        b.advance(
+                            t,
+                            h,
+                            &self.ins[ui..ui + pn.in_width],
+                            &mut self.outs[yi..yi + pn.out_width],
+                        )
+                        .map_err(|e| CoreError::Flow(e.into()))?;
+                        // No SPort links exist in an ensemble: drain
+                        // emitted signals so they cannot accumulate.
+                        let _ = b.take_emitted();
+                    }
+                }
+                PlanNodeKind::Relay { in_width, fanout } => {
+                    for i in 0..k {
+                        let src = i * inw + pn.in_offset;
+                        let base = i * outw + pn.out_offset;
+                        for f in 0..fanout {
+                            let dst = base + f * in_width;
+                            self.outs[dst..dst + in_width]
+                                .copy_from_slice(&self.ins[src..src + in_width]);
+                        }
+                    }
+                }
+            }
+        }
+        self.time += h;
+        Ok(())
+    }
+}
+
+/// One cross-group flow, widened to `K` lanesets: double-buffered parity
+/// slots exactly like the [`HybridEngine`] channel (consumer reads slot
+/// `step % 2` pre-tick, producer writes the same index post-tick), but
+/// each slot carries all `K` instances' samples.
+struct EnsembleChannel {
+    from_group: usize,
+    /// Per-instance dense offset of the producer's first output lane.
+    from_base: usize,
+    width: usize,
+    to_group: usize,
+    /// Per-instance offset inside the consumer's external input staging.
+    to_offset: usize,
+    bufs: Arc<[Mutex<Vec<f64>>; 2]>,
+}
+
+/// One resolved probe: the first output lane of `(group, out_base)`,
+/// recorded per instance into series `{series}#{instance}`.
+struct EnsembleProbe {
+    group: usize,
+    out_base: usize,
+    series: String,
+}
+
+/// The ensemble engine (see module docs): `K` parameter-variants of one
+/// [`CompiledSystem`] stepped in lockstep over structure-of-arrays state.
+///
+/// Construct with [`EnsembleEngine::from_compiled`] (identical
+/// parameters) or [`EnsembleEngine::from_variants`] (per-instance
+/// overrides); the compiled system is only *borrowed* — it can still be
+/// handed to a [`HybridEngine`] afterwards.
+///
+/// # Examples
+///
+/// ```
+/// use urt_core::ensemble::EnsembleEngine;
+/// # use urt_core::elaborate::{elaborate, validate_gate, BehaviorRegistry};
+/// # use urt_core::engine::EngineConfig;
+/// # use urt_core::model::ModelBuilder;
+/// # use urt_core::recorder::Recorder;
+/// # use urt_dataflow::flowtype::FlowType;
+/// # use urt_dataflow::streamer::FnStreamer;
+/// # let mut b = ModelBuilder::new("m");
+/// # let s = b.streamer("sine", "none");
+/// # b.streamer_out(s, "y", FlowType::scalar());
+/// # b.probe(s, "y", "y");
+/// # let registry = BehaviorRegistry::new().streamer("sine", || {
+/// #     Box::new(FnStreamer::new("sine", 0, 1, |t: f64, _h, _u: &[f64], y: &mut [f64]| {
+/// #         y[0] = t.sin()
+/// #     }))
+/// # });
+/// # let compiled = elaborate(&b.build(), registry, &validate_gate).unwrap();
+/// let mut ensemble = EnsembleEngine::from_compiled(&compiled, 8, EngineConfig::default())?;
+/// let rec = Recorder::new();
+/// ensemble.set_recorder(rec.clone());
+/// ensemble.run_until(0.01)?;
+/// assert_eq!(rec.series(&EnsembleEngine::series_name("y", 7)).len(), 10);
+/// # Ok::<(), urt_core::error::CoreError>(())
+/// ```
+pub struct EnsembleEngine {
+    config: EngineConfig,
+    clock: SimClock,
+    k: usize,
+    groups: Vec<GroupState>,
+    channels: Vec<EnsembleChannel>,
+    probes: Vec<EnsembleProbe>,
+    /// `probe_series[p][i]`: interned handle of probe `p`, instance `i`.
+    /// Empty while no recorder is attached.
+    probe_series: Vec<Vec<SeriesHandle>>,
+    recorder: Option<Recorder>,
+    started: bool,
+}
+
+impl fmt::Debug for EnsembleEngine {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("EnsembleEngine")
+            .field("time", &self.clock.seconds())
+            .field("instances", &self.k)
+            .field("groups", &self.groups.len())
+            .field("policy", &self.config.policy)
+            .finish_non_exhaustive()
+    }
+}
+
+fn engine_err(detail: String) -> CoreError {
+    CoreError::Engine { detail }
+}
+
+/// Builds one group's ensemble state: plan the network, clone every
+/// streamer behaviour `k` times, apply the overrides targeting group
+/// `gi`, and allocate the instance-major dense arrays.
+fn build_group(
+    net: &StreamerNetwork,
+    resolved: &[Vec<(usize, usize, &str, f64)>],
+    gi: usize,
+    k: usize,
+) -> Result<GroupState, CoreError> {
+    let plan = net.step_plan().map_err(CoreError::Flow)?;
+    let mut behaviours: Vec<Vec<Box<dyn StreamerBehavior>>> = Vec::new();
+    for pn in plan.nodes() {
+        if !matches!(pn.kind, PlanNodeKind::Streamer) {
+            continue;
+        }
+        let mut lanes: Vec<Box<dyn StreamerBehavior>> = Vec::with_capacity(k);
+        for (i, overrides) in resolved.iter().enumerate() {
+            let Some(mut b) = net.try_clone_behavior(pn.node).map_err(CoreError::Flow)? else {
+                return Err(engine_err(format!(
+                    "streamer `{}` cannot be replicated for ensemble execution (clone_fresh \
+                     returned None — boxed handlers, guards and non-cloneable systems are not \
+                     replicable)",
+                    net.node_name(pn.node).unwrap_or("?")
+                )));
+            };
+            for &(og, on, param, value) in overrides {
+                if og != gi || on != pn.node.index() {
+                    continue;
+                }
+                if !b.set_param(param, value) {
+                    return Err(engine_err(format!(
+                        "variant {i}: streamer `{}` does not recognise parameter `{param}`",
+                        net.node_name(pn.node).unwrap_or("?")
+                    )));
+                }
+            }
+            lanes.push(b);
+        }
+        behaviours.push(lanes);
+    }
+    Ok(GroupState {
+        ins: vec![0.0; k * plan.in_width()],
+        outs: vec![0.0; k * plan.out_width()],
+        ext: vec![0.0; k * plan.ext_in_width()],
+        plan,
+        behaviours,
+        time: 0.0,
+    })
+}
+
+impl EnsembleEngine {
+    /// Builds a `k`-instance ensemble with identical parameters (the
+    /// compiled system's own) for every instance.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`EnsembleEngine::from_variants`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `config.step` is not positive and finite.
+    pub fn from_compiled(
+        compiled: &CompiledSystem,
+        k: usize,
+        config: EngineConfig,
+    ) -> Result<Self, CoreError> {
+        Self::from_variants(compiled, &vec![VariantSpec::default(); k], config)
+    }
+
+    /// Builds one ensemble instance per [`VariantSpec`], applying each
+    /// spec's overrides to its instance's freshly cloned behaviours
+    /// before initialisation.
+    ///
+    /// # Errors
+    ///
+    /// * [`CoreError::Engine`] for an empty variant list, a system with
+    ///   SPort links (ensembles run the continuous half only), a
+    ///   behaviour that cannot be replicated
+    ///   ([`StreamerBehavior::clone_fresh`] returned `None`), an override
+    ///   naming an unknown streamer, or a parameter the behaviour does
+    ///   not recognise.
+    /// * [`CoreError::Flow`] for structural errors surfaced while
+    ///   planning (same conditions as `StreamerNetwork::validate`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `config.step` is not positive and finite.
+    pub fn from_variants(
+        compiled: &CompiledSystem,
+        variants: &[VariantSpec],
+        config: EngineConfig,
+    ) -> Result<Self, CoreError> {
+        assert!(config.step.is_finite() && config.step > 0.0, "macro step must be positive");
+        let k = variants.len();
+        if k == 0 {
+            return Err(engine_err("an ensemble needs at least one instance".into()));
+        }
+        if compiled.sport_link_count() > 0 {
+            return Err(engine_err(format!(
+                "ensemble execution runs the continuous half only: the compiled system has {} \
+                 SPort link(s); run it on a HybridEngine instead",
+                compiled.sport_link_count()
+            )));
+        }
+        // Resolve overrides up front: instance -> (group, node index) ->
+        // (param, value), failing fast on unknown streamer names.
+        let mut resolved: Vec<Vec<(usize, usize, &str, f64)>> = Vec::with_capacity(k);
+        for (i, v) in variants.iter().enumerate() {
+            let mut per_instance = Vec::with_capacity(v.overrides.len());
+            for (streamer, param, value) in &v.overrides {
+                let Some((group, node)) = compiled.streamer_node(streamer) else {
+                    return Err(engine_err(format!(
+                        "variant {i}: no streamer `{streamer}` in the compiled system"
+                    )));
+                };
+                per_instance.push((group, node.index(), param.as_str(), *value));
+            }
+            resolved.push(per_instance);
+        }
+
+        let mut groups = Vec::with_capacity(compiled.groups.len());
+        for (gi, net) in compiled.groups.iter().enumerate() {
+            groups.push(build_group(net, &resolved, gi, k)?);
+        }
+
+        // Cross-group channels: same parity-slot protocol as the
+        // HybridEngine, each slot widened to K instances.
+        let mut channels = Vec::with_capacity(compiled.cross_flows.len());
+        for cf in &compiled.cross_flows {
+            let from_net = &compiled.groups[cf.from_group];
+            let handle =
+                from_net.output_handle(cf.from_node, &cf.from_port).map_err(CoreError::Flow)?;
+            let from_base = groups[cf.from_group]
+                .plan
+                .out_offset(handle.node())
+                .expect("plan covers every node")
+                + handle.offset();
+            let width = handle.width();
+            // Consumer lane offset inside its group's exported-input
+            // vector (exports accumulate in registration order).
+            let to_net = &compiled.groups[cf.to_group];
+            let mut to_offset = None;
+            let mut cursor = 0usize;
+            for (n, p) in to_net.exported_inputs() {
+                let w: usize = to_net
+                    .in_ports(n)
+                    .map_err(CoreError::Flow)?
+                    .iter()
+                    .find(|spec| spec.name() == p)
+                    .map(|spec| spec.width())
+                    .unwrap_or(0);
+                if n == cf.to_node && p == cf.to_port {
+                    to_offset = Some(cursor);
+                    break;
+                }
+                cursor += w;
+            }
+            let Some(to_offset) = to_offset else {
+                return Err(engine_err(format!(
+                    "cross-group flow into `{}`.`{}`: the consumer input is not exported",
+                    to_net.node_name(cf.to_node).unwrap_or("?"),
+                    cf.to_port
+                )));
+            };
+            channels.push(EnsembleChannel {
+                from_group: cf.from_group,
+                from_base,
+                width,
+                to_group: cf.to_group,
+                to_offset,
+                bufs: Arc::new([
+                    Mutex::new(vec![0.0; k * width]),
+                    Mutex::new(vec![0.0; k * width]),
+                ]),
+            });
+        }
+
+        // Probes: resolved to per-instance dense offsets; recorded as
+        // `{series}#{instance}` once a recorder is attached.
+        let mut probes = Vec::with_capacity(compiled.probes.len());
+        for p in &compiled.probes {
+            let net = &compiled.groups[p.group];
+            let handle = net.output_handle(p.node, &p.port).map_err(CoreError::Flow)?;
+            let out_base =
+                groups[p.group].plan.out_offset(handle.node()).expect("plan covers every node")
+                    + handle.offset();
+            probes.push(EnsembleProbe { group: p.group, out_base, series: p.series.clone() });
+        }
+
+        Ok(EnsembleEngine {
+            config,
+            clock: SimClock::new(),
+            k,
+            groups,
+            channels,
+            probes,
+            probe_series: Vec::new(),
+            recorder: None,
+            started: false,
+        })
+    }
+
+    /// Builds a `k`-instance single-group ensemble over a raw
+    /// [`StreamerNetwork`] (the network-first path, no elaboration).
+    /// `probes` lists `(node, output port, series)` outputs to record —
+    /// raw networks carry no declared probes, so they are registered
+    /// here, against the borrowed network.
+    ///
+    /// # Errors
+    ///
+    /// * [`CoreError::Engine`] for `k == 0` or a behaviour that cannot
+    ///   be replicated.
+    /// * [`CoreError::Flow`] for structural errors surfaced while
+    ///   planning and for unknown probe nodes/ports.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `config.step` is not positive and finite.
+    pub fn from_network(
+        net: &StreamerNetwork,
+        k: usize,
+        probes: &[(NodeId, &str, &str)],
+        config: EngineConfig,
+    ) -> Result<Self, CoreError> {
+        assert!(config.step.is_finite() && config.step > 0.0, "macro step must be positive");
+        if k == 0 {
+            return Err(engine_err("an ensemble needs at least one instance".into()));
+        }
+        let resolved: Vec<Vec<(usize, usize, &str, f64)>> = vec![Vec::new(); k];
+        let group = build_group(net, &resolved, 0, k)?;
+        let mut ensemble_probes = Vec::with_capacity(probes.len());
+        for &(node, port, series) in probes {
+            let handle = net.output_handle(node, port).map_err(CoreError::Flow)?;
+            let out_base = group.plan.out_offset(handle.node()).expect("plan covers every node")
+                + handle.offset();
+            ensemble_probes.push(EnsembleProbe { group: 0, out_base, series: series.to_owned() });
+        }
+        Ok(EnsembleEngine {
+            config,
+            clock: SimClock::new(),
+            k,
+            groups: vec![group],
+            channels: Vec::new(),
+            probes: ensemble_probes,
+            probe_series: Vec::new(),
+            recorder: None,
+            started: false,
+        })
+    }
+
+    /// The recorder series name of probe series `series` for ensemble
+    /// instance `instance`: `{series}#{instance}`.
+    pub fn series_name(series: &str, instance: usize) -> String {
+        format!("{series}#{instance}")
+    }
+
+    /// Number of ensemble instances `K`.
+    pub fn instances(&self) -> usize {
+        self.k
+    }
+
+    /// Number of streamer groups.
+    pub fn group_count(&self) -> usize {
+        self.groups.len()
+    }
+
+    /// Current simulation time in seconds.
+    pub fn time(&self) -> f64 {
+        self.clock.seconds()
+    }
+
+    /// Number of macro steps taken.
+    pub fn step_count(&self) -> u64 {
+        self.clock.step_count()
+    }
+
+    /// Attaches a recorder, interning one `{series}#{instance}` handle
+    /// per (probe, instance) pair so the per-step record path is
+    /// lookup-free.
+    pub fn set_recorder(&mut self, recorder: Recorder) {
+        self.probe_series = self
+            .probes
+            .iter()
+            .map(|p| {
+                (0..self.k).map(|i| recorder.handle(&Self::series_name(&p.series, i))).collect()
+            })
+            .collect();
+        self.recorder = Some(recorder);
+    }
+
+    fn start_if_needed(&mut self) -> Result<(), CoreError> {
+        if self.started {
+            return Ok(());
+        }
+        let t0 = self.clock.seconds();
+        for gs in &mut self.groups {
+            gs.time = t0;
+            for lanes in &mut gs.behaviours {
+                for b in lanes {
+                    b.initialize(t0).map_err(|e| CoreError::Flow(e.into()))?;
+                }
+            }
+        }
+        self.started = true;
+        Ok(())
+    }
+
+    /// Runs until simulation time `t_end`, in macro steps of
+    /// `config.step`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates solver and thread failures.
+    pub fn run_until(&mut self, t_end: f64) -> Result<(), CoreError> {
+        self.start_if_needed()?;
+        let n = crate::time::steps_until(self.clock.seconds(), t_end, self.config.step);
+        match self.config.policy {
+            ThreadPolicy::CurrentThread => {
+                for _ in 0..n {
+                    self.step_once()?;
+                }
+                Ok(())
+            }
+            ThreadPolicy::DedicatedThreads => self.run_threaded(n),
+        }
+    }
+
+    /// One macro step of all `K` instances on the calling thread.
+    ///
+    /// # Errors
+    ///
+    /// Propagates solver failures.
+    pub fn step_once(&mut self) -> Result<(), CoreError> {
+        self.start_if_needed()?;
+        let h = self.config.step;
+        self.latch_channel_inputs();
+        let k = self.k;
+        for gs in &mut self.groups {
+            gs.step(h, k)?;
+        }
+        self.clock.tick(h);
+        self.publish_channel_outputs();
+        self.record_probes();
+        Ok(())
+    }
+
+    /// Copies every channel's front slot (`step_count % 2`, pre-tick)
+    /// into its consumer group's external staging — all `K` instances'
+    /// previous-step samples (the channel's one-step delay).
+    fn latch_channel_inputs(&mut self) {
+        if self.channels.is_empty() {
+            return;
+        }
+        let slot = (self.clock.step_count() % 2) as usize;
+        for ch in &self.channels {
+            let src = ch.bufs[slot].lock();
+            let gs = &mut self.groups[ch.to_group];
+            let extw = gs.plan.ext_in_width();
+            for i in 0..self.k {
+                let dst = i * extw + ch.to_offset;
+                gs.ext[dst..dst + ch.width].copy_from_slice(&src[i * ch.width..(i + 1) * ch.width]);
+            }
+        }
+    }
+
+    /// Copies every channel's producer lanes into its back slot
+    /// (`step_count % 2` post-tick — what consumers read next step).
+    fn publish_channel_outputs(&mut self) {
+        if self.channels.is_empty() {
+            return;
+        }
+        let slot = (self.clock.step_count() % 2) as usize;
+        for ch in &self.channels {
+            let mut dst = ch.bufs[slot].lock();
+            let gs = &self.groups[ch.from_group];
+            let outw = gs.plan.out_width();
+            for i in 0..self.k {
+                let src = i * outw + ch.from_base;
+                dst[i * ch.width..(i + 1) * ch.width]
+                    .copy_from_slice(&gs.outs[src..src + ch.width]);
+            }
+        }
+    }
+
+    fn record_probes(&mut self) {
+        if self.recorder.is_none() {
+            return;
+        }
+        let t = self.clock.seconds();
+        for (p, handles) in self.probes.iter().zip(&self.probe_series) {
+            let gs = &self.groups[p.group];
+            let outw = gs.plan.out_width();
+            for (i, series) in handles.iter().enumerate() {
+                series.push(t, gs.outs[i * outw + p.out_base]);
+            }
+        }
+    }
+
+    /// Threaded execution: one worker per group for the whole segment,
+    /// synchronised between sub-steps over a [`SpinBarrier`] only where
+    /// channels demand it (exactly the [`HybridEngine`] discipline).
+    /// Workers stamp probe samples from private clock copies, so the
+    /// series carry bit-identical instants to the local path.
+    fn run_threaded(&mut self, n_steps: u64) -> Result<(), CoreError> {
+        if n_steps == 0 {
+            return Ok(());
+        }
+        let h = self.config.step;
+        if self.groups.is_empty() {
+            for _ in 0..n_steps {
+                self.clock.tick(h);
+            }
+            return Ok(());
+        }
+        let k = self.k;
+        let n_groups = self.groups.len();
+        type Bufs = Arc<[Mutex<Vec<f64>>; 2]>;
+        let mut incoming: Vec<Vec<(Bufs, usize, usize)>> = vec![Vec::new(); n_groups];
+        let mut outgoing: Vec<Vec<(Bufs, usize, usize)>> = vec![Vec::new(); n_groups];
+        for ch in &self.channels {
+            incoming[ch.to_group].push((Arc::clone(&ch.bufs), ch.to_offset, ch.width));
+            outgoing[ch.from_group].push((Arc::clone(&ch.bufs), ch.from_base, ch.width));
+        }
+        let participating: Vec<bool> =
+            (0..n_groups).map(|g| !incoming[g].is_empty() || !outgoing[g].is_empty()).collect();
+        let n_participants = participating.iter().filter(|&&p| p).count();
+        let barrier = (n_participants >= 2).then(|| Arc::new(SpinBarrier::new(n_participants)));
+        let record = self.recorder.is_some();
+        let mut group_probes: Vec<Vec<(usize, Vec<SeriesHandle>)>> = vec![Vec::new(); n_groups];
+        if record {
+            for (p, handles) in self.probes.iter().zip(&self.probe_series) {
+                group_probes[p.group].push((p.out_base, handles.clone()));
+            }
+        }
+        let clock0 = self.clock.clone();
+
+        let result = std::thread::scope(|scope| -> Result<(), CoreError> {
+            let mut workers = Vec::with_capacity(n_groups);
+            for (gi, gs) in self.groups.iter_mut().enumerate() {
+                let my_in = std::mem::take(&mut incoming[gi]);
+                let my_out = std::mem::take(&mut outgoing[gi]);
+                let my_probes = std::mem::take(&mut group_probes[gi]);
+                let my_barrier = participating[gi].then(|| barrier.clone()).flatten();
+                let mut clock = clock0.clone();
+                workers.push(scope.spawn(move || -> Result<(), CoreError> {
+                    let mut result: Result<(), CoreError> = Ok(());
+                    for s in 0..n_steps {
+                        // A worker that already failed stops stepping and
+                        // publishing but keeps waiting at the sub-step
+                        // barrier, so its peers never deadlock.
+                        if s > 0 {
+                            if let Some(b) = &my_barrier {
+                                b.wait();
+                            }
+                        }
+                        if result.is_err() {
+                            clock.tick(h);
+                            continue;
+                        }
+                        if !my_in.is_empty() {
+                            let slot = (clock.step_count() % 2) as usize;
+                            let extw = gs.plan.ext_in_width();
+                            for (bufs, off, w) in &my_in {
+                                let src = bufs[slot].lock();
+                                for i in 0..k {
+                                    let dst = i * extw + off;
+                                    gs.ext[dst..dst + w].copy_from_slice(&src[i * w..(i + 1) * w]);
+                                }
+                            }
+                        }
+                        result = gs.step(h, k);
+                        clock.tick(h);
+                        if result.is_err() {
+                            continue;
+                        }
+                        if !my_out.is_empty() {
+                            let slot = (clock.step_count() % 2) as usize;
+                            let outw = gs.plan.out_width();
+                            for (bufs, base, w) in &my_out {
+                                let mut dst = bufs[slot].lock();
+                                for i in 0..k {
+                                    let src = i * outw + base;
+                                    dst[i * w..(i + 1) * w].copy_from_slice(&gs.outs[src..src + w]);
+                                }
+                            }
+                        }
+                        if !my_probes.is_empty() {
+                            let t = clock.seconds();
+                            let outw = gs.plan.out_width();
+                            for (base, series) in &my_probes {
+                                for (i, sh) in series.iter().enumerate() {
+                                    sh.push(t, gs.outs[i * outw + base]);
+                                }
+                            }
+                        }
+                    }
+                    result
+                }));
+            }
+            let mut first_err = None;
+            for w in workers {
+                match w.join() {
+                    Ok(Ok(())) => {}
+                    Ok(Err(e)) => {
+                        if first_err.is_none() {
+                            first_err = Some(e);
+                        }
+                    }
+                    Err(panic) => std::panic::resume_unwind(panic),
+                }
+            }
+            match first_err {
+                Some(e) => Err(e),
+                None => Ok(()),
+            }
+        });
+        for _ in 0..n_steps {
+            self.clock.tick(h);
+        }
+        result
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::elaborate::{elaborate, validate_gate, BehaviorRegistry};
+    use crate::engine::HybridEngine;
+    use crate::model::{ModelBuilder, UnifiedModel};
+    use crate::recorder::Recorder;
+    use urt_dataflow::flowtype::FlowType;
+    use urt_dataflow::streamer::{FnStreamer, OdeStreamer};
+    use urt_ode::solver::SolverKind;
+    use urt_ode::system::InputSystem;
+
+    /// x' = -rate * x, a one-lane system with a named `rate` parameter.
+    #[derive(Clone)]
+    struct Decay {
+        rate: f64,
+    }
+
+    impl InputSystem for Decay {
+        fn dim(&self) -> usize {
+            1
+        }
+        fn input_dim(&self) -> usize {
+            0
+        }
+        fn derivatives(&self, _t: f64, x: &[f64], _u: &[f64], dx: &mut [f64]) {
+            dx[0] = -self.rate * x[0];
+        }
+    }
+
+    fn decay_streamer(rate: f64, x0: f64) -> OdeStreamer<Decay> {
+        OdeStreamer::new("plant", Decay { rate }, SolverKind::Rk4.create(), &[x0], 1e-3)
+            .with_param_fn(|s, name, v| {
+                if name == "rate" {
+                    s.rate = v;
+                    true
+                } else {
+                    false
+                }
+            })
+    }
+
+    /// Model: non-feedthrough decaying plant -> feedthrough doubler.
+    fn decay_chain(rate: f64, x0: f64) -> (UnifiedModel, BehaviorRegistry) {
+        let mut b = ModelBuilder::new("m");
+        let p = b.streamer("plant", "none");
+        let d = b.streamer("dbl", "none");
+        b.streamer_out(p, "y", FlowType::scalar());
+        b.streamer_in(d, "u", FlowType::scalar());
+        b.streamer_out(d, "y", FlowType::scalar());
+        b.streamer_feedthrough(p, false);
+        b.flow_between_streamers(p, "y", d, "u");
+        b.probe(d, "y", "out");
+        let registry = BehaviorRegistry::new()
+            .streamer("plant", move || Box::new(decay_streamer(rate, x0)))
+            .streamer("dbl", || {
+                Box::new(FnStreamer::new("dbl", 1, 1, |_t, _h, u: &[f64], y: &mut [f64]| {
+                    y[0] = 2.0 * u[0]
+                }))
+            });
+        (b.build(), registry)
+    }
+
+    fn compile(rate: f64, x0: f64) -> CompiledSystem {
+        let (model, registry) = decay_chain(rate, x0);
+        elaborate(&model, registry, &validate_gate).expect("elaborates")
+    }
+
+    fn bit_eq(a: &[(f64, f64)], b: &[(f64, f64)], what: &str) {
+        assert_eq!(a.len(), b.len(), "{what}: length");
+        for (i, ((t1, v1), (t2, v2))) in a.iter().zip(b.iter()).enumerate() {
+            assert_eq!(t1.to_bits(), t2.to_bits(), "{what}: time at {i}");
+            assert_eq!(v1.to_bits(), v2.to_bits(), "{what}: value at {i}");
+        }
+    }
+
+    #[test]
+    fn ensemble_refuses_zero_instances() {
+        let compiled = compile(1.0, 1.0);
+        let err =
+            EnsembleEngine::from_variants(&compiled, &[], EngineConfig::default()).unwrap_err();
+        assert!(err.to_string().contains("at least one instance"), "{err}");
+    }
+
+    #[test]
+    fn ensemble_refuses_sport_links() {
+        #[derive(Clone)]
+        struct P;
+        impl StreamerBehavior for P {
+            fn name(&self) -> &str {
+                "plant"
+            }
+            fn input_width(&self) -> usize {
+                0
+            }
+            fn output_width(&self) -> usize {
+                1
+            }
+            fn direct_feedthrough(&self) -> bool {
+                false
+            }
+            fn advance(
+                &mut self,
+                t: f64,
+                _h: f64,
+                _u: &[f64],
+                y: &mut [f64],
+            ) -> Result<(), urt_ode::SolveError> {
+                y[0] = t;
+                Ok(())
+            }
+            fn clone_fresh(&self) -> Option<Box<dyn StreamerBehavior>> {
+                Some(Box::new(self.clone()))
+            }
+        }
+        let mut b = ModelBuilder::new("m");
+        let cap = b.capsule("sup");
+        let s = b.streamer("plant", "none");
+        b.streamer_out(s, "y", FlowType::scalar());
+        b.streamer_feedthrough(s, false);
+        b.capsule_sport(cap, "p", "Ctl");
+        b.streamer_sport(s, "ctl", "Ctl");
+        b.sport_link(cap, "p", s, "ctl");
+        let registry = BehaviorRegistry::new().streamer("plant", || Box::new(P));
+        let compiled = elaborate(&b.build(), registry, &validate_gate).expect("elaborates");
+        assert_eq!(compiled.sport_link_count(), 1);
+        let err = EnsembleEngine::from_compiled(&compiled, 4, EngineConfig::default()).unwrap_err();
+        assert!(err.to_string().contains("SPort link"), "{err}");
+    }
+
+    #[test]
+    fn ensemble_refuses_unclonable_behaviours() {
+        // A behaviour without a clone_fresh override cannot be replicated.
+        struct Opaque;
+        impl StreamerBehavior for Opaque {
+            fn name(&self) -> &str {
+                "opaque"
+            }
+            fn input_width(&self) -> usize {
+                0
+            }
+            fn output_width(&self) -> usize {
+                1
+            }
+            fn direct_feedthrough(&self) -> bool {
+                false
+            }
+            fn advance(
+                &mut self,
+                t: f64,
+                _h: f64,
+                _u: &[f64],
+                y: &mut [f64],
+            ) -> Result<(), urt_ode::SolveError> {
+                y[0] = t;
+                Ok(())
+            }
+        }
+        let mut b = ModelBuilder::new("m");
+        let s = b.streamer("opaque", "none");
+        b.streamer_out(s, "y", FlowType::scalar());
+        b.streamer_feedthrough(s, false);
+        let registry = BehaviorRegistry::new().streamer("opaque", || Box::new(Opaque));
+        let compiled = elaborate(&b.build(), registry, &validate_gate).expect("elaborates");
+        let err = EnsembleEngine::from_compiled(&compiled, 2, EngineConfig::default()).unwrap_err();
+        assert!(err.to_string().contains("cannot be replicated"), "{err}");
+    }
+
+    #[test]
+    fn variant_errors_name_the_offender() {
+        let compiled = compile(1.0, 1.0);
+        let bad_streamer = [VariantSpec::new().set("ghost", "rate", 1.0)];
+        let err = EnsembleEngine::from_variants(&compiled, &bad_streamer, EngineConfig::default())
+            .unwrap_err();
+        assert!(err.to_string().contains("ghost"), "{err}");
+        let bad_param = [VariantSpec::new().set("plant", "unknown", 1.0)];
+        let err = EnsembleEngine::from_variants(&compiled, &bad_param, EngineConfig::default())
+            .unwrap_err();
+        assert!(err.to_string().contains("unknown"), "{err}");
+    }
+
+    #[test]
+    fn k1_ensemble_matches_hybrid_engine_bitwise() {
+        let compiled = compile(1.5, 2.0);
+        let mut ensemble =
+            EnsembleEngine::from_compiled(&compiled, 1, EngineConfig::default()).unwrap();
+        let erec = Recorder::new();
+        ensemble.set_recorder(erec.clone());
+        ensemble.run_until(0.05).unwrap();
+
+        let mut engine = HybridEngine::from_compiled(compiled, EngineConfig::default()).unwrap();
+        let hrec = Recorder::new();
+        engine.set_recorder(hrec.clone());
+        engine.run_until(0.05).unwrap();
+
+        assert_eq!(ensemble.step_count(), engine.step_count());
+        assert_eq!(ensemble.time().to_bits(), engine.time().to_bits());
+        bit_eq(
+            &erec.series(&EnsembleEngine::series_name("out", 0)),
+            &hrec.series("out"),
+            "K=1 ensemble vs HybridEngine",
+        );
+    }
+
+    #[test]
+    fn from_network_replays_a_relay_topology_bitwise() {
+        // A raw network with a relay node (which elaborate never emits):
+        // source -> relay(2) -> two sinks. All instances of the ensemble
+        // must be bit-identical to stepping the network directly.
+        let build = || {
+            let mut net = StreamerNetwork::new("fig2ish");
+            let src = net
+                .add_streamer(
+                    FnStreamer::new("src", 0, 1, |t: f64, _h, _u: &[f64], y: &mut [f64]| {
+                        y[0] = (2.0 * t).sin()
+                    }),
+                    &[],
+                    &[("y", FlowType::scalar())],
+                )
+                .unwrap();
+            let relay = net.add_relay("relay", FlowType::scalar(), 2).unwrap();
+            let dbl = net
+                .add_streamer(
+                    FnStreamer::new("dbl", 1, 1, |_t, _h, u: &[f64], y: &mut [f64]| {
+                        y[0] = 2.0 * u[0]
+                    }),
+                    &[("u", FlowType::scalar())],
+                    &[("y", FlowType::scalar())],
+                )
+                .unwrap();
+            let sq = net
+                .add_streamer(
+                    FnStreamer::new("sq", 1, 1, |_t, _h, u: &[f64], y: &mut [f64]| {
+                        y[0] = u[0] * u[0]
+                    }),
+                    &[("u", FlowType::scalar())],
+                    &[("y", FlowType::scalar())],
+                )
+                .unwrap();
+            net.flow((src, "y"), (relay, "in")).unwrap();
+            net.flow((relay, "out0"), (dbl, "u")).unwrap();
+            net.flow((relay, "out1"), (sq, "u")).unwrap();
+            (net, dbl, sq)
+        };
+        let (net, dbl, sq) = build();
+        let mut ensemble = EnsembleEngine::from_network(
+            &net,
+            3,
+            &[(dbl, "y", "dbl"), (sq, "y", "sq")],
+            EngineConfig { step: 0.01, policy: ThreadPolicy::CurrentThread },
+        )
+        .unwrap();
+        let rec = Recorder::new();
+        ensemble.set_recorder(rec.clone());
+        ensemble.run_until(0.2).unwrap();
+
+        // Reference: the network stepped directly.
+        let (mut reference, rdbl, rsq) = build();
+        reference.initialize(0.0).unwrap();
+        let mut expect_dbl = Vec::new();
+        let mut expect_sq = Vec::new();
+        let mut clock = SimClock::new();
+        for _ in 0..20 {
+            reference.step(0.01).unwrap();
+            clock.tick(0.01);
+            let t = clock.seconds();
+            expect_dbl.push((t, reference.output(rdbl, "y").unwrap()[0]));
+            expect_sq.push((t, reference.output(rsq, "y").unwrap()[0]));
+        }
+        for i in 0..3 {
+            bit_eq(
+                &rec.series(&EnsembleEngine::series_name("dbl", i)),
+                &expect_dbl,
+                &format!("relay instance {i} (dbl)"),
+            );
+            bit_eq(
+                &rec.series(&EnsembleEngine::series_name("sq", i)),
+                &expect_sq,
+                &format!("relay instance {i} (sq)"),
+            );
+        }
+    }
+
+    #[test]
+    fn variants_apply_parameter_overrides_bitwise() {
+        // Instance i of a 3-variant ensemble must match a standalone
+        // HybridEngine whose behaviours were *constructed* with the same
+        // parameters, bit for bit.
+        let compiled = compile(1.0, 1.0);
+        let variants = [
+            VariantSpec::new(),
+            VariantSpec::new().set("plant", "x0[0]", 2.5),
+            VariantSpec::new().set("plant", "rate", 4.0).set("plant", "x0[0]", 0.5),
+        ];
+        let mut ensemble =
+            EnsembleEngine::from_variants(&compiled, &variants, EngineConfig::default()).unwrap();
+        let rec = Recorder::new();
+        ensemble.set_recorder(rec.clone());
+        ensemble.run_until(0.02).unwrap();
+
+        for (i, (rate, x0)) in [(1.0, 1.0), (1.0, 2.5), (4.0, 0.5)].iter().enumerate() {
+            let mut engine =
+                HybridEngine::from_compiled(compile(*rate, *x0), EngineConfig::default()).unwrap();
+            let hrec = Recorder::new();
+            engine.set_recorder(hrec.clone());
+            engine.run_until(0.02).unwrap();
+            bit_eq(
+                &rec.series(&EnsembleEngine::series_name("out", i)),
+                &hrec.series("out"),
+                &format!("variant {i}"),
+            );
+        }
+        // The overrides actually changed the trajectories.
+        let s0 = rec.series("out#0");
+        let s1 = rec.series("out#1");
+        let s2 = rec.series("out#2");
+        assert!(s0.last().unwrap().1 != s1.last().unwrap().1);
+        assert!(s1.last().unwrap().1 != s2.last().unwrap().1);
+    }
+
+    /// Cross-thread model: a non-feedthrough ramp on thread 0 feeding a
+    /// non-feedthrough witness on thread 1 (lowered to a channel).
+    fn cross_thread_model() -> (UnifiedModel, BehaviorRegistry) {
+        #[derive(Clone)]
+        struct Ramp {
+            slope: f64,
+        }
+        impl StreamerBehavior for Ramp {
+            fn name(&self) -> &str {
+                "ramp"
+            }
+            fn input_width(&self) -> usize {
+                0
+            }
+            fn output_width(&self) -> usize {
+                1
+            }
+            fn direct_feedthrough(&self) -> bool {
+                false
+            }
+            fn advance(
+                &mut self,
+                t: f64,
+                _h: f64,
+                _u: &[f64],
+                y: &mut [f64],
+            ) -> Result<(), urt_ode::SolveError> {
+                y[0] = self.slope * t;
+                Ok(())
+            }
+            fn clone_fresh(&self) -> Option<Box<dyn StreamerBehavior>> {
+                Some(Box::new(self.clone()))
+            }
+            fn set_param(&mut self, name: &str, value: f64) -> bool {
+                if name == "slope" {
+                    self.slope = value;
+                    true
+                } else {
+                    false
+                }
+            }
+        }
+        #[derive(Clone)]
+        struct Witness;
+        impl StreamerBehavior for Witness {
+            fn name(&self) -> &str {
+                "witness"
+            }
+            fn input_width(&self) -> usize {
+                1
+            }
+            fn output_width(&self) -> usize {
+                1
+            }
+            fn direct_feedthrough(&self) -> bool {
+                false
+            }
+            fn advance(
+                &mut self,
+                _t: f64,
+                _h: f64,
+                u: &[f64],
+                y: &mut [f64],
+            ) -> Result<(), urt_ode::SolveError> {
+                y[0] = u[0];
+                Ok(())
+            }
+            fn clone_fresh(&self) -> Option<Box<dyn StreamerBehavior>> {
+                Some(Box::new(self.clone()))
+            }
+        }
+        let mut b = ModelBuilder::new("xg");
+        let r = b.streamer("ramp", "none");
+        let w = b.streamer("witness", "none");
+        b.streamer_out(r, "y", FlowType::scalar());
+        b.streamer_in(w, "u", FlowType::scalar());
+        b.streamer_out(w, "y", FlowType::scalar());
+        b.streamer_feedthrough(r, false);
+        b.streamer_feedthrough(w, false);
+        b.assign_thread(r, 0);
+        b.assign_thread(w, 1);
+        b.flow_between_streamers(r, "y", w, "u");
+        b.probe(r, "y", "src");
+        b.probe(w, "y", "wit");
+        let registry = BehaviorRegistry::new()
+            .streamer("ramp", || Box::new(Ramp { slope: 100.0 }))
+            .streamer("witness", || Box::new(Witness));
+        (b.build(), registry)
+    }
+
+    #[test]
+    fn threaded_ensemble_matches_local_with_channels() {
+        let run = |policy| {
+            let (model, registry) = cross_thread_model();
+            let compiled = elaborate(&model, registry, &validate_gate).expect("elaborates");
+            assert_eq!(compiled.group_count(), 2);
+            assert_eq!(compiled.cross_flow_count(), 1);
+            let variants = [
+                VariantSpec::new(),
+                VariantSpec::new().set("ramp", "slope", -3.0),
+                VariantSpec::new().set("ramp", "slope", 7.0),
+                VariantSpec::new().set("ramp", "slope", 0.0),
+            ];
+            let mut ensemble = EnsembleEngine::from_variants(
+                &compiled,
+                &variants,
+                EngineConfig { step: 0.01, policy },
+            )
+            .unwrap();
+            let rec = Recorder::new();
+            ensemble.set_recorder(rec.clone());
+            ensemble.run_until(0.25).unwrap();
+            rec
+        };
+        let local = run(ThreadPolicy::CurrentThread);
+        let threaded = run(ThreadPolicy::DedicatedThreads);
+        for i in 0..4 {
+            for series in ["src", "wit"] {
+                let name = EnsembleEngine::series_name(series, i);
+                bit_eq(&local.series(&name), &threaded.series(&name), &name);
+            }
+        }
+        // One-step channel delay, per instance: wit[k] == src[k-1].
+        for i in 0..4 {
+            let src = local.series(&EnsembleEngine::series_name("src", i));
+            let wit = local.series(&EnsembleEngine::series_name("wit", i));
+            assert_eq!(wit[0].1.to_bits(), 0.0f64.to_bits(), "instance {i}: initial sample");
+            for k in 1..wit.len() {
+                assert_eq!(
+                    wit[k].1.to_bits(),
+                    src[k - 1].1.to_bits(),
+                    "instance {i}: one-step delay at {k}"
+                );
+            }
+        }
+    }
+}

@@ -23,6 +23,10 @@
 //! * [`engine`] — the hybrid co-simulation engine: a capsule controller
 //!   plus streamer groups on dedicated solver threads, bridged by channel
 //!   communication ("communication mechanism of threads").
+//! * [`ensemble`] — structure-of-arrays ensemble execution: `K`
+//!   parameter-variants of one compiled system stepped in lockstep, with
+//!   routing and channel bookkeeping paid once per step instead of once
+//!   per instance.
 //! * [`recorder`] — thread-safe signal recording for experiments.
 //!
 //! # Examples
@@ -66,6 +70,7 @@
 
 pub mod elaborate;
 pub mod engine;
+pub mod ensemble;
 pub mod error;
 pub mod model;
 pub mod pacer;
@@ -80,6 +85,7 @@ pub mod time;
 
 pub use elaborate::{elaborate, BehaviorRegistry, CompiledSystem};
 pub use engine::{EngineConfig, HybridEngine};
+pub use ensemble::{EnsembleEngine, VariantSpec};
 pub use error::CoreError;
 pub use model::{ModelBuilder, UnifiedModel};
 pub use recorder::{Recorder, SeriesHandle};

@@ -196,6 +196,19 @@ impl Default for SimClock {
     }
 }
 
+/// Number of whole macro steps of size `step` needed to reach `t_end`
+/// from instant `t`. Uses a *relative* tolerance so a step landing within
+/// rounding distance of `t_end` counts as having reached it — an absolute
+/// epsilon is absorbed for large `t_end` (or dwarfs tiny `step`), running
+/// one step too many or too few. Shared by every engine's `run_until`.
+pub(crate) fn steps_until(t: f64, t_end: f64, step: f64) -> u64 {
+    if t_end <= t {
+        return 0;
+    }
+    let raw = (t_end - t) / step;
+    (raw * (1.0 - 1e-12)).ceil() as u64
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

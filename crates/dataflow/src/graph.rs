@@ -48,6 +48,125 @@ impl OutputHandle {
     pub fn width(&self) -> usize {
         self.width
     }
+
+    /// Index of the node the handle points into.
+    pub fn node(&self) -> usize {
+        self.node
+    }
+
+    /// Lane offset inside the node's output buffer.
+    pub fn offset(&self) -> usize {
+        self.offset
+    }
+}
+
+/// One lane copy of a [`StepPlan`], in *dense per-instance* coordinates:
+/// `len` lanes from offset `src` of one dense array to offset `dst` of
+/// another (which arrays depends on where the copy appears in the plan).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PlanCopy {
+    /// Source lane offset.
+    pub src: usize,
+    /// Destination lane offset.
+    pub dst: usize,
+    /// Number of lanes copied.
+    pub len: usize,
+}
+
+/// What a [`PlanNode`] executes once its inputs are gathered.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PlanNodeKind {
+    /// A streamer behaviour: `advance(t, h, ins, outs)`.
+    Streamer,
+    /// A relay point: the `in_width` input lanes are copied to each of
+    /// the `fanout` output ports.
+    Relay {
+        /// Input lane count (= width of each duplicated output port).
+        in_width: usize,
+        /// Number of output ports receiving the copy.
+        fanout: usize,
+    },
+}
+
+/// One node of a [`StepPlan`], in execution order.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PlanNode {
+    /// The network node this entry executes.
+    pub node: NodeId,
+    /// Offset of the node's input lanes in the dense input array.
+    pub in_offset: usize,
+    /// Input lane count.
+    pub in_width: usize,
+    /// Offset of the node's output lanes in the dense output array.
+    pub out_offset: usize,
+    /// Output lane count.
+    pub out_width: usize,
+    /// Flow copies feeding this node, in flow declaration order:
+    /// `src` indexes the dense *output* array, `dst` the dense *input*
+    /// array. Executed right before the node, exactly like
+    /// [`StreamerNetwork::step`] gathers from upstream out-buffers.
+    pub gathers: Vec<PlanCopy>,
+    /// Streamer or relay execution.
+    pub kind: PlanNodeKind,
+}
+
+/// A validated, immutable execution schedule over *dense per-instance
+/// state arrays*: every node's input lanes are assigned a contiguous span
+/// of one flat input array (and likewise for outputs), flows become
+/// offset/length copies between the two arrays, and nodes are listed in
+/// the same dependency order [`StreamerNetwork::step`] uses.
+///
+/// This is the layout metadata ensemble execution runs on: K instances
+/// concatenate K copies of these arrays (instance-major) and replay the
+/// plan once per instance per macro step, paying the routing bookkeeping
+/// once instead of once per instance.
+///
+/// Produced by [`StreamerNetwork::step_plan`]; a plan is only meaningful
+/// against the topology it was computed from.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StepPlan {
+    nodes: Vec<PlanNode>,
+    ext_loads: Vec<PlanCopy>,
+    in_width: usize,
+    out_width: usize,
+    ext_in_width: usize,
+    out_offsets: Vec<usize>,
+}
+
+impl StepPlan {
+    /// Plan nodes in execution order.
+    pub fn nodes(&self) -> &[PlanNode] {
+        &self.nodes
+    }
+
+    /// Copies latching exported boundary inputs before the node loop:
+    /// `src` indexes the external input vector, `dst` the dense input
+    /// array.
+    pub fn ext_loads(&self) -> &[PlanCopy] {
+        &self.ext_loads
+    }
+
+    /// Total dense input lanes per instance.
+    pub fn in_width(&self) -> usize {
+        self.in_width
+    }
+
+    /// Total dense output lanes per instance.
+    pub fn out_width(&self) -> usize {
+        self.out_width
+    }
+
+    /// Width of the external input vector the plan latches from.
+    pub fn ext_in_width(&self) -> usize {
+        self.ext_in_width
+    }
+
+    /// Offset of a node's output lanes in the dense output array, by raw
+    /// node index (`None` for an out-of-range index). Combined with
+    /// [`OutputHandle::offset`] this locates any output port's lanes.
+    pub fn out_offset(&self, node: usize) -> Option<usize> {
+        self.out_offsets.get(node).copied()
+    }
 }
 
 enum NodeKind {
@@ -714,6 +833,113 @@ impl StreamerNetwork {
         &self.nodes[h.node].out_buf[h.offset..h.offset + h.width]
     }
 
+    /// Computes the dense-layout execution schedule of this network (see
+    /// [`StepPlan`]). Unlike [`StreamerNetwork::validate`] this takes
+    /// `&self`: lint and order run without caching, so a plan can be
+    /// taken from a network owned elsewhere (e.g. a compiled system
+    /// borrowed by an ensemble).
+    ///
+    /// # Errors
+    ///
+    /// The same structural errors as [`StreamerNetwork::validate`]:
+    /// undriven inputs and direct-feedthrough cycles.
+    pub fn step_plan(&self) -> Result<StepPlan, FlowError> {
+        if let Some(first) = self.lint().into_iter().next() {
+            return Err(first);
+        }
+        let order = self.compute_order()?;
+
+        // Dense per-instance layout: node i's buffers occupy contiguous
+        // spans at prefix-sum offsets, in node-index (not execution)
+        // order, so offsets are stable under re-planning.
+        let mut in_offsets = Vec::with_capacity(self.nodes.len());
+        let mut out_offsets = Vec::with_capacity(self.nodes.len());
+        let mut in_width = 0;
+        let mut out_width = 0;
+        for node in &self.nodes {
+            in_offsets.push(in_width);
+            out_offsets.push(out_width);
+            in_width += node.in_buf.len();
+            out_width += node.out_buf.len();
+        }
+
+        let mut ext_loads = Vec::with_capacity(self.ext_inputs.len());
+        let mut cursor = 0;
+        for &(n, p) in &self.ext_inputs {
+            let node = &self.nodes[n];
+            let w = node.in_ports[p].width();
+            ext_loads.push(PlanCopy {
+                src: cursor,
+                dst: in_offsets[n] + node.in_port_offset(p),
+                len: w,
+            });
+            cursor += w;
+        }
+
+        let nodes = order
+            .iter()
+            .map(|&i| {
+                let node = &self.nodes[i];
+                let gathers = self
+                    .flows
+                    .iter()
+                    .filter(|f| f.to_node == i)
+                    .map(|f| {
+                        let src_node = &self.nodes[f.from_node];
+                        PlanCopy {
+                            src: out_offsets[f.from_node] + src_node.out_port_offset(f.from_port),
+                            dst: in_offsets[i] + node.in_port_offset(f.to_port),
+                            len: src_node.out_ports[f.from_port].width(),
+                        }
+                    })
+                    .collect();
+                PlanNode {
+                    node: NodeId(i),
+                    in_offset: in_offsets[i],
+                    in_width: node.in_buf.len(),
+                    out_offset: out_offsets[i],
+                    out_width: node.out_buf.len(),
+                    gathers,
+                    kind: match &node.kind {
+                        NodeKind::Streamer(_) => PlanNodeKind::Streamer,
+                        NodeKind::Relay => PlanNodeKind::Relay {
+                            in_width: node.in_buf.len(),
+                            fanout: node.out_ports.len(),
+                        },
+                    },
+                }
+            })
+            .collect();
+
+        Ok(StepPlan {
+            nodes,
+            ext_loads,
+            in_width,
+            out_width,
+            ext_in_width: self.ext_in_buf.len(),
+            out_offsets,
+        })
+    }
+
+    /// Clones a node's behaviour fresh (see
+    /// [`StreamerBehavior::clone_fresh`]). Returns `Ok(None)` for relays
+    /// (which have no behaviour) and for behaviours that cannot be
+    /// replicated.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FlowError::UnknownNode`] for a bad id.
+    pub fn try_clone_behavior(
+        &self,
+        node: NodeId,
+    ) -> Result<Option<Box<dyn StreamerBehavior>>, FlowError> {
+        let n = self.nodes.get(node.0).ok_or(FlowError::UnknownNode { index: node.0 })?;
+        Ok(match &n.kind {
+            NodeKind::Streamer(b) => b.clone_fresh(),
+            NodeKind::Relay => None,
+        })
+    }
+
     /// Delivers a signal message to a node's behaviour (as if it arrived on
     /// one of its SPorts).
     ///
@@ -844,11 +1070,14 @@ mod tests {
     use crate::streamer::FnStreamer;
     use urt_umlrt::protocol::Protocol;
 
-    fn source(name: &str) -> FnStreamer<impl FnMut(f64, f64, &[f64], &mut [f64]) + Send> {
+    fn source(name: &str) -> FnStreamer<impl FnMut(f64, f64, &[f64], &mut [f64]) + Send + Clone> {
         FnStreamer::new(name, 0, 1, |t: f64, _h, _u: &[f64], y: &mut [f64]| y[0] = t)
     }
 
-    fn gain(name: &str, k: f64) -> FnStreamer<impl FnMut(f64, f64, &[f64], &mut [f64]) + Send> {
+    fn gain(
+        name: &str,
+        k: f64,
+    ) -> FnStreamer<impl FnMut(f64, f64, &[f64], &mut [f64]) + Send + Clone> {
         FnStreamer::new(name, 1, 1, move |_t, _h, u: &[f64], y: &mut [f64]| y[0] = k * u[0])
     }
 
@@ -1211,5 +1440,142 @@ mod tests {
             .send_signal(bogus, &Message::new("x", urt_umlrt::value::Value::Empty))
             .is_err());
         assert!(net.add_sport(bogus, SPortSpec::new("p", Protocol::new("P"))).is_err());
+        assert!(net.try_clone_behavior(bogus).is_err());
+    }
+
+    /// Builds source -> relay -> {gain x2, gain x(-3)} with one external
+    /// input driving a third gain: every plan feature (gathers, relay
+    /// duplication, ext loads) in one topology.
+    fn plan_fixture() -> (StreamerNetwork, NodeId, NodeId, NodeId) {
+        let mut net = StreamerNetwork::new("plan");
+        let s = net.add_streamer(source("s"), &[], &[("o", FlowType::scalar())]).unwrap();
+        let r = net.add_relay("r", FlowType::scalar(), 2).unwrap();
+        let g1 = net
+            .add_streamer(
+                gain("g1", 2.0),
+                &[("i", FlowType::scalar())],
+                &[("o", FlowType::scalar())],
+            )
+            .unwrap();
+        let g2 = net
+            .add_streamer(
+                gain("g2", -3.0),
+                &[("i", FlowType::scalar())],
+                &[("o", FlowType::scalar())],
+            )
+            .unwrap();
+        let ext = net
+            .add_streamer(
+                gain("ext", 10.0),
+                &[("i", FlowType::scalar())],
+                &[("o", FlowType::scalar())],
+            )
+            .unwrap();
+        net.flow((s, "o"), (r, "in")).unwrap();
+        net.flow((r, "out0"), (g1, "i")).unwrap();
+        net.flow((r, "out1"), (g2, "i")).unwrap();
+        net.export_input(ext, "i").unwrap();
+        (net, g1, g2, ext)
+    }
+
+    #[test]
+    fn step_plan_replays_step_bit_identically() {
+        let (mut net, g1, g2, ext) = plan_fixture();
+        let plan = net.step_plan().expect("plan computes without &mut");
+
+        // Execute the plan over dense arrays with freshly cloned
+        // behaviours.
+        let mut behaviors: Vec<Option<Box<dyn StreamerBehavior>>> =
+            (0..net.node_count()).map(|i| net.try_clone_behavior(NodeId(i)).unwrap()).collect();
+        for b in behaviors.iter_mut().flatten() {
+            b.initialize(0.0).unwrap();
+        }
+        let mut ins = vec![0.0; plan.in_width()];
+        let mut outs = vec![0.0; plan.out_width()];
+        let h = 0.25;
+        let ext_u = [0.5];
+        let mut time = 0.0;
+        for _ in 0..4 {
+            for c in plan.ext_loads() {
+                ins[c.dst..c.dst + c.len].copy_from_slice(&ext_u[c.src..c.src + c.len]);
+            }
+            for pn in plan.nodes() {
+                for gth in &pn.gathers {
+                    let (src, dst) = (gth.src, gth.dst);
+                    for k in 0..gth.len {
+                        ins[dst + k] = outs[src + k];
+                    }
+                }
+                match pn.kind {
+                    PlanNodeKind::Streamer => {
+                        let b = behaviors[pn.node.index()].as_mut().expect("streamer clones");
+                        let (i0, i1) = (pn.in_offset, pn.in_offset + pn.in_width);
+                        let (o0, o1) = (pn.out_offset, pn.out_offset + pn.out_width);
+                        // Split the borrow: inputs and outputs live in
+                        // different arrays.
+                        let in_lane = ins[i0..i1].to_vec();
+                        b.advance(time, h, &in_lane, &mut outs[o0..o1]).unwrap();
+                    }
+                    PlanNodeKind::Relay { in_width, fanout } => {
+                        for k in 0..fanout {
+                            let dst = pn.out_offset + k * in_width;
+                            for j in 0..in_width {
+                                outs[dst + j] = ins[pn.in_offset + j];
+                            }
+                        }
+                    }
+                }
+            }
+            time += h;
+        }
+
+        // Reference: the network's own step loop.
+        net.initialize(0.0).unwrap();
+        for _ in 0..4 {
+            net.set_external_inputs(&ext_u);
+            net.step(h).unwrap();
+        }
+        for (node, port) in [(g1, "o"), (g2, "o"), (ext, "o")] {
+            let handle = net.output_handle(node, port).unwrap();
+            let reference = net.output_by_handle(&handle);
+            let dense = plan.out_offset(handle.node()).unwrap() + handle.offset();
+            for (k, r) in reference.iter().enumerate() {
+                assert_eq!(
+                    outs[dense + k].to_bits(),
+                    r.to_bits(),
+                    "{}(lane {k}) diverged",
+                    net.node_name(node).unwrap()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn step_plan_rejects_invalid_topologies() {
+        let mut net = StreamerNetwork::new("bad");
+        net.add_streamer(
+            gain("g", 1.0),
+            &[("i", FlowType::scalar())],
+            &[("o", FlowType::scalar())],
+        )
+        .unwrap();
+        assert!(matches!(net.step_plan(), Err(FlowError::UnconnectedInput { .. })));
+    }
+
+    #[test]
+    fn plan_layout_is_dense_and_stable() {
+        let (net, _, _, _) = plan_fixture();
+        let plan = net.step_plan().unwrap();
+        assert_eq!(plan.nodes().len(), net.node_count());
+        assert_eq!(plan.ext_in_width(), 1);
+        assert_eq!(plan.ext_loads().len(), 1);
+        // Spans tile the dense arrays without overlap: total width equals
+        // the sum of node widths.
+        let in_sum: usize = plan.nodes().iter().map(|n| n.in_width).sum();
+        let out_sum: usize = plan.nodes().iter().map(|n| n.out_width).sum();
+        assert_eq!(plan.in_width(), in_sum);
+        assert_eq!(plan.out_width(), out_sum);
+        // Replanning yields the identical plan.
+        assert_eq!(net.step_plan().unwrap(), plan);
     }
 }

@@ -65,6 +65,24 @@ pub trait StreamerBehavior: Send {
     fn take_emitted(&mut self) -> Vec<(String, Message)> {
         Vec::new()
     }
+
+    /// Creates a fresh copy of this behaviour with the same configuration,
+    /// or `None` when the behaviour cannot be replicated (stateful signal
+    /// handlers, zero-crossing guards, non-cloneable solvers). Ensemble
+    /// execution stamps per-instance behaviours out of one compiled
+    /// prototype through this hook, so implementations may assume the
+    /// prototype has not been stepped: "fresh" means a copy of the
+    /// behaviour *as configured*, before any `initialize`/`advance`.
+    fn clone_fresh(&self) -> Option<Box<dyn StreamerBehavior>> {
+        None
+    }
+
+    /// Applies a named parameter override (an ensemble `VariantSpec`
+    /// entry). Returns `true` when the parameter was recognised and
+    /// applied; the default recognises nothing.
+    fn set_param(&mut self, _name: &str, _value: f64) -> bool {
+        false
+    }
 }
 
 /// A stateless (or self-contained) behaviour defined by a closure
@@ -105,7 +123,9 @@ impl<F: FnMut(f64, f64, &[f64], &mut [f64]) + Send> FnStreamer<F> {
     }
 }
 
-impl<F: FnMut(f64, f64, &[f64], &mut [f64]) + Send> StreamerBehavior for FnStreamer<F> {
+impl<F: FnMut(f64, f64, &[f64], &mut [f64]) + Send + Clone + 'static> StreamerBehavior
+    for FnStreamer<F>
+{
     fn name(&self) -> &str {
         &self.name
     }
@@ -121,6 +141,18 @@ impl<F: FnMut(f64, f64, &[f64], &mut [f64]) + Send> StreamerBehavior for FnStrea
     fn advance(&mut self, t: f64, h: f64, u: &[f64], y: &mut [f64]) -> Result<(), SolveError> {
         (self.f)(t, h, u, y);
         Ok(())
+    }
+
+    fn clone_fresh(&self) -> Option<Box<dyn StreamerBehavior>> {
+        // The closure is cloned as-is: captured mutable state is copied at
+        // its current value, which equals the initial value as long as the
+        // prototype has not been stepped (the clone_fresh contract).
+        Some(Box::new(FnStreamer {
+            name: self.name.clone(),
+            input_width: self.input_width,
+            output_width: self.output_width,
+            f: self.f.clone(),
+        }))
     }
 }
 
@@ -148,6 +180,9 @@ pub struct OdeStreamer<S: InputSystem + Send> {
     /// SPort through which guard crossings are announced.
     event_sport: String,
     substep: f64,
+    /// Optional named-parameter hook for [`StreamerBehavior::set_param`];
+    /// a plain `fn` pointer so clones share it trivially.
+    param_fn: Option<fn(&mut S, &str, f64) -> bool>,
 }
 
 impl<S: InputSystem + Send> fmt::Debug for OdeStreamer<S> {
@@ -189,6 +224,7 @@ impl<S: InputSystem + Send> OdeStreamer<S> {
             emitted: Vec::new(),
             event_sport: "events".to_owned(),
             substep,
+            param_fn: None,
         }
     }
 
@@ -214,6 +250,14 @@ impl<S: InputSystem + Send> OdeStreamer<S> {
         self
     }
 
+    /// Installs a named-parameter hook used by
+    /// [`StreamerBehavior::set_param`] to reach into the system (builder
+    /// style). The hook returns whether it recognised the name.
+    pub fn with_param_fn(mut self, f: fn(&mut S, &str, f64) -> bool) -> Self {
+        self.param_fn = Some(f);
+        self
+    }
+
     /// Current continuous state (initial state before `initialize`).
     pub fn state(&self) -> &[f64] {
         self.driver.as_ref().map_or(&self.x0, |d| d.state().as_slice())
@@ -231,7 +275,7 @@ impl<S: InputSystem + Send> OdeStreamer<S> {
     }
 }
 
-impl<S: InputSystem + Send> StreamerBehavior for OdeStreamer<S> {
+impl<S: InputSystem + Send + Clone + 'static> StreamerBehavior for OdeStreamer<S> {
     fn name(&self) -> &str {
         &self.name
     }
@@ -302,6 +346,47 @@ impl<S: InputSystem + Send> StreamerBehavior for OdeStreamer<S> {
 
     fn take_emitted(&mut self) -> Vec<(String, Message)> {
         std::mem::take(&mut self.emitted)
+    }
+
+    fn clone_fresh(&self) -> Option<Box<dyn StreamerBehavior>> {
+        // Boxed signal handlers and zero-crossing guards are not
+        // cloneable; a streamer carrying either cannot be replicated.
+        if self.handler.is_some() || !self.guards.is_empty() {
+            return None;
+        }
+        let solver = self.solver.clone_boxed()?;
+        Some(Box::new(OdeStreamer {
+            name: self.name.clone(),
+            system: self.system.clone(),
+            solver,
+            driver: None,
+            x0: self.x0.clone(),
+            guards: Vec::new(),
+            guard_values: Vec::new(),
+            handler: None,
+            emitted: Vec::new(),
+            event_sport: self.event_sport.clone(),
+            substep: self.substep,
+            param_fn: self.param_fn,
+        }))
+    }
+
+    fn set_param(&mut self, name: &str, value: f64) -> bool {
+        // Built-in override: `x0[i]` retargets one initial-state lane.
+        // Effective only before `initialize`, which is when ensemble
+        // variant specs are applied.
+        if let Some(idx) = name
+            .strip_prefix("x0[")
+            .and_then(|rest| rest.strip_suffix(']'))
+            .and_then(|idx| idx.parse::<usize>().ok())
+        {
+            if idx < self.x0.len() {
+                self.x0[idx] = value;
+                return true;
+            }
+            return false;
+        }
+        self.param_fn.is_some_and(|f| f(&mut self.system, name, value))
     }
 }
 
@@ -438,7 +523,7 @@ mod tests {
     use urt_ode::solver::SolverKind;
     use urt_ode::system::FnInputSystem;
 
-    fn first_order_plant() -> FnInputSystem<impl Fn(f64, &[f64], &[f64], &mut [f64])> {
+    fn first_order_plant() -> FnInputSystem<impl Fn(f64, &[f64], &[f64], &mut [f64]) + Clone> {
         // x' = u - x : first-order lag.
         FnInputSystem::new(1, 1, |_t, x: &[f64], u: &[f64], dx: &mut [f64]| {
             dx[0] = u[0] - x[0];
@@ -529,6 +614,7 @@ mod tests {
     #[test]
     fn signal_handler_mutates_system_and_state() {
         // System with a mutable gain parameter.
+        #[derive(Clone)]
         struct Plant {
             gain: f64,
         }
@@ -632,6 +718,86 @@ mod tests {
         net.export_output(g, "y").unwrap();
         // Feedthrough path: gain from exported input to exported output.
         assert!(net.has_external_feedthrough());
+    }
+
+    #[test]
+    fn fn_streamer_clone_fresh_replicates_configuration() {
+        let s =
+            FnStreamer::new("gain2", 1, 1, |_t, _h, u: &[f64], y: &mut [f64]| y[0] = 2.0 * u[0]);
+        let mut copy = s.clone_fresh().expect("closures without state clone");
+        assert_eq!(copy.name(), "gain2");
+        assert_eq!(copy.input_width(), 1);
+        assert_eq!(copy.output_width(), 1);
+        let mut y = [0.0];
+        copy.advance(0.0, 0.1, &[21.0], &mut y).unwrap();
+        assert_eq!(y[0], 42.0);
+    }
+
+    #[test]
+    fn ode_streamer_clone_fresh_starts_from_x0() {
+        let proto =
+            OdeStreamer::new("lag", first_order_plant(), SolverKind::Rk4.create(), &[0.5], 1e-3);
+        let mut copy = proto.clone_fresh().expect("plain ODE streamers clone");
+        copy.initialize(0.0).unwrap();
+        let mut y_copy = [0.0];
+        copy.advance(0.0, 1e-3, &[1.0], &mut y_copy).unwrap();
+
+        let mut standalone =
+            OdeStreamer::new("lag", first_order_plant(), SolverKind::Rk4.create(), &[0.5], 1e-3);
+        standalone.initialize(0.0).unwrap();
+        let mut y_ref = [0.0];
+        standalone.advance(0.0, 1e-3, &[1.0], &mut y_ref).unwrap();
+        assert_eq!(y_copy[0].to_bits(), y_ref[0].to_bits(), "clone is bit-identical");
+    }
+
+    #[test]
+    fn clone_fresh_refuses_guards_and_handlers() {
+        let guarded =
+            OdeStreamer::new("g", first_order_plant(), SolverKind::Rk4.create(), &[0.0], 1e-3)
+                .with_guard(ZeroCrossing::new("up", EventDirection::Rising, |_t, x| x[0]));
+        assert!(guarded.clone_fresh().is_none(), "guards are not cloneable");
+        let handled =
+            OdeStreamer::new("h", first_order_plant(), SolverKind::Rk4.create(), &[0.0], 1e-3)
+                .with_signal_handler(|_msg, _sys, _state| {});
+        assert!(handled.clone_fresh().is_none(), "handlers are not cloneable");
+    }
+
+    #[test]
+    fn set_param_overrides_x0_and_system_parameters() {
+        #[derive(Clone)]
+        struct Plant {
+            gain: f64,
+        }
+        impl InputSystem for Plant {
+            fn dim(&self) -> usize {
+                1
+            }
+            fn input_dim(&self) -> usize {
+                1
+            }
+            fn derivatives(&self, _t: f64, x: &[f64], u: &[f64], dx: &mut [f64]) {
+                dx[0] = self.gain * (u[0] - x[0]);
+            }
+        }
+        let mut s =
+            OdeStreamer::new("p", Plant { gain: 1.0 }, SolverKind::Rk4.create(), &[0.0], 1e-3)
+                .with_param_fn(|plant, name, value| {
+                    if name == "gain" {
+                        plant.gain = value;
+                        true
+                    } else {
+                        false
+                    }
+                });
+        assert!(s.set_param("x0[0]", 0.25), "x0 override is built in");
+        assert!(!s.set_param("x0[7]", 1.0), "out-of-range lane is rejected");
+        assert!(s.set_param("gain", 4.0), "param_fn reaches the system");
+        assert!(!s.set_param("ghost", 1.0));
+        s.initialize(0.0).unwrap();
+        assert_eq!(s.state()[0], 0.25, "override took effect at initialize");
+        // Default behaviours recognise nothing.
+        let mut plain = FnStreamer::new("id", 1, 1, |_t, _h, u: &[f64], y: &mut [f64]| y[0] = u[0]);
+        assert!(!plain.set_param("anything", 0.0));
     }
 
     #[test]

@@ -82,6 +82,59 @@ pub trait Solver {
         x: &mut [f64],
         h: f64,
     ) -> Result<StepOutcome, SolveError>;
+
+    /// Clones this strategy (configuration and scratch state) into a
+    /// fresh boxed solver, or `None` when the concrete strategy is not
+    /// cloneable. Ensemble execution uses this to stamp per-instance
+    /// solver state out of one prototype.
+    fn clone_boxed(&self) -> Option<Box<dyn Solver + Send>> {
+        None
+    }
+
+    /// Advances `states.len() / dim` independent state lanes of the same
+    /// system from `t` to exactly `t + h`, where lane `i` occupies
+    /// `states[i * dim..(i + 1) * dim]` (instance-major layout).
+    ///
+    /// Fixed-step methods take one step of `h` per lane, so each lane is
+    /// bit-identical to a standalone [`Solver::step`] call. Adaptive
+    /// rejections are retried per lane with the suggested smaller step
+    /// until the lane reaches `t + h`.
+    ///
+    /// # Errors
+    ///
+    /// * [`SolveError::DimensionMismatch`] if `dim` is zero or does not
+    ///   divide `states.len()`.
+    /// * Any error the per-lane [`Solver::step`] calls produce.
+    fn step_batch(
+        &mut self,
+        sys: &dyn OdeSystem,
+        t: f64,
+        states: &mut [f64],
+        dim: usize,
+        h: f64,
+    ) -> Result<(), SolveError> {
+        if dim == 0 || !states.len().is_multiple_of(dim) {
+            return Err(SolveError::DimensionMismatch { expected: dim, found: states.len() });
+        }
+        let t_end = t + h;
+        let resolution = f64::EPSILON * t_end.abs().max(1.0);
+        for lane in states.chunks_mut(dim) {
+            let mut tl = t;
+            let mut hl = h;
+            loop {
+                let remaining = t_end - tl;
+                if remaining <= resolution {
+                    break;
+                }
+                let out = self.step(sys, tl, lane, hl.min(remaining))?;
+                if out.accepted {
+                    tl += out.h_taken;
+                }
+                hl = out.h_next.max(1e-300);
+            }
+        }
+        Ok(())
+    }
 }
 
 fn validate(sys: &dyn OdeSystem, x: &[f64], h: f64) -> Result<(), SolveError> {
@@ -184,6 +237,10 @@ impl Solver for ForwardEuler {
         1
     }
 
+    fn clone_boxed(&self) -> Option<Box<dyn Solver + Send>> {
+        Some(Box::new(self.clone()))
+    }
+
     fn step(
         &mut self,
         sys: &dyn OdeSystem,
@@ -224,6 +281,10 @@ impl Solver for Heun {
 
     fn order(&self) -> u32 {
         2
+    }
+
+    fn clone_boxed(&self) -> Option<Box<dyn Solver + Send>> {
+        Some(Box::new(self.clone()))
     }
 
     fn step(
@@ -275,6 +336,10 @@ impl Solver for Rk4 {
 
     fn order(&self) -> u32 {
         4
+    }
+
+    fn clone_boxed(&self) -> Option<Box<dyn Solver + Send>> {
+        Some(Box::new(self.clone()))
     }
 
     fn step(
@@ -391,6 +456,10 @@ impl Solver for Dopri45 {
         true
     }
 
+    fn clone_boxed(&self) -> Option<Box<dyn Solver + Send>> {
+        Some(Box::new(self.clone()))
+    }
+
     fn step(
         &mut self,
         sys: &dyn OdeSystem,
@@ -503,6 +572,10 @@ impl Solver for BackwardEuler {
 
     fn order(&self) -> u32 {
         1
+    }
+
+    fn clone_boxed(&self) -> Option<Box<dyn Solver + Send>> {
+        Some(Box::new(self.clone()))
     }
 
     fn step(
@@ -797,6 +870,61 @@ mod tests {
             driver.advance(&sys, &mut solver, 1.0).unwrap();
         }
         assert!((driver.time() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn clone_boxed_replicates_every_kind() {
+        for kind in SolverKind::ALL {
+            let proto = kind.create();
+            let clone = proto.clone_boxed().expect("library solvers are cloneable");
+            assert_eq!(clone.name(), proto.name());
+            assert_eq!(clone.order(), proto.order());
+            assert_eq!(clone.is_adaptive(), proto.is_adaptive());
+        }
+    }
+
+    #[test]
+    fn step_batch_lanes_match_standalone_steps() {
+        let sys = HarmonicOscillator { omega: 1.0 };
+        // Four instance-major lanes with different initial conditions.
+        let mut batch = vec![1.0, 0.0, 0.5, 0.0, 0.0, 1.0, -1.0, 0.5];
+        let mut solver = Rk4::new();
+        solver.step_batch(&sys, 0.0, &mut batch, 2, 0.1).unwrap();
+        for (i, x0) in [[1.0, 0.0], [0.5, 0.0], [0.0, 1.0], [-1.0, 0.5]].iter().enumerate() {
+            let mut lane = x0.to_vec();
+            Rk4::new().step(&sys, 0.0, &mut lane, 0.1).unwrap();
+            for d in 0..2 {
+                assert_eq!(
+                    batch[i * 2 + d].to_bits(),
+                    lane[d].to_bits(),
+                    "lane {i} bit-identical to a standalone step"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn step_batch_supports_adaptive_solvers() {
+        let sys = decay(5.0);
+        let mut batch = vec![1.0, 2.0];
+        Dopri45::new().step_batch(&sys, 0.0, &mut batch, 1, 0.5).unwrap();
+        let exact = (-5.0f64 * 0.5).exp();
+        assert!((batch[0] - exact).abs() < 1e-6, "lane 0 got {}", batch[0]);
+        assert!((batch[1] - 2.0 * exact).abs() < 1e-6, "lane 1 got {}", batch[1]);
+    }
+
+    #[test]
+    fn step_batch_validates_layout() {
+        let sys = decay(1.0);
+        let mut batch = vec![1.0, 2.0, 3.0];
+        assert!(matches!(
+            Rk4::new().step_batch(&sys, 0.0, &mut batch, 2, 0.1),
+            Err(SolveError::DimensionMismatch { .. })
+        ));
+        assert!(matches!(
+            Rk4::new().step_batch(&sys, 0.0, &mut batch, 0, 0.1),
+            Err(SolveError::DimensionMismatch { .. })
+        ));
     }
 
     #[test]

@@ -25,6 +25,7 @@ use unified_rt::umlrt::protocol::{PayloadKind, Protocol};
 use unified_rt::umlrt::statemachine::{SmSpec, StateMachineBuilder};
 use unified_rt::umlrt::value::Value;
 
+#[derive(Clone)]
 struct Ball {
     gravity: f64,
     restitution: f64,

@@ -31,6 +31,7 @@ use unified_rt::umlrt::value::Value;
 
 /// Longitudinal vehicle dynamics with quadratic drag and rolling
 /// resistance; force input from the controller.
+#[derive(Clone)]
 struct Vehicle {
     mass: f64,
     drag: f64,

@@ -27,6 +27,7 @@ use unified_rt::umlrt::value::Value;
 
 /// Inverted pendulum linearised around the upright position is unstable;
 /// we keep the full nonlinear model: `theta'' = (g/l) sin(theta) + u - c theta'`.
+#[derive(Clone)]
 struct Pendulum {
     gravity: f64,
     length: f64,

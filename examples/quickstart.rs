@@ -29,6 +29,7 @@ use unified_rt::umlrt::statemachine::{SmSpec, StateMachineBuilder};
 use unified_rt::umlrt::value::Value;
 
 /// Thermal plant: one state (temperature in kelvin-ish degrees C).
+#[derive(Clone)]
 struct ThermalPlant {
     capacity: f64,
     loss: f64,

@@ -27,6 +27,7 @@ use unified_rt::umlrt::statemachine::{SmSpec, StateMachineBuilder};
 use unified_rt::umlrt::value::Value;
 
 /// Two gravity-drained tanks in series; pump inflow into tank 1.
+#[derive(Clone)]
 struct TwoTanks {
     area1: f64,
     area2: f64,

@@ -34,7 +34,7 @@ for seeded in seeded-violations seeded-cross-loop; do
     fi
 done
 
-echo "==> urt-elab-smoke (model -> analyze -> compile -> run)"
+echo "==> urt-elab-smoke (model -> analyze -> compile -> run, + K=8 ensemble replay)"
 elab_out="$(cargo run -q --offline -p urt-analysis --bin urt-elab-smoke)"
 case "$elab_out" in
     *'urt-elab-smoke: PASS') ;;
@@ -44,10 +44,10 @@ case "$elab_out" in
         ;;
 esac
 
-echo "==> bench_engine --smoke (self-asserts batched >= K=1 dedicated throughput)"
+echo "==> bench_engine --smoke (self-asserts batched and ensemble throughput)"
 bench_json="$(cargo run -q --release --offline -p urt-bench --bin bench_engine -- --smoke)"
 case "$bench_json" in
-    '{"schema":"bench_engine/v3","smoke":true,'*'"batch":'*'"steps_per_sec":'*) ;;
+    '{"schema":"bench_engine/v4","smoke":true,'*'"batch":'*'"steps_per_sec":'*'"ensemble":['*'"mode":"ensemble"'*'"mode":"independent"'*) ;;
     *)
         echo "unexpected bench_engine --smoke output: $bench_json" >&2
         exit 1

@@ -159,6 +159,8 @@ fn fig2_compiled(policy: ThreadPolicy, t_end: f64) -> Run {
 
 // ----------------------------------------------------------- quickstart
 
+#[derive(Clone)]
+
 struct ThermalPlant {
     heater_on: bool,
 }

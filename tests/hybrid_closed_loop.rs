@@ -15,6 +15,8 @@ use unified_rt::umlrt::controller::Controller;
 use unified_rt::umlrt::statemachine::StateMachineBuilder;
 use unified_rt::umlrt::value::Value;
 
+#[derive(Clone)]
+
 struct Heater {
     on: bool,
     gain: f64,

@@ -19,6 +19,8 @@ use unified_rt::umlrt::controller::Controller;
 use unified_rt::umlrt::statemachine::StateMachineBuilder;
 use unified_rt::umlrt::value::Value;
 
+#[derive(Clone)]
+
 struct Tank {
     inflow: f64,
     drain: f64,
@@ -35,6 +37,8 @@ impl InputSystem for Tank {
         dx[0] = self.inflow - self.drain * x[0];
     }
 }
+
+#[derive(Clone)]
 
 struct Osc {
     omega: f64,

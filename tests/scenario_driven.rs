@@ -19,6 +19,7 @@ use unified_rt::umlrt::statemachine::StateMachineBuilder;
 use unified_rt::umlrt::value::Value;
 
 /// First-order lag whose setpoint is changed by SPort signals.
+#[derive(Clone)]
 struct Servo {
     setpoint: f64,
 }
