@@ -8,7 +8,8 @@
 //! Models without SPort links additionally run as a K-instance
 //! [`EnsembleEngine`], whose instance 0 must replay the standalone run
 //! bit-identically (the ensemble determinism anchor).
-//! `seeded-violations` must **refuse** to compile. Any deviation exits
+//! The seeded negative models (`seeded-violations`, `seeded-cross-loop`,
+//! `seeded-over-budget`) must **refuse** to compile. Any deviation exits
 //! non-zero, which is what `scripts/check.sh` keys on.
 
 use std::process::ExitCode;
@@ -110,8 +111,9 @@ fn main() -> ExitCode {
     }
 
     // The seeded models must be refused by the analysis gate — including
-    // the cross-group algebraic loop that fail-fast `validate()` misses.
-    for name in ["seeded-violations", "seeded-cross-loop"] {
+    // the cross-group algebraic loop and the over-budget timing plan
+    // that fail-fast `validate()` misses.
+    for name in ["seeded-violations", "seeded-cross-loop", "seeded-over-budget"] {
         let seeded = examples::by_name(name).expect("catalogue name");
         match compile(&seeded, stubs::stub_registry(&seeded)) {
             Err(e) => println!("urt-elab-smoke: `{name}` refused as expected: {e}"),

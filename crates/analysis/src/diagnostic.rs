@@ -8,6 +8,10 @@
 //! * `URT101`–`URT112` — model well-formedness and engine errors, shared
 //!   with [`urt_core::error::CoreError::code`].
 //! * `URT2xx` — analysis-only lints that never fail `validate()`.
+//! * `URT3xx` — static timing analysis ([`crate::cost_pass`]): budget
+//!   violations (`URT301`, error), cost hygiene (`URT302`/`URT305`),
+//!   partition imbalance (`URT303`) and the recommended partition
+//!   (`URT304`, info).
 
 use std::fmt;
 

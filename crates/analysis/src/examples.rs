@@ -4,11 +4,14 @@
 //! error diagnostics** (warnings are allowed); [`seeded_violations`]
 //! returns a deliberately broken model that trips at least three distinct
 //! rules (flow-type subset, algebraic loop, unreachable state) for
-//! exercising the collected-diagnostics path, and [`seeded_cross_loop`]
+//! exercising the collected-diagnostics path, [`seeded_cross_loop`]
 //! a zero-delay algebraic loop spanning two thread groups that only the
-//! whole-model analyzer (not fail-fast `validate()`) can refuse.
+//! whole-model analyzer (not fail-fast `validate()`) can refuse, and
+//! [`seeded_over_budget`] a structurally sound model whose declared
+//! worst-case step cost exceeds its real-time budget — `validate()`
+//! passes, the static timing pass (`URT301`) refuses it.
 
-use urt_core::model::{FlowEnd, ModelBuilder, UnifiedModel};
+use urt_core::model::{BudgetScope, FlowEnd, ModelBuilder, UnifiedModel};
 use urt_dataflow::flowtype::{FlowType, Unit};
 use urt_umlrt::protocol::{PayloadKind, Protocol};
 use urt_umlrt::statemachine::SmSpec;
@@ -35,6 +38,7 @@ pub fn by_name(name: &str) -> Option<UnifiedModel> {
         "bouncing-ball" => Some(bouncing_ball()),
         "seeded-violations" => Some(seeded_violations()),
         "seeded-cross-loop" => Some(seeded_cross_loop()),
+        "seeded-over-budget" => Some(seeded_over_budget()),
         _ => None,
     }
 }
@@ -99,6 +103,9 @@ pub fn fig2() -> UnifiedModel {
     // Recorded in the CI smokes (and bit-compared between the standalone
     // engine and ensemble instance 0).
     b.probe(sub1, "y", "fig2.sub1.y");
+    // Real-time budget: 100 us per macro step, comfortably met by the
+    // calibrated solver costs — exercised by `urt-lint --budget-report`.
+    b.declare_budget(BudgetScope::Model, 100_000.0);
     b.build()
 }
 
@@ -317,6 +324,28 @@ pub fn seeded_cross_loop() -> UnifiedModel {
     b.build()
 }
 
+/// A model seeded with a **real-time budget violation**: two heavy
+/// streamers whose declared worst-case step costs sum past the thread's
+/// budget. Structurally flawless — `validate()` passes — but the static
+/// timing pass refuses it (`URT301`), and `URT304` recommends the
+/// two-thread split that would meet the budget.
+pub fn seeded_over_budget() -> UnifiedModel {
+    let mut b = ModelBuilder::new("seeded-over-budget");
+    let sensor = b.streamer("sensor_fusion", "heavy");
+    let planner = b.streamer("planner", "heavy");
+    b.streamer_out(sensor, "state", FlowType::scalar());
+    b.streamer_in(planner, "state", FlowType::scalar());
+    b.flow_between_streamers(sensor, "state", planner, "state");
+    // Non-feedthrough consumer: the recommended cut is URT207-feasible.
+    b.streamer_feedthrough(sensor, false);
+    b.streamer_feedthrough(planner, false);
+    // 80 us + 80 us of declared cost against a 100 us thread budget.
+    b.declare_step_cost(sensor, 80_000.0);
+    b.declare_step_cost(planner, 80_000.0);
+    b.declare_budget(BudgetScope::Thread(0), 100_000.0);
+    b.build()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -329,7 +358,19 @@ mod tests {
         }
         assert!(by_name("seeded-violations").is_some());
         assert!(by_name("seeded-cross-loop").is_some());
+        assert!(by_name("seeded-over-budget").is_some());
         assert!(by_name("nope").is_none());
+    }
+
+    #[test]
+    fn seeded_over_budget_passes_validation_but_not_analysis() {
+        // Structurally flawless: Table 1 cannot see time.
+        seeded_over_budget().validate().expect("structure is sound");
+        let diags = crate::analyze(&seeded_over_budget());
+        let codes: Vec<&str> = diags.iter().map(|d| d.code).collect();
+        assert!(codes.contains(&"URT301"), "budget violation, got {codes:?}");
+        assert!(codes.contains(&"URT304"), "partition recommendation, got {codes:?}");
+        assert!(crate::has_errors(&diags));
     }
 
     #[test]

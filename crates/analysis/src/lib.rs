@@ -26,6 +26,11 @@
 //!    direct-feedthrough consumers are errors (`URT207`, the channel's
 //!    one-macro-step delay would break a zero-delay algebraic path);
 //!    legal ones report the induced delay.
+//! 6. **Static timing** ([`cost_pass`]) — budgets worst-case macro-step
+//!    cost per solver thread from declared or calibrated per-streamer
+//!    costs (`URT301`–`URT305`): over-budget threads are errors the gate
+//!    refuses, and `URT304` recommends a feasibility-pruned
+//!    `assign_thread` partition before anything runs.
 //!
 //! [`analyze_network`] runs the network half over an executable
 //! [`StreamerNetwork`]: undriven inputs, algebraic loops, dead outputs and
@@ -51,6 +56,7 @@
 //! assert!(diags.iter().any(|d| d.code == "URT203"), "unreachable state");
 //! ```
 
+pub mod cost_pass;
 pub mod diagnostic;
 pub mod examples;
 pub mod flow_pass;
@@ -68,14 +74,16 @@ use urt_core::CoreError;
 use urt_dataflow::graph::StreamerNetwork;
 
 /// Runs every analysis pass over a declarative model and returns all
-/// findings, errors first (stable within each severity).
+/// findings sorted by (severity, code, path, message) — deterministic
+/// regardless of pass-registration order.
 pub fn analyze(model: &UnifiedModel) -> Vec<Diagnostic> {
     let mut out = Vec::new();
     model_pass::run(model, &mut out);
     machine_pass::run(model, &mut out);
     thread_pass::run(model, &mut out);
     flow_pass::run(model, &mut out);
-    out.sort_by_key(|d| d.severity);
+    cost_pass::run(model, &mut out);
+    sort_report(&mut out);
     out
 }
 
@@ -83,8 +91,17 @@ pub fn analyze(model: &UnifiedModel) -> Vec<Diagnostic> {
 pub fn analyze_network(net: &StreamerNetwork) -> Vec<Diagnostic> {
     let mut out = Vec::new();
     network_pass::run(net, &mut out);
-    out.sort_by_key(|d| d.severity);
+    sort_report(&mut out);
     out
+}
+
+/// Canonical report order: (severity, code, path, message). Pinned by a
+/// golden-file test so `--json` output never depends on which pass
+/// happened to emit a finding first.
+fn sort_report(out: &mut [Diagnostic]) {
+    out.sort_by(|a, b| {
+        (a.severity, a.code, &a.path, &a.message).cmp(&(b.severity, b.code, &b.path, &b.message))
+    });
 }
 
 /// The full pipeline gate: compiles `model` into an executable

@@ -45,7 +45,10 @@
 //!
 //! Run with: `cargo run --release -p urt-bench --bin bench_engine`
 //! (`--smoke` runs a few hundred steps and prints the JSON to stdout
-//! instead of writing the file; `--out PATH` overrides the output path.)
+//! instead of writing the file; `--out PATH` overrides the output path;
+//! `--emit-cost-table` instead fits a per-solver calibration table from
+//! short compiled runs and writes `results/COST_table.json`, the default
+//! cost model of the static timing pass `urt_analysis::cost_pass`.)
 
 use std::fmt::Write as _;
 use std::time::Instant;
@@ -69,7 +72,7 @@ use urt_umlrt::statemachine::{SmSpec, StateMachineBuilder};
 
 const STEP: f64 = 1e-3;
 const CHAIN_STAGES: usize = 8;
-const USAGE: &str = "usage: bench_engine [--smoke] [--out PATH]";
+const USAGE: &str = "usage: bench_engine [--smoke] [--out PATH] [--emit-cost-table]";
 
 /// A Van der Pol oscillator with input dimension zero, usable as an
 /// `OdeStreamer` system.
@@ -300,6 +303,10 @@ fn chain_model(groups: usize) -> (urt_core::model::UnifiedModel, BehaviorRegistr
         b.flow_between_streamers(stages[i - 1], "y", stages[i], "u");
     }
     b.probe(stages[CHAIN_STAGES - 1], "y", "y0");
+    // Real-time budget: one macro step of wall time (1 ms) per macro
+    // step — the natural deadline of a deployed 1 kHz pipeline. The
+    // static timing pass checks it at compile time.
+    b.declare_budget(urt_core::model::BudgetScope::Model, STEP * 1e9);
     (b.build(), registry)
 }
 
@@ -608,13 +615,48 @@ fn render_json(results: &[Measurement], ensemble: &[EnsembleMeasurement], smoke:
     s
 }
 
+/// `--emit-cost-table`: fits per-solver ns/step from short compiled
+/// single-group current-thread runs — the configuration closest to "one
+/// streamer advancing, nothing else" — and writes the `cost_table/v1`
+/// JSON that `urt_analysis::cost_pass` loads as its default cost model.
+///
+/// fig2 runs three identical euler streamers per step, so its per-step
+/// wall time ÷ 3 is the euler figure; vdp runs exactly one rk4
+/// streamer. The table's own fallback for unlisted solvers is twice the
+/// dearest measured solver — unknown means pessimistic, never free.
+fn emit_cost_table(path: &str) {
+    let fig2 =
+        measure(Workload::Fig2, "compiled", 1, ThreadPolicy::CurrentThread, "n/a", 20_000, false);
+    let vdp =
+        measure(Workload::Vdp, "compiled", 1, ThreadPolicy::CurrentThread, "n/a", 4_000, false);
+    let euler_ns = 1e9 / fig2.steps_per_sec / 3.0;
+    let rk4_ns = 1e9 / vdp.steps_per_sec;
+    let default_ns = 2.0 * euler_ns.max(rk4_ns);
+    let json = format!(
+        "{{\"schema\":\"cost_table/v1\",\"fitted_from\":\"bench_engine\",\"step_s\":{STEP},\
+         \"default_ns_per_step\":{default_ns:.1},\"solvers\":[\
+         {{\"solver\":\"euler\",\"ns_per_step\":{euler_ns:.1}}},\
+         {{\"solver\":\"rk4\",\"ns_per_step\":{rk4_ns:.1}}}]}}"
+    );
+    std::fs::write(path, format!("{json}\n")).expect("write cost table");
+    println!("solver calibration table (macro step = {STEP} s) -> {path}");
+    println!();
+    println!("| solver | ns/step |");
+    println!("|--------|---------|");
+    println!("| euler | {euler_ns:.1} |");
+    println!("| rk4 | {rk4_ns:.1} |");
+    println!("| (default) | {default_ns:.1} |");
+}
+
 fn main() {
     let mut smoke = false;
+    let mut emit_cost = false;
     let mut out: Option<String> = None;
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
         match a.as_str() {
             "--smoke" => smoke = true,
+            "--emit-cost-table" => emit_cost = true,
             "--out" => match args.next() {
                 Some(p) => out = Some(p),
                 None => {
@@ -627,6 +669,11 @@ fn main() {
                 std::process::exit(2);
             }
         }
+    }
+
+    if emit_cost {
+        emit_cost_table(out.as_deref().unwrap_or("results/COST_table.json"));
+        return;
     }
 
     let mut results = Vec::new();

@@ -175,6 +175,7 @@ pub struct CompiledSystem {
     pub(crate) cross_flows: Vec<CrossGroupFlow>,
     pub(crate) streamer_loc: BTreeMap<String, (usize, NodeId)>,
     pub(crate) capsule_idx: BTreeMap<String, usize>,
+    pub(crate) step_budget_ns: Option<f64>,
 }
 
 impl CompiledSystem {
@@ -215,6 +216,15 @@ impl CompiledSystem {
     /// Series names of all resolved probes, in declaration order.
     pub fn probe_series(&self) -> Vec<&str> {
         self.probes.iter().map(|p| p.series.as_str()).collect()
+    }
+
+    /// The model-wide per-macro-step deadline budget
+    /// ([`BudgetScope::Model`](crate::model::BudgetScope)), in
+    /// nanoseconds, carried through elaboration so deployments can hand
+    /// it straight to a [`StepBudget`](crate::pacer::StepBudget) for
+    /// miss accounting against the wall clock.
+    pub fn step_budget_ns(&self) -> Option<f64> {
+        self.step_budget_ns
     }
 }
 
@@ -560,7 +570,16 @@ pub fn elaborate(
         });
     }
 
-    Ok(CompiledSystem { groups, controller, links, probes, cross_flows, streamer_loc, capsule_idx })
+    Ok(CompiledSystem {
+        groups,
+        controller,
+        links,
+        probes,
+        cross_flows,
+        streamer_loc,
+        capsule_idx,
+        step_budget_ns: model.model_budget(),
+    })
 }
 
 #[cfg(test)]

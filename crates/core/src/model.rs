@@ -45,6 +45,30 @@ pub enum Owner {
     Streamer(StreamerRef),
 }
 
+/// Scope of a declared per-macro-step timing budget (nanoseconds).
+///
+/// The static cost pass (`urt_analysis::cost_pass`) checks the
+/// worst-case per-macro-step cost of every solver-thread group against
+/// these: a [`BudgetScope::Thread`] budget binds one declared thread, a
+/// [`BudgetScope::Model`] budget binds every thread that has no
+/// more-specific declaration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum BudgetScope {
+    /// Applies to every solver thread without a thread-specific budget.
+    Model,
+    /// Applies to one declared solver thread.
+    Thread(usize),
+}
+
+impl fmt::Display for BudgetScope {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BudgetScope::Model => f.write_str("model"),
+            BudgetScope::Thread(t) => write!(f, "thread {t}"),
+        }
+    }
+}
+
 /// An endpoint of a flow: a named DPort on a capsule or a streamer.
 #[derive(Debug, Clone, PartialEq)]
 pub enum FlowEnd {
@@ -79,6 +103,9 @@ struct StreamerDecl {
     feedthrough: bool,
     /// Solver-thread assignment for the deployment plan (default 0).
     thread: usize,
+    /// Declared worst-case cost of one macro step, in nanoseconds.
+    /// `None` means "ask the calibration table" (static cost pass).
+    step_cost_ns: Option<f64>,
 }
 
 #[derive(Debug, Clone, PartialEq)]
@@ -135,6 +162,8 @@ pub struct UnifiedModel {
     protocols: Vec<Protocol>,
     /// Recorder probes: named series tapped off streamer output DPorts.
     probes: Vec<ProbeDecl>,
+    /// Declared per-macro-step timing budgets, in nanoseconds.
+    budgets: Vec<(BudgetScope, f64)>,
 }
 
 impl UnifiedModel {
@@ -235,6 +264,55 @@ impl UnifiedModel {
     /// Solver-thread assignment of a streamer in the deployment plan.
     pub fn streamer_thread(&self, s: StreamerRef) -> usize {
         self.streamers.get(s.0).map_or(0, |d| d.thread)
+    }
+
+    /// Declared worst-case cost of one macro step for a streamer, in
+    /// nanoseconds (`None` when the model left it to calibration).
+    pub fn streamer_step_cost(&self, s: StreamerRef) -> Option<f64> {
+        self.streamers.get(s.0).and_then(|d| d.step_cost_ns)
+    }
+
+    /// Iterates the declared timing budgets as `(scope, ns per macro
+    /// step)`.
+    pub fn iter_budgets(&self) -> impl Iterator<Item = (BudgetScope, f64)> + '_ {
+        self.budgets.iter().copied()
+    }
+
+    /// Whether any per-macro-step budget is declared — the static cost
+    /// pass is active exactly when this holds.
+    pub fn has_budgets(&self) -> bool {
+        !self.budgets.is_empty()
+    }
+
+    /// The budget binding a solver thread: a [`BudgetScope::Thread`]
+    /// declaration for `thread` wins, else a [`BudgetScope::Model`]
+    /// declaration, else `None`. Later declarations of the same scope
+    /// override earlier ones.
+    pub fn budget_for_thread(&self, thread: usize) -> Option<f64> {
+        self.budgets
+            .iter()
+            .rev()
+            .find(|(scope, _)| *scope == BudgetScope::Thread(thread))
+            .or_else(|| self.budgets.iter().rev().find(|(scope, _)| *scope == BudgetScope::Model))
+            .map(|(_, ns)| *ns)
+    }
+
+    /// The model-wide budget ([`BudgetScope::Model`]), if declared.
+    pub fn model_budget(&self) -> Option<f64> {
+        self.budgets.iter().rev().find(|(scope, _)| *scope == BudgetScope::Model).map(|(_, ns)| *ns)
+    }
+
+    /// Re-assigns a streamer (by name) to a solver thread — the hook the
+    /// analyzer's recommended partition (`URT304`) is applied through.
+    /// Returns `false` when no streamer has that name.
+    pub fn reassign_thread(&mut self, streamer: &str, thread: usize) -> bool {
+        match self.streamers.iter_mut().find(|d| d.name == streamer) {
+            Some(d) => {
+                d.thread = thread;
+                true
+            }
+            None => false,
+        }
     }
 
     /// Owner of a capsule.
@@ -641,6 +719,7 @@ impl ModelBuilder {
             solver: solver.into(),
             feedthrough: true,
             thread: 0,
+            step_cost_ns: None,
         });
         StreamerRef(self.model.streamers.len() - 1)
     }
@@ -759,6 +838,30 @@ impl ModelBuilder {
     /// Assigns a streamer to a solver thread in the deployment plan.
     pub fn assign_thread(&mut self, s: StreamerRef, thread: usize) {
         self.model.streamers[s.0].thread = thread;
+    }
+
+    /// Declares the worst-case cost of one macro step of streamer `s`,
+    /// in nanoseconds. Declared costs take precedence over the
+    /// calibration table in the static cost pass.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ns` is not positive and finite.
+    pub fn declare_step_cost(&mut self, s: StreamerRef, ns: f64) {
+        assert!(ns.is_finite() && ns > 0.0, "step cost must be positive ns");
+        self.model.streamers[s.0].step_cost_ns = Some(ns);
+    }
+
+    /// Declares a per-macro-step timing budget, in nanoseconds: the
+    /// static cost pass (`URT301`) refuses any solver-thread group whose
+    /// worst-case macro-step cost exceeds the budget binding it.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ns` is not positive and finite.
+    pub fn declare_budget(&mut self, scope: BudgetScope, ns: f64) {
+        assert!(ns.is_finite() && ns > 0.0, "budget must be positive ns");
+        self.model.budgets.push((scope, ns));
     }
 
     /// Declares a recorder probe: the first lane of streamer `s`'s output

@@ -72,6 +72,86 @@ impl RealTimePacer {
     }
 }
 
+/// Per-macro-step deadline accounting against a declared budget.
+///
+/// The static cost pass proves (from declared or calibrated costs) that
+/// a model *can* meet its budget before anything runs; `StepBudget` is
+/// the runtime half of the same contract: feed it the measured wall
+/// time of each macro step and it counts deadline misses and tracks the
+/// worst observed step. Construct it from the budget the compiled
+/// artifact carries
+/// ([`CompiledSystem::step_budget_ns`](crate::elaborate::CompiledSystem::step_budget_ns)).
+///
+/// # Examples
+///
+/// ```
+/// use urt_core::pacer::StepBudget;
+///
+/// let mut budget = StepBudget::new(1_000_000.0); // 1 ms per macro step
+/// assert!(!budget.record(800_000.0)); // met
+/// assert!(budget.record(1_200_000.0)); // missed
+/// assert_eq!(budget.misses(), 1);
+/// assert_eq!(budget.worst_ns(), 1_200_000.0);
+/// ```
+#[derive(Debug, Clone)]
+pub struct StepBudget {
+    budget_ns: f64,
+    steps: u64,
+    misses: u64,
+    worst_ns: f64,
+}
+
+impl StepBudget {
+    /// Creates a budget of `budget_ns` nanoseconds per macro step.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `budget_ns` is not positive and finite.
+    pub fn new(budget_ns: f64) -> Self {
+        assert!(budget_ns.is_finite() && budget_ns > 0.0, "budget must be positive ns");
+        StepBudget { budget_ns, steps: 0, misses: 0, worst_ns: 0.0 }
+    }
+
+    /// Records one macro step's measured wall time; returns `true` when
+    /// the step missed its deadline.
+    pub fn record(&mut self, elapsed_ns: f64) -> bool {
+        self.steps += 1;
+        self.worst_ns = self.worst_ns.max(elapsed_ns);
+        let missed = elapsed_ns > self.budget_ns;
+        if missed {
+            self.misses += 1;
+        }
+        missed
+    }
+
+    /// Number of steps recorded so far.
+    pub fn steps(&self) -> u64 {
+        self.steps
+    }
+
+    /// Number of deadline misses so far.
+    pub fn misses(&self) -> u64 {
+        self.misses
+    }
+
+    /// Worst observed step, in nanoseconds.
+    pub fn worst_ns(&self) -> f64 {
+        self.worst_ns
+    }
+
+    /// The configured budget, in nanoseconds per macro step.
+    pub fn budget_ns(&self) -> f64 {
+        self.budget_ns
+    }
+
+    /// Resets the accounting (budget unchanged).
+    pub fn reset(&mut self) {
+        self.steps = 0;
+        self.misses = 0;
+        self.worst_ns = 0.0;
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -124,5 +204,28 @@ mod tests {
     #[should_panic(expected = "rate must be positive")]
     fn pacer_validates_rate() {
         let _ = RealTimePacer::new(0.0);
+    }
+
+    #[test]
+    fn step_budget_counts_misses_and_worst_case() {
+        let mut b = StepBudget::new(1000.0);
+        assert!(!b.record(400.0));
+        assert!(!b.record(1000.0), "exactly on budget is a met deadline");
+        assert!(b.record(1500.0));
+        assert!(b.record(2500.0));
+        assert_eq!(b.steps(), 4);
+        assert_eq!(b.misses(), 2);
+        assert_eq!(b.worst_ns(), 2500.0);
+        assert_eq!(b.budget_ns(), 1000.0);
+        b.reset();
+        assert_eq!((b.steps(), b.misses()), (0, 0));
+        assert_eq!(b.worst_ns(), 0.0);
+        assert_eq!(b.budget_ns(), 1000.0, "reset keeps the budget");
+    }
+
+    #[test]
+    #[should_panic(expected = "budget must be positive")]
+    fn step_budget_validates_budget() {
+        let _ = StepBudget::new(f64::NAN);
     }
 }

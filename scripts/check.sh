@@ -27,9 +27,22 @@ case "$lint_json" in
         exit 1
         ;;
 esac
-for seeded in seeded-violations seeded-cross-loop; do
-    if cargo run -q --offline -p urt-analysis --bin urt-lint -- "$seeded" >/dev/null 2>&1; then
-        echo "urt-lint should exit non-zero on $seeded" >&2
+# The seeded negative models must fail linting even under the stricter
+# --deny-warnings contract (they all carry at least one error anyway).
+for seeded in seeded-violations seeded-cross-loop seeded-over-budget; do
+    if cargo run -q --offline -p urt-analysis --bin urt-lint -- --deny-warnings "$seeded" >/dev/null 2>&1; then
+        echo "urt-lint --deny-warnings should exit non-zero on $seeded" >&2
+        exit 1
+    fi
+done
+
+echo "==> lint snapshots (urt-lint --json vs results/lint_snapshots/)"
+for name in $(cargo run -q --offline -p urt-analysis --bin urt-lint -- --list); do
+    snapshot="results/lint_snapshots/$name.json"
+    out="$(cargo run -q --offline -p urt-analysis --bin urt-lint -- --json "$name")" || true
+    if ! printf '%s\n' "$out" | diff -u "$snapshot" - >&2; then
+        echo "lint snapshot drift for $name — after an intentional analyzer change, regenerate with:" >&2
+        echo "  cargo run -p urt-analysis --bin urt-lint -- --json $name > $snapshot" >&2
         exit 1
     fi
 done

@@ -58,3 +58,37 @@ fn json_report_shape_is_stable() {
     assert!(json.contains("\"diagnostics\":[{\"code\":\"URT"));
     assert!(json.ends_with("}]}"));
 }
+
+#[test]
+fn lint_snapshots_are_current() {
+    // Golden files: the exact `urt-lint --json <name>` stdout for every
+    // catalogue and seeded model, committed under results/lint_snapshots/.
+    // They pin both the findings themselves (a lost diagnostic or changed
+    // code fails here) and the canonical (severity, code, path, message)
+    // report order. Regenerate with scripts/check.sh's printed hint after
+    // an intentional analyzer change.
+    let dir = concat!(env!("CARGO_MANIFEST_DIR"), "/results/lint_snapshots");
+    let all_names = examples::NAMES.iter().copied().chain([
+        "seeded-violations",
+        "seeded-cross-loop",
+        "seeded-over-budget",
+    ]);
+    let mut checked = 0;
+    for name in all_names {
+        let path = format!("{dir}/{name}.json");
+        let committed = std::fs::read_to_string(&path)
+            .unwrap_or_else(|e| panic!("missing lint snapshot {path}: {e}"));
+        let model = examples::by_name(name).expect("built-in");
+        let current = format!(
+            "[{}]\n",
+            unified_rt::analysis::render_json_report(model.name(), &analyze(&model))
+        );
+        assert_eq!(
+            current, committed,
+            "lint snapshot for `{name}` is stale — \
+             cargo run -p urt-analysis --bin urt-lint -- --json {name} > {path}"
+        );
+        checked += 1;
+    }
+    assert_eq!(checked, examples::NAMES.len() + 3, "every model has a snapshot");
+}

@@ -1,0 +1,176 @@
+//! End-to-end checks of the static timing pass (`URT301`–`URT305`):
+//! budgets met and exceeded on the catalogue, cost-hygiene warnings, and
+//! the `URT304` partition recommendation — whose application via
+//! `assign_thread`/`reassign_thread` must be gate-clean and, for fig2's
+//! no-split plan, bit-identical to the single-thread run (the
+//! `policy_equivalence` series-comparison harness).
+
+use unified_rt::analysis::cost_pass::{budget_report, run_with, CostModel};
+use unified_rt::analysis::{analyze, compile, examples, has_errors, stubs, Severity};
+use unified_rt::core::engine::{EngineConfig, HybridEngine};
+use unified_rt::core::model::{BudgetScope, ModelBuilder, UnifiedModel};
+use unified_rt::core::recorder::Recorder;
+use unified_rt::core::threading::ThreadPolicy;
+use unified_rt::dataflow::flowtype::FlowType;
+
+const STEP: f64 = 1e-3;
+const MACRO_STEPS: u64 = 50;
+
+/// Compiles `model` through the analysis gate with stub behaviours and
+/// runs it for [`MACRO_STEPS`]; returns every probe series.
+fn run_series(model: &UnifiedModel) -> Vec<(String, Vec<(f64, f64)>)> {
+    let compiled = compile(model, stubs::stub_registry(model))
+        .unwrap_or_else(|e| panic!("model `{}` must be gate-clean: {e}", model.name()));
+    let series: Vec<String> = compiled.probe_series().iter().map(|s| (*s).to_owned()).collect();
+    let config = EngineConfig { step: STEP, policy: ThreadPolicy::CurrentThread };
+    let mut engine = HybridEngine::from_compiled(compiled, config).expect("engine assembly");
+    let rec = Recorder::new();
+    engine.set_recorder(rec.clone());
+    engine.run_until(MACRO_STEPS as f64 * STEP).expect("run");
+    series.into_iter().map(|s| (s.clone(), rec.series(&s))).collect()
+}
+
+/// Applies a `URT304` plan to a model via `reassign_thread`.
+fn apply_plan(model: &mut UnifiedModel, assignments: &[(String, usize)]) {
+    for (name, thread) in assignments {
+        assert!(model.reassign_thread(name, *thread), "streamer `{name}` exists");
+    }
+}
+
+#[test]
+fn fig2_meets_its_declared_budget() {
+    let model = examples::by_name("fig2").expect("catalogue");
+    let diags = analyze(&model);
+    assert!(!diags.iter().any(|d| d.code == "URT301"), "within budget: {diags:#?}");
+    assert!(!has_errors(&diags), "{diags:#?}");
+    // The budget report agrees: every budgeted group is within budget.
+    let report = budget_report(&model, CostModel::shared()).expect("fig2 declares a budget");
+    for g in &report.groups {
+        let budget = g.budget_ns.expect("model-scope budget binds every thread");
+        assert!(g.cost_ns <= budget, "thread {}: {} ns > {} ns", g.thread, g.cost_ns, budget);
+    }
+    // The container `top` contributes no runtime nodes and no cost.
+    assert!(!report.groups.iter().any(|g| g.streamers.iter().any(|s| s == "top")), "{report:#?}");
+}
+
+#[test]
+fn seeded_over_budget_is_refused_by_the_gate_with_urt301() {
+    let model = examples::by_name("seeded-over-budget").expect("catalogue");
+    // Structure is sound; only the timing pass objects.
+    model.validate().expect("validate() cannot see time");
+    let diags = analyze(&model);
+    let urt301 = diags.iter().find(|d| d.code == "URT301").expect("over budget");
+    assert_eq!(urt301.severity, Severity::Error);
+    assert!(urt301.message.contains("160000 ns"), "{}", urt301.message);
+    let err = compile(&model, stubs::stub_registry(&model)).expect_err("gate refuses");
+    assert!(err.to_string().contains("URT301"), "gate names the code: {err}");
+}
+
+#[test]
+fn budgeted_thread_without_cost_information_warns_urt302() {
+    let mut b = ModelBuilder::new("m");
+    let s = b.streamer("opaque", "proprietary-solver");
+    b.streamer_out(s, "y", FlowType::scalar());
+    b.declare_budget(BudgetScope::Model, 1_000_000.0);
+    let mut out = Vec::new();
+    run_with(&b.build(), &CostModel::conservative(), &mut out);
+    let d = out.iter().find(|d| d.code == "URT302").expect("no cost information");
+    assert_eq!(d.severity, Severity::Warning);
+    assert!(d.message.contains("proprietary-solver"), "{}", d.message);
+}
+
+#[test]
+fn fig2_recommendation_is_no_split_and_bit_identical_when_applied() {
+    // fig2's consumers (sub2, sub3) are direct feedthrough, so every
+    // effective edge is uncuttable: the URT304 plan must keep one thread.
+    let model = examples::by_name("fig2").expect("catalogue");
+    let report = budget_report(&model, CostModel::shared()).expect("budgeted");
+    assert!(report.plan.is_single_thread(), "{:#?}", report.plan);
+    assert!(report.plan.cut_edges.is_empty(), "{:#?}", report.plan.cut_edges);
+    let diags = analyze(&model);
+    let rec = diags.iter().find(|d| d.code == "URT304").expect("recommendation");
+    assert_eq!(rec.severity, Severity::Info);
+    assert!(rec.message.contains("keep all leaf streamers"), "{}", rec.message);
+
+    // Applying the plan is gate-clean and bit-identical to the original
+    // single-thread run: same series, every sample's time and value
+    // equal to the bit.
+    let mut applied = examples::by_name("fig2").expect("catalogue");
+    apply_plan(&mut applied, &report.plan.assignments);
+    let baseline = run_series(&model);
+    let planned = run_series(&applied);
+    assert_eq!(baseline.len(), planned.len());
+    assert!(!baseline.is_empty(), "fig2 records at least one probe");
+    for ((name_a, a), (name_b, b)) in baseline.iter().zip(&planned) {
+        assert_eq!(name_a, name_b);
+        assert_eq!(a.len(), b.len(), "series `{name_a}` lengths");
+        for (k, ((t1, v1), (t2, v2))) in a.iter().zip(b).enumerate() {
+            assert_eq!(t1.to_bits(), t2.to_bits(), "series `{name_a}` sample {k} time");
+            assert_eq!(v1.to_bits(), v2.to_bits(), "series `{name_a}` sample {k} value");
+        }
+    }
+}
+
+/// A three-stage non-feedthrough pipeline whose declared costs overflow
+/// a one-thread budget — the shape where `URT304` recommends a real
+/// split.
+fn over_budget_pipeline() -> UnifiedModel {
+    let mut b = ModelBuilder::new("hotpipe");
+    let mut prev = None;
+    for (i, ns) in [600_000.0, 600_000.0, 600_000.0].iter().enumerate() {
+        let s = b.streamer(format!("st{i}"), "euler");
+        if i > 0 {
+            b.streamer_in(s, "u", FlowType::scalar());
+        }
+        b.streamer_out(s, "y", FlowType::scalar());
+        b.streamer_feedthrough(s, false);
+        b.declare_step_cost(s, *ns);
+        if let Some(p) = prev {
+            b.flow_between_streamers(p, "y", s, "u");
+        }
+        prev = Some(s);
+    }
+    b.probe(prev.unwrap(), "y", "hotpipe.st2.y");
+    b.declare_budget(BudgetScope::Model, 1_300_000.0);
+    b.build()
+}
+
+#[test]
+fn suggested_split_relieves_an_over_budget_pipeline_and_is_gate_clean() {
+    let model = over_budget_pipeline();
+    // Unsplit: refused with URT301.
+    let err = compile(&model, stubs::stub_registry(&model)).expect_err("over budget");
+    assert!(err.to_string().contains("URT301"), "{err}");
+
+    // The recommendation splits within capacity, cutting only edges
+    // into non-feedthrough consumers.
+    let report = budget_report(&model, CostModel::shared()).expect("budgeted");
+    assert!(report.plan.group_costs.len() >= 2, "{:#?}", report.plan);
+    assert!(
+        report.plan.group_costs.iter().all(|&c| c <= report.plan.capacity_ns),
+        "{:#?}",
+        report.plan
+    );
+    assert!(!report.plan.cut_edges.is_empty(), "a real split cuts an edge");
+
+    // Applied, the same model passes the gate and runs.
+    let mut applied = over_budget_pipeline();
+    apply_plan(&mut applied, &report.plan.assignments);
+    let series = run_series(&applied);
+    let (name, samples) = &series[0];
+    assert_eq!(name, "hotpipe.st2.y");
+    assert_eq!(samples.len() as u64, MACRO_STEPS, "probes recorded every step");
+}
+
+#[test]
+fn json_report_orders_diagnostics_canonically() {
+    // (severity, code, path, message): URT3xx codes interleave with the
+    // older families purely by that key, regardless of pass order.
+    let model = examples::by_name("seeded-over-budget").expect("catalogue");
+    let diags = analyze(&model);
+    let keys: Vec<_> =
+        diags.iter().map(|d| (d.severity, d.code, d.path.clone(), d.message.clone())).collect();
+    let mut sorted = keys.clone();
+    sorted.sort();
+    assert_eq!(keys, sorted, "analyze() output is canonically ordered");
+}
