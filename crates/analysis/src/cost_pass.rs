@@ -35,6 +35,16 @@
 //!   and the one-macro-step delays each cut induces.
 //! * **`URT305`** (warning) — a declared cost contradicts the
 //!   calibration table by more than 10× (a stale-annotation smell).
+//!
+//! The runtime half of the same contract is
+//! [`HybridEngine::run_paced`](urt_core::engine::HybridEngine::run_paced):
+//! the declared budget this pass checks statically travels through
+//! `CompiledSystem::step_budget_ns` into the paced run loop, which
+//! enforces it against the wall clock per macro step and — under
+//! `OverrunPolicy::SafetyStop` — aborts with the structured `URT115`
+//! (`CoreError::DeadlineOverrun`) when it is repeatedly missed. `URT301`
+//! says a budget *cannot* be met from static costs; `URT115` says it
+//! *was not* met on this machine.
 
 use crate::diagnostic::{json_string, Diagnostic, Severity};
 use crate::model_pass::effective_streamer_edges;

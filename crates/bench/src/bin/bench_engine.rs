@@ -32,23 +32,36 @@
 //! no amortization, so the delta is exactly what the SoA layout buys).
 //! `K ∈ {1, 8}` in smoke mode, `{1, 8, 64, 256}` in full runs.
 //!
+//! A third axis (`--paced`) measures **hard real-time latency** instead
+//! of throughput: `run_paced` couples each macro step to the wall clock
+//! (`set_max_batch(1)`, so even the threaded schedule releases per step)
+//! and the reported figures are the per-cycle compute-time distribution —
+//! p50/p99/worst nanoseconds — plus deadline misses against a
+//! deliberately generous budget. A latency-bound deployment is judged by
+//! its tail, not its mean, which is why this axis reports percentiles
+//! where the others report steps/sec.
+//!
 //! Every run attaches a recorder probe so the measured loop is the same
 //! one real simulations pay for. Results are written as hand-rolled JSON
 //! (hermetic, no registry deps) to `results/BENCH_engine.json` — the
 //! baseline future perf PRs are measured against. The binary also
-//! *self-asserts* two throughput invariants, exiting non-zero otherwise:
-//! the batched dedicated-threads path must not fall behind `k1` in
-//! aggregate (rendezvous amortization), and the ensemble must not fall
-//! behind `K` independent engines (SoA amortization). Smoke runs allow a
-//! 10% tolerance — a few hundred steps on a shared box is noisy — while
-//! full runs are strict.
+//! *self-asserts* invariants, exiting non-zero otherwise: the batched
+//! dedicated-threads path must not fall behind `k1` in aggregate
+//! (rendezvous amortization), the ensemble must not fall behind `K`
+//! independent engines (SoA amortization), and paced runs must record
+//! zero misses at the generous budget (the budget is hundreds of
+//! milliseconds per 1 ms step precisely so OS descheduling cannot flake
+//! the assertion). Smoke runs allow a 10% throughput tolerance — a few
+//! hundred steps on a shared box is noisy — while full runs are strict.
 //!
 //! Run with: `cargo run --release -p urt-bench --bin bench_engine`
 //! (`--smoke` runs a few hundred steps and prints the JSON to stdout
 //! instead of writing the file; `--out PATH` overrides the output path;
-//! `--emit-cost-table` instead fits a per-solver calibration table from
-//! short compiled runs and writes `results/COST_table.json`, the default
-//! cost model of the static timing pass `urt_analysis::cost_pass`.)
+//! `--paced` adds the paced latency axis — real time in full runs, 50×
+//! real time in smoke so CI stays fast; `--emit-cost-table` instead fits
+//! a per-solver calibration table from short compiled runs and writes
+//! `results/COST_table.json`, the default cost model of the static
+//! timing pass `urt_analysis::cost_pass`.)
 
 use std::fmt::Write as _;
 use std::time::Instant;
@@ -72,7 +85,14 @@ use urt_umlrt::statemachine::{SmSpec, StateMachineBuilder};
 
 const STEP: f64 = 1e-3;
 const CHAIN_STAGES: usize = 8;
-const USAGE: &str = "usage: bench_engine [--smoke] [--out PATH] [--emit-cost-table]";
+const USAGE: &str = "usage: bench_engine [--smoke] [--out PATH] [--paced] [--emit-cost-table]";
+
+/// Deadline budget for the paced axis, ns per macro step. Generous on
+/// purpose (250 ms against a ~µs compute cycle): the `misses == 0`
+/// self-assertion must hold even when the OS deschedules the bench for
+/// whole scheduler quanta, so the axis stays CI-safe while the p99/worst
+/// figures still capture every latency spike.
+const PACED_BUDGET_NS: f64 = 250e6;
 
 /// A Van der Pol oscillator with input dimension zero, usable as an
 /// `OdeStreamer` system.
@@ -467,6 +487,71 @@ fn measure(
     }
 }
 
+struct PacedMeasurement {
+    workload: &'static str,
+    groups: usize,
+    policy: ThreadPolicy,
+    steps: u64,
+    rate: f64,
+    budget_ns: f64,
+    p50_ns: f64,
+    p99_ns: f64,
+    worst_ns: f64,
+    misses: u64,
+    worst_lag_ns: u64,
+}
+
+/// The paced latency axis: runs the compiled engine under `run_paced`
+/// with per-step release points (`set_max_batch(1)`) and reports the
+/// per-cycle compute-time distribution. Self-asserts `misses == 0`
+/// against [`PACED_BUDGET_NS`] — see the constant for why that cannot
+/// flake under load.
+fn measure_paced(
+    workload: Workload,
+    groups: usize,
+    policy: ThreadPolicy,
+    steps: u64,
+    rate: f64,
+) -> PacedMeasurement {
+    let (mut engine, _rec) = compiled_engine(workload, groups, policy);
+    engine.set_max_batch(1);
+    // Warm-up outside the paced window: spin up solver threads and fault
+    // in buffers, so the histogram measures the steady state.
+    let warmup = (steps / 10).max(10);
+    engine.run_until(warmup as f64 * STEP).expect("warm-up");
+    let t_end = engine.time() + steps as f64 * STEP;
+    let config = urt_core::pacer::PacedConfig::new()
+        .with_rate(rate)
+        .with_budget_ns(PACED_BUDGET_NS)
+        .with_policy(urt_core::pacer::OverrunPolicy::Record);
+    let report = engine.run_paced(t_end, config).expect("paced run");
+    assert_eq!(report.steps, steps, "paced run covers every macro step");
+    assert_eq!(report.samples, steps, "max_batch(1): every step is its own cycle");
+    if report.misses > 0 {
+        eprintln!(
+            "bench_engine: paced {workload}/{groups}g/{policy} missed {} deadlines against a \
+             {PACED_BUDGET_NS} ns budget (worst cycle {} ns) — pathological latency",
+            report.misses,
+            report.worst_ns,
+            workload = workload.name(),
+        );
+        std::process::exit(1);
+    }
+    PacedMeasurement {
+        workload: workload.name(),
+        groups,
+        policy,
+        steps: report.steps,
+        rate: report.rate,
+        budget_ns: report.budget_ns,
+        p50_ns: report.p50_ns,
+        p99_ns: report.p99_ns,
+        worst_ns: report.worst_ns,
+        misses: report.misses,
+        worst_lag_ns: (report.worst_lag_s * 1e9) as u64,
+    }
+}
+
 /// Workloads for the ensemble axis: raw networks (no controller, no
 /// channels) so the measurement isolates per-instance routing overhead.
 #[derive(Clone, Copy)]
@@ -584,9 +669,14 @@ fn measure_ensemble(
     }
 }
 
-fn render_json(results: &[Measurement], ensemble: &[EnsembleMeasurement], smoke: bool) -> String {
+fn render_json(
+    results: &[Measurement],
+    ensemble: &[EnsembleMeasurement],
+    paced: &[PacedMeasurement],
+    smoke: bool,
+) -> String {
     let mut s = String::new();
-    let _ = write!(s, "{{\"schema\":\"bench_engine/v4\",\"smoke\":{smoke},\"step_s\":{STEP}");
+    let _ = write!(s, "{{\"schema\":\"bench_engine/v5\",\"smoke\":{smoke},\"step_s\":{STEP}");
     let _ = write!(s, ",\"results\":[");
     for (i, m) in results.iter().enumerate() {
         if i > 0 {
@@ -609,6 +699,29 @@ fn render_json(results: &[Measurement], ensemble: &[EnsembleMeasurement], smoke:
             "{{\"workload\":\"{}\",\"mode\":\"{}\",\"k\":{},\"steps\":{},\
              \"wall_ns\":{},\"steps_per_sec\":{:.1}}}",
             m.workload, m.mode, m.k, m.steps, m.wall_ns, m.steps_per_sec
+        );
+    }
+    s.push_str("],\"paced\":[");
+    for (i, m) in paced.iter().enumerate() {
+        if i > 0 {
+            s.push(',');
+        }
+        let _ = write!(
+            s,
+            "{{\"workload\":\"{}\",\"groups\":{},\"policy\":\"{}\",\"steps\":{},\"rate\":{},\
+             \"budget_ns\":{},\"p50_ns\":{:.1},\"p99_ns\":{:.1},\"worst_ns\":{:.1},\
+             \"misses\":{},\"worst_lag_ns\":{}}}",
+            m.workload,
+            m.groups,
+            m.policy,
+            m.steps,
+            m.rate,
+            m.budget_ns,
+            m.p50_ns,
+            m.p99_ns,
+            m.worst_ns,
+            m.misses,
+            m.worst_lag_ns
         );
     }
     s.push_str("]}");
@@ -651,11 +764,13 @@ fn emit_cost_table(path: &str) {
 fn main() {
     let mut smoke = false;
     let mut emit_cost = false;
+    let mut paced = false;
     let mut out: Option<String> = None;
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
         match a.as_str() {
             "--smoke" => smoke = true,
+            "--paced" => paced = true,
             "--emit-cost-table" => emit_cost = true,
             "--out" => match args.next() {
                 Some(p) => out = Some(p),
@@ -720,6 +835,23 @@ fn main() {
         }
     }
 
+    // Paced latency axis (opt-in: each configuration runs in real — or
+    // smoke-accelerated — time, so it costs wall-clock seconds by
+    // design). fig2 exercises the pure-dataflow hot path, chain the
+    // cross-group channel machinery; vdp adds nothing the latency
+    // distribution would see over fig2.
+    let mut paced_results = Vec::new();
+    if paced {
+        let (steps, rate) = if smoke { (200, 50.0) } else { (2_000, 1.0) };
+        for workload in [Workload::Fig2, Workload::Chain] {
+            for groups in [1usize, 2] {
+                for policy in [ThreadPolicy::CurrentThread, ThreadPolicy::DedicatedThreads] {
+                    paced_results.push(measure_paced(workload, groups, policy, steps, rate));
+                }
+            }
+        }
+    }
+
     // Self-assertion 1: amortizing the rendezvous must not make the
     // dedicated-threads path slower than the per-step schedule. Smoke runs
     // measure a few hundred steps on a possibly-shared box, so they get a
@@ -765,7 +897,7 @@ fn main() {
         }
     }
 
-    let json = render_json(&results, &ensemble_results, smoke);
+    let json = render_json(&results, &ensemble_results, &paced_results, smoke);
     if smoke && out.is_none() {
         // Smoke mode is the CI shape check: JSON is the whole stdout.
         println!("{json}");
@@ -798,6 +930,31 @@ fn main() {
             m.steps_per_sec,
             m.steps_per_sec * m.k as f64
         );
+    }
+    if !paced_results.is_empty() {
+        println!();
+        println!("paced latency (run_paced, per-step release, rate = sim s / wall s)");
+        println!();
+        println!(
+            "| workload | groups | policy | steps | rate | p50 ns | p99 ns | worst ns | misses |"
+        );
+        println!(
+            "|----------|--------|--------|-------|------|--------|--------|----------|--------|"
+        );
+        for m in &paced_results {
+            println!(
+                "| {} | {} | {} | {} | {} | {:.0} | {:.0} | {:.0} | {} |",
+                m.workload,
+                m.groups,
+                m.policy,
+                m.steps,
+                m.rate,
+                m.p50_ns,
+                m.p99_ns,
+                m.worst_ns,
+                m.misses
+            );
+        }
     }
     println!();
     println!("wrote {path}");

@@ -12,6 +12,7 @@
 
 use crate::elaborate::CompiledSystem;
 use crate::error::CoreError;
+use crate::pacer::{PacedConfig, PacedReport, PacedRunner};
 use crate::recorder::{Recorder, SeriesHandle};
 use crate::sync::{Mutex, SpinBarrier};
 use crate::threading::ThreadPolicy;
@@ -142,6 +143,10 @@ pub struct HybridEngine {
     /// Upper bound on the auto-computed threaded batch size; 1 disables
     /// batching ([`HybridEngine::set_max_batch`]).
     max_batch: u64,
+    /// Declared per-macro-step deadline budget in nanoseconds, carried
+    /// over from the compiled system — the default budget of
+    /// [`HybridEngine::run_paced`].
+    step_budget_ns: Option<f64>,
     /// Reused per-step buffer for drained streamer signals.
     signal_scratch: Vec<DrainedSignal>,
     started: bool,
@@ -180,6 +185,7 @@ impl HybridEngine {
             staging: Vec::new(),
             has_incoming: Vec::new(),
             max_batch: DEFAULT_MAX_BATCH,
+            step_budget_ns: None,
             signal_scratch: Vec::new(),
             started: false,
         }
@@ -222,8 +228,11 @@ impl HybridEngine {
         compiled: CompiledSystem,
         config: EngineConfig,
     ) -> Result<Self, CoreError> {
-        let CompiledSystem { groups, controller, links, probes, cross_flows, .. } = compiled;
+        let CompiledSystem {
+            groups, controller, links, probes, cross_flows, step_budget_ns, ..
+        } = compiled;
         let mut engine = HybridEngine::new(controller, config);
+        engine.step_budget_ns = step_budget_ns;
         for net in groups {
             engine.add_group(net)?;
         }
@@ -529,8 +538,67 @@ impl HybridEngine {
         self.start_if_needed()?;
         match self.config.policy {
             ThreadPolicy::CurrentThread => self.run_local(t_end),
-            ThreadPolicy::DedicatedThreads => self.run_threaded(t_end),
+            ThreadPolicy::DedicatedThreads => self.run_threaded(t_end, None),
         }
+    }
+
+    /// The per-macro-step deadline budget the engine carries (from the
+    /// compiled system's declared budget), nanoseconds per macro step —
+    /// the default budget of [`HybridEngine::run_paced`].
+    pub fn step_budget_ns(&self) -> Option<f64> {
+        self.step_budget_ns
+    }
+
+    /// Hard real-time mode: runs until simulation time `t_end` with each
+    /// macro step *paced* against the wall clock and *measured* against a
+    /// deadline budget — the deployment discipline of the paper (a
+    /// controller is only correct if every cycle both releases on time
+    /// and finishes inside its budget).
+    ///
+    /// Pacing couples simulation time to the wall clock at
+    /// `config.rate` simulated seconds per wall second; the budget
+    /// resolves [`PacedConfig::with_budget_ns`] > the compiled system's
+    /// declared budget ([`HybridEngine::step_budget_ns`]) > the pacing
+    /// period. Overruns follow the configured
+    /// [`OverrunPolicy`](crate::pacer::OverrunPolicy). The loop itself is
+    /// allocation-free in steady state: pacing, budget accounting and the
+    /// latency histogram behind the returned [`PacedReport`] all run on
+    /// inline fixed-size storage, on top of the engine's recycled-buffer
+    /// step path.
+    ///
+    /// Under [`ThreadPolicy::DedicatedThreads`] pacing happens at the
+    /// batch barrier — the only rendezvous the threaded schedule has —
+    /// and a batch of `K` macro steps is measured as one cycle with the
+    /// batch budget attributed as `K ×` the step budget (the recorded
+    /// per-step sample is the batch time divided by `K`). Cap the batch
+    /// with [`HybridEngine::set_max_batch`] to bound release jitter:
+    /// `set_max_batch(1)` paces every macro step individually.
+    ///
+    /// Results are bit-identical to [`HybridEngine::run_until`] over the
+    /// same span — pacing only inserts waits between steps, it never
+    /// changes what a step computes.
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::DeadlineOverrun`] when an
+    /// [`OverrunPolicy::SafetyStop`](crate::pacer::OverrunPolicy::SafetyStop)
+    /// run exhausts its consecutive-miss tolerance, plus the usual
+    /// solver, runtime and thread failures.
+    pub fn run_paced(&mut self, t_end: f64, config: PacedConfig) -> Result<PacedReport, CoreError> {
+        self.start_if_needed()?;
+        let mut runner = PacedRunner::new(config, self.step_budget_ns, self.config.step);
+        let threaded =
+            matches!(self.config.policy, ThreadPolicy::DedicatedThreads) && !self.groups.is_empty();
+        if threaded {
+            self.run_threaded(t_end, Some(&mut runner))?;
+        } else {
+            for _ in 0..self.steps_until(t_end) {
+                runner.begin();
+                self.step_once()?;
+                runner.end(1, self.clock.seconds())?;
+            }
+        }
+        Ok(runner.finish())
     }
 
     /// One macro step on the calling thread (exposed for fine-grained
@@ -682,7 +750,17 @@ impl HybridEngine {
     /// Per-batch buffers (drained signals, probe samples) are recycled:
     /// each `Cmd::Step` carries the previous batch's vectors back to the
     /// worker, so the steady state allocates nothing.
-    fn run_threaded(&mut self, t_end: f64) -> Result<(), CoreError> {
+    ///
+    /// When `paced` is set ([`HybridEngine::run_paced`]), each batch is
+    /// bracketed by the runner at the batch barrier: the cycle starts
+    /// before capsule signals are flushed and ends once the batch's
+    /// results are merged, so the measured cycle covers exactly the work
+    /// the local path does for the same `K` steps.
+    fn run_threaded(
+        &mut self,
+        t_end: f64,
+        mut paced: Option<&mut PacedRunner>,
+    ) -> Result<(), CoreError> {
         let h = self.config.step;
         let n_groups = self.groups.len();
         if n_groups == 0 {
@@ -847,6 +925,9 @@ impl HybridEngine {
                 // coordinator (probe samples buffer with their own
                 // timestamps; channels synchronise on the inner barrier).
                 let k = if self.links.is_empty() { remaining.min(self.max_batch) } else { 1 };
+                if let Some(runner) = paced.as_deref_mut() {
+                    runner.begin();
+                }
                 // 1. Capsule -> streamer signals.
                 for link in &self.links {
                     while let Ok(msg) = link.from_capsule.try_recv() {
@@ -899,6 +980,12 @@ impl HybridEngine {
                 // links it already ran in step 3).
                 if !self.links.is_empty() {
                     self.controller.run_until(t_next)?;
+                }
+                if let Some(runner) = paced.as_deref_mut() {
+                    // Batch barrier pacing: K steps measured as one cycle,
+                    // budget attributed as K x the step budget. An early
+                    // SafetyStop return drops cmd_txs, so workers exit.
+                    runner.end(k, t_next)?;
                 }
                 remaining -= k;
             }
@@ -1457,5 +1544,94 @@ mod tests {
         );
         e.run_until(0.05).unwrap();
         assert!((e.time() - 0.05).abs() < 1e-9);
+    }
+
+    #[test]
+    fn run_paced_matches_run_until_bit_identically() {
+        use crate::pacer::PacedConfig;
+        // Pacing only inserts waits; at an extreme rate the waits vanish
+        // and the computed series must be bit-identical to a free run.
+        let free = {
+            let (mut e, rec) = cross_group_engine(ThreadPolicy::CurrentThread);
+            e.run_until(0.1).unwrap();
+            (rec.series("src"), rec.series("wit"))
+        };
+        for policy in [ThreadPolicy::CurrentThread, ThreadPolicy::DedicatedThreads] {
+            let (mut e, rec) = cross_group_engine(policy);
+            let report =
+                e.run_paced(0.1, PacedConfig::new().with_rate(1e9).with_budget_ns(1e12)).unwrap();
+            assert_eq!(report.steps, 10, "{policy}");
+            assert_eq!(report.misses, 0, "{policy}: generous budget never misses");
+            assert!(report.samples >= 1 && report.samples <= 10, "{policy}");
+            assert!(report.p50_ns <= report.p99_ns && report.p99_ns <= report.worst_ns.max(1.0));
+            for (name, a) in [("src", &free.0), ("wit", &free.1)] {
+                let b = rec.series(name);
+                assert_eq!(a.len(), b.len(), "{policy}/{name}");
+                for ((t1, v1), (t2, v2)) in a.iter().zip(&b) {
+                    assert_eq!(t1.to_bits(), t2.to_bits(), "{policy}/{name}: time");
+                    assert_eq!(v1.to_bits(), v2.to_bits(), "{policy}/{name}: value");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn run_paced_threaded_paces_at_batch_barriers() {
+        use crate::pacer::PacedConfig;
+        // Without SPort links the threaded scheduler batches; pacing then
+        // happens per batch and the report says so. With max_batch capped
+        // to 1 every macro step becomes its own cycle again.
+        let (net, _) = sine_net("p");
+        let mut e = HybridEngine::new(
+            empty_controller(),
+            EngineConfig { step: 0.01, policy: ThreadPolicy::DedicatedThreads },
+        );
+        e.add_group(net).unwrap();
+        let report = e.run_paced(0.1, PacedConfig::new().with_rate(1e9)).unwrap();
+        assert_eq!(report.steps, 10);
+        assert_eq!(report.samples, 1, "one 10-step batch");
+        assert!(report.batched);
+
+        let (net, _) = sine_net("p");
+        let mut e = HybridEngine::new(
+            empty_controller(),
+            EngineConfig { step: 0.01, policy: ThreadPolicy::DedicatedThreads },
+        );
+        e.add_group(net).unwrap();
+        e.set_max_batch(1);
+        let report = e.run_paced(0.1, PacedConfig::new().with_rate(1e9)).unwrap();
+        assert_eq!((report.steps, report.samples), (10, 10));
+        assert!(!report.batched);
+    }
+
+    #[test]
+    fn run_paced_with_no_groups_paces_the_event_loop() {
+        use crate::pacer::PacedConfig;
+        let mut e = HybridEngine::new(
+            empty_controller(),
+            EngineConfig { step: 0.01, policy: ThreadPolicy::DedicatedThreads },
+        );
+        let report = e.run_paced(0.05, PacedConfig::new().with_rate(1e9)).unwrap();
+        assert_eq!(report.steps, 5);
+        assert!((e.time() - 0.05).abs() < 1e-9);
+    }
+
+    #[cfg(feature = "timing-tests")]
+    #[test]
+    fn run_paced_actually_paces_against_the_wall_clock() {
+        use crate::pacer::PacedConfig;
+        // 10 steps of 10 ms sim at 10x real time = at least 10 ms of wall
+        // time; a free run finishes in microseconds.
+        let (net, _) = sine_net("p");
+        let mut e = HybridEngine::new(
+            empty_controller(),
+            EngineConfig { step: 0.01, policy: ThreadPolicy::CurrentThread },
+        );
+        e.add_group(net).unwrap();
+        let start = std::time::Instant::now();
+        let report = e.run_paced(0.1, PacedConfig::new().with_rate(10.0)).unwrap();
+        assert!(start.elapsed() >= std::time::Duration::from_millis(9), "paced to the clock");
+        assert_eq!(report.steps, 10);
+        assert_eq!(report.rate, 10.0);
     }
 }

@@ -245,6 +245,11 @@ pub struct EnsembleEngine {
     /// Empty while no recorder is attached.
     probe_series: Vec<Vec<SeriesHandle>>,
     recorder: Option<Recorder>,
+    /// Declared per-macro-step budget (ns) carried over from the
+    /// compiled system — the default budget of
+    /// [`EnsembleEngine::run_paced`]. The budget covers one macro step of
+    /// the whole ensemble: all `K` instances advance inside it.
+    step_budget_ns: Option<f64>,
     started: bool,
 }
 
@@ -461,6 +466,7 @@ impl EnsembleEngine {
             probes,
             probe_series: Vec::new(),
             recorder: None,
+            step_budget_ns: compiled.step_budget_ns(),
             started: false,
         })
     }
@@ -509,6 +515,7 @@ impl EnsembleEngine {
             probes: ensemble_probes,
             probe_series: Vec::new(),
             recorder: None,
+            step_budget_ns: None,
             started: false,
         })
     }
@@ -588,6 +595,50 @@ impl EnsembleEngine {
             }
             ThreadPolicy::DedicatedThreads => self.run_threaded(n),
         }
+    }
+
+    /// The per-macro-step deadline budget the ensemble carries (from the
+    /// compiled system's declared budget), nanoseconds per macro step.
+    pub fn step_budget_ns(&self) -> Option<f64> {
+        self.step_budget_ns
+    }
+
+    /// Hard real-time mode for ensembles: runs until `t_end` with each
+    /// macro step of the whole ensemble paced against the wall clock and
+    /// measured against the budget — the analogue of
+    /// [`HybridEngine::run_paced`](crate::engine::HybridEngine::run_paced),
+    /// with one cycle covering all `K` instances (hardware-in-the-loop
+    /// ensembles release every variant at the same instant).
+    ///
+    /// A paced ensemble always steps on the calling thread, regardless of
+    /// `config.policy`: the dedicated-thread schedule hands each worker a
+    /// whole segment with no per-step release points, so there is nothing
+    /// for a pacer to anchor to (and spawning threads per step would put
+    /// allocation back into the loop). Results are bit-identical either
+    /// way — the policy-equivalence anchor pins local and threaded
+    /// ensemble runs to the same series.
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::DeadlineOverrun`] when an
+    /// [`OverrunPolicy::SafetyStop`](crate::pacer::OverrunPolicy::SafetyStop)
+    /// run exhausts its consecutive-miss tolerance, plus the usual solver
+    /// failures.
+    pub fn run_paced(
+        &mut self,
+        t_end: f64,
+        config: crate::pacer::PacedConfig,
+    ) -> Result<crate::pacer::PacedReport, CoreError> {
+        self.start_if_needed()?;
+        let mut runner =
+            crate::pacer::PacedRunner::new(config, self.step_budget_ns, self.config.step);
+        let n = crate::time::steps_until(self.clock.seconds(), t_end, self.config.step);
+        for _ in 0..n {
+            runner.begin();
+            self.step_once()?;
+            runner.end(1, self.clock.seconds())?;
+        }
+        Ok(runner.finish())
     }
 
     /// One macro step of all `K` instances on the calling thread.
@@ -1239,6 +1290,40 @@ mod tests {
                     src[k - 1].1.to_bits(),
                     "instance {i}: one-step delay at {k}"
                 );
+            }
+        }
+    }
+
+    #[test]
+    fn ensemble_run_paced_matches_run_until() {
+        use crate::pacer::PacedConfig;
+        let compiled = compile(2.0, 1.0);
+        let free = {
+            let mut e =
+                EnsembleEngine::from_compiled(&compiled, 3, EngineConfig::default()).unwrap();
+            let rec = Recorder::new();
+            e.set_recorder(rec.clone());
+            e.run_until(0.05).unwrap();
+            rec
+        };
+        // Paced always steps locally, even under DedicatedThreads (no
+        // per-step release points in the segment-wise threaded schedule).
+        for policy in [ThreadPolicy::CurrentThread, ThreadPolicy::DedicatedThreads] {
+            let mut e =
+                EnsembleEngine::from_compiled(&compiled, 3, EngineConfig { step: 1e-3, policy })
+                    .unwrap();
+            assert_eq!(e.step_budget_ns(), None, "decay chain declares no budget");
+            let rec = Recorder::new();
+            e.set_recorder(rec.clone());
+            let report =
+                e.run_paced(0.05, PacedConfig::new().with_rate(1e9).with_budget_ns(1e12)).unwrap();
+            assert_eq!(report.steps, 50, "{policy}");
+            assert_eq!(report.samples, 50, "{policy}: per-step cycles, never batched");
+            assert_eq!(report.misses, 0, "{policy}");
+            assert!(!report.batched, "{policy}");
+            for i in 0..3 {
+                let name = EnsembleEngine::series_name("out", i);
+                bit_eq(&free.series(&name), &rec.series(&name), &name);
             }
         }
     }

@@ -49,6 +49,22 @@ pub enum CoreError {
         /// What went wrong.
         detail: String,
     },
+    /// A paced run under `OverrunPolicy::SafetyStop` exhausted its
+    /// tolerance for consecutive deadline misses — the runtime half of
+    /// the URT301 budget contract. Carries the miss report at the point
+    /// of abort.
+    DeadlineOverrun {
+        /// Macro step count when the run aborted.
+        step: u64,
+        /// Consecutive misses at the point of abort.
+        consecutive: u64,
+        /// The enforced budget, nanoseconds per macro step.
+        budget_ns: f64,
+        /// Worst observed per-step cycle time, nanoseconds.
+        worst_ns: f64,
+        /// Total deadline misses over the whole run.
+        misses: u64,
+    },
 }
 
 impl CoreError {
@@ -81,6 +97,7 @@ impl CoreError {
             CoreError::ThreadLost { .. } => "URT112",
             CoreError::DuplicateSportLink { .. } => "URT113",
             CoreError::Elaborate { .. } => "URT114",
+            CoreError::DeadlineOverrun { .. } => "URT115",
         }
     }
 }
@@ -108,6 +125,14 @@ impl fmt::Display for CoreError {
             }
             CoreError::Elaborate { detail } => {
                 write!(f, "{}: elaboration error: {detail}", self.code())
+            }
+            CoreError::DeadlineOverrun { step, consecutive, budget_ns, worst_ns, misses } => {
+                write!(
+                    f,
+                    "{}: deadline overrun at step {step}: {consecutive} consecutive misses \
+                     (budget {budget_ns} ns, worst {worst_ns} ns, {misses} total misses)",
+                    self.code()
+                )
             }
         }
     }
@@ -170,6 +195,17 @@ mod tests {
         let e = CoreError::Elaborate { detail: "x".into() };
         assert_eq!(e.code(), "URT114");
         assert!(e.to_string().starts_with("URT114: "));
+        let e = CoreError::DeadlineOverrun {
+            step: 42,
+            consecutive: 3,
+            budget_ns: 1e6,
+            worst_ns: 2.5e6,
+            misses: 7,
+        };
+        assert_eq!(e.code(), "URT115");
+        assert!(e.to_string().starts_with("URT115: "));
+        assert!(e.to_string().contains("step 42"));
+        assert!(e.to_string().contains("3 consecutive"));
     }
 
     #[test]

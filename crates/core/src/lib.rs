@@ -27,6 +27,10 @@
 //!   parameter-variants of one compiled system stepped in lockstep, with
 //!   routing and channel bookkeeping paid once per step instead of once
 //!   per instance.
+//! * [`pacer`] — hard real-time mode: wall-clock pacing, per-step
+//!   deadline budgets and overrun policies behind
+//!   [`engine::HybridEngine::run_paced`], the paced, deadline-enforced
+//!   run loop in the compiled path.
 //! * [`recorder`] — thread-safe signal recording for experiments.
 //!
 //! # Examples
@@ -88,6 +92,10 @@ pub use engine::{EngineConfig, HybridEngine};
 pub use ensemble::{EnsembleEngine, VariantSpec};
 pub use error::CoreError;
 pub use model::{ModelBuilder, UnifiedModel};
+pub use pacer::{
+    LatencyHistogram, OverrunPolicy, PacedConfig, PacedReport, RealTimePacer, StepBudget,
+    TimeSource, WallClock,
+};
 pub use recorder::{Recorder, SeriesHandle};
 pub use stereotype::Stereotype;
 pub use threading::ThreadPolicy;

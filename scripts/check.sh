@@ -60,9 +60,28 @@ esac
 echo "==> bench_engine --smoke (self-asserts batched and ensemble throughput)"
 bench_json="$(cargo run -q --release --offline -p urt-bench --bin bench_engine -- --smoke)"
 case "$bench_json" in
-    '{"schema":"bench_engine/v4","smoke":true,'*'"batch":'*'"steps_per_sec":'*'"ensemble":['*'"mode":"ensemble"'*'"mode":"independent"'*) ;;
+    '{"schema":"bench_engine/v5","smoke":true,'*'"batch":'*'"steps_per_sec":'*'"ensemble":['*'"mode":"ensemble"'*'"mode":"independent"'*) ;;
     *)
         echo "unexpected bench_engine --smoke output: $bench_json" >&2
+        exit 1
+        ;;
+esac
+
+echo "==> bench_engine --paced --smoke (paced latency axis, self-asserts misses == 0)"
+paced_json="$(cargo run -q --release --offline -p urt-bench --bin bench_engine -- --paced --smoke)"
+# Shape: the v5 paced array must carry the latency distribution fields.
+case "$paced_json" in
+    '{"schema":"bench_engine/v5","smoke":true,'*'"paced":['*'"p50_ns":'*'"p99_ns":'*'"worst_ns":'*'"misses":'*) ;;
+    *)
+        echo "unexpected bench_engine --paced --smoke output: $paced_json" >&2
+        exit 1
+        ;;
+esac
+# The binary exits non-zero on any miss; belt-and-braces, the JSON must
+# not report one either (the budget is generous by design).
+case "$paced_json" in
+    *'"misses":'[1-9]*)
+        echo "paced smoke run reported deadline misses: $paced_json" >&2
         exit 1
         ;;
 esac

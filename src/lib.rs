@@ -15,7 +15,11 @@
 //!   flows, relays, flow types.
 //! * [`blocks`] — a Simulink-like block library and diagram compiler.
 //! * [`core`] — the unified model, Table-1 stereotypes, `Time` clock,
-//!   thread assignment and the hybrid co-simulation engine.
+//!   thread assignment and the hybrid co-simulation engine — including
+//!   hard real-time mode ([`core::engine::HybridEngine::run_paced`]):
+//!   wall-clock-paced, deadline-enforced execution against the model's
+//!   declared budget, with `Record`/`CatchUp`/`SafetyStop` overrun
+//!   policies.
 //! * [`analysis`] — whole-model static analysis: every Table-1 rule plus
 //!   graph, state-machine and thread-plan lints, collected as structured
 //!   `URTxxx` diagnostics (the `urt-lint` binary fronts it) — and
