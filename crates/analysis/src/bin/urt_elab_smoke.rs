@@ -40,8 +40,8 @@ fn main() -> ExitCode {
         };
         let groups = compiled.group_count();
         let sport_links = compiled.sport_link_count();
-        let series: Vec<String> = compiled.probe_series().iter().map(|s| (*s).to_owned()).collect();
-        let mut engine = match HybridEngine::from_compiled(compiled, config) {
+        let series: Vec<String> = compiled.probe_series().map(str::to_owned).collect();
+        let mut engine = match HybridEngine::from_compiled(&compiled, config) {
             Ok(e) => e,
             Err(e) => {
                 eprintln!("urt-elab-smoke: `{name}` failed engine assembly: {e}");
@@ -60,19 +60,13 @@ fn main() -> ExitCode {
 
         // Ensemble smoke: the continuous half of every SPort-free model
         // must also run as a K-instance lockstep ensemble, with instance
-        // 0 bit-identical to the standalone run just taken.
+        // 0 bit-identical to the standalone run just taken. The *same*
+        // compiled artifact serves both runs — compile once,
+        // instantiate many.
         if sport_links > 0 {
             continue;
         }
-        let recompiled = match compile(&model, stubs::stub_registry(&model)) {
-            Ok(c) => c,
-            Err(e) => {
-                eprintln!("urt-elab-smoke: `{name}` refused to recompile: {e}");
-                failed = true;
-                continue;
-            }
-        };
-        let mut ensemble = match EnsembleEngine::from_compiled(&recompiled, ENSEMBLE_K, config) {
+        let mut ensemble = match EnsembleEngine::from_compiled(&compiled, ENSEMBLE_K, config) {
             Ok(e) => e,
             Err(e) => {
                 eprintln!("urt-elab-smoke: `{name}` failed ensemble assembly: {e}");

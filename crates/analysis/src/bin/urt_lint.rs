@@ -4,6 +4,7 @@
 //! urt-lint [--json] [MODEL...]       lint the named built-in models
 //! urt-lint --list                    list the built-in model names
 //! urt-lint --budget-report [MODEL..] static timing report (URT3xx)
+//! urt-lint --hash [MODEL...]         stable model content hashes
 //! ```
 //!
 //! With no model names, the whole clean catalogue is linted. The exit
@@ -17,10 +18,11 @@ use std::process::ExitCode;
 use urt_analysis::cost_pass::{budget_report, CostModel};
 use urt_analysis::{analyze, examples, render_json_report, severity_counts, Diagnostic};
 
-const USAGE: &str = "usage: urt-lint [--json] [--list] [--deny-warnings] [--codes PATTERNS] [--budget-report] [MODEL...]
+const USAGE: &str = "usage: urt-lint [--json] [--list] [--deny-warnings] [--codes PATTERNS] [--budget-report] [--hash] [MODEL...]
        --deny-warnings   exit non-zero on warning-severity findings too
        --codes PATTERNS  comma-separated code filters, e.g. URT3xx,URT207 (trailing `xx` = family)
        --budget-report   print the static timing report (worst-case cost vs. budget + URT304 plan)
+       --hash            print each model's stable content hash (the SystemCache compile key)
        models: built-in names (see --list), plus the seeded-* negative models";
 
 /// One `--codes` entry: either an exact code or a family prefix.
@@ -57,6 +59,7 @@ fn main() -> ExitCode {
     let mut list = false;
     let mut deny_warnings = false;
     let mut budget = false;
+    let mut hash = false;
     let mut patterns: Vec<CodePattern> = Vec::new();
     let mut names: Vec<String> = Vec::new();
     let mut args = std::env::args().skip(1);
@@ -66,6 +69,7 @@ fn main() -> ExitCode {
             "--list" => list = true,
             "--deny-warnings" => deny_warnings = true,
             "--budget-report" => budget = true,
+            "--hash" => hash = true,
             "--codes" => {
                 let Some(value) = args.next() else {
                     eprintln!("urt-lint: --codes needs a value\n{USAGE}");
@@ -101,6 +105,10 @@ fn main() -> ExitCode {
 
     if budget {
         return run_budget_report(&names, json);
+    }
+
+    if hash {
+        return run_hash_report(&names, json);
     }
 
     let mut fail = false;
@@ -182,6 +190,34 @@ fn run_budget_report(names: &[String], json: bool) -> ExitCode {
     }
 }
 
+/// `--hash`: prints each model's stable content hash — the exact value
+/// `urt_core::SystemCache` keys compilation on, so operators can check
+/// whether two model revisions would share a cache entry without
+/// compiling either. Hashes are deterministic across processes and
+/// platforms; any model edit changes the value.
+fn run_hash_report(names: &[String], json: bool) -> ExitCode {
+    let mut reports = Vec::new();
+    for name in names {
+        let Some(model) = examples::by_name(name) else {
+            eprintln!("urt-lint: unknown model `{name}` (try --list)");
+            return ExitCode::from(2);
+        };
+        let hash = model.content_hash();
+        if json {
+            reports.push(format!(
+                "{{\"model\":{},\"content_hash\":\"{hash:#018x}\"}}",
+                urt_analysis::diagnostic::json_string(model.name()),
+            ));
+        } else {
+            println!("{:#018x}  {}", hash, model.name());
+        }
+    }
+    if json {
+        println!("[{}]", reports.join(","));
+    }
+    ExitCode::SUCCESS
+}
+
 #[cfg(test)]
 mod tests {
     use super::{filter_codes, CodePattern};
@@ -204,6 +240,13 @@ mod tests {
     fn severity_markers_render() {
         use urt_analysis::Severity;
         assert_eq!(Severity::Error.to_string(), "error");
+    }
+
+    #[test]
+    fn hash_is_stable_per_model_and_distinct_across_models() {
+        let fig2 = examples::by_name("fig2").unwrap();
+        assert_eq!(fig2.content_hash(), examples::by_name("fig2").unwrap().content_hash());
+        assert_ne!(fig2.content_hash(), examples::by_name("fig3").unwrap().content_hash());
     }
 
     #[test]

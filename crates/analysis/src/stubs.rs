@@ -84,7 +84,7 @@ pub fn stub_registry(model: &UnifiedModel) -> BehaviorRegistry {
         let out_width: usize = model.streamer_out_dports(s).iter().map(|(_, ty)| ty.width()).sum();
         let feedthrough = model.streamer_feedthrough(s);
         let stub = StubStreamer::new(name, in_width, out_width, feedthrough);
-        registry = registry.streamer(name, move || Box::new(stub));
+        registry = registry.streamer(name, move || Box::new(stub.clone()));
     }
     registry
 }

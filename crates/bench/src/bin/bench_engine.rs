@@ -41,6 +41,14 @@
 //! its tail, not its mean, which is why this axis reports percentiles
 //! where the others report steps/sec.
 //!
+//! A fourth axis measures the **artifact/instance split**: stamping a
+//! live `SystemInstance` out of one compiled artifact
+//! (`CompiledSystem::instantiate`) versus paying the full
+//! declare → analyze → elaborate pipeline again, on the fig2 and chain
+//! workloads — the compile-once, instantiate-many dividend a simulation
+//! server collects per session. Full runs self-assert instantiate ≥ 5×
+//! re-elaboration; smoke runs assert it is at least not slower.
+//!
 //! Every run attaches a recorder probe so the measured loop is the same
 //! one real simulations pay for. Results are written as hand-rolled JSON
 //! (hermetic, no registry deps) to `results/BENCH_engine.json` — the
@@ -259,7 +267,7 @@ impl Workload {
                     registry = registry
                         .streamer(n1.clone(), move || {
                             Box::new(FnStreamer::new(
-                                n1,
+                                n1.clone(),
                                 0,
                                 1,
                                 |t: f64, _h, _u: &[f64], y: &mut [f64]| y[0] = (2.0 * t).sin(),
@@ -267,7 +275,7 @@ impl Workload {
                         })
                         .streamer(n2.clone(), move || {
                             Box::new(FnStreamer::new(
-                                n2,
+                                n2.clone(),
                                 1,
                                 1,
                                 |_t, _h, u: &[f64], y: &mut [f64]| y[0] = 2.0 * u[0],
@@ -275,7 +283,7 @@ impl Workload {
                         })
                         .streamer(n3.clone(), move || {
                             Box::new(FnStreamer::new(
-                                n3,
+                                n3.clone(),
                                 1,
                                 1,
                                 |_t, _h, u: &[f64], y: &mut [f64]| y[0] = u[0] * u[0],
@@ -424,7 +432,7 @@ fn compiled_engine(
     let (model, registry) = workload.model(groups);
     let compiled = urt_analysis::compile(&model, registry).expect("bench model compiles");
     assert_eq!(compiled.group_count(), groups, "thread pinning keeps groups apart");
-    let mut engine = HybridEngine::from_compiled(compiled, EngineConfig { step: STEP, policy })
+    let mut engine = HybridEngine::from_compiled(&compiled, EngineConfig { step: STEP, policy })
         .expect("engine from compiled system");
     let rec = Recorder::new();
     engine.set_recorder(rec.clone());
@@ -669,14 +677,71 @@ fn measure_ensemble(
     }
 }
 
+struct InstantiateMeasurement {
+    workload: &'static str,
+    groups: usize,
+    instantiate_iters: u64,
+    instantiate_ns: u128,
+    elaborate_iters: u64,
+    elaborate_ns: u128,
+    instantiate_per_sec: f64,
+    elaborate_per_sec: f64,
+    speedup: f64,
+}
+
+/// The artifact/instance axis: stamping a live `SystemInstance` out of an
+/// already-compiled artifact versus paying the full declare + analyze +
+/// elaborate pipeline again — the compile-once, instantiate-many dividend
+/// a simulation server collects per session. Same min-of-reps protocol as
+/// [`measure`]; iteration counts differ per path because re-elaboration
+/// is orders of magnitude dearer, and both figures normalise to per-sec.
+fn measure_instantiate(workload: Workload, groups: usize, smoke: bool) -> InstantiateMeasurement {
+    let (model, registry) = workload.model(groups);
+    let compiled = urt_analysis::compile(&model, registry).expect("bench model compiles");
+    let instantiate_iters: u64 = if smoke { 100 } else { 5_000 };
+    let elaborate_iters: u64 = if smoke { 10 } else { 200 };
+    let reps: u64 = if smoke { 5 } else { 25 };
+    let mut instantiate_ns = u128::MAX;
+    let mut elaborate_ns = u128::MAX;
+    for _ in 0..reps {
+        let start = Instant::now();
+        for _ in 0..instantiate_iters {
+            std::hint::black_box(compiled.instantiate().expect("instantiate"));
+        }
+        instantiate_ns = instantiate_ns.min(start.elapsed().as_nanos().max(1));
+        let start = Instant::now();
+        for _ in 0..elaborate_iters {
+            let (model, registry) = workload.model(groups);
+            std::hint::black_box(
+                urt_analysis::compile(&model, registry).expect("bench model recompiles"),
+            );
+        }
+        elaborate_ns = elaborate_ns.min(start.elapsed().as_nanos().max(1));
+    }
+    let instantiate_per_sec = instantiate_iters as f64 / (instantiate_ns as f64 / 1e9);
+    let elaborate_per_sec = elaborate_iters as f64 / (elaborate_ns as f64 / 1e9);
+    InstantiateMeasurement {
+        workload: workload.name(),
+        groups,
+        instantiate_iters,
+        instantiate_ns,
+        elaborate_iters,
+        elaborate_ns,
+        instantiate_per_sec,
+        elaborate_per_sec,
+        speedup: instantiate_per_sec / elaborate_per_sec,
+    }
+}
+
 fn render_json(
     results: &[Measurement],
     ensemble: &[EnsembleMeasurement],
+    instantiate: &[InstantiateMeasurement],
     paced: &[PacedMeasurement],
     smoke: bool,
 ) -> String {
     let mut s = String::new();
-    let _ = write!(s, "{{\"schema\":\"bench_engine/v5\",\"smoke\":{smoke},\"step_s\":{STEP}");
+    let _ = write!(s, "{{\"schema\":\"bench_engine/v6\",\"smoke\":{smoke},\"step_s\":{STEP}");
     let _ = write!(s, ",\"results\":[");
     for (i, m) in results.iter().enumerate() {
         if i > 0 {
@@ -699,6 +764,27 @@ fn render_json(
             "{{\"workload\":\"{}\",\"mode\":\"{}\",\"k\":{},\"steps\":{},\
              \"wall_ns\":{},\"steps_per_sec\":{:.1}}}",
             m.workload, m.mode, m.k, m.steps, m.wall_ns, m.steps_per_sec
+        );
+    }
+    s.push_str("],\"instantiate\":[");
+    for (i, m) in instantiate.iter().enumerate() {
+        if i > 0 {
+            s.push(',');
+        }
+        let _ = write!(
+            s,
+            "{{\"workload\":\"{}\",\"groups\":{},\"instantiate_iters\":{},\
+             \"instantiate_ns\":{},\"elaborate_iters\":{},\"elaborate_ns\":{},\
+             \"instantiate_per_sec\":{:.1},\"elaborate_per_sec\":{:.1},\"speedup\":{:.2}}}",
+            m.workload,
+            m.groups,
+            m.instantiate_iters,
+            m.instantiate_ns,
+            m.elaborate_iters,
+            m.elaborate_ns,
+            m.instantiate_per_sec,
+            m.elaborate_per_sec,
+            m.speedup
         );
     }
     s.push_str("],\"paced\":[");
@@ -835,6 +921,17 @@ fn main() {
         }
     }
 
+    // Artifact/instance axis: fig2 (pure dataflow) and chain (budgeted,
+    // cross-group) at 1 and 2 groups — the workloads whose compiled
+    // models exercise the full artifact surface (probes, budgets,
+    // channels).
+    let mut instantiate_results = Vec::new();
+    for workload in [Workload::Fig2, Workload::Chain] {
+        for groups in [1usize, 2] {
+            instantiate_results.push(measure_instantiate(workload, groups, smoke));
+        }
+    }
+
     // Paced latency axis (opt-in: each configuration runs in real — or
     // smoke-accelerated — time, so it costs wall-clock seconds by
     // design). fig2 exercises the pure-dataflow hot path, chain the
@@ -897,7 +994,24 @@ fn main() {
         }
     }
 
-    let json = render_json(&results, &ensemble_results, &paced_results, smoke);
+    // Self-assertion 3: stamping an instance out of an existing artifact
+    // must beat a full re-elaboration — generously in full runs (the 5×
+    // floor the compile cache is justified by), merely not-slower in
+    // smoke where both loops run a handful of iterations.
+    for m in &instantiate_results {
+        let floor = if smoke { 1.0 } else { 5.0 };
+        if m.speedup < floor {
+            eprintln!(
+                "bench_engine: instantiate is not ≥{floor}× faster than re-elaboration on \
+                 {}/{}g ({:.0}/s vs {:.0}/s) — the artifact/instance split regressed",
+                m.workload, m.groups, m.instantiate_per_sec, m.elaborate_per_sec
+            );
+            std::process::exit(1);
+        }
+    }
+
+    let json =
+        render_json(&results, &ensemble_results, &instantiate_results, &paced_results, smoke);
     if smoke && out.is_none() {
         // Smoke mode is the CI shape check: JSON is the whole stdout.
         println!("{json}");
@@ -929,6 +1043,17 @@ fn main() {
             m.steps,
             m.steps_per_sec,
             m.steps_per_sec * m.k as f64
+        );
+    }
+    println!();
+    println!("artifact/instance split (instantiate an existing artifact vs full re-elaboration)");
+    println!();
+    println!("| workload | groups | instantiate/sec | elaborate/sec | speedup |");
+    println!("|----------|--------|-----------------|---------------|---------|");
+    for m in &instantiate_results {
+        println!(
+            "| {} | {} | {:.0} | {:.0} | {:.1}x |",
+            m.workload, m.groups, m.instantiate_per_sec, m.elaborate_per_sec, m.speedup
         );
     }
     if !paced_results.is_empty() {

@@ -72,7 +72,7 @@ fn main() {
     assert!(compiled.streamer_node("top").is_none(), "containers contribute no nodes");
 
     let mut engine = HybridEngine::from_compiled(
-        compiled,
+        &compiled,
         EngineConfig { step: 0.01, policy: ThreadPolicy::CurrentThread },
     )
     .expect("engine");

@@ -89,7 +89,7 @@ fn main() {
         compiled.capsule_index("sub_capsule").expect("sub")
     );
     let mut engine = HybridEngine::from_compiled(
-        compiled,
+        &compiled,
         EngineConfig { step: 0.01, policy: ThreadPolicy::CurrentThread },
     )
     .expect("engine");

@@ -1,5 +1,6 @@
 //! Elaboration: lowering a declarative [`UnifiedModel`] into an
-//! executable [`CompiledSystem`].
+//! executable [`CompiledSystem`] artifact, and instantiating that
+//! artifact into live [`SystemInstance`]s.
 //!
 //! The paper's point is *one* model covering both the event-driven and
 //! the time-continuous half. This module closes the gap between the
@@ -9,7 +10,17 @@
 //! link and probe **once**, at compile time, into dense integer ids, so
 //! the engine's hot path never compares strings or hashes keys.
 //!
-//! The pipeline is `model → analyze → compile → run`:
+//! Since the artifact/instance split, elaboration output is a **pure
+//! plan**: lowered per-group topology tables, cross-flow specs, resolved
+//! probe/link tables, budgets, and the behaviour *factories* from the
+//! [`BehaviorRegistry`] — no live solver or capsule state. A stable
+//! content hash (canonical model rendering + registry shape, see
+//! [`crate::cache`]) identifies the artifact, so one `compile()` can be
+//! memoized and shared ([`SystemCache`](crate::cache::SystemCache)) while
+//! [`CompiledSystem::instantiate`] stamps out as many independent live
+//! systems as needed — each one bit-identical to a fresh elaboration.
+//!
+//! The pipeline is `model → analyze → compile → instantiate → run`:
 //!
 //! 1. an injected [analysis gate](AnalysisGate) vets the model —
 //!    `urt_analysis::compile` passes the full whole-model analyzer here
@@ -20,26 +31,29 @@
 //!    ([`UnifiedModel::validate`]);
 //! 3. the streamer hierarchy is **flattened**: container streamers
 //!    (those owning sub-streamers, Figure 2) contribute no nodes, their
-//!    leaves become nodes of a flat [`StreamerNetwork`] per declared
+//!    leaves become node plans of a flat [`StreamerNetwork`] per declared
 //!    solver thread, and capsule relay DPort chains (Figure 3) are
 //!    resolved to direct leaf-to-leaf flows; flows whose endpoints sit on
 //!    *different* declared threads are lowered into cross-group channel
 //!    entries (double-buffered, one-macro-step delay) instead of forcing
 //!    the threads to merge;
 //! 4. behaviours come from a [`BehaviorRegistry`] (streamer name →
-//!    [`StreamerBehavior`] factory, capsule name → [`Capsule`] factory),
-//!    cross-checked against the declared DPort widths and feedthrough
-//!    flag;
+//!    [`StreamerBehavior`] factory, capsule name → [`Capsule`] factory);
+//!    elaboration performs one validation instantiation, cross-checking
+//!    every behaviour against the declared DPort widths and feedthrough
+//!    flag, so a successfully elaborated artifact instantiates cleanly;
 //! 5. SPort links and probes are resolved to `(group, node)` pairs, with
 //!    the same duplicate-link rule the engine enforces
 //!    ([`CoreError::DuplicateSportLink`]).
 //!
 //! The result plugs into the engine via
-//! [`HybridEngine::from_compiled`](crate::engine::HybridEngine::from_compiled).
+//! [`HybridEngine::from_compiled`](crate::engine::HybridEngine::from_compiled),
+//! which borrows the artifact and instantiates it.
 
 use crate::error::CoreError;
 use crate::model::{FlowEnd, Owner, StreamerRef, UnifiedModel};
 use std::collections::{BTreeMap, BTreeSet, HashMap, HashSet};
+use std::fmt;
 use urt_dataflow::flowtype::FlowType;
 use urt_dataflow::graph::{NodeId, StreamerNetwork};
 use urt_dataflow::port::SPortSpec;
@@ -51,13 +65,18 @@ use urt_umlrt::protocol::Protocol;
 use urt_umlrt::statemachine::{SmSpec, StateMachineBuilder};
 
 /// Factory producing the executable behaviour of one model streamer.
-pub type StreamerFactory = Box<dyn FnOnce() -> Box<dyn StreamerBehavior>>;
+///
+/// `Fn` (not `FnOnce`): the artifact keeps the factory and re-invokes it
+/// for every [`CompiledSystem::instantiate`] call and every ensemble
+/// replica. `Send + Sync` so a compiled artifact can be shared across
+/// threads behind an `Arc` (the compile cache's whole point).
+pub type StreamerFactory = Box<dyn Fn() -> Box<dyn StreamerBehavior> + Send + Sync>;
 
 /// Factory producing the executable instance of one model capsule.
-pub type CapsuleFactory = Box<dyn FnOnce() -> Box<dyn Capsule>>;
+pub type CapsuleFactory = Box<dyn Fn() -> Box<dyn Capsule> + Send + Sync>;
 
-/// Maps model element names to the executable behaviours elaboration
-/// instantiates for them.
+/// Maps model element names to the executable behaviours instantiation
+/// produces for them.
 ///
 /// Every **leaf** streamer in the model needs a registered factory.
 /// Capsules fall back to an inert instance compiled from the model's
@@ -85,11 +104,13 @@ impl BehaviorRegistry {
     }
 
     /// Registers the behaviour factory for streamer `name`
-    /// (builder style).
+    /// (builder style). The factory is retained by the compiled artifact
+    /// and re-invoked on every instantiation, so it must be `Fn` and
+    /// clone (not move out) any captured prototype.
     pub fn streamer(
         mut self,
         name: impl Into<String>,
-        factory: impl FnOnce() -> Box<dyn StreamerBehavior> + 'static,
+        factory: impl Fn() -> Box<dyn StreamerBehavior> + Send + Sync + 'static,
     ) -> Self {
         self.streamers.insert(name.into(), Box::new(factory));
         self
@@ -99,7 +120,7 @@ impl BehaviorRegistry {
     pub fn capsule(
         mut self,
         name: impl Into<String>,
-        factory: impl FnOnce() -> Box<dyn Capsule> + 'static,
+        factory: impl Fn() -> Box<dyn Capsule> + Send + Sync + 'static,
     ) -> Self {
         self.capsules.insert(name.into(), Box::new(factory));
         self
@@ -157,31 +178,97 @@ pub(crate) struct CrossGroupFlow {
     pub(crate) to_port: String,
 }
 
-/// The executable form of a [`UnifiedModel`]: flat per-group streamer
-/// networks, an instantiated capsule controller, and fully resolved link
-/// and probe tables.
+/// One node of a group plan: the model streamer it realises, the declared
+/// feedthrough/DPorts to cross-check the behaviour against, and its
+/// resolved SPorts. Replayed in insertion order by
+/// [`CompiledSystem::instantiate`], which reproduces the artifact's dense
+/// [`NodeId`] assignment exactly.
+#[derive(Debug, Clone)]
+struct NodeSpec {
+    streamer: String,
+    feedthrough: bool,
+    in_ports: Vec<(String, FlowType)>,
+    out_ports: Vec<(String, FlowType)>,
+    sports: Vec<SPortSpec>,
+}
+
+/// One wiring operation of a group plan. Replayed in declaration order so
+/// instantiation reproduces the exact export-lane layout the cross-flow
+/// table was resolved against.
+#[derive(Debug, Clone)]
+enum WireOp {
+    Flow { from: NodeId, from_port: String, to: NodeId, to_port: String },
+    Export { node: NodeId, port: String },
+}
+
+/// The plan of one solver-thread group: nodes in [`NodeId`] order plus
+/// wiring in declaration order.
+#[derive(Debug, Clone)]
+struct GroupSpec {
+    name: String,
+    nodes: Vec<NodeSpec>,
+    wiring: Vec<WireOp>,
+}
+
+/// How one model capsule is realised at instantiation time, in controller
+/// insertion order.
+#[derive(Debug, Clone)]
+enum CapsuleSpec {
+    /// A registered factory provides the executable capsule.
+    Registered(String),
+    /// No factory: an inert machine compiled from the model's [`SmSpec`].
+    Machine(SmSpec),
+    /// Neither factory nor machine: a stateless placeholder.
+    Inert(String),
+}
+
+/// The compiled form of a [`UnifiedModel`]: an **immutable artifact** —
+/// per-group topology plans, cross-flow/link/probe tables, budgets and
+/// the behaviour factories — identified by a stable content hash.
 ///
-/// Consume with
-/// [`HybridEngine::from_compiled`](crate::engine::HybridEngine::from_compiled);
-/// query element locations first if the caller needs them afterwards
-/// (e.g. [`CompiledSystem::capsule_index`] to read a capsule's state
-/// after the run).
-#[derive(Debug)]
+/// The artifact holds no live state. [`CompiledSystem::instantiate`]
+/// stamps out a fresh [`SystemInstance`] (solver networks + capsule
+/// controller) on every call, each bit-identical to an independent
+/// elaboration of the same model;
+/// [`HybridEngine::from_compiled`](crate::engine::HybridEngine::from_compiled)
+/// and
+/// [`EnsembleEngine::from_compiled`](crate::ensemble::EnsembleEngine::from_compiled)
+/// borrow the artifact, so one compile (possibly shared through
+/// [`SystemCache`](crate::cache::SystemCache)) serves any number of
+/// engines.
 pub struct CompiledSystem {
-    pub(crate) groups: Vec<StreamerNetwork>,
-    pub(crate) controller: Controller,
+    model_name: String,
+    group_specs: Vec<GroupSpec>,
+    capsule_specs: Vec<CapsuleSpec>,
+    streamer_factories: HashMap<String, StreamerFactory>,
+    capsule_factories: HashMap<String, CapsuleFactory>,
     pub(crate) links: Vec<CompiledLink>,
     pub(crate) probes: Vec<CompiledProbe>,
     pub(crate) cross_flows: Vec<CrossGroupFlow>,
     pub(crate) streamer_loc: BTreeMap<String, (usize, NodeId)>,
     pub(crate) capsule_idx: BTreeMap<String, usize>,
     pub(crate) step_budget_ns: Option<f64>,
+    content_hash: u64,
+}
+
+impl fmt::Debug for CompiledSystem {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("CompiledSystem")
+            .field("model", &self.model_name)
+            .field("groups", &self.group_specs.len())
+            .field("capsules", &self.capsule_specs.len())
+            .field("links", &self.links.len())
+            .field("probes", &self.probes.len())
+            .field("cross_flows", &self.cross_flows.len())
+            .field("content_hash", &format_args!("{:#018x}", self.content_hash))
+            .finish()
+    }
 }
 
 impl CompiledSystem {
     /// Number of streamer groups (one per declared solver thread).
     pub fn group_count(&self) -> usize {
-        self.groups.len()
+        self.group_specs.len()
     }
 
     /// Number of flows lowered into cross-group channels (each carries a
@@ -203,19 +290,17 @@ impl CompiledSystem {
         self.streamer_loc.get(name).copied()
     }
 
-    /// Controller index of a capsule, for state queries after the run.
+    /// Controller index of a capsule, for state queries after the run
+    /// (via [`HybridEngine::controller`](crate::engine::HybridEngine::controller)
+    /// on the instantiated engine).
     pub fn capsule_index(&self, name: &str) -> Option<usize> {
         self.capsule_idx.get(name).copied()
     }
 
-    /// Read access to the instantiated controller.
-    pub fn controller(&self) -> &Controller {
-        &self.controller
-    }
-
-    /// Series names of all resolved probes, in declaration order.
-    pub fn probe_series(&self) -> Vec<&str> {
-        self.probes.iter().map(|p| p.series.as_str()).collect()
+    /// Series names of all resolved probes, in declaration order —
+    /// borrowed straight from the probe table, no per-call allocation.
+    pub fn probe_series(&self) -> impl Iterator<Item = &str> + '_ {
+        self.probes.iter().map(|p| p.series.as_str())
     }
 
     /// The model-wide per-macro-step deadline budget
@@ -230,10 +315,157 @@ impl CompiledSystem {
     pub fn step_budget_ns(&self) -> Option<f64> {
         self.step_budget_ns
     }
+
+    /// The artifact's stable content hash: FNV-1a 64 over the model's
+    /// canonical rendering folded with the registry shape (sorted
+    /// streamer and capsule factory names). Equal hashes mean the same
+    /// model compiled against the same set of behaviour bindings — the
+    /// compile cache's identity. The model-only component is
+    /// [`UnifiedModel::content_hash`].
+    pub fn content_hash(&self) -> u64 {
+        self.content_hash
+    }
+
+    /// Invokes the registered factory for the streamer realised at
+    /// `(group, node)`, yielding one pristine behaviour — the ensemble
+    /// engine's replication path (K replicas = K invocations).
+    pub(crate) fn behavior_for(
+        &self,
+        group: usize,
+        node: NodeId,
+    ) -> Option<Box<dyn StreamerBehavior>> {
+        let spec = self.group_specs.get(group)?.nodes.get(node.index())?;
+        Some(self.streamer_factories.get(&spec.streamer)?())
+    }
+
+    /// Stamps out one live [`SystemInstance`]: invokes every behaviour
+    /// factory fresh, replays the group plans into [`StreamerNetwork`]s
+    /// (reproducing the artifact's dense node ids and export-lane
+    /// layout), and builds the capsule [`Controller`].
+    ///
+    /// Two instances of one artifact are fully independent — no shared
+    /// mutable state — and run bit-identically.
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::Elaborate`] if a factory-produced behaviour disagrees
+    /// with the declared DPort widths or feedthrough flag, plus wiring
+    /// errors from the dataflow layer. [`elaborate`] performs one
+    /// validation instantiation, so a successfully compiled artifact
+    /// does not fail here.
+    pub fn instantiate(&self) -> Result<SystemInstance, CoreError> {
+        let mut groups = Vec::with_capacity(self.group_specs.len());
+        for spec in &self.group_specs {
+            let mut net = StreamerNetwork::new(spec.name.clone());
+            for node in &spec.nodes {
+                let Some(factory) = self.streamer_factories.get(&node.streamer) else {
+                    return Err(elaborate_err(format!(
+                        "no behaviour registered for streamer `{}`",
+                        node.streamer
+                    )));
+                };
+                let behavior = factory();
+                let in_width: usize = node.in_ports.iter().map(|(_, t)| t.width()).sum();
+                let out_width: usize = node.out_ports.iter().map(|(_, t)| t.width()).sum();
+                if behavior.input_width() != in_width || behavior.output_width() != out_width {
+                    return Err(elaborate_err(format!(
+                        "streamer `{}`: declared DPort widths {in_width}->{out_width} but \
+                         behaviour `{}` computes {}->{}",
+                        node.streamer,
+                        behavior.name(),
+                        behavior.input_width(),
+                        behavior.output_width()
+                    )));
+                }
+                if behavior.direct_feedthrough() != node.feedthrough {
+                    return Err(elaborate_err(format!(
+                        "streamer `{}`: model declares feedthrough={} but behaviour `{}` \
+                         reports {}",
+                        node.streamer,
+                        node.feedthrough,
+                        behavior.name(),
+                        behavior.direct_feedthrough()
+                    )));
+                }
+                let in_ports: Vec<(&str, FlowType)> =
+                    node.in_ports.iter().map(|(n, t)| (n.as_str(), t.clone())).collect();
+                let out_ports: Vec<(&str, FlowType)> =
+                    node.out_ports.iter().map(|(n, t)| (n.as_str(), t.clone())).collect();
+                let id = net.add_streamer_boxed(behavior, &in_ports, &out_ports)?;
+                for sport in &node.sports {
+                    net.add_sport(id, sport.clone())?;
+                }
+            }
+            for op in &spec.wiring {
+                match op {
+                    WireOp::Flow { from, from_port, to, to_port } => {
+                        net.flow((*from, from_port.as_str()), (*to, to_port.as_str()))?;
+                    }
+                    WireOp::Export { node, port } => {
+                        net.export_input(*node, port)?;
+                    }
+                }
+            }
+            groups.push(net);
+        }
+        let mut controller = Controller::new(self.model_name.as_str());
+        for cap in &self.capsule_specs {
+            let instance: Box<dyn Capsule> = match cap {
+                CapsuleSpec::Registered(name) => match self.capsule_factories.get(name) {
+                    Some(factory) => factory(),
+                    None => {
+                        return Err(elaborate_err(format!(
+                            "no factory registered for capsule `{name}`"
+                        )))
+                    }
+                },
+                CapsuleSpec::Machine(spec) => inert_machine(spec)?,
+                CapsuleSpec::Inert(name) => Box::new(InertCapsule { name: name.clone() }),
+            };
+            controller.add_capsule(instance);
+        }
+        Ok(SystemInstance { groups, controller })
+    }
+}
+
+/// One live realisation of a [`CompiledSystem`]: freshly instantiated
+/// behaviours wired into per-group [`StreamerNetwork`]s plus an
+/// instantiated capsule [`Controller`]. Produced by
+/// [`CompiledSystem::instantiate`]; consumed by
+/// [`HybridEngine::from_compiled`](crate::engine::HybridEngine::from_compiled)
+/// — or taken apart with [`SystemInstance::into_parts`] for hand
+/// deployment.
+pub struct SystemInstance {
+    pub(crate) groups: Vec<StreamerNetwork>,
+    pub(crate) controller: Controller,
+}
+
+impl SystemInstance {
+    /// Number of instantiated streamer groups.
+    pub fn group_count(&self) -> usize {
+        self.groups.len()
+    }
+
+    /// Read access to the instantiated controller.
+    pub fn controller(&self) -> &Controller {
+        &self.controller
+    }
+
+    /// Decomposes the instance into its solver networks (in group order)
+    /// and controller, for manual engine assembly.
+    pub fn into_parts(self) -> (Vec<StreamerNetwork>, Controller) {
+        (self.groups, self.controller)
+    }
+}
+
+impl fmt::Debug for SystemInstance {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("SystemInstance").field("groups", &self.groups.len()).finish()
+    }
 }
 
 /// A capsule with no behaviour: accepts every message, does nothing.
-/// Elaboration instantiates it for model capsules that have neither a
+/// Instantiation produces it for model capsules that have neither a
 /// registered factory nor an attached state machine (pure structural
 /// capsules, e.g. Figure 3's containment shells).
 struct InertCapsule {
@@ -319,8 +551,11 @@ fn elaborate_err(detail: String) -> CoreError {
     CoreError::Elaborate { detail }
 }
 
-/// Lowers `model` into a [`CompiledSystem`] using `registry` for
-/// behaviours, after `gate` (the injected analysis stage) accepts it.
+/// Lowers `model` into a [`CompiledSystem`] artifact using `registry`
+/// for behaviours, after `gate` (the injected analysis stage) accepts
+/// it. Ends with one validation instantiation, so every behaviour is
+/// cross-checked against its declaration at compile time and
+/// [`CompiledSystem::instantiate`] cannot fail afterwards.
 ///
 /// See the [module docs](self) for the flattening and id-assignment
 /// rules.
@@ -343,7 +578,28 @@ pub fn elaborate(
 ) -> Result<CompiledSystem, CoreError> {
     gate(model)?;
     model.validate()?;
-    let BehaviorRegistry { mut streamers, mut capsules } = registry;
+
+    // --- content hash: canonical model + registry shape ----------------
+    // The model component hashes the canonical (derived Debug) rendering
+    // — every model collection is a Vec in declaration order, so the
+    // rendering is deterministic. The registry component folds in the
+    // sorted factory names: same model, different bindings => different
+    // artifact identity.
+    let mut hasher = crate::cache::Fnv1a::new();
+    hasher.update(format!("{model:?}").as_bytes());
+    let mut streamer_names: Vec<&str> = registry.streamers.keys().map(String::as_str).collect();
+    streamer_names.sort_unstable();
+    for name in streamer_names {
+        hasher.update(b"\0streamer\0");
+        hasher.update(name.as_bytes());
+    }
+    let mut capsule_names: Vec<&str> = registry.capsules.keys().map(String::as_str).collect();
+    capsule_names.sort_unstable();
+    for name in capsule_names {
+        hasher.update(b"\0capsule\0");
+        hasher.update(name.as_bytes());
+    }
+    let content_hash = hasher.finish();
 
     // --- hierarchy: container streamers contribute no nodes ------------
     let refs: Vec<(StreamerRef, String)> =
@@ -440,55 +696,54 @@ pub fn elaborate(
     let roots: Vec<usize> =
         leaves.iter().map(|r| group_of_thread[&model.streamer_thread(*r)]).collect();
     // A pure event-driven model (no leaf streamers) gets zero groups.
-    let mut groups: Vec<StreamerNetwork> = group_of_thread
+    let mut group_specs: Vec<GroupSpec> = group_of_thread
         .keys()
-        .map(|tid| StreamerNetwork::new(format!("{}-t{tid}", model.name())))
+        .map(|tid| GroupSpec {
+            name: format!("{}-t{tid}", model.name()),
+            nodes: Vec::new(),
+            wiring: Vec::new(),
+        })
         .collect();
 
-    // --- instantiate leaf streamers ------------------------------------
+    // --- plan leaf streamers -------------------------------------------
+    // Node ids are positional: instantiation replays the node list in
+    // order, so `NodeId::from_index(position)` is exactly the id
+    // `StreamerNetwork::add_streamer_boxed` will assign.
     let mut streamer_loc: BTreeMap<String, (usize, NodeId)> = BTreeMap::new();
     let mut loc_of: HashMap<StreamerRef, (usize, NodeId)> = HashMap::new();
     for (r, gid) in leaves.iter().zip(roots.iter()) {
         let name = name_of(*r);
-        let Some(factory) = streamers.remove(name) else {
+        if !registry.streamers.contains_key(name) {
             return Err(elaborate_err(format!("no behaviour registered for streamer `{name}`")));
-        };
-        let behavior = factory();
-        let in_ports: Vec<(&str, FlowType)> =
-            model.streamer_in_dports(*r).iter().map(|(n, t)| (n.as_str(), t.clone())).collect();
-        let out_ports: Vec<(&str, FlowType)> =
-            model.streamer_out_dports(*r).iter().map(|(n, t)| (n.as_str(), t.clone())).collect();
-        let in_width: usize = in_ports.iter().map(|(_, t)| t.width()).sum();
-        let out_width: usize = out_ports.iter().map(|(_, t)| t.width()).sum();
-        if behavior.input_width() != in_width || behavior.output_width() != out_width {
-            return Err(elaborate_err(format!(
-                "streamer `{name}`: declared DPort widths {in_width}->{out_width} but behaviour \
-                 `{}` computes {}->{}",
-                behavior.name(),
-                behavior.input_width(),
-                behavior.output_width()
-            )));
         }
-        if behavior.direct_feedthrough() != model.streamer_feedthrough(*r) {
-            return Err(elaborate_err(format!(
-                "streamer `{name}`: model declares feedthrough={} but behaviour `{}` reports {}",
-                model.streamer_feedthrough(*r),
-                behavior.name(),
-                behavior.direct_feedthrough()
-            )));
-        }
-        let net = &mut groups[*gid];
-        let node = net.add_streamer_boxed(behavior, &in_ports, &out_ports)?;
+        let mut sports = Vec::new();
         for (sport, proto) in model.streamer_sports(*r) {
             let protocol =
                 model.protocol(proto).cloned().unwrap_or_else(|| Protocol::new(proto.clone()));
-            net.add_sport(node, SPortSpec::new(sport.clone(), protocol))?;
+            sports.push(SPortSpec::new(sport.clone(), protocol));
         }
+        let spec = &mut group_specs[*gid];
+        let node = NodeId::from_index(spec.nodes.len());
+        spec.nodes.push(NodeSpec {
+            streamer: name.to_owned(),
+            feedthrough: model.streamer_feedthrough(*r),
+            in_ports: model
+                .streamer_in_dports(*r)
+                .iter()
+                .map(|(n, t)| (n.clone(), t.clone()))
+                .collect(),
+            out_ports: model
+                .streamer_out_dports(*r)
+                .iter()
+                .map(|(n, t)| (n.clone(), t.clone()))
+                .collect(),
+            sports,
+        });
         streamer_loc.insert(name.to_owned(), (*gid, node));
         loc_of.insert(*r, (*gid, node));
     }
 
-    // --- wire effective flows ------------------------------------------
+    // --- plan effective flows ------------------------------------------
     // Same-group flows become in-network edges (zero-delay, ordered by
     // the network's topological schedule). Cross-group flows become
     // channel table entries: the consumer input is exported (so the
@@ -500,9 +755,14 @@ pub fn elaborate(
         let (gf, nf) = loc_of[&f.from];
         let (gt, nt) = loc_of[&f.to];
         if gf == gt {
-            groups[gf].flow((nf, f.from_port.as_str()), (nt, f.to_port.as_str()))?;
+            group_specs[gf].wiring.push(WireOp::Flow {
+                from: nf,
+                from_port: f.from_port.clone(),
+                to: nt,
+                to_port: f.to_port.clone(),
+            });
         } else {
-            groups[gt].export_input(nt, &f.to_port)?;
+            group_specs[gt].wiring.push(WireOp::Export { node: nt, port: f.to_port.clone() });
             cross_flows.push(CrossGroupFlow {
                 from_group: gf,
                 from_node: nf,
@@ -514,19 +774,21 @@ pub fn elaborate(
         }
     }
 
-    // --- instantiate capsules ------------------------------------------
-    let mut controller = Controller::new(model.name());
+    // --- plan capsules --------------------------------------------------
+    let mut capsule_specs: Vec<CapsuleSpec> = Vec::new();
     let mut capsule_idx: BTreeMap<String, usize> = BTreeMap::new();
     let mut cap_of: HashMap<crate::model::CapsuleRef, usize> = HashMap::new();
     for (c, name) in model.iter_capsules() {
-        let instance: Box<dyn Capsule> = match capsules.remove(name) {
-            Some(factory) => factory(),
-            None => match model.capsule_machine(c) {
-                Some(spec) => inert_machine(spec)?,
-                None => Box::new(InertCapsule { name: name.to_owned() }),
-            },
+        let spec = if registry.capsules.contains_key(name) {
+            CapsuleSpec::Registered(name.to_owned())
+        } else {
+            match model.capsule_machine(c) {
+                Some(sm) => CapsuleSpec::Machine(sm.clone()),
+                None => CapsuleSpec::Inert(name.to_owned()),
+            }
         };
-        let idx = controller.add_capsule(instance);
+        let idx = capsule_specs.len();
+        capsule_specs.push(spec);
         capsule_idx.insert(name.to_owned(), idx);
         cap_of.insert(c, idx);
     }
@@ -574,16 +836,26 @@ pub fn elaborate(
         });
     }
 
-    Ok(CompiledSystem {
-        groups,
-        controller,
+    let BehaviorRegistry { streamers, capsules } = registry;
+    let compiled = CompiledSystem {
+        model_name: model.name().to_owned(),
+        group_specs,
+        capsule_specs,
+        streamer_factories: streamers,
+        capsule_factories: capsules,
         links,
         probes,
         cross_flows,
         streamer_loc,
         capsule_idx,
         step_budget_ns: model.model_budget(),
-    })
+        content_hash,
+    };
+    // Validation instantiation: surfaces behaviour/declaration
+    // mismatches, wiring conflicts and machine-spec errors *now*, so
+    // every later `instantiate()` on this artifact succeeds.
+    compiled.instantiate()?;
+    Ok(compiled)
 }
 
 #[cfg(test)]
@@ -648,9 +920,9 @@ mod tests {
         let compiled = elaborate(&model, two_stage_registry(), &validate_gate).expect("elaborates");
         assert_eq!(compiled.group_count(), 1);
         assert!(compiled.streamer_node("src").is_some());
-        assert_eq!(compiled.probe_series(), vec!["out"]);
+        assert_eq!(compiled.probe_series().collect::<Vec<_>>(), vec!["out"]);
         let mut engine = HybridEngine::from_compiled(
-            compiled,
+            &compiled,
             EngineConfig { step: 0.1, policy: ThreadPolicy::CurrentThread },
         )
         .expect("engine");
@@ -661,6 +933,52 @@ mod tests {
         assert_eq!(series.len(), 10);
         // Last step starts at t=0.9: src emits 0.9, dbl doubles it.
         assert!((series.last().unwrap().1 - 1.8).abs() < 1e-12);
+    }
+
+    #[test]
+    fn artifact_instantiates_many_independent_instances() {
+        let model = two_stage_model();
+        let compiled = elaborate(&model, two_stage_registry(), &validate_gate).expect("elaborates");
+        // The artifact is not consumed: instantiate as often as needed.
+        let run = |compiled: &CompiledSystem| {
+            let mut engine = HybridEngine::from_compiled(
+                compiled,
+                EngineConfig { step: 0.1, policy: ThreadPolicy::CurrentThread },
+            )
+            .expect("engine");
+            let rec = Recorder::new();
+            engine.set_recorder(rec.clone());
+            engine.run_until(1.0).expect("run");
+            rec.series("out")
+        };
+        let first = run(&compiled);
+        let second = run(&compiled);
+        assert_eq!(first.len(), second.len());
+        for (a, b) in first.iter().zip(second.iter()) {
+            assert_eq!(a.0.to_bits(), b.0.to_bits());
+            assert_eq!(a.1.to_bits(), b.1.to_bits());
+        }
+        let instance = compiled.instantiate().expect("instantiates");
+        assert_eq!(instance.group_count(), 1);
+    }
+
+    #[test]
+    fn content_hash_is_stable_and_sensitive() {
+        let model = two_stage_model();
+        let a = elaborate(&model, two_stage_registry(), &validate_gate).unwrap();
+        let b = elaborate(&model, two_stage_registry(), &validate_gate).unwrap();
+        assert_eq!(a.content_hash(), b.content_hash(), "same model+registry, same hash");
+        // A model edit changes the hash.
+        let mut edited = two_stage_model();
+        assert!(edited.reassign_thread("dbl", 7));
+        let c = elaborate(&edited, two_stage_registry(), &validate_gate).unwrap();
+        assert_ne!(a.content_hash(), c.content_hash(), "model edit changes the hash");
+        // A registry-shape change (extra binding) changes the hash too.
+        let padded = two_stage_registry().streamer("ghost", || {
+            Box::new(FnStreamer::new("ghost", 0, 1, |_t, _h, _u: &[f64], y: &mut [f64]| y[0] = 0.0))
+        });
+        let d = elaborate(&model, padded, &validate_gate).unwrap();
+        assert_ne!(a.content_hash(), d.content_hash(), "registry shape changes the hash");
     }
 
     #[test]
@@ -802,7 +1120,7 @@ mod tests {
                 }))
             });
         let compiled = elaborate(&b.build(), registry, &validate_gate).expect("elaborates");
-        let mut engine = HybridEngine::from_compiled(compiled, EngineConfig::default()).unwrap();
+        let mut engine = HybridEngine::from_compiled(&compiled, EngineConfig::default()).unwrap();
         let rec = Recorder::new();
         engine.set_recorder(rec.clone());
         engine.run_until(2e-3).expect("run");
@@ -859,7 +1177,7 @@ mod tests {
         });
         let compiled = elaborate(&b.build(), registry, &validate_gate).expect("elaborates");
         let cap_idx = compiled.capsule_index("sup").expect("capsule");
-        let mut engine = HybridEngine::from_compiled(compiled, EngineConfig::default()).unwrap();
+        let mut engine = HybridEngine::from_compiled(&compiled, EngineConfig::default()).unwrap();
         engine.run_until(1e-2).expect("run");
         assert_eq!(engine.controller().capsule_state(cap_idx).unwrap(), "idle");
     }

@@ -10,7 +10,7 @@
 //! messages across the boundary in both directions over `std::sync::mpsc`
 //! channels.
 
-use crate::elaborate::CompiledSystem;
+use crate::elaborate::{CompiledSystem, SystemInstance};
 use crate::error::CoreError;
 use crate::pacer::{PacedConfig, PacedReport, PacedRunner};
 use crate::recorder::{Recorder, SeriesHandle};
@@ -71,7 +71,12 @@ struct FlowChannel {
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct EngineConfig {
     /// Macro step in seconds: the synchronisation period between the
-    /// capsule thread and the solver threads.
+    /// capsule thread and the solver threads. Must be positive and
+    /// finite: the compiled-path constructors
+    /// ([`HybridEngine::from_compiled`], the ensemble constructors)
+    /// refuse anything else with [`CoreError::InvalidStep`] (URT116),
+    /// while the hand-wired [`HybridEngine::new`] keeps its documented
+    /// panic (API misuse at the lowest layer).
     pub step: f64,
     /// Thread assignment policy.
     pub policy: ThreadPolicy,
@@ -210,39 +215,43 @@ impl HybridEngine {
         Ok(self.groups.len() - 1)
     }
 
-    /// Builds an engine from an elaborated [`CompiledSystem`] — the
-    /// model-first path (`ModelBuilder` → `elaborate` → run). Groups,
-    /// SPort links and probes arrive fully resolved; attach a recorder
-    /// with [`HybridEngine::set_recorder`] to capture the model's
-    /// declared probe series.
+    /// Builds an engine from a compiled [`CompiledSystem`] artifact —
+    /// the model-first path (`ModelBuilder` → `compile` → instantiate →
+    /// run). The artifact is **borrowed**: this call stamps out a fresh
+    /// [`SystemInstance`](crate::elaborate::SystemInstance) (behaviour
+    /// factories re-invoked, networks re-wired), so one compile serves
+    /// any number of engines, each bit-identical to an independent
+    /// elaboration. SPort links, probes and cross-group channels arrive
+    /// fully resolved; attach a recorder with
+    /// [`HybridEngine::set_recorder`] to capture the model's declared
+    /// probe series.
     ///
     /// # Errors
     ///
-    /// Propagates network validation and wiring errors (none are
-    /// expected from a system produced by `elaborate`).
-    ///
-    /// # Panics
-    ///
-    /// Panics if `config.step` is not positive and finite.
+    /// [`CoreError::InvalidStep`] (URT116) if `config.step` is not
+    /// positive and finite; otherwise propagates instantiation and
+    /// wiring errors (none are expected from a system produced by
+    /// `elaborate`, which validates one instantiation at compile time).
     pub fn from_compiled(
-        compiled: CompiledSystem,
+        compiled: &CompiledSystem,
         config: EngineConfig,
     ) -> Result<Self, CoreError> {
-        let CompiledSystem {
-            groups, controller, links, probes, cross_flows, step_budget_ns, ..
-        } = compiled;
+        if !(config.step.is_finite() && config.step > 0.0) {
+            return Err(CoreError::InvalidStep { step: config.step });
+        }
+        let SystemInstance { groups, controller } = compiled.instantiate()?;
         let mut engine = HybridEngine::new(controller, config);
-        engine.step_budget_ns = step_budget_ns;
+        engine.step_budget_ns = compiled.step_budget_ns;
         for net in groups {
             engine.add_group(net)?;
         }
-        for l in &links {
+        for l in &compiled.links {
             engine.link_sport(l.group, l.node, &l.sport, l.capsule, &l.capsule_port)?;
         }
-        for p in &probes {
+        for p in &compiled.probes {
             engine.add_probe(p.group, p.node, &p.port, &p.series)?;
         }
-        for cf in &cross_flows {
+        for cf in &compiled.cross_flows {
             engine.link_flow(
                 (cf.from_group, cf.from_node, &cf.from_port),
                 (cf.to_group, cf.to_node, &cf.to_port),
@@ -1313,6 +1322,32 @@ mod tests {
             empty_controller(),
             EngineConfig { step: 0.0, policy: ThreadPolicy::CurrentThread },
         );
+    }
+
+    #[test]
+    fn from_compiled_refuses_bad_step_with_structured_error() {
+        use crate::elaborate::{elaborate, validate_gate, BehaviorRegistry};
+        use crate::model::ModelBuilder;
+        let mut b = ModelBuilder::new("m");
+        let s = b.streamer("wave", "none");
+        b.streamer_out(s, "y", FlowType::scalar());
+        let registry = BehaviorRegistry::new().streamer("wave", || {
+            Box::new(FnStreamer::new("wave", 0, 1, |t: f64, _h, _u: &[f64], y: &mut [f64]| {
+                y[0] = t
+            }))
+        });
+        let compiled = elaborate(&b.build(), registry, &validate_gate).unwrap();
+        for step in [0.0, -1.0, f64::NAN, f64::INFINITY, f64::NEG_INFINITY] {
+            let err = HybridEngine::from_compiled(
+                &compiled,
+                EngineConfig { step, policy: ThreadPolicy::CurrentThread },
+            )
+            .expect_err("non-positive/non-finite step must be refused");
+            assert!(matches!(err, CoreError::InvalidStep { .. }), "step {step}: {err}");
+            assert!(err.to_string().starts_with("URT116: "), "step {step}: {err}");
+        }
+        // A valid step still builds from the same (borrowed) artifact.
+        assert!(HybridEngine::from_compiled(&compiled, EngineConfig::default()).is_ok());
     }
 
     /// A non-feedthrough unit-delay block: output is the input latched at

@@ -16,8 +16,11 @@
 //!
 //! Layout: instance `i` of a group owns lanes `[i*W .. (i+1)*W)` of that
 //! group's flat input/output arrays, where `W` is the per-instance dense
-//! width from the plan. Behaviours are replicated per instance via
-//! [`StreamerBehavior::clone_fresh`], with per-instance parameter
+//! width from the plan. Behaviours are replicated per instance by
+//! re-invoking the compiled system's behaviour factories (every
+//! registered behaviour replicates; the network-first
+//! [`EnsembleEngine::from_network`] path still falls back to
+//! [`StreamerBehavior::clone_fresh`]), with per-instance parameter
 //! overrides applied through [`StreamerBehavior::set_param`] before
 //! initialisation ([`VariantSpec`]).
 //!
@@ -51,7 +54,7 @@ use crate::engine::HybridEngine;
 
 /// Per-instance parameter overrides for one ensemble member: a list of
 /// `(streamer, parameter, value)` assignments applied through
-/// [`StreamerBehavior::set_param`] after cloning and before
+/// [`StreamerBehavior::set_param`] after replication and before
 /// initialisation.
 ///
 /// An empty spec replicates the compiled system's parameters unchanged.
@@ -268,14 +271,17 @@ fn engine_err(detail: String) -> CoreError {
     CoreError::Engine { detail }
 }
 
-/// Builds one group's ensemble state: plan the network, clone every
-/// streamer behaviour `k` times, apply the overrides targeting group
-/// `gi`, and allocate the instance-major dense arrays.
+/// Builds one group's ensemble state: plan the network, replicate every
+/// streamer behaviour `k` times via `replicate` (a compiled system's
+/// behaviour factory, or `clone_fresh` on the network-first path), apply
+/// the overrides targeting group `gi`, and allocate the instance-major
+/// dense arrays.
 fn build_group(
     net: &StreamerNetwork,
     resolved: &[Vec<(usize, usize, &str, f64)>],
     gi: usize,
     k: usize,
+    replicate: &dyn Fn(NodeId) -> Result<Box<dyn StreamerBehavior>, CoreError>,
 ) -> Result<GroupState, CoreError> {
     let plan = net.step_plan().map_err(CoreError::Flow)?;
     let mut behaviours: Vec<Vec<Box<dyn StreamerBehavior>>> = Vec::new();
@@ -285,14 +291,7 @@ fn build_group(
         }
         let mut lanes: Vec<Box<dyn StreamerBehavior>> = Vec::with_capacity(k);
         for (i, overrides) in resolved.iter().enumerate() {
-            let Some(mut b) = net.try_clone_behavior(pn.node).map_err(CoreError::Flow)? else {
-                return Err(engine_err(format!(
-                    "streamer `{}` cannot be replicated for ensemble execution (clone_fresh \
-                     returned None — boxed handlers, guards and non-cloneable systems are not \
-                     replicable)",
-                    net.node_name(pn.node).unwrap_or("?")
-                )));
-            };
+            let mut b = replicate(pn.node)?;
             for &(og, on, param, value) in overrides {
                 if og != gi || on != pn.node.index() {
                     continue;
@@ -325,10 +324,6 @@ impl EnsembleEngine {
     /// # Errors
     ///
     /// Same as [`EnsembleEngine::from_variants`].
-    ///
-    /// # Panics
-    ///
-    /// Panics if `config.step` is not positive and finite.
     pub fn from_compiled(
         compiled: &CompiledSystem,
         k: usize,
@@ -338,29 +333,31 @@ impl EnsembleEngine {
     }
 
     /// Builds one ensemble instance per [`VariantSpec`], applying each
-    /// spec's overrides to its instance's freshly cloned behaviours
-    /// before initialisation.
+    /// spec's overrides to its instance's freshly manufactured behaviours
+    /// before initialisation. Replication re-invokes the compiled
+    /// system's behaviour factories — every behaviour kind replicates,
+    /// with no [`StreamerBehavior::clone_fresh`] requirement (that
+    /// fallback remains only on the network-first
+    /// [`EnsembleEngine::from_network`] path).
     ///
     /// # Errors
     ///
+    /// * [`CoreError::InvalidStep`] (`URT116`) if `config.step` is not
+    ///   positive and finite.
     /// * [`CoreError::Engine`] for an empty variant list, a system with
-    ///   SPort links (ensembles run the continuous half only), a
-    ///   behaviour that cannot be replicated
-    ///   ([`StreamerBehavior::clone_fresh`] returned `None`), an override
-    ///   naming an unknown streamer, or a parameter the behaviour does
-    ///   not recognise.
+    ///   SPort links (ensembles run the continuous half only), an
+    ///   override naming an unknown streamer, or a parameter the
+    ///   behaviour does not recognise.
     /// * [`CoreError::Flow`] for structural errors surfaced while
     ///   planning (same conditions as `StreamerNetwork::validate`).
-    ///
-    /// # Panics
-    ///
-    /// Panics if `config.step` is not positive and finite.
     pub fn from_variants(
         compiled: &CompiledSystem,
         variants: &[VariantSpec],
         config: EngineConfig,
     ) -> Result<Self, CoreError> {
-        assert!(config.step.is_finite() && config.step > 0.0, "macro step must be positive");
+        if !(config.step.is_finite() && config.step > 0.0) {
+            return Err(CoreError::InvalidStep { step: config.step });
+        }
         let k = variants.len();
         if k == 0 {
             return Err(engine_err("an ensemble needs at least one instance".into()));
@@ -388,16 +385,29 @@ impl EnsembleEngine {
             resolved.push(per_instance);
         }
 
-        let mut groups = Vec::with_capacity(compiled.groups.len());
-        for (gi, net) in compiled.groups.iter().enumerate() {
-            groups.push(build_group(net, &resolved, gi, k)?);
+        // One throwaway instantiation supplies the structural nets
+        // (plans, output handles, export lane layout); the K live
+        // behaviour sets come straight from the artifact's factories.
+        let instance = compiled.instantiate()?;
+        let nets = &instance.groups;
+        let mut groups = Vec::with_capacity(nets.len());
+        for (gi, net) in nets.iter().enumerate() {
+            let replicate = |node: NodeId| {
+                compiled.behavior_for(gi, node).ok_or_else(|| {
+                    engine_err(format!(
+                        "streamer `{}` has no behaviour factory in the compiled system",
+                        net.node_name(node).unwrap_or("?")
+                    ))
+                })
+            };
+            groups.push(build_group(net, &resolved, gi, k, &replicate)?);
         }
 
         // Cross-group channels: same parity-slot protocol as the
         // HybridEngine, each slot widened to K instances.
         let mut channels = Vec::with_capacity(compiled.cross_flows.len());
         for cf in &compiled.cross_flows {
-            let from_net = &compiled.groups[cf.from_group];
+            let from_net = &nets[cf.from_group];
             let handle =
                 from_net.output_handle(cf.from_node, &cf.from_port).map_err(CoreError::Flow)?;
             let from_base = groups[cf.from_group]
@@ -408,7 +418,7 @@ impl EnsembleEngine {
             let width = handle.width();
             // Consumer lane offset inside its group's exported-input
             // vector (exports accumulate in registration order).
-            let to_net = &compiled.groups[cf.to_group];
+            let to_net = &nets[cf.to_group];
             let mut to_offset = None;
             let mut cursor = 0usize;
             for (n, p) in to_net.exported_inputs() {
@@ -449,7 +459,7 @@ impl EnsembleEngine {
         // `{series}#{instance}` once a recorder is attached.
         let mut probes = Vec::with_capacity(compiled.probes.len());
         for p in &compiled.probes {
-            let net = &compiled.groups[p.group];
+            let net = &nets[p.group];
             let handle = net.output_handle(p.node, &p.port).map_err(CoreError::Flow)?;
             let out_base =
                 groups[p.group].plan.out_offset(handle.node()).expect("plan covers every node")
@@ -479,26 +489,38 @@ impl EnsembleEngine {
     ///
     /// # Errors
     ///
+    /// * [`CoreError::InvalidStep`] (`URT116`) if `config.step` is not
+    ///   positive and finite.
     /// * [`CoreError::Engine`] for `k == 0` or a behaviour that cannot
-    ///   be replicated.
+    ///   be replicated ([`StreamerBehavior::clone_fresh`] returned
+    ///   `None` — with no behaviour registry in sight, `clone_fresh` is
+    ///   the only replication source on this path).
     /// * [`CoreError::Flow`] for structural errors surfaced while
     ///   planning and for unknown probe nodes/ports.
-    ///
-    /// # Panics
-    ///
-    /// Panics if `config.step` is not positive and finite.
     pub fn from_network(
         net: &StreamerNetwork,
         k: usize,
         probes: &[(NodeId, &str, &str)],
         config: EngineConfig,
     ) -> Result<Self, CoreError> {
-        assert!(config.step.is_finite() && config.step > 0.0, "macro step must be positive");
+        if !(config.step.is_finite() && config.step > 0.0) {
+            return Err(CoreError::InvalidStep { step: config.step });
+        }
         if k == 0 {
             return Err(engine_err("an ensemble needs at least one instance".into()));
         }
         let resolved: Vec<Vec<(usize, usize, &str, f64)>> = vec![Vec::new(); k];
-        let group = build_group(net, &resolved, 0, k)?;
+        let replicate = |node: NodeId| {
+            net.try_clone_behavior(node).map_err(CoreError::Flow)?.ok_or_else(|| {
+                engine_err(format!(
+                    "streamer `{}` cannot be replicated for ensemble execution (clone_fresh \
+                     returned None — boxed handlers, guards and non-cloneable systems are not \
+                     replicable)",
+                    net.node_name(node).unwrap_or("?")
+                ))
+            })
+        };
+        let group = build_group(net, &resolved, 0, k, &replicate)?;
         let mut ensemble_probes = Vec::with_capacity(probes.len());
         for &(node, port, series) in probes {
             let handle = net.output_handle(node, port).map_err(CoreError::Flow)?;
@@ -968,8 +990,12 @@ mod tests {
     }
 
     #[test]
-    fn ensemble_refuses_unclonable_behaviours() {
-        // A behaviour without a clone_fresh override cannot be replicated.
+    fn factory_replication_outlives_clone_fresh() {
+        // A behaviour without a clone_fresh override cannot be *cloned*
+        // — but the compiled path replicates by re-invoking the registry
+        // factory, so the ensemble builds and runs anyway. Only the
+        // network-first path (no registry in sight) still depends on
+        // clone_fresh, and refuses.
         struct Opaque;
         impl StreamerBehavior for Opaque {
             fn name(&self) -> &str {
@@ -999,10 +1025,38 @@ mod tests {
         let s = b.streamer("opaque", "none");
         b.streamer_out(s, "y", FlowType::scalar());
         b.streamer_feedthrough(s, false);
+        b.probe(s, "y", "out");
         let registry = BehaviorRegistry::new().streamer("opaque", || Box::new(Opaque));
         let compiled = elaborate(&b.build(), registry, &validate_gate).expect("elaborates");
-        let err = EnsembleEngine::from_compiled(&compiled, 2, EngineConfig::default()).unwrap_err();
+        let mut ensemble =
+            EnsembleEngine::from_compiled(&compiled, 2, EngineConfig::default()).unwrap();
+        let rec = Recorder::new();
+        ensemble.set_recorder(rec.clone());
+        ensemble.run_until(0.01).unwrap();
+        for i in 0..2 {
+            let series = rec.series(&EnsembleEngine::series_name("out", i));
+            assert!(!series.is_empty(), "instance {i} produced no samples");
+        }
+
+        // Network-first path: clone_fresh is the only replication source.
+        let mut net = StreamerNetwork::new("raw");
+        net.add_streamer(Opaque, &[], &[("y", FlowType::scalar())]).unwrap();
+        let err = EnsembleEngine::from_network(&net, 2, &[], EngineConfig::default()).unwrap_err();
         assert!(err.to_string().contains("cannot be replicated"), "{err}");
+    }
+
+    #[test]
+    fn ensemble_refuses_bad_step_with_structured_error() {
+        let compiled = compile(1.0, 1.0);
+        let bad = EngineConfig { step: 0.0, policy: ThreadPolicy::CurrentThread };
+        let err = EnsembleEngine::from_compiled(&compiled, 2, bad).unwrap_err();
+        assert!(matches!(err, CoreError::InvalidStep { .. }), "{err}");
+        assert!(err.to_string().starts_with("URT116: "), "{err}");
+
+        let net = StreamerNetwork::new("raw");
+        let bad = EngineConfig { step: f64::NAN, policy: ThreadPolicy::CurrentThread };
+        let err = EnsembleEngine::from_network(&net, 1, &[], bad).unwrap_err();
+        assert!(matches!(err, CoreError::InvalidStep { .. }), "{err}");
     }
 
     #[test]
@@ -1027,7 +1081,7 @@ mod tests {
         ensemble.set_recorder(erec.clone());
         ensemble.run_until(0.05).unwrap();
 
-        let mut engine = HybridEngine::from_compiled(compiled, EngineConfig::default()).unwrap();
+        let mut engine = HybridEngine::from_compiled(&compiled, EngineConfig::default()).unwrap();
         let hrec = Recorder::new();
         engine.set_recorder(hrec.clone());
         engine.run_until(0.05).unwrap();
@@ -1139,7 +1193,7 @@ mod tests {
 
         for (i, (rate, x0)) in [(1.0, 1.0), (1.0, 2.5), (4.0, 0.5)].iter().enumerate() {
             let mut engine =
-                HybridEngine::from_compiled(compile(*rate, *x0), EngineConfig::default()).unwrap();
+                HybridEngine::from_compiled(&compile(*rate, *x0), EngineConfig::default()).unwrap();
             let hrec = Recorder::new();
             engine.set_recorder(hrec.clone());
             engine.run_until(0.02).unwrap();

@@ -49,6 +49,15 @@ pub enum CoreError {
         /// What went wrong.
         detail: String,
     },
+    /// An engine configuration declared a macro step that is not a
+    /// positive, finite number — refused before any engine state is
+    /// built. Raised by `HybridEngine::from_compiled` and the ensemble
+    /// constructors (the hand-wired `HybridEngine::new` keeps its
+    /// documented panic for API-misuse at the lowest layer).
+    InvalidStep {
+        /// The offending step value.
+        step: f64,
+    },
     /// A paced run under `OverrunPolicy::SafetyStop` exhausted its
     /// tolerance for consecutive deadline misses — the runtime half of
     /// the URT301 budget contract. Carries the miss report at the point
@@ -98,6 +107,7 @@ impl CoreError {
             CoreError::DuplicateSportLink { .. } => "URT113",
             CoreError::Elaborate { .. } => "URT114",
             CoreError::DeadlineOverrun { .. } => "URT115",
+            CoreError::InvalidStep { .. } => "URT116",
         }
     }
 }
@@ -125,6 +135,13 @@ impl fmt::Display for CoreError {
             }
             CoreError::Elaborate { detail } => {
                 write!(f, "{}: elaboration error: {detail}", self.code())
+            }
+            CoreError::InvalidStep { step } => {
+                write!(
+                    f,
+                    "{}: macro step must be a positive, finite number, got {step}",
+                    self.code()
+                )
             }
             CoreError::DeadlineOverrun { step, consecutive, budget_ns, worst_ns, misses } => {
                 write!(
@@ -206,6 +223,10 @@ mod tests {
         assert!(e.to_string().starts_with("URT115: "));
         assert!(e.to_string().contains("step 42"));
         assert!(e.to_string().contains("3 consecutive"));
+        let e = CoreError::InvalidStep { step: -1.0 };
+        assert_eq!(e.code(), "URT116");
+        assert!(e.to_string().starts_with("URT116: "));
+        assert!(e.to_string().contains("-1"));
     }
 
     #[test]

@@ -12,8 +12,12 @@
 //!   containment + connections) with the paper's well-formedness rules
 //!   from Figures 2 and 3.
 //! * [`elaborate`] — lowering a validated model plus a behaviour
-//!   registry into an executable `CompiledSystem`: hierarchy flattening,
-//!   dense id assignment, resolved link/probe tables.
+//!   registry into an immutable `CompiledSystem` artifact (hierarchy
+//!   flattening, dense id assignment, resolved link/probe tables, a
+//!   stable content hash) whose `instantiate()` stamps out live
+//!   `SystemInstance`s.
+//! * [`cache`] — compile-once, instantiate-many: `SystemCache` memoizes
+//!   compiled artifacts by model content hash with hit/miss counters.
 //! * [`time`] — the continuous `Time` stereotype: a predictable hybrid
 //!   simulation clock, versus UML-RT's tick-quantised timers.
 //! * [`strategy`] — the Figure 1 State/Strategy catalogue: named solver
@@ -72,6 +76,7 @@
 //! # }
 //! ```
 
+pub mod cache;
 pub mod elaborate;
 pub mod engine;
 pub mod ensemble;
@@ -87,7 +92,8 @@ pub mod sync;
 pub mod threading;
 pub mod time;
 
-pub use elaborate::{elaborate, BehaviorRegistry, CompiledSystem};
+pub use cache::SystemCache;
+pub use elaborate::{elaborate, BehaviorRegistry, CompiledSystem, SystemInstance};
 pub use engine::{EngineConfig, HybridEngine};
 pub use ensemble::{EnsembleEngine, VariantSpec};
 pub use error::CoreError;

@@ -172,6 +172,19 @@ impl UnifiedModel {
         &self.name
     }
 
+    /// A stable 64-bit content hash of the model: FNV-1a over the
+    /// model's canonical (derived `Debug`) rendering. Every collection
+    /// in `UnifiedModel` is a `Vec` in declaration order, so the
+    /// rendering — and therefore the hash — is deterministic across
+    /// processes and platforms. This is the compile-cache key
+    /// ([`SystemCache`](crate::cache::SystemCache)) and the value
+    /// `urt-lint --hash` prints; the compiled artifact folds the
+    /// registry shape on top
+    /// ([`CompiledSystem::content_hash`](crate::elaborate::CompiledSystem::content_hash)).
+    pub fn content_hash(&self) -> u64 {
+        crate::cache::fnv1a_64(format!("{self:?}").as_bytes())
+    }
+
     /// Summary statistics.
     pub fn stats(&self) -> ModelStats {
         ModelStats {

@@ -158,7 +158,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let compiled = compile(&model, registry)?;
     let referee_idx = compiled.capsule_index("referee").expect("capsule exists");
     let mut engine = HybridEngine::from_compiled(
-        compiled,
+        &compiled,
         EngineConfig { step: 0.002, policy: ThreadPolicy::CurrentThread },
     )?;
     engine.run_until(4.0)?;

@@ -220,7 +220,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let compiled = compile(&model, registry)?;
     let driver_idx = compiled.capsule_index("driver").expect("capsule exists");
     let mut engine = HybridEngine::from_compiled(
-        compiled,
+        &compiled,
         EngineConfig { step: 0.01, policy: ThreadPolicy::CurrentThread },
     )?;
     let recorder = Recorder::new();

@@ -75,7 +75,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let compiled = compile(&b.build(), registry)?;
     let budget_ns = compiled.step_budget_ns().expect("model declares a budget");
     let mut engine = HybridEngine::from_compiled(
-        compiled,
+        &compiled,
         EngineConfig { step: 0.01, policy: ThreadPolicy::CurrentThread },
     )?;
     let recorder = Recorder::new();

@@ -183,7 +183,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let compiled = compile(&model, registry)?;
     let supervisor_idx = compiled.capsule_index("supervisor").expect("capsule exists");
     let mut engine = HybridEngine::from_compiled(
-        compiled,
+        &compiled,
         EngineConfig { step: 0.02, policy: ThreadPolicy::DedicatedThreads },
     )?;
     let recorder = Recorder::new();

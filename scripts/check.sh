@@ -57,10 +57,28 @@ case "$elab_out" in
         ;;
 esac
 
-echo "==> bench_engine --smoke (self-asserts batched and ensemble throughput)"
+echo "==> urt-lint --hash (stable content hashes, human + JSON shapes)"
+hash_out="$(cargo run -q --offline -p urt-analysis --bin urt-lint -- --hash fig2)"
+case "$hash_out" in
+    '0x'*'  fig2') ;;
+    *)
+        echo "unexpected urt-lint --hash output: $hash_out" >&2
+        exit 1
+        ;;
+esac
+hash_json="$(cargo run -q --offline -p urt-analysis --bin urt-lint -- --hash --json fig2)"
+case "$hash_json" in
+    '[{"model":"fig2","content_hash":"0x'*'"}]') ;;
+    *)
+        echo "unexpected urt-lint --hash --json output: $hash_json" >&2
+        exit 1
+        ;;
+esac
+
+echo "==> bench_engine --smoke (self-asserts batched, ensemble and instantiate throughput)"
 bench_json="$(cargo run -q --release --offline -p urt-bench --bin bench_engine -- --smoke)"
 case "$bench_json" in
-    '{"schema":"bench_engine/v5","smoke":true,'*'"batch":'*'"steps_per_sec":'*'"ensemble":['*'"mode":"ensemble"'*'"mode":"independent"'*) ;;
+    '{"schema":"bench_engine/v6","smoke":true,'*'"batch":'*'"steps_per_sec":'*'"ensemble":['*'"mode":"ensemble"'*'"mode":"independent"'*'"instantiate":['*'"instantiate_per_sec":'*'"speedup":'*) ;;
     *)
         echo "unexpected bench_engine --smoke output: $bench_json" >&2
         exit 1
@@ -69,9 +87,9 @@ esac
 
 echo "==> bench_engine --paced --smoke (paced latency axis, self-asserts misses == 0)"
 paced_json="$(cargo run -q --release --offline -p urt-bench --bin bench_engine -- --paced --smoke)"
-# Shape: the v5 paced array must carry the latency distribution fields.
+# Shape: the v6 paced array must carry the latency distribution fields.
 case "$paced_json" in
-    '{"schema":"bench_engine/v5","smoke":true,'*'"paced":['*'"p50_ns":'*'"p99_ns":'*'"worst_ns":'*'"misses":'*) ;;
+    '{"schema":"bench_engine/v6","smoke":true,'*'"paced":['*'"p50_ns":'*'"p99_ns":'*'"worst_ns":'*'"misses":'*) ;;
     *)
         echo "unexpected bench_engine --paced --smoke output: $paced_json" >&2
         exit 1

@@ -30,10 +30,16 @@
 //!
 //! # Quickstart
 //!
-//! The one pipeline is `model → analyze → compile → run`: declare the
-//! system once, bind behaviours to its names, and let [`compile`] gate
-//! the model through the whole-model analyzer before lowering it into an
-//! executable [`core::elaborate::CompiledSystem`].
+//! The one pipeline is `model → analyze → compile → instantiate → run`:
+//! declare the system once, bind behaviour *factories* to its names, and
+//! let [`compile`] gate the model through the whole-model analyzer
+//! before lowering it into an immutable
+//! [`core::elaborate::CompiledSystem`] **artifact**. The artifact is
+//! compiled once and instantiated many times: every engine built from it
+//! (`HybridEngine::from_compiled` borrows, it does not consume) stamps
+//! out a fresh, independent live instance by re-invoking the factories,
+//! and [`core::cache::SystemCache`] memoizes the compile itself by the
+//! model's stable content hash.
 //!
 //! ```
 //! use unified_rt::compile;
@@ -52,18 +58,28 @@
 //! b.probe(wave, "y", "wave.y");
 //! let model = b.build();
 //!
-//! // Behaviours bind the model's names to executable code.
+//! // Behaviour factories bind the model's names to executable code;
+//! // each instantiation invokes them afresh.
 //! let registry = BehaviorRegistry::new().streamer("wave", || {
 //!     Box::new(FnStreamer::new("wave", 0, 1, |t, _h, _u, y| y[0] = t.cos()))
 //! });
 //!
-//! // Analyze, lower, run.
+//! // Analyze + lower once: an immutable artifact with a stable hash.
 //! let compiled = compile(&model, registry)?;
-//! let mut engine = HybridEngine::from_compiled(
-//!     compiled,
-//!     EngineConfig { step: 1e-3, policy: ThreadPolicy::CurrentThread },
-//! )?;
-//! engine.run_until(0.25)?;
+//! assert_eq!(compiled.content_hash(), compile(&model, BehaviorRegistry::new()
+//!     .streamer("wave", || {
+//!         Box::new(FnStreamer::new("wave", 0, 1, |t, _h, _u, y| y[0] = t.cos()))
+//!     }))?.content_hash());
+//!
+//! // Instantiate + run as often as needed — the artifact is only
+//! // borrowed, and every run starts from the same fresh state.
+//! for _ in 0..2 {
+//!     let mut engine = HybridEngine::from_compiled(
+//!         &compiled,
+//!         EngineConfig { step: 1e-3, policy: ThreadPolicy::CurrentThread },
+//!     )?;
+//!     engine.run_until(0.25)?;
+//! }
 //! # Ok(())
 //! # }
 //! ```

@@ -21,9 +21,9 @@ const MACRO_STEPS: u64 = 50;
 fn run_series(model: &UnifiedModel) -> Vec<(String, Vec<(f64, f64)>)> {
     let compiled = compile(model, stubs::stub_registry(model))
         .unwrap_or_else(|e| panic!("model `{}` must be gate-clean: {e}", model.name()));
-    let series: Vec<String> = compiled.probe_series().iter().map(|s| (*s).to_owned()).collect();
+    let series: Vec<String> = compiled.probe_series().map(str::to_owned).collect();
     let config = EngineConfig { step: STEP, policy: ThreadPolicy::CurrentThread };
-    let mut engine = HybridEngine::from_compiled(compiled, config).expect("engine assembly");
+    let mut engine = HybridEngine::from_compiled(&compiled, config).expect("engine assembly");
     let rec = Recorder::new();
     engine.set_recorder(rec.clone());
     engine.run_until(MACRO_STEPS as f64 * STEP).expect("run");

@@ -149,8 +149,8 @@ fn fig2_compiled(policy: ThreadPolicy, t_end: f64) -> Run {
         .streamer("sub3", fig2_squarer);
     let compiled = compile(&model, registry).expect("fig2 compiles");
     assert!(compiled.streamer_node("top").is_none(), "containers contribute no nodes");
-    let mut engine =
-        HybridEngine::from_compiled(compiled, EngineConfig { step: 0.01, policy }).expect("engine");
+    let mut engine = HybridEngine::from_compiled(&compiled, EngineConfig { step: 0.01, policy })
+        .expect("engine");
     let rec = Recorder::new();
     engine.set_recorder(rec.clone());
     engine.run_until(t_end).expect("run");
@@ -273,8 +273,8 @@ fn quickstart_compiled(policy: ThreadPolicy, t_end: f64) -> Run {
         .capsule("thermostat", || thermostat_capsule());
     let compiled = compile(&model, registry).expect("quickstart compiles");
     let cap = compiled.capsule_index("thermostat").expect("capsule exists");
-    let mut engine =
-        HybridEngine::from_compiled(compiled, EngineConfig { step: 0.01, policy }).expect("engine");
+    let mut engine = HybridEngine::from_compiled(&compiled, EngineConfig { step: 0.01, policy })
+        .expect("engine");
     let rec = Recorder::new();
     engine.set_recorder(rec.clone());
     engine.run_until(t_end).expect("run");
@@ -407,8 +407,8 @@ fn cross_group_compiled(policy: ThreadPolicy, t_end: f64) -> Run {
     let compiled = compile(&model, registry).expect("cross-group model compiles");
     assert_eq!(compiled.group_count(), 2, "assign_thread keeps two groups");
     assert_eq!(compiled.cross_flow_count(), 1, "one lowered channel");
-    let mut engine =
-        HybridEngine::from_compiled(compiled, EngineConfig { step: 0.01, policy }).expect("engine");
+    let mut engine = HybridEngine::from_compiled(&compiled, EngineConfig { step: 0.01, policy })
+        .expect("engine");
     let rec = Recorder::new();
     engine.set_recorder(rec.clone());
     engine.run_until(t_end).expect("run");

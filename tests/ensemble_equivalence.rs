@@ -89,7 +89,7 @@ fn every_fig2_ensemble_instance_is_bit_identical_to_a_standalone_run() {
         ensemble.set_recorder(erec.clone());
         ensemble.run_until(T_END).expect("ensemble run");
 
-        let mut engine = HybridEngine::from_compiled(compiled, config(policy)).expect("engine");
+        let mut engine = HybridEngine::from_compiled(&compiled, config(policy)).expect("engine");
         let hrec = Recorder::new();
         engine.set_recorder(hrec.clone());
         engine.run_until(T_END).expect("standalone run");
@@ -175,7 +175,8 @@ fn vdp_variants_are_bit_identical_to_standalone_runs_with_those_parameters() {
         for (i, (mu, x0)) in params.iter().enumerate() {
             let (model, registry) = vdp_model(*mu, *x0);
             let compiled = compile(&model, registry).expect("vdp variant compiles");
-            let mut engine = HybridEngine::from_compiled(compiled, config(policy)).expect("engine");
+            let mut engine =
+                HybridEngine::from_compiled(&compiled, config(policy)).expect("engine");
             let hrec = Recorder::new();
             engine.set_recorder(hrec.clone());
             engine.run_until(T_END).expect("standalone run");
@@ -297,7 +298,7 @@ fn k1_cross_group_ensemble_replays_the_hybrid_engine() {
         ensemble.set_recorder(erec.clone());
         ensemble.run_until(T_END).expect("ensemble run");
 
-        let mut engine = HybridEngine::from_compiled(compiled, config(policy)).expect("engine");
+        let mut engine = HybridEngine::from_compiled(&compiled, config(policy)).expect("engine");
         let hrec = Recorder::new();
         engine.set_recorder(hrec.clone());
         engine.run_until(T_END).expect("standalone run");
