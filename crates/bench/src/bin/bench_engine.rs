@@ -32,6 +32,21 @@
 //! no amortization, so the delta is exactly what the SoA layout buys).
 //! `K ∈ {1, 8}` in smoke mode, `{1, 8, 64, 256}` in full runs.
 //!
+//! Nested under the ensemble axis, a **kernel** axis isolates what the
+//! width-aware batched ODE solver path buys over per-lane scalar
+//! stepping: one [`EnsembleEngine`] per configuration, stepped once with
+//! `kernel = scalar` ([`EnsembleKernel::PerLane`]) and once with
+//! `kernel = batched` (the default), over `K ∈ {16, 64, 256}` (`{16,
+//! 64}` in smoke). The workloads here must actually carry ODE lanes, so
+//! `fig2` on this axis is the ODE-backed variant ([`fig2_ode_network`]:
+//! `sub1` integrates the oscillator with RK4 rather than evaluating
+//! `sin(2t)` in closed form) and `chain` is the usual Van der Pol-fed
+//! pipeline. Both kernels produce bit-identical series — the equivalence
+//! suites pin that — so the delta is pure execution efficiency. Full
+//! runs self-assert batched ≥ [`KERNEL_MARGIN`] × scalar at K = 256;
+//! smoke runs assert batched is at least not slower at K = 64 (with the
+//! usual 10% noise allowance).
+//!
 //! A third axis (`--paced`) measures **hard real-time latency** instead
 //! of throughput: `run_paced` couples each macro step to the wall clock
 //! (`set_max_batch(1)`, so even the threaded schedule releases per step)
@@ -73,10 +88,10 @@
 
 use std::fmt::Write as _;
 use std::time::Instant;
-use urt_bench::{chain_network_tail, fig2_network};
+use urt_bench::{chain_network_tail, fig2_network, fig2_ode_network};
 use urt_core::elaborate::BehaviorRegistry;
 use urt_core::engine::{EngineConfig, HybridEngine};
-use urt_core::ensemble::EnsembleEngine;
+use urt_core::ensemble::{EnsembleEngine, EnsembleKernel};
 use urt_core::model::ModelBuilder;
 use urt_core::recorder::Recorder;
 use urt_core::threading::ThreadPolicy;
@@ -101,6 +116,16 @@ const USAGE: &str = "usage: bench_engine [--smoke] [--out PATH] [--paced] [--emi
 /// whole scheduler quanta, so the axis stays CI-safe while the p99/worst
 /// figures still capture every latency spike.
 const PACED_BUDGET_NS: f64 = 250e6;
+
+/// Full-run floor for the kernel axis at K = 256: the batched path must
+/// deliver at least 10% more macro steps per second than per-lane scalar
+/// stepping on every kernel-axis workload. Measured headroom is far
+/// larger (the batched kernel amortizes the per-lane driver loop and
+/// fuses the RK stage combines into lane-width sweeps); the floor is
+/// deliberately conservative so a loaded box cannot flake the gate while
+/// a real regression — falling back to per-lane dispatch — still trips
+/// it.
+const KERNEL_MARGIN: f64 = 1.10;
 
 /// A Van der Pol oscillator with input dimension zero, usable as an
 /// `OdeStreamer` system.
@@ -677,6 +702,107 @@ fn measure_ensemble(
     }
 }
 
+/// Workloads for the kernel axis. These must carry ODE lanes (a batched
+/// solver kernel has nothing to act on otherwise), so `fig2` here is the
+/// ODE-backed variant — same fan-out topology, `sub1` integrated rather
+/// than closed-form — and `chain` is the Van der Pol-fed pipeline.
+#[derive(Clone, Copy)]
+enum KernelWorkload {
+    Fig2,
+    Chain,
+}
+
+impl KernelWorkload {
+    fn name(self) -> &'static str {
+        match self {
+            KernelWorkload::Fig2 => "fig2",
+            KernelWorkload::Chain => "chain",
+        }
+    }
+
+    /// The network plus the node whose `y` output gets the probe.
+    fn network(self) -> (StreamerNetwork, NodeId) {
+        match self {
+            KernelWorkload::Fig2 => {
+                let (net, [_, _, sub2, _]) = fig2_ode_network();
+                (net, sub2)
+            }
+            KernelWorkload::Chain => chain_network_tail(CHAIN_STAGES),
+        }
+    }
+}
+
+fn kernel_name(kernel: EnsembleKernel) -> &'static str {
+    match kernel {
+        EnsembleKernel::PerLane => "scalar",
+        EnsembleKernel::Batched => "batched",
+    }
+}
+
+struct KernelMeasurement {
+    workload: &'static str,
+    kernel: &'static str,
+    k: usize,
+    steps: u64,
+    wall_ns: u128,
+    steps_per_sec: f64,
+}
+
+/// Measures one ensemble engine advancing K instances under the chosen
+/// solver kernel — same warm-up / pilot / min-of-reps protocol as
+/// [`measure`]. Scalar and batched runs use identical engines modulo
+/// [`EnsembleEngine::set_kernel`], and produce bit-identical series, so
+/// the throughput delta is exactly what the width-aware batched path
+/// buys.
+fn measure_kernel(
+    workload: KernelWorkload,
+    kernel: EnsembleKernel,
+    k: usize,
+    steps: u64,
+    smoke: bool,
+) -> KernelMeasurement {
+    let (net, tail) = workload.network();
+    let mut engine = EnsembleEngine::from_network(
+        &net,
+        k,
+        &[(tail, "y", "y0")],
+        EngineConfig { step: STEP, policy: ThreadPolicy::CurrentThread },
+    )
+    .expect("kernel-axis ensemble engine");
+    engine.set_kernel(kernel);
+    let rec = Recorder::new();
+    engine.set_recorder(rec.clone());
+    let warmup = (steps / 10).max(10);
+    engine.run_until(warmup as f64 * STEP).expect("warm-up");
+    let t0 = engine.time();
+    let start = Instant::now();
+    engine.run_until(t0 + steps as f64 * STEP).expect("pilot run");
+    let pilot_ns = start.elapsed().as_nanos().max(1);
+    let target_ns: f64 = if smoke { 2e6 } else { 10e6 };
+    let rep_steps =
+        ((steps as f64 * target_ns / pilot_ns as f64).ceil() as u64).clamp(200, 500_000);
+    let reps: u64 = if smoke { 5 } else { 25 };
+    let mut wall_ns = u128::MAX;
+    for _ in 0..reps {
+        rec.clear();
+        let t0 = engine.time();
+        let start = Instant::now();
+        engine.run_until(t0 + rep_steps as f64 * STEP).expect("measured run");
+        wall_ns = wall_ns.min(start.elapsed().as_nanos());
+        let series = EnsembleEngine::series_name("y0", k - 1);
+        assert_eq!(rec.series(&series).len() as u64, rep_steps, "probes recorded every step");
+    }
+    let steps_per_sec = rep_steps as f64 / (wall_ns as f64 / 1e9);
+    KernelMeasurement {
+        workload: workload.name(),
+        kernel: kernel_name(kernel),
+        k,
+        steps: rep_steps,
+        wall_ns,
+        steps_per_sec,
+    }
+}
+
 struct InstantiateMeasurement {
     workload: &'static str,
     groups: usize,
@@ -736,12 +862,13 @@ fn measure_instantiate(workload: Workload, groups: usize, smoke: bool) -> Instan
 fn render_json(
     results: &[Measurement],
     ensemble: &[EnsembleMeasurement],
+    kernel: &[KernelMeasurement],
     instantiate: &[InstantiateMeasurement],
     paced: &[PacedMeasurement],
     smoke: bool,
 ) -> String {
     let mut s = String::new();
-    let _ = write!(s, "{{\"schema\":\"bench_engine/v6\",\"smoke\":{smoke},\"step_s\":{STEP}");
+    let _ = write!(s, "{{\"schema\":\"bench_engine/v7\",\"smoke\":{smoke},\"step_s\":{STEP}");
     let _ = write!(s, ",\"results\":[");
     for (i, m) in results.iter().enumerate() {
         if i > 0 {
@@ -764,6 +891,18 @@ fn render_json(
             "{{\"workload\":\"{}\",\"mode\":\"{}\",\"k\":{},\"steps\":{},\
              \"wall_ns\":{},\"steps_per_sec\":{:.1}}}",
             m.workload, m.mode, m.k, m.steps, m.wall_ns, m.steps_per_sec
+        );
+    }
+    s.push_str("],\"kernel\":[");
+    for (i, m) in kernel.iter().enumerate() {
+        if i > 0 {
+            s.push(',');
+        }
+        let _ = write!(
+            s,
+            "{{\"workload\":\"{}\",\"kernel\":\"{}\",\"k\":{},\"steps\":{},\
+             \"wall_ns\":{},\"steps_per_sec\":{:.1}}}",
+            m.workload, m.kernel, m.k, m.steps, m.wall_ns, m.steps_per_sec
         );
     }
     s.push_str("],\"instantiate\":[");
@@ -921,6 +1060,20 @@ fn main() {
         }
     }
 
+    // Kernel axis: the same ensemble machinery with the solver kernel as
+    // the only variable. Scalar first so any frequency scaling ramp-up
+    // favours the baseline, not the path under test.
+    let kernel_ks: &[usize] = if smoke { &[16, 64] } else { &[16, 64, 256] };
+    let mut kernel_results = Vec::new();
+    for workload in [KernelWorkload::Fig2, KernelWorkload::Chain] {
+        let steps = if smoke { 200 } else { 2_000 };
+        for &k in kernel_ks {
+            for kernel in [EnsembleKernel::PerLane, EnsembleKernel::Batched] {
+                kernel_results.push(measure_kernel(workload, kernel, k, steps, smoke));
+            }
+        }
+    }
+
     // Artifact/instance axis: fig2 (pure dataflow) and chain (budgeted,
     // cross-group) at 1 and 2 groups — the workloads whose compiled
     // models exercise the full artifact surface (probes, budgets,
@@ -1010,8 +1163,39 @@ fn main() {
         }
     }
 
-    let json =
-        render_json(&results, &ensemble_results, &instantiate_results, &paced_results, smoke);
+    // Self-assertion 4: the batched solver kernel must beat per-lane
+    // scalar stepping at the largest measured K — by KERNEL_MARGIN in
+    // full runs, merely not-slower (within the smoke noise allowance) on
+    // a few hundred smoke steps.
+    let kernel_check_k = if smoke { 64 } else { 256 };
+    let kernel_floor = if smoke { tolerance } else { KERNEL_MARGIN };
+    let kernel_sps = |workload: &str, kernel: &str| -> f64 {
+        kernel_results
+            .iter()
+            .find(|m| m.workload == workload && m.kernel == kernel && m.k == kernel_check_k)
+            .map(|m| m.steps_per_sec)
+            .expect("measured kernel configuration")
+    };
+    for workload in ["fig2", "chain"] {
+        let (batched, scalar) = (kernel_sps(workload, "batched"), kernel_sps(workload, "scalar"));
+        if batched < scalar * kernel_floor {
+            eprintln!(
+                "bench_engine: batched kernel at K={kernel_check_k} is below {kernel_floor}x \
+                 the scalar per-lane path on {workload} ({batched:.0} steps/s vs {scalar:.0} \
+                 steps/s) — the width-aware batched ODE path regressed"
+            );
+            std::process::exit(1);
+        }
+    }
+
+    let json = render_json(
+        &results,
+        &ensemble_results,
+        &kernel_results,
+        &instantiate_results,
+        &paced_results,
+        smoke,
+    );
     if smoke && out.is_none() {
         // Smoke mode is the CI shape check: JSON is the whole stdout.
         println!("{json}");
@@ -1039,6 +1223,22 @@ fn main() {
             "| {} | {} | {} | {} | {:.0} | {:.0} |",
             m.workload,
             m.mode,
+            m.k,
+            m.steps,
+            m.steps_per_sec,
+            m.steps_per_sec * m.k as f64
+        );
+    }
+    println!();
+    println!("solver kernel (scalar per-lane vs width-aware batched; fig2 = ODE-backed variant)");
+    println!();
+    println!("| workload | kernel | K | steps | steps/sec | instance-steps/sec |");
+    println!("|----------|--------|---|-------|-----------|--------------------|");
+    for m in &kernel_results {
+        println!(
+            "| {} | {} | {} | {} | {:.0} | {:.0} |",
+            m.workload,
+            m.kernel,
             m.k,
             m.steps,
             m.steps_per_sec,

@@ -67,6 +67,87 @@ pub fn fig2_network() -> (StreamerNetwork, [NodeId; 4]) {
     (net, [sub1, relay, sub2, sub3])
 }
 
+/// The Figure 2 topology with an ODE-backed source: identical fan-out to
+/// [`fig2_network`], but `sub1` *integrates* the oscillator (RK4,
+/// `substep = 1e-4`) instead of evaluating `sin(2t)` in closed form —
+/// `x'' = -ω² x` with `ω = 2` and `x(0) = 0, x'(0) = 2` has the exact
+/// solution `x(t) = sin(2t)`, so downstream semantics match. This is the
+/// fig2 variant the batched-kernel benchmark axis uses: the closed-form
+/// fig2 has no ODE lanes for a batched solver kernel to act on.
+///
+/// Returns the network plus the ids of `(sub1, relay, sub2, sub3)`.
+///
+/// # Panics
+///
+/// Panics only on internal construction errors (it is a fixed topology).
+pub fn fig2_ode_network() -> (StreamerNetwork, [NodeId; 4]) {
+    let mut net = StreamerNetwork::new("fig2-ode");
+    let sub1 = net
+        .add_streamer(
+            OdeStreamer::new(
+                "sub1",
+                SineOsc { omega: 2.0 },
+                SolverKind::Rk4.create(),
+                &[0.0, 2.0],
+                1e-4,
+            ),
+            &[],
+            &[("y", FlowType::scalar())],
+        )
+        .expect("sub1");
+    let relay = net.add_relay("relay", FlowType::scalar(), 2).expect("relay");
+    let sub2 = net
+        .add_streamer(
+            FnStreamer::new("sub2", 1, 1, |_t, _h, u: &[f64], y: &mut [f64]| y[0] = 2.0 * u[0]),
+            &[("u", FlowType::scalar())],
+            &[("y", FlowType::scalar())],
+        )
+        .expect("sub2");
+    let sub3 = net
+        .add_streamer(
+            FnStreamer::new("sub3", 1, 1, |_t, _h, u: &[f64], y: &mut [f64]| y[0] = u[0] * u[0]),
+            &[("u", FlowType::scalar())],
+            &[("y", FlowType::scalar())],
+        )
+        .expect("sub3");
+    net.flow((sub1, "y"), (relay, "in")).expect("flow 1");
+    net.flow((relay, "out0"), (sub2, "u")).expect("flow 2");
+    net.flow((relay, "out1"), (sub3, "u")).expect("flow 3");
+    (net, [sub1, relay, sub2, sub3])
+}
+
+/// Undamped harmonic oscillator `x'' = -ω² x` as an input-free
+/// [`urt_ode::system::InputSystem`] exposing only the position — the
+/// ODE-backed stand-in for fig2's `sin(2t)` source.
+#[derive(Clone)]
+pub struct SineOsc {
+    /// Angular frequency ω.
+    pub omega: f64,
+}
+
+impl urt_ode::system::InputSystem for SineOsc {
+    fn dim(&self) -> usize {
+        2
+    }
+
+    fn input_dim(&self) -> usize {
+        0
+    }
+
+    fn derivatives(&self, _t: f64, x: &[f64], _u: &[f64], dx: &mut [f64]) {
+        dx[0] = x[1];
+        dx[1] = -self.omega * self.omega * x[0];
+    }
+
+    fn output(&self, _t: f64, x: &[f64], _u: &[f64], y: &mut [f64]) {
+        y[0] = x[0];
+    }
+
+    fn output_dim(&self) -> usize {
+        1
+    }
+}
+
 /// Builds a chain network of `n` solver-backed streamers (Van der Pol
 /// oscillators feeding gains), used by the scaling benches.
 ///
@@ -201,6 +282,21 @@ mod tests {
         let squared = net.output(sub3, "y").unwrap()[0];
         assert!(doubled.is_finite() && squared.is_finite());
         assert!(squared >= 0.0, "square is non-negative");
+    }
+
+    #[test]
+    fn fig2_ode_source_tracks_the_closed_form() {
+        let (mut net, [_, _, sub2, _]) = fig2_ode_network();
+        net.initialize(0.0).unwrap();
+        let mut t = 0.0f64;
+        for _ in 0..200 {
+            net.step(0.01).unwrap();
+            t += 0.01;
+        }
+        let doubled = net.output(sub2, "y").unwrap()[0];
+        // sub2 doubles the integrated sin(2t); RK4 at substep 1e-4 keeps
+        // the integration error far below this tolerance.
+        assert!((doubled - 2.0 * (2.0 * t).sin()).abs() < 1e-6, "got {doubled} at t={t}");
     }
 
     #[test]

@@ -44,10 +44,14 @@ use crate::recorder::{Recorder, SeriesHandle};
 use crate::sync::{Mutex, SpinBarrier};
 use crate::threading::ThreadPolicy;
 use crate::time::SimClock;
+use std::cell::RefCell;
 use std::fmt;
 use std::sync::Arc;
 use urt_dataflow::graph::{NodeId, PlanNodeKind, StepPlan, StreamerNetwork};
 use urt_dataflow::streamer::StreamerBehavior;
+use urt_ode::solver::Solver;
+use urt_ode::system::BatchOdeSystem;
+use urt_ode::OdeSystem;
 
 #[cfg(doc)]
 use crate::engine::HybridEngine;
@@ -103,6 +107,96 @@ impl VariantSpec {
     }
 }
 
+/// Which ODE stepping kernel ensemble groups use for solver-backed lanes.
+///
+/// [`Batched`](EnsembleKernel::Batched) (the default) routes every
+/// eligible streamer row — homogeneous, guard-free lanes whose solver has
+/// a true batched kernel — through one width-aware
+/// [`Solver::step_batch`] call per sub-step. Per-lane arithmetic is the
+/// exact scalar sequence, so results stay bit-identical either way;
+/// [`PerLane`](EnsembleKernel::PerLane) exists as the measurable baseline
+/// (the `bench_engine` kernel axis).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum EnsembleKernel {
+    /// Per-lane scalar stepping: K independent `advance` calls per row.
+    PerLane,
+    /// Width-aware batched stepping for eligible rows.
+    #[default]
+    Batched,
+}
+
+/// Batch-stepping state for one eligible streamer row: the row's lanes
+/// share `dim`/`substep`, and the row owns one solver clone (explicit
+/// fixed-step strategies carry no cross-step scratch, so a single solver
+/// serves all K lanes) plus the instance-major state staging.
+struct BatchRow {
+    dim: usize,
+    substep: f64,
+    /// The row's solver clock, shared by all lanes (lockstep): the exact
+    /// mirror of the lanes' `SolverDriver` time, persistent across macro
+    /// steps. It is *not* recomputed from the group time — the driver's
+    /// end-of-interval snap can leave it one rounding shy of `t_end`, and
+    /// the next macro step's clamped final sub-step depends on that value
+    /// bit-for-bit.
+    time: f64,
+    solver: Box<dyn Solver + Send>,
+    /// Instance-major staging, `K * dim`: gathered from the lanes' drivers
+    /// before the sub-step loop, scattered back through
+    /// [`OdeLane::lane_sync`](urt_dataflow::streamer::OdeLane::lane_sync) after.
+    states: Vec<f64>,
+    /// Per-lane gather/scatter scratch for [`LaneBatchSystem`] (`dim`
+    /// each), parked here between macro steps to stay allocation-free.
+    scratch_x: Vec<f64>,
+    scratch_d: Vec<f64>,
+}
+
+/// The K lanes of one streamer row viewed as a single batched ODE system.
+///
+/// Each lane keeps its own parameters and frozen inputs, so the
+/// derivative evaluation dispatches per lane — but every lane computes
+/// exactly what the scalar path's `FrozenInput` wrapper computes, and the
+/// solver's stage algebra above this runs as fused sweeps across all
+/// lanes. `OdeSystem::derivatives` is unreachable by construction: only
+/// solvers with true batched kernels (which never fall back to the scalar
+/// entry point) are routed here.
+struct LaneBatchSystem<'a> {
+    lanes: &'a [Box<dyn StreamerBehavior>],
+    ins: &'a [f64],
+    inw: usize,
+    in_offset: usize,
+    in_width: usize,
+    dim: usize,
+    scratch: RefCell<(Vec<f64>, Vec<f64>)>,
+}
+
+impl OdeSystem for LaneBatchSystem<'_> {
+    fn dim(&self) -> usize {
+        self.dim
+    }
+
+    fn derivatives(&self, _t: f64, _x: &[f64], _dx: &mut [f64]) {
+        unreachable!("lane batch systems are only evaluated through derivatives_batch");
+    }
+}
+
+impl BatchOdeSystem for LaneBatchSystem<'_> {
+    fn derivatives_batch(&self, t: f64, states: &[f64], dim: usize, k: usize, dx: &mut [f64]) {
+        let mut scratch = self.scratch.borrow_mut();
+        let (x, d) = &mut *scratch;
+        for (i, b) in self.lanes.iter().enumerate() {
+            let lane = b.as_ode_lane().expect("batch rows contain only ODE lanes");
+            for v in 0..dim {
+                x[v] = states[v * k + i];
+            }
+            let ui = i * self.inw + self.in_offset;
+            lane.lane_derivatives(t, x, &self.ins[ui..ui + self.in_width], d);
+            for v in 0..dim {
+                dx[v * k + i] = d[v];
+            }
+        }
+    }
+}
+
 /// One group's ensemble state: the shared routing plan plus `K`
 /// instance-major copies of the dense per-instance arrays.
 struct GroupState {
@@ -110,6 +204,12 @@ struct GroupState {
     /// `behaviours[r][i]` is instance `i` of the `r`-th *streamer* plan
     /// node (relays carry no behaviour), in plan order.
     behaviours: Vec<Vec<Box<dyn StreamerBehavior>>>,
+    /// `batch_rows[r]` is the batch-stepping state of the `r`-th streamer
+    /// row, `None` for rows that are not batch-eligible. Built once at
+    /// start (after `initialize`), empty before.
+    batch_rows: Vec<Option<BatchRow>>,
+    /// Kernel selection for this group's solver-backed rows.
+    kernel: EnsembleKernel,
     /// Dense input lanes, `K * plan.in_width()`.
     ins: Vec<f64>,
     /// Dense output lanes, `K * plan.out_width()`.
@@ -144,21 +244,100 @@ impl GroupState {
             }
             match pn.kind {
                 PlanNodeKind::Streamer => {
-                    let lanes = &mut self.behaviours[row];
+                    let r = row;
                     row += 1;
-                    for (i, b) in lanes.iter_mut().enumerate() {
-                        let ui = i * inw + pn.in_offset;
-                        let yi = i * outw + pn.out_offset;
-                        b.advance(
-                            t,
-                            h,
-                            &self.ins[ui..ui + pn.in_width],
-                            &mut self.outs[yi..yi + pn.out_width],
-                        )
-                        .map_err(|e| CoreError::Flow(e.into()))?;
-                        // No SPort links exist in an ensemble: drain
-                        // emitted signals so they cannot accumulate.
-                        let _ = b.take_emitted();
+                    let batched = matches!(self.kernel, EnsembleKernel::Batched)
+                        && matches!(self.batch_rows.get(r), Some(Some(_)));
+                    if batched {
+                        let br = self.batch_rows[r].as_mut().expect("row checked above");
+                        let dim = br.dim;
+                        let t_end = t + h;
+                        let resolution = 4.0 * f64::EPSILON * t_end.abs().max(1.0);
+                        {
+                            let lanes = &self.behaviours[r];
+                            for (i, b) in lanes.iter().enumerate() {
+                                let lane =
+                                    b.as_ode_lane().expect("batch rows contain only ODE lanes");
+                                let x = lane.lane_state().expect("batch rows are initialized");
+                                br.states[i * dim..(i + 1) * dim].copy_from_slice(x);
+                            }
+                            let sys = LaneBatchSystem {
+                                lanes,
+                                ins: &self.ins,
+                                inw,
+                                in_offset: pn.in_offset,
+                                in_width: pn.in_width,
+                                dim,
+                                scratch: RefCell::new((
+                                    std::mem::take(&mut br.scratch_x),
+                                    std::mem::take(&mut br.scratch_d),
+                                )),
+                            };
+                            // The scalar path's sub-step schedule verbatim
+                            // (`OdeStreamer::advance` + `SolverDriver::advance`
+                            // for a fixed-step solver), resuming from the
+                            // persistent row clock, so every lane sees the
+                            // exact `(t, h)` sequence of a standalone run.
+                            let mut tl = br.time;
+                            while tl < t_end - resolution {
+                                let remaining = t_end - tl;
+                                if remaining <= resolution {
+                                    // The driver's own entry check can
+                                    // disagree with the loop test by one
+                                    // rounding: snap without stepping.
+                                    tl = t_end;
+                                    continue;
+                                }
+                                let h_sub = br.substep.min(remaining);
+                                br.solver
+                                    .step_batch(&sys, tl, &mut br.states, dim, h_sub)
+                                    .map_err(|e| CoreError::Flow(e.into()))?;
+                                tl += h_sub;
+                                if t_end - tl <= resolution {
+                                    tl = t_end;
+                                }
+                            }
+                            br.time = tl;
+                            (br.scratch_x, br.scratch_d) = sys.scratch.into_inner();
+                        }
+                        let lanes = &mut self.behaviours[r];
+                        for (i, b) in lanes.iter_mut().enumerate() {
+                            let ui = i * inw + pn.in_offset;
+                            let yi = i * outw + pn.out_offset;
+                            let x = &br.states[i * dim..(i + 1) * dim];
+                            let lane =
+                                b.as_ode_lane_mut().expect("batch rows contain only ODE lanes");
+                            // Sync the driver to the row clock (which may
+                            // sit one rounding shy of `t_end`), exactly
+                            // where the scalar driver would have left it.
+                            lane.lane_sync(br.time, x).map_err(|e| CoreError::Flow(e.into()))?;
+                            lane.lane_output(
+                                t_end,
+                                x,
+                                &self.ins[ui..ui + pn.in_width],
+                                &mut self.outs[yi..yi + pn.out_width],
+                            );
+                            // Parity with the scalar branch: batchable
+                            // lanes are guard-free so nothing can be
+                            // pending, but drain regardless.
+                            let _ = b.take_emitted();
+                        }
+                    } else {
+                        let lanes = &mut self.behaviours[r];
+                        for (i, b) in lanes.iter_mut().enumerate() {
+                            let ui = i * inw + pn.in_offset;
+                            let yi = i * outw + pn.out_offset;
+                            b.advance(
+                                t,
+                                h,
+                                &self.ins[ui..ui + pn.in_width],
+                                &mut self.outs[yi..yi + pn.out_width],
+                            )
+                            .map_err(|e| CoreError::Flow(e.into()))?;
+                            // No SPort links exist in an ensemble: drain
+                            // emitted signals so they cannot accumulate.
+                            let _ = b.take_emitted();
+                        }
                     }
                 }
                 PlanNodeKind::Relay { in_width, fanout } => {
@@ -313,8 +492,57 @@ fn build_group(
         ext: vec![0.0; k * plan.ext_in_width()],
         plan,
         behaviours,
+        batch_rows: Vec::new(),
+        kernel: EnsembleKernel::default(),
         time: 0.0,
     })
+}
+
+/// Decides, per streamer row, whether all K lanes can step through the
+/// batched kernel path: every lane must expose itself as a batchable
+/// [`OdeLane`](urt_dataflow::streamer::OdeLane) (initialized, guard-free, handler-free, batched-kernel
+/// solver) and the row must be homogeneous in `dim` and `substep` — the
+/// lockstep schedule is shared. Called once after `initialize`.
+fn build_batch_rows(gs: &mut GroupState, k: usize) {
+    let rows = gs.behaviours.len();
+    gs.batch_rows.clear();
+    gs.batch_rows.reserve(rows);
+    for lanes in &gs.behaviours {
+        let candidate = (|| {
+            let first = lanes.first()?.as_ode_lane()?;
+            if !first.lane_batchable() {
+                return None;
+            }
+            let dim = first.lane_dim();
+            let substep = first.lane_substep();
+            if dim == 0 || !(substep.is_finite() && substep > 0.0) {
+                return None;
+            }
+            let time = first.lane_time()?;
+            for b in lanes {
+                let lane = b.as_ode_lane()?;
+                if !lane.lane_batchable()
+                    || lane.lane_dim() != dim
+                    || lane.lane_substep().to_bits() != substep.to_bits()
+                    || lane.lane_state().is_none()
+                    || lane.lane_time().map(f64::to_bits) != Some(time.to_bits())
+                {
+                    return None;
+                }
+            }
+            let solver = first.lane_clone_solver()?;
+            Some(BatchRow {
+                dim,
+                substep,
+                time,
+                solver,
+                states: vec![0.0; k * dim],
+                scratch_x: vec![0.0; dim],
+                scratch_d: vec![0.0; dim],
+            })
+        })();
+        gs.batch_rows.push(candidate);
+    }
 }
 
 impl EnsembleEngine {
@@ -594,9 +822,21 @@ impl EnsembleEngine {
                     b.initialize(t0).map_err(|e| CoreError::Flow(e.into()))?;
                 }
             }
+            build_batch_rows(gs, self.k);
         }
         self.started = true;
         Ok(())
+    }
+
+    /// Selects the ODE stepping kernel for all groups (see
+    /// [`EnsembleKernel`]). The default is
+    /// [`Batched`](EnsembleKernel::Batched); results are bit-identical
+    /// either way, so this is a pure performance knob (and the
+    /// `bench_engine` kernel axis).
+    pub fn set_kernel(&mut self, kernel: EnsembleKernel) {
+        for gs in &mut self.groups {
+            gs.kernel = kernel;
+        }
     }
 
     /// Runs until simulation time `t_end`, in macro steps of
@@ -1209,6 +1449,65 @@ mod tests {
         let s2 = rec.series("out#2");
         assert!(s0.last().unwrap().1 != s1.last().unwrap().1);
         assert!(s1.last().unwrap().1 != s2.last().unwrap().1);
+    }
+
+    #[test]
+    fn per_lane_and_batched_kernels_are_bit_identical() {
+        let variants = [
+            VariantSpec::new(),
+            VariantSpec::new().set("plant", "x0[0]", 2.5),
+            VariantSpec::new().set("plant", "rate", 4.0).set("plant", "x0[0]", 0.5),
+        ];
+        let run = |kernel: EnsembleKernel| {
+            let compiled = compile(1.0, 1.0);
+            let mut ensemble =
+                EnsembleEngine::from_variants(&compiled, &variants, EngineConfig::default())
+                    .unwrap();
+            ensemble.set_kernel(kernel);
+            let rec = Recorder::new();
+            ensemble.set_recorder(rec.clone());
+            ensemble.run_until(0.05).unwrap();
+            // The plant row (Rk4 OdeStreamer) is batch-eligible; the
+            // FnStreamer doubler row is not.
+            let eligible: usize =
+                ensemble.groups.iter().map(|g| g.batch_rows.iter().flatten().count()).sum();
+            assert_eq!(eligible, 1, "exactly the ODE row is batch-eligible");
+            rec
+        };
+        let scalar = run(EnsembleKernel::PerLane);
+        let batched = run(EnsembleKernel::Batched);
+        for i in 0..variants.len() {
+            let name = EnsembleEngine::series_name("out", i);
+            bit_eq(&scalar.series(&name), &batched.series(&name), &format!("kernel axis lane {i}"));
+        }
+    }
+
+    #[test]
+    fn solvers_without_batched_kernels_stay_on_the_per_lane_path() {
+        let mut b = ModelBuilder::new("m");
+        let p = b.streamer("plant", "none");
+        b.streamer_out(p, "y", FlowType::scalar());
+        b.streamer_feedthrough(p, false);
+        b.probe(p, "y", "out");
+        let registry = BehaviorRegistry::new().streamer("plant", || {
+            Box::new(OdeStreamer::new(
+                "plant",
+                Decay { rate: 1.0 },
+                SolverKind::Heun.create(),
+                &[1.0],
+                1e-3,
+            ))
+        });
+        let compiled = elaborate(&b.build(), registry, &validate_gate).expect("elaborates");
+        let mut ensemble =
+            EnsembleEngine::from_compiled(&compiled, 3, EngineConfig::default()).unwrap();
+        let rec = Recorder::new();
+        ensemble.set_recorder(rec.clone());
+        ensemble.run_until(0.02).unwrap();
+        let eligible: usize =
+            ensemble.groups.iter().map(|g| g.batch_rows.iter().flatten().count()).sum();
+        assert_eq!(eligible, 0, "Heun has no batched kernel: no row may batch");
+        assert!(rec.series("out#0").last().unwrap().1 < 1.0);
     }
 
     /// Cross-thread model: a non-feedthrough ramp on thread 0 feeding a

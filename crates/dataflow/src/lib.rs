@@ -56,4 +56,4 @@ pub use error::FlowError;
 pub use flowtype::{FlowType, Unit};
 pub use graph::{NodeId, StreamerNetwork};
 pub use port::{DPortSpec, Direction, SPortSpec};
-pub use streamer::{CompositeStreamer, FnStreamer, OdeStreamer, StreamerBehavior};
+pub use streamer::{CompositeStreamer, FnStreamer, OdeLane, OdeStreamer, StreamerBehavior};

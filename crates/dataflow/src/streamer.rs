@@ -83,6 +83,72 @@ pub trait StreamerBehavior: Send {
     fn set_param(&mut self, _name: &str, _value: f64) -> bool {
         false
     }
+
+    /// Exposes this behaviour as a batchable ODE lane, or `None` for
+    /// behaviours that are not solver-backed. Ensemble execution uses
+    /// this hook to route homogeneous lanes through the width-aware
+    /// [`Solver::step_batch`] kernels.
+    fn as_ode_lane(&self) -> Option<&dyn OdeLane> {
+        None
+    }
+
+    /// Mutable counterpart of [`StreamerBehavior::as_ode_lane`] (state
+    /// write-back after a batched macro step).
+    fn as_ode_lane_mut(&mut self) -> Option<&mut dyn OdeLane> {
+        None
+    }
+}
+
+/// A solver-backed behaviour viewed as one lane of a batched ODE step.
+///
+/// The batched ensemble path gathers K lanes' states into one
+/// instance-major buffer, advances them through a single width-aware
+/// [`Solver::step_batch`] call per sub-step (each lane's derivatives
+/// evaluated against its *own* system parameters and frozen inputs), and
+/// scatters the result back through [`OdeLane::lane_sync`]. The per-lane
+/// arithmetic is exactly the scalar [`StreamerBehavior::advance`] path,
+/// so lanes stay bit-identical to standalone runs.
+pub trait OdeLane {
+    /// Continuous state dimension.
+    fn lane_dim(&self) -> usize;
+
+    /// Nominal internal sub-step (the `substep` configuration).
+    fn lane_substep(&self) -> f64;
+
+    /// Whether this lane is eligible for batched stepping: initialized,
+    /// guard-free, handler-free, and holding a solver with a true batched
+    /// kernel.
+    fn lane_batchable(&self) -> bool;
+
+    /// Current continuous state, or `None` before `initialize`.
+    fn lane_state(&self) -> Option<&[f64]>;
+
+    /// The lane's internal solver clock, or `None` before `initialize`.
+    ///
+    /// This is *not* always the macro-step boundary: the driver's
+    /// end-of-interval snap (`t_end - t <= resolution`) and the advance
+    /// loop's exit test (`t < t_end - resolution`) can disagree by one
+    /// rounding, leaving the clock a hair before `t_end`. The batched
+    /// path must resume from this exact value — the clamped final
+    /// sub-step of the next macro step depends on it bit-for-bit.
+    fn lane_time(&self) -> Option<f64>;
+
+    /// Clones the lane's solver strategy for batch ownership (fixed-step
+    /// explicit strategies carry no cross-step scratch, so one clone can
+    /// serve all lanes).
+    fn lane_clone_solver(&self) -> Option<Box<dyn Solver + Send>>;
+
+    /// Evaluates this lane's derivatives at `(t, x)` under frozen inputs
+    /// `u` — the same computation the scalar path performs through
+    /// [`FrozenInput`].
+    fn lane_derivatives(&self, t: f64, x: &[f64], u: &[f64], dx: &mut [f64]);
+
+    /// Writes the batched result back: state becomes `x`, clock becomes
+    /// `t` (end of the macro step).
+    fn lane_sync(&mut self, t: f64, x: &[f64]) -> Result<(), SolveError>;
+
+    /// Evaluates the lane's output map `y = g(t, x, u)`.
+    fn lane_output(&self, t: f64, x: &[f64], u: &[f64], y: &mut [f64]);
 }
 
 /// A stateless (or self-contained) behaviour defined by a closure
@@ -387,6 +453,63 @@ impl<S: InputSystem + Send + Clone + 'static> StreamerBehavior for OdeStreamer<S
             return false;
         }
         self.param_fn.is_some_and(|f| f(&mut self.system, name, value))
+    }
+
+    fn as_ode_lane(&self) -> Option<&dyn OdeLane> {
+        Some(self)
+    }
+
+    fn as_ode_lane_mut(&mut self) -> Option<&mut dyn OdeLane> {
+        Some(self)
+    }
+}
+
+impl<S: InputSystem + Send + Clone + 'static> OdeLane for OdeStreamer<S> {
+    fn lane_dim(&self) -> usize {
+        self.system.dim()
+    }
+
+    fn lane_substep(&self) -> f64 {
+        self.substep
+    }
+
+    fn lane_batchable(&self) -> bool {
+        // Guards would need per-sub-step crossing checks and handlers can
+        // mutate state mid-run; both force the scalar path. The solver
+        // must expose a true batched kernel — the per-lane default would
+        // route through `OdeSystem::derivatives`, which a lane-dispatching
+        // batch system cannot provide.
+        self.driver.is_some()
+            && self.guards.is_empty()
+            && self.handler.is_none()
+            && self.solver.has_batched_kernel()
+    }
+
+    fn lane_state(&self) -> Option<&[f64]> {
+        self.driver.as_ref().map(|d| d.state().as_slice())
+    }
+
+    fn lane_time(&self) -> Option<f64> {
+        self.driver.as_ref().map(|d| d.time())
+    }
+
+    fn lane_clone_solver(&self) -> Option<Box<dyn Solver + Send>> {
+        self.solver.clone_boxed()
+    }
+
+    fn lane_derivatives(&self, t: f64, x: &[f64], u: &[f64], dx: &mut [f64]) {
+        self.system.derivatives(t, x, u, dx);
+    }
+
+    fn lane_sync(&mut self, t: f64, x: &[f64]) -> Result<(), SolveError> {
+        let driver = self.driver.as_mut().ok_or(SolveError::InvalidStep { step: t })?;
+        driver.state_mut().as_mut_slice().copy_from_slice(x);
+        driver.set_time(t);
+        Ok(())
+    }
+
+    fn lane_output(&self, t: f64, x: &[f64], u: &[f64], y: &mut [f64]) {
+        self.system.output(t, x, u, y);
     }
 }
 

@@ -47,8 +47,8 @@ pub mod system;
 pub use error::SolveError;
 pub use events::{EventDirection, ZeroCrossing};
 pub use solver::{Solver, SolverKind, StepOutcome};
-pub use state::StateVec;
-pub use system::{FnSystem, OdeSystem};
+pub use state::{StateVec, LANE_WIDTH};
+pub use system::{AffineSystem, BatchOdeSystem, FnSystem, LinearSystem, OdeSystem};
 
 use solver::SolverDriver;
 

@@ -10,8 +10,8 @@
 #![allow(clippy::needless_range_loop)]
 
 use crate::error::SolveError;
-use crate::state::StateVec;
-use crate::system::OdeSystem;
+use crate::state::{lanes_axpy, lanes_rk4_combine, lanes_stage, StateVec};
+use crate::system::{BatchOdeSystem, OdeSystem};
 use std::fmt;
 
 /// Outcome of a single attempted integration step.
@@ -91,6 +91,14 @@ pub trait Solver {
         None
     }
 
+    /// Whether this strategy overrides [`Solver::step_batch`] with a
+    /// truly batched kernel (every stage evaluated across all lanes at
+    /// once) rather than the per-lane default. Ensemble execution only
+    /// routes lanes through the batched path for such solvers.
+    fn has_batched_kernel(&self) -> bool {
+        false
+    }
+
     /// Advances `states.len() / dim` independent state lanes of the same
     /// system from `t` to exactly `t + h`, where lane `i` occupies
     /// `states[i * dim..(i + 1) * dim]` (instance-major layout).
@@ -100,14 +108,24 @@ pub trait Solver {
     /// rejections are retried per lane with the suggested smaller step
     /// until the lane reaches `t + h`.
     ///
+    /// Termination is pinned: a lane never *attempts* a step smaller than
+    /// the interval's floating-point resolution — when a controller's
+    /// `h_next` underflows that far (including to zero) near `t_end`, the
+    /// call fails with [`SolveError::StepSizeUnderflow`] instead of
+    /// spinning on steps too small to advance the clock. Every accepted
+    /// step therefore moves a lane by at least the resolution, bounding
+    /// the loop at `h / resolution` iterations per lane.
+    ///
     /// # Errors
     ///
     /// * [`SolveError::DimensionMismatch`] if `dim` is zero or does not
     ///   divide `states.len()`.
+    /// * [`SolveError::StepSizeUnderflow`] if a lane's suggested step
+    ///   falls below the time resolution before reaching `t + h`.
     /// * Any error the per-lane [`Solver::step`] calls produce.
     fn step_batch(
         &mut self,
-        sys: &dyn OdeSystem,
+        sys: &dyn BatchOdeSystem,
         t: f64,
         states: &mut [f64],
         dim: usize,
@@ -126,11 +144,15 @@ pub trait Solver {
                 if remaining <= resolution {
                     break;
                 }
-                let out = self.step(sys, tl, lane, hl.min(remaining))?;
+                let h_try = hl.min(remaining);
+                if h_try < resolution {
+                    return Err(SolveError::StepSizeUnderflow { time: tl, step: h_try });
+                }
+                let out = self.step(sys, tl, lane, h_try)?;
                 if out.accepted {
                     tl += out.h_taken;
                 }
-                hl = out.h_next.max(1e-300);
+                hl = out.h_next;
             }
         }
         Ok(())
@@ -150,6 +172,53 @@ fn ensure_finite(t: f64, x: &[f64]) -> Result<(), SolveError> {
         Ok(())
     } else {
         Err(SolveError::NonFiniteState { time: t })
+    }
+}
+
+/// Validates the instance-major batch layout the batched kernels consume
+/// and returns the lane count `k`.
+fn batch_layout(
+    sys: &dyn BatchOdeSystem,
+    states: &[f64],
+    dim: usize,
+    h: f64,
+) -> Result<usize, SolveError> {
+    if dim == 0 || !states.len().is_multiple_of(dim) {
+        return Err(SolveError::DimensionMismatch { expected: dim, found: states.len() });
+    }
+    if dim != sys.dim() {
+        return Err(SolveError::DimensionMismatch { expected: sys.dim(), found: dim });
+    }
+    if !(h.is_finite() && h > 0.0) {
+        return Err(SolveError::InvalidStep { step: h });
+    }
+    Ok(states.len() / dim)
+}
+
+fn resize_buf(v: &mut Vec<f64>, n: usize) {
+    if v.len() != n {
+        v.clear();
+        v.resize(n, 0.0);
+    }
+}
+
+/// Instance-major (`[i * dim + v]`) → variable-major (`[v * k + i]`)
+/// transpose into the kernel scratch. Pure data movement: the per-lane
+/// values are untouched, so bit-identity survives the relayout.
+fn gather_variable_major(states: &[f64], dim: usize, k: usize, xs: &mut [f64]) {
+    for (i, lane) in states.chunks_exact(dim).enumerate() {
+        for (v, value) in lane.iter().enumerate() {
+            xs[v * k + i] = *value;
+        }
+    }
+}
+
+/// Variable-major → instance-major transpose back out of the scratch.
+fn scatter_variable_major(xs: &[f64], dim: usize, k: usize, states: &mut [f64]) {
+    for (i, lane) in states.chunks_exact_mut(dim).enumerate() {
+        for (v, value) in lane.iter_mut().enumerate() {
+            *value = xs[v * k + i];
+        }
     }
 }
 
@@ -219,6 +288,8 @@ impl fmt::Display for SolverKind {
 #[derive(Debug, Clone, Default)]
 pub struct ForwardEuler {
     k: StateVec,
+    bxs: Vec<f64>,
+    bk: Vec<f64>,
 }
 
 impl ForwardEuler {
@@ -256,6 +327,34 @@ impl Solver for ForwardEuler {
         }
         ensure_finite(t + h, x)?;
         Ok(StepOutcome::fixed(h))
+    }
+
+    fn has_batched_kernel(&self) -> bool {
+        true
+    }
+
+    /// Width-aware batch step: one `derivatives_batch` evaluation across
+    /// all K lanes, then a single fused axpy sweep. Per-lane arithmetic is
+    /// the exact `x[i] += h * k[i]` of the scalar kernel, so every lane is
+    /// bit-identical to a standalone [`Solver::step`].
+    fn step_batch(
+        &mut self,
+        sys: &dyn BatchOdeSystem,
+        t: f64,
+        states: &mut [f64],
+        dim: usize,
+        h: f64,
+    ) -> Result<(), SolveError> {
+        let k = batch_layout(sys, states, dim, h)?;
+        let n = states.len();
+        resize_buf(&mut self.bxs, n);
+        resize_buf(&mut self.bk, n);
+        gather_variable_major(states, dim, k, &mut self.bxs);
+        sys.derivatives_batch(t, &self.bxs, dim, k, &mut self.bk);
+        lanes_axpy(&mut self.bxs, h, &self.bk);
+        ensure_finite(t + h, &self.bxs)?;
+        scatter_variable_major(&self.bxs, dim, k, states);
+        Ok(())
     }
 }
 
@@ -320,6 +419,12 @@ pub struct Rk4 {
     k3: StateVec,
     k4: StateVec,
     tmp: StateVec,
+    bxs: Vec<f64>,
+    bk1: Vec<f64>,
+    bk2: Vec<f64>,
+    bk3: Vec<f64>,
+    bk4: Vec<f64>,
+    bstage: Vec<f64>,
 }
 
 impl Rk4 {
@@ -372,6 +477,50 @@ impl Solver for Rk4 {
         }
         ensure_finite(t + h, x)?;
         Ok(StepOutcome::fixed(h))
+    }
+
+    fn has_batched_kernel(&self) -> bool {
+        true
+    }
+
+    /// Width-aware batch step: each RK stage is evaluated across all K
+    /// lanes before the next stage begins, with the stage-combine loops
+    /// fused into [`LANE_WIDTH`]-chunked sweeps over the variable-major
+    /// scratch. Per-lane arithmetic keeps the scalar kernel's expression
+    /// order (`x[i] + 0.5 * h * k[i]`, final `h / 6` weighted sum), so
+    /// every lane is bit-identical to a standalone [`Solver::step`].
+    fn step_batch(
+        &mut self,
+        sys: &dyn BatchOdeSystem,
+        t: f64,
+        states: &mut [f64],
+        dim: usize,
+        h: f64,
+    ) -> Result<(), SolveError> {
+        let k = batch_layout(sys, states, dim, h)?;
+        let n = states.len();
+        for buf in [
+            &mut self.bxs,
+            &mut self.bk1,
+            &mut self.bk2,
+            &mut self.bk3,
+            &mut self.bk4,
+            &mut self.bstage,
+        ] {
+            resize_buf(buf, n);
+        }
+        gather_variable_major(states, dim, k, &mut self.bxs);
+        sys.derivatives_batch(t, &self.bxs, dim, k, &mut self.bk1);
+        lanes_stage(&mut self.bstage, &self.bxs, 0.5 * h, &self.bk1);
+        sys.derivatives_batch(t + 0.5 * h, &self.bstage, dim, k, &mut self.bk2);
+        lanes_stage(&mut self.bstage, &self.bxs, 0.5 * h, &self.bk2);
+        sys.derivatives_batch(t + 0.5 * h, &self.bstage, dim, k, &mut self.bk3);
+        lanes_stage(&mut self.bstage, &self.bxs, h, &self.bk3);
+        sys.derivatives_batch(t + h, &self.bstage, dim, k, &mut self.bk4);
+        lanes_rk4_combine(&mut self.bxs, h / 6.0, &self.bk1, &self.bk2, &self.bk3, &self.bk4);
+        ensure_finite(t + h, &self.bxs)?;
+        scatter_variable_major(&self.bxs, dim, k, states);
+        Ok(())
     }
 }
 
@@ -662,6 +811,13 @@ impl SolverDriver {
         &mut self.x
     }
 
+    /// Overwrites the current time (for executors that integrate the
+    /// state out-of-band — e.g. a batched kernel — and re-synchronize
+    /// the driver afterwards).
+    pub fn set_time(&mut self, t: f64) {
+        self.t = t;
+    }
+
     /// Advances by one *accepted* step, never past `t_end`.
     ///
     /// When the remaining interval is below floating-point resolution the
@@ -932,5 +1088,173 @@ mod tests {
         assert!(SolverDriver::new(0.0, &[1.0], 0.0).is_err());
         assert!(SolverDriver::new(0.0, &[1.0], -1.0).is_err());
         assert!(SolverDriver::new(0.0, &[1.0], f64::INFINITY).is_err());
+    }
+
+    #[test]
+    fn driver_set_time_overwrites_the_clock() {
+        let mut driver = SolverDriver::new(0.0, &[1.0], 0.1).unwrap();
+        driver.set_time(2.5);
+        assert_eq!(driver.time(), 2.5);
+    }
+
+    #[test]
+    fn only_explicit_fixed_step_solvers_report_batched_kernels() {
+        for kind in SolverKind::ALL {
+            let expect = matches!(kind, SolverKind::ForwardEuler | SolverKind::Rk4);
+            assert_eq!(kind.create().has_batched_kernel(), expect, "{kind} batched-kernel flag");
+        }
+    }
+
+    #[test]
+    fn euler_batched_kernel_is_bit_identical_to_scalar_steps() {
+        let sys = HarmonicOscillator { omega: 3.0 };
+        let lanes = [[1.0, 0.0], [0.25, -0.5], [-2.0, 1.5], [0.1, 0.2], [7.0, -3.0]];
+        let mut batch: Vec<f64> = lanes.iter().flatten().copied().collect();
+        let mut solver = ForwardEuler::new();
+        assert!(solver.has_batched_kernel());
+        solver.step_batch(&sys, 0.5, &mut batch, 2, 0.01).unwrap();
+        for (i, x0) in lanes.iter().enumerate() {
+            let mut lane = x0.to_vec();
+            ForwardEuler::new().step(&sys, 0.5, &mut lane, 0.01).unwrap();
+            for d in 0..2 {
+                assert_eq!(batch[i * 2 + d].to_bits(), lane[d].to_bits(), "lane {i} var {d}");
+            }
+        }
+    }
+
+    #[test]
+    fn rk4_batched_kernel_handles_lane_width_remainders() {
+        // 13 lanes of a 1-d system: neither 13 nor the flattened buffer is
+        // a multiple of LANE_WIDTH, exercising the chunked-sweep tails.
+        let sys = decay(2.0);
+        let k = 13;
+        let mut batch: Vec<f64> = (0..k).map(|i| 0.5 + i as f64).collect();
+        let mut solver = Rk4::new();
+        solver.step_batch(&sys, 0.0, &mut batch, 1, 0.05).unwrap();
+        for i in 0..k {
+            let mut lane = vec![0.5 + i as f64];
+            Rk4::new().step(&sys, 0.0, &mut lane, 0.05).unwrap();
+            assert_eq!(batch[i].to_bits(), lane[0].to_bits(), "lane {i}");
+        }
+    }
+
+    #[test]
+    fn batched_kernel_reports_non_finite_states() {
+        // Derivative explodes to inf immediately.
+        let sys = FnSystem::new(1, |_t, _x, dx| dx[0] = f64::INFINITY);
+        let mut batch = vec![1.0, 2.0];
+        assert!(matches!(
+            ForwardEuler::new().step_batch(&sys, 0.0, &mut batch, 1, 0.1),
+            Err(SolveError::NonFiniteState { .. })
+        ));
+    }
+
+    #[test]
+    fn batched_kernel_rejects_dim_mismatch_with_system() {
+        let sys = HarmonicOscillator { omega: 1.0 };
+        let mut batch = vec![1.0, 2.0, 3.0];
+        assert!(matches!(
+            Rk4::new().step_batch(&sys, 0.0, &mut batch, 1, 0.1),
+            Err(SolveError::DimensionMismatch { .. })
+        ));
+    }
+
+    /// An adaptive-looking strategy whose controller underflows: every
+    /// step is rejected with a suggested `h_next` of zero. The pinned
+    /// `step_batch` termination must surface this as
+    /// [`SolveError::StepSizeUnderflow`] instead of spinning.
+    struct UnderflowingSolver {
+        attempts: Vec<f64>,
+    }
+
+    impl Solver for UnderflowingSolver {
+        fn name(&self) -> &str {
+            "underflowing"
+        }
+
+        fn order(&self) -> u32 {
+            1
+        }
+
+        fn is_adaptive(&self) -> bool {
+            true
+        }
+
+        fn step(
+            &mut self,
+            _sys: &dyn OdeSystem,
+            _t: f64,
+            _x: &mut [f64],
+            h: f64,
+        ) -> Result<StepOutcome, SolveError> {
+            self.attempts.push(h);
+            Ok(StepOutcome { accepted: false, h_taken: 0.0, h_next: 0.0, error_estimate: None })
+        }
+    }
+
+    #[test]
+    fn default_step_batch_errors_instead_of_spinning_on_h_next_underflow() {
+        let sys = decay(1.0);
+        let mut batch = vec![1.0];
+        let mut solver = UnderflowingSolver { attempts: Vec::new() };
+        let err = solver.step_batch(&sys, 0.0, &mut batch, 1, 1.0).unwrap_err();
+        assert!(
+            matches!(err, SolveError::StepSizeUnderflow { .. }),
+            "expected StepSizeUnderflow, got {err:?}"
+        );
+        // Exactly one attempt: the first rejection suggests h_next = 0,
+        // which is below resolution, so the loop must stop immediately.
+        assert_eq!(solver.attempts.len(), 1);
+    }
+
+    /// Accepts every step but halves the suggestion each time, driving
+    /// `h_next` towards zero as the lane closes in on `t_end`.
+    struct HalvingSolver {
+        attempts: Vec<f64>,
+    }
+
+    impl Solver for HalvingSolver {
+        fn name(&self) -> &str {
+            "halving"
+        }
+
+        fn order(&self) -> u32 {
+            1
+        }
+
+        fn is_adaptive(&self) -> bool {
+            true
+        }
+
+        fn step(
+            &mut self,
+            _sys: &dyn OdeSystem,
+            _t: f64,
+            _x: &mut [f64],
+            h: f64,
+        ) -> Result<StepOutcome, SolveError> {
+            self.attempts.push(h);
+            Ok(StepOutcome { accepted: true, h_taken: h, h_next: h / 2.0, error_estimate: None })
+        }
+    }
+
+    #[test]
+    fn default_step_batch_never_attempts_a_step_below_resolution() {
+        let sys = decay(1.0);
+        let mut batch = vec![1.0];
+        let mut solver = HalvingSolver { attempts: Vec::new() };
+        let t_end: f64 = 1.0;
+        let resolution = f64::EPSILON * t_end.abs().max(1.0);
+        // Halving converges on t_end geometrically; the loop must either
+        // finish or error out, but every *attempted* step stays at or
+        // above the interval resolution.
+        let result = solver.step_batch(&sys, 0.0, &mut batch, 1, t_end);
+        assert!(!solver.attempts.is_empty());
+        for h in &solver.attempts {
+            assert!(*h >= resolution, "attempted step {h} below resolution {resolution}");
+        }
+        if let Err(e) = result {
+            assert!(matches!(e, SolveError::StepSizeUnderflow { .. }), "unexpected error {e:?}");
+        }
     }
 }

@@ -1,7 +1,12 @@
 //! Continuous systems: `dx/dt = f(t, x)` and the input-carrying variant
 //! `dx/dt = f(t, x, u)` used by streamers whose equations read DPort data.
+//!
+//! Systems that can evaluate many state lanes at once additionally
+//! implement [`BatchOdeSystem`], the entry point of the vectorized
+//! ensemble kernels in [`crate::solver`].
 
 use crate::error::SolveError;
+use crate::linalg::Matrix;
 
 /// A first-order system of ordinary differential equations.
 ///
@@ -45,6 +50,57 @@ pub trait OdeSystem {
     }
 }
 
+/// An [`OdeSystem`] that can evaluate `k` independent state lanes in one
+/// call — the derivative side of the vectorized ensemble kernels.
+///
+/// `states` and `dx` use the *variable-major* (transposed
+/// structure-of-arrays) layout: variable `v` of lane `i` lives at
+/// `[v * k + i]`, so each variable forms one contiguous row of `k`
+/// values. Structured systems (linear, affine) turn their derivative into
+/// fused row sweeps over that layout, which rustc autovectorizes; the
+/// default falls back to gathering each lane and calling
+/// [`OdeSystem::derivatives`], which keeps every implementor
+/// bit-identical to its scalar path by construction.
+///
+/// # Examples
+///
+/// ```
+/// use urt_ode::system::{BatchOdeSystem, library::HarmonicOscillator};
+///
+/// let sys = HarmonicOscillator { omega: 1.0 };
+/// // Two lanes, variable-major: x0 = [1, 0], x1 = [0, 1] per row.
+/// let states = [1.0, 0.0, 0.0, 1.0];
+/// let mut dx = [0.0; 4];
+/// sys.derivatives_batch(0.0, &states, 2, 2, &mut dx);
+/// assert_eq!(dx, [0.0, 1.0, -1.0, 0.0]);
+/// ```
+pub trait BatchOdeSystem: OdeSystem {
+    /// Writes `f(t, x_i)` for every lane `i < k` into `dx`, both buffers
+    /// variable-major (`[v * k + i]`).
+    ///
+    /// Callers guarantee `states.len() == dx.len() == dim * k` and
+    /// `dim == self.dim()`.
+    fn derivatives_batch(&self, t: f64, states: &[f64], dim: usize, k: usize, dx: &mut [f64]) {
+        debug_assert_eq!(dim, self.dim(), "batched dim mismatch");
+        debug_assert_eq!(states.len(), dim * k, "batched state layout mismatch");
+        debug_assert_eq!(dx.len(), dim * k, "batched derivative layout mismatch");
+        // Scalar fallback: gather one lane at a time. The per-lane values
+        // fed to `derivatives` are exactly the scalar path's, so lanes
+        // stay bit-identical; only the traversal order changes.
+        let mut x = vec![0.0; dim];
+        let mut d = vec![0.0; dim];
+        for i in 0..k {
+            for v in 0..dim {
+                x[v] = states[v * k + i];
+            }
+            self.derivatives(t, &x, &mut d);
+            for v in 0..dim {
+                dx[v * k + i] = d[v];
+            }
+        }
+    }
+}
+
 /// An [`OdeSystem`] built from a closure.
 ///
 /// # Examples
@@ -75,6 +131,162 @@ impl<F: Fn(f64, &[f64], &mut [f64])> OdeSystem for FnSystem<F> {
 
     fn derivatives(&self, t: f64, x: &[f64], dx: &mut [f64]) {
         (self.f)(t, x, dx)
+    }
+}
+
+// Opaque closures batch through the scalar-gather default.
+impl<F: Fn(f64, &[f64], &mut [f64])> BatchOdeSystem for FnSystem<F> {}
+
+/// A linear time-invariant system `x' = A x` with a truly batched
+/// derivative: each state variable's derivative row is accumulated as
+/// fused `dx_row += a[v][j] * x_row_j` sweeps over the variable-major
+/// layout.
+///
+/// # Examples
+///
+/// ```
+/// use urt_ode::linalg::Matrix;
+/// use urt_ode::system::LinearSystem;
+///
+/// // x' = [[0, 1], [-1, 0]] x — the unit harmonic oscillator.
+/// let sys = LinearSystem::new(Matrix::from_rows(&[&[0.0, 1.0], &[-1.0, 0.0]]));
+/// assert_eq!(sys.matrix().rows(), 2);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct LinearSystem {
+    a: Matrix,
+}
+
+impl LinearSystem {
+    /// Wraps the square system matrix `A`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `a` is not square.
+    pub fn new(a: Matrix) -> Self {
+        assert!(a.is_square(), "system matrix must be square");
+        LinearSystem { a }
+    }
+
+    /// The system matrix.
+    pub fn matrix(&self) -> &Matrix {
+        &self.a
+    }
+}
+
+/// Row-sweep core shared by [`LinearSystem`] and [`AffineSystem`]:
+/// `dx_row_v = init_v + sum_j a[v][j] * x_row_j`, accumulated in ascending
+/// `j` so each lane performs exactly the scalar accumulation sequence.
+fn accumulate_rows(a: &Matrix, init: Option<&[f64]>, states: &[f64], k: usize, dx: &mut [f64]) {
+    let dim = a.rows();
+    for v in 0..dim {
+        let row = &mut dx[v * k..(v + 1) * k];
+        match init {
+            Some(b) => row.fill(b[v]),
+            None => row.fill(0.0),
+        }
+        for j in 0..dim {
+            let avj = a[(v, j)];
+            crate::state::lanes_axpy(row, avj, &states[j * k..(j + 1) * k]);
+        }
+    }
+}
+
+impl OdeSystem for LinearSystem {
+    fn dim(&self) -> usize {
+        self.a.rows()
+    }
+
+    fn derivatives(&self, _t: f64, x: &[f64], dx: &mut [f64]) {
+        // Same accumulation sequence as the batched path: start from 0,
+        // add `a[v][j] * x[j]` in ascending `j`.
+        for (v, out) in dx.iter_mut().enumerate().take(self.a.rows()) {
+            let mut acc = 0.0;
+            for (j, xj) in x.iter().enumerate().take(self.a.cols()) {
+                acc += self.a[(v, j)] * xj;
+            }
+            *out = acc;
+        }
+    }
+}
+
+impl BatchOdeSystem for LinearSystem {
+    fn derivatives_batch(&self, _t: f64, states: &[f64], dim: usize, k: usize, dx: &mut [f64]) {
+        debug_assert_eq!(dim, self.a.rows(), "batched dim mismatch");
+        accumulate_rows(&self.a, None, states, k, dx);
+    }
+}
+
+/// An affine system `x' = A x + b` (a linear system with a constant
+/// drift), batched exactly like [`LinearSystem`] with the drift seeding
+/// each derivative row.
+///
+/// # Examples
+///
+/// ```
+/// use urt_ode::linalg::Matrix;
+/// use urt_ode::system::{AffineSystem, OdeSystem};
+///
+/// // x' = -x + 1: settles at x = 1.
+/// let sys = AffineSystem::new(Matrix::from_rows(&[&[-1.0]]), vec![1.0]);
+/// let mut dx = [0.0];
+/// sys.derivatives(0.0, &[1.0], &mut dx);
+/// assert_eq!(dx[0], 0.0);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct AffineSystem {
+    a: Matrix,
+    b: Vec<f64>,
+}
+
+impl AffineSystem {
+    /// Wraps `A` and the drift vector `b`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `a` is not square or `b.len() != a.rows()`.
+    pub fn new(a: Matrix, b: Vec<f64>) -> Self {
+        assert!(a.is_square(), "system matrix must be square");
+        assert_eq!(b.len(), a.rows(), "drift dimension mismatch");
+        AffineSystem { a, b }
+    }
+
+    /// The system matrix.
+    pub fn matrix(&self) -> &Matrix {
+        &self.a
+    }
+
+    /// The drift vector.
+    pub fn drift(&self) -> &[f64] {
+        &self.b
+    }
+
+    /// Mutable drift access (e.g. re-freezing `B u` between steps).
+    pub fn drift_mut(&mut self) -> &mut [f64] {
+        &mut self.b
+    }
+}
+
+impl OdeSystem for AffineSystem {
+    fn dim(&self) -> usize {
+        self.a.rows()
+    }
+
+    fn derivatives(&self, _t: f64, x: &[f64], dx: &mut [f64]) {
+        for (v, out) in dx.iter_mut().enumerate().take(self.a.rows()) {
+            let mut acc = self.b[v];
+            for (j, xj) in x.iter().enumerate().take(self.a.cols()) {
+                acc += self.a[(v, j)] * xj;
+            }
+            *out = acc;
+        }
+    }
+}
+
+impl BatchOdeSystem for AffineSystem {
+    fn derivatives_batch(&self, _t: f64, states: &[f64], dim: usize, k: usize, dx: &mut [f64]) {
+        debug_assert_eq!(dim, self.a.rows(), "batched dim mismatch");
+        accumulate_rows(&self.a, Some(&self.b), states, k, dx);
     }
 }
 
@@ -165,10 +377,15 @@ impl<S: InputSystem + ?Sized> OdeSystem for FrozenInput<'_, S> {
     }
 }
 
+// A frozen input is opaque to the batch layer; lanes gather through the
+// scalar default (every lane shares the same frozen `u`).
+impl<S: InputSystem + ?Sized> BatchOdeSystem for FrozenInput<'_, S> {}
+
 /// Library of classic benchmark systems used across tests, examples and the
 /// E1 solver-accuracy experiment.
 pub mod library {
-    use super::{FnSystem, OdeSystem};
+    use super::{BatchOdeSystem, FnSystem, OdeSystem};
+    use crate::state::lanes_scaled;
 
     /// Harmonic oscillator `x'' = -omega^2 x` as a first-order pair.
     #[derive(Debug, Clone, Copy, PartialEq)]
@@ -185,6 +402,25 @@ pub mod library {
         fn derivatives(&self, _t: f64, x: &[f64], dx: &mut [f64]) {
             dx[0] = x[1];
             dx[1] = -self.omega * self.omega * x[0];
+        }
+    }
+
+    impl BatchOdeSystem for HarmonicOscillator {
+        fn derivatives_batch(
+            &self,
+            _t: f64,
+            states: &[f64],
+            _dim: usize,
+            k: usize,
+            dx: &mut [f64],
+        ) {
+            let (x0, x1) = states.split_at(k);
+            let (d0, d1) = dx.split_at_mut(k);
+            d0.copy_from_slice(x1);
+            // `(-omega) * omega` mirrors the scalar `-omega * omega * x0`
+            // product order, keeping lanes bit-identical.
+            let c = -self.omega * self.omega;
+            lanes_scaled(d1, c, x0);
         }
     }
 
@@ -205,6 +441,29 @@ pub mod library {
             dx[1] = self.mu * (1.0 - x[0] * x[0]) * x[1] - x[0];
         }
     }
+
+    impl BatchOdeSystem for VanDerPol {
+        fn derivatives_batch(
+            &self,
+            _t: f64,
+            states: &[f64],
+            _dim: usize,
+            k: usize,
+            dx: &mut [f64],
+        ) {
+            let (x0, x1) = states.split_at(k);
+            let (d0, d1) = dx.split_at_mut(k);
+            d0.copy_from_slice(x1);
+            let mu = self.mu;
+            // Per-lane expression identical to the scalar derivative.
+            for i in 0..k {
+                d1[i] = mu * (1.0 - x0[i] * x0[i]) * x1[i] - x0[i];
+            }
+        }
+    }
+
+    // The pendulum's `sin` keeps it on the scalar-gather fallback.
+    impl BatchOdeSystem for Pendulum {}
 
     /// Damped pendulum `theta'' = -(g/l) sin theta - c theta'`.
     #[derive(Debug, Clone, Copy, PartialEq)]

@@ -75,10 +75,10 @@ case "$hash_json" in
         ;;
 esac
 
-echo "==> bench_engine --smoke (self-asserts batched, ensemble and instantiate throughput)"
+echo "==> bench_engine --smoke (self-asserts batched, ensemble, kernel and instantiate throughput)"
 bench_json="$(cargo run -q --release --offline -p urt-bench --bin bench_engine -- --smoke)"
 case "$bench_json" in
-    '{"schema":"bench_engine/v6","smoke":true,'*'"batch":'*'"steps_per_sec":'*'"ensemble":['*'"mode":"ensemble"'*'"mode":"independent"'*'"instantiate":['*'"instantiate_per_sec":'*'"speedup":'*) ;;
+    '{"schema":"bench_engine/v7","smoke":true,'*'"batch":'*'"steps_per_sec":'*'"ensemble":['*'"mode":"ensemble"'*'"mode":"independent"'*'"kernel":['*'"kernel":"scalar"'*'"kernel":"batched"'*'"instantiate":['*'"instantiate_per_sec":'*'"speedup":'*) ;;
     *)
         echo "unexpected bench_engine --smoke output: $bench_json" >&2
         exit 1
@@ -89,7 +89,7 @@ echo "==> bench_engine --paced --smoke (paced latency axis, self-asserts misses 
 paced_json="$(cargo run -q --release --offline -p urt-bench --bin bench_engine -- --paced --smoke)"
 # Shape: the v6 paced array must carry the latency distribution fields.
 case "$paced_json" in
-    '{"schema":"bench_engine/v6","smoke":true,'*'"paced":['*'"p50_ns":'*'"p99_ns":'*'"worst_ns":'*'"misses":'*) ;;
+    '{"schema":"bench_engine/v7","smoke":true,'*'"paced":['*'"p50_ns":'*'"p99_ns":'*'"worst_ns":'*'"misses":'*) ;;
     *)
         echo "unexpected bench_engine --paced --smoke output: $paced_json" >&2
         exit 1
